@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/mpi ./internal/aio ./internal/ckpt \
+		./internal/stream ./internal/cluster ./internal/hacc
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table and figure (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments -all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/ciregression
+	$(GO) run ./examples/heatsolver
+	$(GO) run ./examples/haccrepro
+	$(GO) run ./examples/onlinecompare
+
+clean:
+	$(GO) clean ./...

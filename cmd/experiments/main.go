@@ -1,0 +1,158 @@
+// Command experiments regenerates the paper's tables and figures at
+// laptop scale.
+//
+// Usage:
+//
+//	experiments -all                 # everything (takes a while)
+//	experiments -table 1 -table 2
+//	experiments -fig 5 -fig 10
+//	experiments -fig 5 -scale 1792   # smaller/faster sweep
+//	experiments -dir /tmp/repro-exp  # keep generated data between runs
+//
+// Output is aligned text tables, one per paper artifact, with notes
+// recording the scale factor and cost-model caveats. See EXPERIMENTS.md
+// for recorded results and paper-vs-measured commentary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+)
+
+type intList []int
+
+func (l *intList) String() string { return fmt.Sprint([]int(*l)) }
+
+func (l *intList) Set(s string) error {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		tables intList
+		figs   intList
+		all    = fs.Bool("all", false, "run every table and figure")
+		scale  = fs.Int("scale", 448, "scale divisor for paper sizes (bigger = smaller/faster)")
+		dir    = fs.String("dir", "", "working directory (default: a temp dir, removed on exit)")
+		pairs  = fs.Int("pairs", 128, "workload size for the fig 10 scaling study")
+	)
+	fs.Var(&tables, "table", "paper table to regenerate (1 or 2); repeatable")
+	fs.Var(&figs, "fig", "paper figure to regenerate (5-10); repeatable")
+	ablations := fs.Bool("ablations", false, "run the DESIGN.md §6 design-choice ablations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *all {
+		tables = intList{1, 2}
+		figs = intList{5, 6, 7, 8, 9, 10}
+		*ablations = true
+	}
+	if len(tables) == 0 && len(figs) == 0 && !*ablations {
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -all, -table N or -fig N")
+	}
+
+	workDir := *dir
+	if workDir == "" {
+		td, err := os.MkdirTemp("", "repro-experiments-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(td)
+		workDir = td
+	}
+	env, err := experiments.NewEnv(workDir, *scale)
+	if err != nil {
+		return err
+	}
+
+	emit := func(t *experiments.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		return t.Render(out)
+	}
+
+	for _, n := range tables {
+		switch n {
+		case 1:
+			if err := emit(env.Table1()); err != nil {
+				return err
+			}
+		case 2:
+			if err := emit(env.Table2()); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown table %d", n)
+		}
+	}
+	for _, n := range figs {
+		switch n {
+		case 5:
+			for _, size := range []string{"500M", "1B", "2B"} {
+				if err := emit(env.Fig5(size)); err != nil {
+					return err
+				}
+			}
+		case 6:
+			for _, eps := range []float64{1e-7, 1e-3} {
+				if err := emit(env.Fig6(eps)); err != nil {
+					return err
+				}
+			}
+		case 7:
+			marked, fpr, err := env.Fig7()
+			if err != nil {
+				return err
+			}
+			if err := marked.Render(out); err != nil {
+				return err
+			}
+			if err := fpr.Render(out); err != nil {
+				return err
+			}
+		case 8:
+			if err := emit(env.Fig8()); err != nil {
+				return err
+			}
+		case 9:
+			if err := emit(env.Fig9()); err != nil {
+				return err
+			}
+		case 10:
+			for _, eps := range []float64{1e-7, 1e-3} {
+				if err := emit(env.Fig10(eps, *pairs, nil)); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("unknown figure %d", n)
+		}
+	}
+	if *ablations {
+		if err := emit(env.Ablations()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+// Command haccgen runs the bundled HACC-style P³M cosmology simulation
+// twice with nondeterministic force accumulation (distinct interleaving
+// seeds, identical initial conditions) and captures both runs' checkpoint
+// histories through the asynchronous two-tier checkpointer — producing the
+// input data for reprocmp, exactly the paper's evaluation flow (§3.3.1).
+//
+// Usage:
+//
+//	haccgen -store DIR [-particles 20000] [-steps 50] [-every 10]
+//	        [-runa run1 -runb run2] [-eps 1e-6 -chunk 65536 -hash]
+//
+// With -hash, Merkle metadata is built and saved next to every captured
+// checkpoint so the store is immediately comparable.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/catalog"
+	"repro/internal/hacc"
+	"repro/internal/mpi"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "haccgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("haccgen", flag.ContinueOnError)
+	var (
+		dir       = fs.String("store", "", "store directory (PFS tier)")
+		particles = fs.Int("particles", 20000, "particle count")
+		grid      = fs.Int("grid", 32, "mesh extent per axis (power of two)")
+		steps     = fs.Int("steps", 50, "simulation steps")
+		every     = fs.Int("every", 10, "checkpoint every N steps")
+		ranks     = fs.Int("ranks", 1, "simulation ranks (slab decomposition; 1 = serial)")
+		runA      = fs.String("runa", "run1", "first run ID")
+		runB      = fs.String("runb", "run2", "second run ID")
+		seed      = fs.Int64("seed", 1, "initial-conditions seed (shared)")
+		hash      = fs.Bool("hash", false, "build Merkle metadata for every checkpoint")
+		eps       = fs.Float64("eps", 1e-6, "error bound for -hash")
+		chunk     = fs.Int("chunk", 64<<10, "chunk size for -hash")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return errors.New("-store is required")
+	}
+	if *every <= 0 || *steps <= 0 {
+		return errors.New("-steps and -every must be positive")
+	}
+
+	remote, err := repro.NewStore(*dir, repro.LustreModel())
+	if err != nil {
+		return err
+	}
+	local, err := repro.NewStore(filepath.Join(*dir, ".node-local"), repro.NVMeModel())
+	if err != nil {
+		return err
+	}
+
+	for i, runID := range []string{*runA, *runB} {
+		cfg := hacc.DefaultConfig(*particles)
+		cfg.Grid = *grid
+		cfg.Box = float64(*grid)
+		cfg.Seed = *seed
+		cfg.Nondet = true
+		cfg.NondetSeed = int64(i + 1) // the only difference between the runs
+		if *ranks > 1 {
+			err = simulateParallel(cfg, *ranks, runID, *steps, *every, local, remote)
+		} else {
+			err = simulate(cfg, runID, *steps, *every, local, remote)
+		}
+		if err != nil {
+			return fmt.Errorf("run %s: %w", runID, err)
+		}
+		fmt.Fprintf(out, "run %s: %d steps on %d rank(s), history captured\n", runID, *steps, *ranks)
+	}
+
+	if *hash {
+		opts := repro.Options{Epsilon: *eps, ChunkSize: *chunk}
+		for _, runID := range []string{*runA, *runB} {
+			names, err := repro.History(remote, runID)
+			if err != nil {
+				return err
+			}
+			for _, n := range names {
+				if _, _, err := repro.BuildAndSave(remote, n, opts); err != nil {
+					return fmt.Errorf("hash %s: %w", n, err)
+				}
+			}
+			fmt.Fprintf(out, "run %s: metadata built for %d checkpoints (eps=%g)\n", runID, len(names), *eps)
+		}
+	}
+	// Record provenance manifests for both runs.
+	for i, runID := range []string{*runA, *runB} {
+		m, err := catalog.Scan(remote, runID, nil)
+		if err != nil {
+			return err
+		}
+		cfg := hacc.DefaultConfig(*particles)
+		cfg.Grid = *grid
+		cfg.Box = float64(*grid)
+		cfg.Seed = *seed
+		cfg.Nondet = true
+		cfg.NondetSeed = int64(i + 1)
+		if err := m.SetApp("hacc", cfg); err != nil {
+			return err
+		}
+		if err := catalog.Save(remote, m); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "done; compare with: reprocmp history -store %s -runa %s -runb %s -eps %g\n",
+		*dir, *runA, *runB, *eps)
+	return nil
+}
+
+// simulateParallel runs the slab-decomposed simulation: every rank steps
+// in lockstep and captures its own ID-range shard.
+func simulateParallel(cfg hacc.Config, ranks int, runID string, steps, every int, local, remote *repro.Store) error {
+	c := repro.NewCheckpointer(local, remote, 2)
+	err := mpi.Run(ranks, func(r *mpi.Rank) error {
+		sim, err := hacc.NewRankSim(cfg, r)
+		if err != nil {
+			return err
+		}
+		for s := 1; s <= steps; s++ {
+			if err := sim.Step(); err != nil {
+				return err
+			}
+			if s%every == 0 {
+				if err := sim.Capture(c, runID); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if cerr := c.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func simulate(cfg hacc.Config, runID string, steps, every int, local, remote *repro.Store) error {
+	sim, err := hacc.New(cfg)
+	if err != nil {
+		return err
+	}
+	c := repro.NewCheckpointer(local, remote, 2)
+	defer c.Close()
+	for s := 1; s <= steps; s++ {
+		if err := sim.Step(); err != nil {
+			return err
+		}
+		if s%every == 0 {
+			if err := sim.Capture(c, runID, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return c.Close()
+}

@@ -1,0 +1,118 @@
+package repro_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"repro"
+)
+
+// f32le encodes float32 values little-endian, the raw checkpoint field
+// layout.
+func f32le(vals ...float32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(v))
+	}
+	return b
+}
+
+// captureExample writes one checkpoint with metadata for a run.
+func captureExample(store *repro.Store, run string, vals []float32, opts repro.Options) (string, error) {
+	meta := repro.Checkpoint{
+		RunID:     run,
+		Iteration: 0,
+		Rank:      0,
+		Fields:    []repro.FieldSpec{{Name: "u", DType: repro.Float32, Count: int64(len(vals))}},
+	}
+	if _, err := repro.WriteCheckpoint(store, meta, [][]byte{f32le(vals...)}); err != nil {
+		return "", err
+	}
+	name := repro.CheckpointName(run, 0, 0)
+	if _, _, err := repro.BuildAndSave(store, name, opts); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// Example_compare captures two small runs and locates their divergence.
+func Example_compare() {
+	dir, err := os.MkdirTemp("", "repro-example-")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	store, err := repro.NewStore(dir, repro.LustreModel())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	opts := repro.Options{Epsilon: 1e-4, ChunkSize: 4096}
+
+	run1 := make([]float32, 4096)
+	run2 := make([]float32, 4096)
+	for i := range run1 {
+		run1[i] = float32(i)
+		run2[i] = float32(i)
+	}
+	run2[1234] += 0.5 // one out-of-bound divergence
+
+	name1, err := captureExample(store, "run1", run1, opts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	name2, err := captureExample(store, "run2", run2, opts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	res, err := repro.Compare(store, name1, name2, opts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("identical: %v\n", res.Identical())
+	fmt.Printf("candidate chunks: %d of %d\n", res.CandidateChunks, res.TotalChunks)
+	for _, d := range res.Diffs {
+		fmt.Printf("field %s diverged at index %d\n", d.Field, d.Indices[0])
+	}
+	// Output:
+	// identical: false
+	// candidate chunks: 1 of 4
+	// field u diverged at index 1234
+}
+
+// Example_diffTrees shows the metadata-only comparison used for online
+// monitoring: no checkpoint data is read.
+func Example_diffTrees() {
+	fields := []repro.FieldSpec{{Name: "u", DType: repro.Float32, Count: 2048}}
+	opts := repro.Options{Epsilon: 1e-5, ChunkSize: 1024}
+
+	ref := make([]float32, 2048)
+	live := make([]float32, 2048)
+	live[2000] = 0.001 // beyond eps, in the last quarter of the data
+
+	refMeta, _, err := repro.BuildMetadata(fields, [][]byte{f32le(ref...)}, opts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	liveMeta, _, err := repro.BuildMetadata(fields, [][]byte{f32le(live...)}, opts)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	chunks, err := repro.DiffTrees(refMeta.Fields[0].Tree, liveMeta.Fields[0].Tree, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("divergent chunks: %v\n", chunks)
+	// Output:
+	// divergent chunks: [7]
+}

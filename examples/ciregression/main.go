@@ -1,0 +1,122 @@
+// ciregression implements the paper's proposed continuous-integration use
+// case (§5): a project stores the Merkle metadata of a known-good test
+// run ("golden tree"); every CI run rebuilds only the metadata of its own
+// output and compares the trees. If the new output drifts beyond the
+// test's error bound, CI fails and names the variables and indices that
+// moved — without ever storing or re-reading the golden run's full data.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro"
+)
+
+const (
+	n         = 200_000
+	eps       = 1e-5
+	chunkSize = 8 << 10
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// simulateSolver is the "application under test": a toy iterative solver
+// whose output depends on a code version. Version 2 contains a regression
+// that perturbs part of the solution above the error bound.
+func simulateSolver(version int) []float32 {
+	rng := rand.New(rand.NewSource(99))
+	out := make([]float32, n)
+	for i := range out {
+		x := float64(i) / n
+		out[i] = float32(math.Exp(-x) * math.Cos(12*x) * (1 + 1e-7*rng.Float64()))
+	}
+	if version == 2 {
+		// The regression: a changed reduction order shifted a band of the
+		// solution by ~5e-5.
+		for i := 150_000; i < 152_000; i++ {
+			out[i] += 5e-5
+		}
+	}
+	return out
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "repro-ci-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := repro.NewStore(dir, repro.NVMeModel())
+	if err != nil {
+		return err
+	}
+	opts := repro.Options{Epsilon: eps, ChunkSize: chunkSize}
+	fields := []repro.FieldSpec{{Name: "solution", DType: repro.Float32, Count: n}}
+
+	// --- One-time setup: run the blessed version and store ONLY its
+	// metadata as the golden reference (plus the data itself here so the
+	// demo can verify candidate chunks; a space-constrained CI could keep
+	// just the tree and fail on any mismatch without locating indices).
+	golden := simulateSolver(1)
+	goldenMeta := repro.Checkpoint{RunID: "golden", Iteration: 0, Rank: 0, Fields: fields}
+	if _, err := repro.WriteCheckpoint(store, goldenMeta, [][]byte{f32bytes(golden)}); err != nil {
+		return err
+	}
+	goldenName := repro.CheckpointName("golden", 0, 0)
+	if _, _, err := repro.BuildAndSave(store, goldenName, opts); err != nil {
+		return err
+	}
+	m, err := repro.LoadMetadata(store, goldenName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("golden tree stored: %d bytes of metadata for %d bytes of output (%.2f%%)\n",
+		m.Bytes(), goldenMeta.TotalBytes(), 100*float64(m.Bytes())/float64(goldenMeta.TotalBytes()))
+
+	// --- Every CI run: capture the new output, compare against golden.
+	for _, version := range []int{1, 2} {
+		output := simulateSolver(version)
+		ciMeta := repro.Checkpoint{RunID: fmt.Sprintf("ci-v%d", version), Iteration: 0, Rank: 0, Fields: fields}
+		if _, err := repro.WriteCheckpoint(store, ciMeta, [][]byte{f32bytes(output)}); err != nil {
+			return err
+		}
+		ciName := repro.CheckpointName(ciMeta.RunID, 0, 0)
+		if _, _, err := repro.BuildAndSave(store, ciName, opts); err != nil {
+			return err
+		}
+
+		res, err := repro.Compare(store, goldenName, ciName, opts)
+		if err != nil {
+			return err
+		}
+		if res.Identical() {
+			fmt.Printf("version %d: PASS — output matches golden within eps=%g "+
+				"(tree comparison touched %d of %d chunks)\n",
+				version, eps, res.CandidateChunks, res.TotalChunks)
+			continue
+		}
+		fmt.Printf("version %d: FAIL — reproducibility regression detected:\n", version)
+		for _, d := range res.Diffs {
+			fmt.Printf("  %s: %d elements beyond eps, range [%d, %d]\n",
+				d.Field, len(d.Indices), d.Indices[0], d.Indices[len(d.Indices)-1])
+		}
+	}
+	return nil
+}
+
+func f32bytes(vals []float32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(v))
+	}
+	return b
+}

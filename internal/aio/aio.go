@@ -1,0 +1,354 @@
+// Package aio provides the asynchronous scattered-read engine of the
+// comparator (paper §2.5.2). Two backends implement the same interface:
+//
+//   - Uring: an io_uring-style engine with a submission queue and a
+//     completion queue shared with a pool of "kernel" workers. Many reads
+//     are enqueued with a single submit, latencies overlap up to the queue
+//     depth, and completions are reaped asynchronously.
+//   - Mmap: a memory-map-style backend in which every first touch of a
+//     page triggers a synchronous page fault: faults serialize and each
+//     pays the full device latency. This is the slower baseline of Fig. 9.
+//
+// Both backends perform real reads through the pfs store (so data paths
+// are exercised end to end) and price the batch on the virtual clock using
+// the store's cost model.
+package aio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+// ReadReq is one scattered read: fill Buf[:Len] from Off. Tag is an opaque
+// caller identifier (the comparator uses the chunk index).
+type ReadReq struct {
+	Off int64
+	Len int
+	Buf []byte
+	Tag int
+}
+
+// Backend reads a batch of scattered requests from a file. It returns the
+// aggregate storage cost and the virtual elapsed time of the whole batch.
+// Implementations must fill every request's buffer before returning.
+type Backend interface {
+	// Name identifies the backend in reports ("io_uring", "mmap").
+	Name() string
+	// ReadBatch executes all requests against f.
+	ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error)
+}
+
+// Uring is the io_uring-style backend.
+type Uring struct {
+	// QueueDepth is the maximum number of in-flight operations (ring size).
+	QueueDepth int
+	// Workers is the number of kernel-side worker goroutines.
+	Workers int
+}
+
+var _ Backend = (*Uring)(nil)
+
+// NewUring returns a Uring backend with sensible defaults applied
+// (queue depth 64, workers 4).
+func NewUring(queueDepth, workers int) *Uring {
+	if queueDepth < 1 {
+		queueDepth = 64
+	}
+	if workers < 1 {
+		workers = 4
+	}
+	return &Uring{QueueDepth: queueDepth, Workers: workers}
+}
+
+// Name implements Backend.
+func (u *Uring) Name() string { return "io_uring" }
+
+// ReadBatch submits all requests through a ring and reaps completions.
+func (u *Uring) ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error) {
+	if len(reqs) == 0 {
+		return pfs.Cost{}, 0, nil
+	}
+	ring := NewRing(u.QueueDepth, u.Workers)
+	defer ring.Close()
+
+	if err := ring.Submit(f, reqs); err != nil {
+		return pfs.Cost{}, 0, err
+	}
+	comps, err := ring.Reap(len(reqs))
+	var cost pfs.Cost
+	for i := range comps {
+		cost.Add(comps[i].Cost)
+	}
+	elapsed := priceOverlapped(f, cost, u.QueueDepth, batchIsScattered(reqs))
+	if err != nil {
+		return cost, elapsed, err
+	}
+	return cost, elapsed, nil
+}
+
+// scatteredMaxReq is the request size up to which a deep queue of reads
+// stripes across a PFS's storage targets and reaches the model's
+// scattered (aggregate) bandwidth. Larger requests behave like sequential
+// streams.
+const scatteredMaxReq = 2 << 20
+
+// scatteredMinOps is the minimum batch size for the striping effect.
+const scatteredMinOps = 8
+
+// batchIsScattered reports whether a request batch gets the deep-queue
+// striping bandwidth.
+func batchIsScattered(reqs []ReadReq) bool {
+	if len(reqs) < scatteredMinOps {
+		return false
+	}
+	var bytes int64
+	for i := range reqs {
+		bytes += int64(reqs[i].Len)
+	}
+	return bytes/int64(len(reqs)) <= scatteredMaxReq
+}
+
+// priceOverlapped prices a batch whose per-op latencies overlap up to the
+// queue depth. The amortized latency term ADDS to the bandwidth term
+// rather than hiding under it: small scattered reads under-utilize a PFS
+// (per-RPC server work, per-OST seeks), so the penalty persists even when
+// the pipe is otherwise bandwidth-bound — the effect behind the paper's
+// chunk-size trade-off (Fig. 5, §3.4.1).
+func priceOverlapped(f *pfs.File, cost pfs.Cost, queueDepth int, scattered bool) time.Duration {
+	store := fileStore(f)
+	m := store.Model()
+	sharers := store.Sharers()
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	rounds := func(n int) time.Duration {
+		return time.Duration((n + queueDepth - 1) / queueDepth)
+	}
+	latTerm := rounds(cost.Ops)*m.ReadLatency + rounds(cost.CachedOps)*m.CachedLatency
+	bwTerm := m.BandwidthTerm(cost, sharers)
+	if scattered {
+		bwTerm = m.ScatteredBandwidthTerm(cost, sharers)
+	}
+	elapsed := latTerm + bwTerm
+	// The final completion still pays one latency.
+	switch {
+	case cost.Ops > 0:
+		elapsed += m.ReadLatency
+	case cost.CachedOps > 0:
+		elapsed += m.CachedLatency
+	}
+	return elapsed
+}
+
+// Mmap is the synchronous page-fault backend. Each first touch of a cold
+// region triggers a synchronous fault that pays the full read latency; the
+// kernel's fault-around behaviour brings in a cluster of FaultAroundPages
+// pages per fault (Linux defaults to 16; readahead widens it for
+// sequential access, so 32 is a fair average), which both amortizes faults
+// a little and reads unrequested bytes.
+type Mmap struct {
+	// FaultAroundPages is the pages brought in per fault (default 32).
+	FaultAroundPages int
+}
+
+var _ Backend = Mmap{}
+
+// Name implements Backend.
+func (Mmap) Name() string { return "mmap" }
+
+// ReadBatch touches every request's pages in order, faulting cold clusters
+// synchronously.
+func (mm Mmap) ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error) {
+	store := fileStore(f)
+	m := store.Model()
+	around := mm.FaultAroundPages
+	if around < 1 {
+		around = 32
+	}
+	clusterSize := int64(m.PageSize) * int64(around)
+	cluster := make([]byte, clusterSize)
+	var cost pfs.Cost
+	for i := range reqs {
+		r := &reqs[i]
+		if err := checkReq(r); err != nil {
+			return cost, 0, err
+		}
+		first := r.Off / clusterSize
+		last := (r.Off + int64(r.Len) - 1) / clusterSize
+		for c := first; c <= last; c++ {
+			clusterOff := c * clusterSize
+			n, cc, err := f.ReadAt(cluster, clusterOff)
+			cost.Add(cc)
+			if err != nil && !errors.Is(err, io.EOF) {
+				return cost, 0, fmt.Errorf("aio: mmap fault at cluster %d: %w", c, err)
+			}
+			// Copy the overlap of this cluster with the request window.
+			lo := r.Off - clusterOff
+			if lo < 0 {
+				lo = 0
+			}
+			hi := r.Off + int64(r.Len) - clusterOff
+			if hi > int64(n) {
+				hi = int64(n)
+			}
+			if hi > lo {
+				dst := clusterOff + lo - r.Off
+				copy(r.Buf[dst:dst+(hi-lo)], cluster[lo:hi])
+			}
+		}
+	}
+	// Synchronous pricing: every fault serializes its full latency.
+	elapsed := time.Duration(cost.Ops)*m.ReadLatency +
+		time.Duration(cost.CachedOps)*m.CachedLatency +
+		m.BandwidthTerm(cost, store.Sharers())
+	return cost, elapsed, nil
+}
+
+// Ring is the submission/completion queue pair of the Uring backend.
+// Submission blocks only when the submission queue is at the queue depth,
+// and workers complete operations concurrently — the programming model of
+// io_uring, with the kernel replaced by goroutines. The completion side
+// never blocks the workers (io_uring's CQ-overflow behaviour), so a ring
+// can always be closed safely even with unreaped completions.
+type Ring struct {
+	sq chan sqe
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	comps  []Completion
+	closed bool
+}
+
+type sqe struct {
+	f   *pfs.File
+	req ReadReq
+}
+
+// Completion is one completed operation.
+type Completion struct {
+	Tag  int
+	N    int
+	Cost pfs.Cost
+	Err  error
+}
+
+// NewRing creates a ring with the given queue depth and worker count and
+// starts the workers. Close must be called to stop them.
+func NewRing(queueDepth, workers int) *Ring {
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r := &Ring{
+		sq: make(chan sqe, queueDepth),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go r.worker()
+	}
+	return r
+}
+
+func (r *Ring) worker() {
+	defer r.wg.Done()
+	for e := range r.sq {
+		var comp Completion
+		comp.Tag = e.req.Tag
+		if err := checkReq(&e.req); err != nil {
+			comp.Err = err
+		} else {
+			n, cost, err := e.f.ReadAt(e.req.Buf[:e.req.Len], e.req.Off)
+			comp.N = n
+			comp.Cost = cost
+			if err != nil && !errors.Is(err, io.EOF) {
+				comp.Err = err
+			}
+		}
+		r.mu.Lock()
+		r.comps = append(r.comps, comp)
+		r.cond.Signal()
+		r.mu.Unlock()
+	}
+}
+
+// Submit enqueues all requests for the file. It blocks only when the
+// submission queue is full (in-flight operations at the queue depth).
+func (r *Ring) Submit(f *pfs.File, reqs []ReadReq) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return errors.New("aio: ring closed")
+	}
+	r.mu.Unlock()
+	for i := range reqs {
+		r.sq <- sqe{f: f, req: reqs[i]}
+	}
+	return nil
+}
+
+// Reap waits for n completions and returns them (order is completion
+// order, not submission order). The first error encountered is returned
+// after all n completions are collected.
+func (r *Ring) Reap(n int) ([]Completion, error) {
+	out := make([]Completion, 0, n)
+	var firstErr error
+	r.mu.Lock()
+	for len(out) < n {
+		for len(r.comps) == 0 {
+			r.cond.Wait()
+		}
+		take := n - len(out)
+		if take > len(r.comps) {
+			take = len(r.comps)
+		}
+		out = append(out, r.comps[:take]...)
+		r.comps = r.comps[take:]
+	}
+	r.mu.Unlock()
+	for i := range out {
+		if out[i].Err != nil {
+			firstErr = out[i].Err
+			break
+		}
+	}
+	return out, firstErr
+}
+
+// Close stops accepting submissions, waits for in-flight operations to
+// complete, and stops the workers. Unreaped completions are discarded.
+func (r *Ring) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.sq)
+	r.wg.Wait()
+}
+
+func checkReq(r *ReadReq) error {
+	if r.Len <= 0 {
+		return fmt.Errorf("aio: request tag %d has non-positive length %d", r.Tag, r.Len)
+	}
+	if r.Off < 0 {
+		return fmt.Errorf("aio: request tag %d has negative offset %d", r.Tag, r.Off)
+	}
+	if len(r.Buf) < r.Len {
+		return fmt.Errorf("aio: request tag %d buffer too small: %d < %d", r.Tag, len(r.Buf), r.Len)
+	}
+	return nil
+}
+
+// fileStore exposes the store behind a file for pricing.
+func fileStore(f *pfs.File) *pfs.Store { return f.Store() }

@@ -1,0 +1,103 @@
+package aio
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+// Coalescing wraps a Backend and merges nearby scattered reads into fewer,
+// larger operations before submission — the standard optimization for the
+// verification stage's I/O pattern: when divergent chunks cluster (as they
+// do for spatially correlated divergence), adjacent candidate chunks can
+// be fetched with one request, trading a bounded amount of wasted gap
+// bytes for a large reduction in operation count.
+type Coalescing struct {
+	// Inner executes the merged batch.
+	Inner Backend
+	// MaxGap is the largest hole (in bytes) bridged between two requests
+	// (default 16 KiB). Gap bytes are read and discarded.
+	MaxGap int
+}
+
+var _ Backend = Coalescing{}
+
+// NewCoalescing wraps a backend with defaults applied.
+func NewCoalescing(inner Backend, maxGap int) Coalescing {
+	if inner == nil {
+		inner = NewUring(0, 0)
+	}
+	if maxGap <= 0 {
+		maxGap = 16 << 10
+	}
+	return Coalescing{Inner: inner, MaxGap: maxGap}
+}
+
+// Name implements Backend.
+func (c Coalescing) Name() string { return c.Inner.Name() + "+coalesce" }
+
+// ReadBatch merges, executes, and scatters results back into the original
+// request buffers.
+func (c Coalescing) ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error) {
+	if len(reqs) <= 1 {
+		return c.Inner.ReadBatch(f, reqs)
+	}
+	for i := range reqs {
+		if err := checkReq(&reqs[i]); err != nil {
+			return pfs.Cost{}, 0, err
+		}
+	}
+	// Sort request indices by offset.
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return reqs[order[a]].Off < reqs[order[b]].Off })
+
+	// Build merged runs.
+	type run struct {
+		off     int64
+		end     int64
+		members []int
+	}
+	var runs []run
+	cur := run{off: reqs[order[0]].Off, end: reqs[order[0]].Off + int64(reqs[order[0]].Len), members: []int{order[0]}}
+	for _, idx := range order[1:] {
+		r := &reqs[idx]
+		if r.Off <= cur.end+int64(c.MaxGap) {
+			cur.members = append(cur.members, idx)
+			if end := r.Off + int64(r.Len); end > cur.end {
+				cur.end = end
+			}
+			continue
+		}
+		runs = append(runs, cur)
+		cur = run{off: r.Off, end: r.Off + int64(r.Len), members: []int{idx}}
+	}
+	runs = append(runs, cur)
+
+	// Execute the merged batch.
+	merged := make([]ReadReq, len(runs))
+	for i, r := range runs {
+		merged[i] = ReadReq{
+			Off: r.off,
+			Len: int(r.end - r.off),
+			Buf: make([]byte, r.end-r.off),
+			Tag: i,
+		}
+	}
+	cost, elapsed, err := c.Inner.ReadBatch(f, merged)
+	if err != nil {
+		return cost, elapsed, err
+	}
+	// Scatter back into the original buffers.
+	for i, r := range runs {
+		for _, idx := range r.members {
+			req := &reqs[idx]
+			src := req.Off - r.off
+			copy(req.Buf[:req.Len], merged[i].Buf[src:src+int64(req.Len)])
+		}
+	}
+	return cost, elapsed, nil
+}

@@ -1,0 +1,208 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/compare"
+	"repro/internal/device"
+	"repro/internal/errbound"
+	"repro/internal/pfs"
+	"repro/internal/synth"
+)
+
+func fixedNow() time.Time { return time.Unix(1_700_000_000, 0) }
+
+func seedRun(t *testing.T, store *pfs.Store, runID string, iters []int, withMeta bool) {
+	t.Helper()
+	const elems = 4096
+	fields := []ckpt.FieldSpec{{Name: "x", DType: errbound.Float32, Count: elems}}
+	opts := compare.Options{Epsilon: 1e-5, ChunkSize: 4096, Exec: device.Serial{}}
+	for _, it := range iters {
+		meta := ckpt.Meta{RunID: runID, Iteration: it, Rank: 0, Fields: fields}
+		if _, err := ckpt.WriteCheckpoint(store, meta, [][]byte{synth.FieldF32(elems, int64(it))}); err != nil {
+			t.Fatal(err)
+		}
+		if withMeta {
+			if _, _, err := compare.BuildAndSave(store, ckpt.Name(runID, it, 0), opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestScanInventoriesHistory(t *testing.T) {
+	store, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedRun(t, store, "runX", []int{10, 20, 30}, true)
+	m, err := Scan(store, "runX", fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Checkpoints) != 3 {
+		t.Fatalf("checkpoints = %d", len(m.Checkpoints))
+	}
+	if m.CreatedUnix != fixedNow().Unix() {
+		t.Errorf("CreatedUnix = %d", m.CreatedUnix)
+	}
+	for i, e := range m.Checkpoints {
+		if e.Iteration != (i+1)*10 || e.Rank != 0 {
+			t.Errorf("entry %d = %+v", i, e)
+		}
+		if !e.HasMetadata || e.Epsilon != 1e-5 || e.ChunkSize != 4096 {
+			t.Errorf("entry %d metadata: %+v", i, e)
+		}
+		if e.Compacted || e.DataBytes != 4*4096 || e.Fields != 1 {
+			t.Errorf("entry %d data: %+v", i, e)
+		}
+	}
+	if m.TotalDataBytes() != 3*4*4096 || m.LiveDataBytes() != 3*4*4096 {
+		t.Errorf("byte totals: %d / %d", m.TotalDataBytes(), m.LiveDataBytes())
+	}
+}
+
+func TestScanSeesCompactedCheckpoints(t *testing.T) {
+	store, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedRun(t, store, "runC", []int{10, 20}, true)
+	opts := compare.Options{Epsilon: 1e-5, ChunkSize: 4096, Exec: device.Serial{}}
+	if _, err := compare.CompactHistory(store, "runC", 1, opts); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Scan(store, "runC", fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Checkpoints) != 2 {
+		t.Fatalf("checkpoints = %+v", m.Checkpoints)
+	}
+	first := m.Checkpoints[0]
+	if !first.Compacted || !first.HasMetadata {
+		t.Errorf("compacted entry: %+v", first)
+	}
+	// Original data size is recovered from the metadata geometry.
+	if first.DataBytes != 4*4096 || first.Fields != 1 {
+		t.Errorf("compacted entry geometry: %+v", first)
+	}
+	if m.LiveDataBytes() != 4*4096 {
+		t.Errorf("LiveDataBytes = %d", m.LiveDataBytes())
+	}
+	if m.TotalDataBytes() != 2*4*4096 {
+		t.Errorf("TotalDataBytes = %d", m.TotalDataBytes())
+	}
+}
+
+func TestScanEmptyRunRejected(t *testing.T) {
+	store, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Scan(store, "ghost", fixedNow); err == nil {
+		t.Error("empty run accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	store, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedRun(t, store, "runM", []int{5}, false)
+	m, err := Scan(store, "runM", fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type appCfg struct {
+		Particles int   `json:"particles"`
+		Seed      int64 `json:"seed"`
+	}
+	if err := m.SetApp("hacc", appCfg{Particles: 1000, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(store, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(store, "runM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != "hacc" || got.RunID != "runM" || len(got.Checkpoints) != 1 {
+		t.Errorf("loaded = %+v", got)
+	}
+	if !strings.Contains(string(got.Config), `"particles": 1000`) &&
+		!strings.Contains(string(got.Config), `"particles":1000`) {
+		t.Errorf("config = %s", got.Config)
+	}
+	// Wrong run rejected.
+	if _, err := Load(store, "other"); err == nil {
+		t.Error("missing manifest accepted")
+	}
+}
+
+func TestManifestNotListedAsCheckpoint(t *testing.T) {
+	store, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedRun(t, store, "runL", []int{1}, false)
+	m, err := Scan(store, "runL", fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(store, m); err != nil {
+		t.Fatal(err)
+	}
+	// Rescanning after the manifest exists must not inventory it.
+	m2, err := Scan(store, "runL", fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Checkpoints) != 1 {
+		t.Errorf("rescan inventoried %d entries", len(m2.Checkpoints))
+	}
+}
+
+func TestSameProvenance(t *testing.T) {
+	store, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedRun(t, store, "pA", []int{10, 20}, false)
+	seedRun(t, store, "pB", []int{10, 20}, false)
+	seedRun(t, store, "pC", []int{10}, false)
+
+	ma, err := Scan(store, "pA", fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := Scan(store, "pB", fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := Scan(store, "pC", fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma.SetApp("hacc", map[string]int{"n": 1})
+	mb.SetApp("hacc", map[string]int{"n": 1})
+	if ok, why := SameProvenance(ma, mb); !ok {
+		t.Errorf("aligned runs rejected: %s", why)
+	}
+	if ok, _ := SameProvenance(ma, mc); ok {
+		t.Error("different history lengths accepted")
+	}
+	mb.SetApp("jacobi", map[string]int{"n": 1})
+	if ok, _ := SameProvenance(ma, mb); ok {
+		t.Error("different apps accepted")
+	}
+	mb.SetApp("hacc", map[string]int{"n": 2})
+	if ok, _ := SameProvenance(ma, mb); ok {
+		t.Error("different configs accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/pfs"
+)
+
+// Checkpointer captures checkpoints through two storage tiers, the VELOC
+// pattern the paper relies on (§1, §3.3.1): the checkpoint is written
+// synchronously to fast node-local storage, then flushed to the PFS in the
+// background while the application continues. Close (or Flush) must be
+// called to guarantee durability on the PFS tier.
+type Checkpointer struct {
+	local  *pfs.Store
+	remote *pfs.Store
+
+	jobs chan flushJob
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	flushErr error
+	inFlight sync.WaitGroup
+
+	// cost accounting (virtual)
+	localCost  pfs.Cost
+	remoteCost pfs.Cost
+}
+
+type flushJob struct {
+	name string
+}
+
+// NewCheckpointer starts a checkpointer with the given number of background
+// flush workers (minimum 1).
+func NewCheckpointer(local, remote *pfs.Store, flushWorkers int) *Checkpointer {
+	if flushWorkers < 1 {
+		flushWorkers = 1
+	}
+	c := &Checkpointer{
+		local:  local,
+		remote: remote,
+		jobs:   make(chan flushJob, flushWorkers),
+	}
+	c.wg.Add(flushWorkers)
+	for i := 0; i < flushWorkers; i++ {
+		go c.flusher()
+	}
+	return c
+}
+
+func (c *Checkpointer) flusher() {
+	defer c.wg.Done()
+	for job := range c.jobs {
+		err := c.flushOne(job.name)
+		if err != nil {
+			c.mu.Lock()
+			if c.flushErr == nil {
+				c.flushErr = err
+			}
+			c.mu.Unlock()
+		}
+		c.inFlight.Done()
+	}
+}
+
+// flushOne copies one checkpoint from the local tier to the remote tier.
+func (c *Checkpointer) flushOne(name string) error {
+	data, cost, err := c.local.ReadFileFull(name, 4<<20)
+	if err != nil {
+		return fmt.Errorf("flush %s: read local: %w", name, err)
+	}
+	c.mu.Lock()
+	c.localCost.Add(cost)
+	c.mu.Unlock()
+
+	w, err := c.remote.Create(name)
+	if err != nil {
+		return fmt.Errorf("flush %s: %w", name, err)
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return fmt.Errorf("flush %s: %w", name, err)
+	}
+	wc := w.Cost()
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("flush %s: %w", name, err)
+	}
+	c.mu.Lock()
+	c.remoteCost.Add(wc)
+	c.mu.Unlock()
+	return nil
+}
+
+// Capture writes the checkpoint to the local tier and schedules its
+// background flush to the PFS tier. It returns once the local write is
+// durable, so the application can continue immediately.
+func (c *Checkpointer) Capture(meta Meta, data [][]byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("ckpt: checkpointer closed")
+	}
+	c.inFlight.Add(1)
+	c.mu.Unlock()
+
+	name := Name(meta.RunID, meta.Iteration, meta.Rank)
+	w, err := c.local.Create(name)
+	if err != nil {
+		c.inFlight.Done()
+		return err
+	}
+	if _, err := Encode(w, meta, data); err != nil {
+		w.Close()
+		c.inFlight.Done()
+		return err
+	}
+	wc := w.Cost()
+	if err := w.Close(); err != nil {
+		c.inFlight.Done()
+		return err
+	}
+	c.mu.Lock()
+	c.localCost.Add(wc)
+	c.mu.Unlock()
+
+	c.jobs <- flushJob{name: name}
+	return nil
+}
+
+// Flush blocks until every scheduled background flush has completed and
+// returns the first flush error, if any.
+func (c *Checkpointer) Flush() error {
+	c.inFlight.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushErr
+}
+
+// Costs returns the accumulated virtual write costs on the two tiers.
+func (c *Checkpointer) Costs() (local, remote pfs.Cost) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.localCost, c.remoteCost
+}
+
+// Close flushes outstanding work and stops the background workers.
+func (c *Checkpointer) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+
+	err := c.Flush()
+	close(c.jobs)
+	c.wg.Wait()
+	return err
+}
+
+// WriteCheckpoint is the synchronous single-tier convenience used by tools
+// and tests: encode directly onto one store.
+func WriteCheckpoint(store *pfs.Store, meta Meta, data [][]byte) (pfs.Cost, error) {
+	name := Name(meta.RunID, meta.Iteration, meta.Rank)
+	w, err := store.Create(name)
+	if err != nil {
+		return pfs.Cost{}, err
+	}
+	if _, err := Encode(w, meta, data); err != nil {
+		w.Close()
+		return w.Cost(), err
+	}
+	cost := w.Cost()
+	if err := w.Close(); err != nil {
+		return cost, err
+	}
+	return cost, nil
+}

@@ -1,0 +1,72 @@
+package ckpt
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pfs"
+)
+
+var errInjected = errors.New("injected storage fault")
+
+func TestCheckpointerSurfacesFlushFailure(t *testing.T) {
+	local := newStore(t)
+	remote, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCheckpointer(local, remote, 1)
+	defer c.Close()
+
+	meta := testMeta("flushfail", 0, 0, 64)
+	remote.FailWrites(0, errInjected)
+	if err := c.Capture(meta, testData(meta, 1)); err != nil {
+		t.Fatalf("capture itself must succeed (local tier is healthy): %v", err)
+	}
+	if err := c.Flush(); !errors.Is(err, errInjected) {
+		t.Errorf("Flush error = %v, want injected fault", err)
+	}
+}
+
+func TestCheckpointerLocalWriteFailureIsSynchronous(t *testing.T) {
+	local := newStore(t)
+	remote, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCheckpointer(local, remote, 1)
+	defer c.Close()
+	local.FailWrites(0, errInjected)
+	meta := testMeta("localfail", 0, 0, 64)
+	if err := c.Capture(meta, testData(meta, 2)); !errors.Is(err, errInjected) {
+		t.Errorf("capture error = %v, want injected fault", err)
+	}
+	// The checkpointer remains usable for later captures.
+	meta2 := testMeta("localfail", 10, 0, 64)
+	if err := c.Capture(meta2, testData(meta2, 3)); err != nil {
+		t.Errorf("capture after local fault failed: %v", err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Errorf("flush after recovery failed: %v", err)
+	}
+}
+
+func TestReaderFaultDuringField(t *testing.T) {
+	s := newStore(t)
+	meta := testMeta("rf", 0, 0, 4096)
+	if _, err := WriteCheckpoint(s, meta, testData(meta, 4)); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := OpenReader(s, Name("rf", 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	s.FailReads(0, errInjected)
+	if _, _, err := r.ReadField(0); !errors.Is(err, errInjected) {
+		t.Errorf("ReadField error = %v", err)
+	}
+	if _, _, err := r.ReadField(0); err != nil {
+		t.Errorf("ReadField after fault failed: %v", err)
+	}
+}

@@ -1,0 +1,332 @@
+// Package ckpt implements the checkpoint capture substrate modelled on the
+// VELOC library the paper uses (§3.3.1): typed, named checkpoint fields in
+// a CRC-protected binary container, captured asynchronously through two
+// storage tiers — a fast node-local tier written synchronously, flushed in
+// the background to the PFS tier while the application continues.
+//
+// A checkpoint history is a set of files named
+// <runID>/iter<NNNN>.rank<RRR>.ckpt on a store; the comparator pairs the
+// histories of two runs file by file.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"repro/internal/errbound"
+	"repro/internal/pfs"
+)
+
+// Format constants.
+const (
+	formatMagic = "VLCK"
+	formatVer   = 1
+	// maxFields bounds header parsing against corrupt files.
+	maxFields = 1 << 16
+	// maxNameLen bounds name parsing against corrupt files.
+	maxNameLen = 1 << 12
+)
+
+// ErrCorrupt is returned when a checkpoint file fails an integrity check.
+var ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+
+// FieldSpec describes one captured variable.
+type FieldSpec struct {
+	// Name is the variable name ("x", "vx", "phi", ...).
+	Name string
+	// DType is the element type.
+	DType errbound.DType
+	// Count is the number of elements.
+	Count int64
+}
+
+// Bytes returns the field's raw size.
+func (f FieldSpec) Bytes() int64 { return f.Count * int64(f.DType.Size()) }
+
+// Meta identifies a checkpoint within a run's history.
+type Meta struct {
+	// RunID identifies the application run.
+	RunID string
+	// Iteration is the simulation step the checkpoint captures.
+	Iteration int
+	// Rank is the distributed process rank.
+	Rank int
+	// Fields lists the captured variables in file order.
+	Fields []FieldSpec
+}
+
+// TotalBytes returns the summed raw size of all fields.
+func (m Meta) TotalBytes() int64 {
+	var t int64
+	for _, f := range m.Fields {
+		t += f.Bytes()
+	}
+	return t
+}
+
+// Name returns the canonical history file name for a checkpoint.
+func Name(runID string, iteration, rank int) string {
+	return fmt.Sprintf("%s/iter%04d.rank%03d.ckpt", runID, iteration, rank)
+}
+
+var nameRe = regexp.MustCompile(`^(.+)/iter(\d{4})\.rank(\d{3})\.ckpt$`)
+
+// ParseName inverts Name. ok is false for non-checkpoint paths.
+func ParseName(name string) (runID string, iteration, rank int, ok bool) {
+	m := nameRe.FindStringSubmatch(name)
+	if m == nil {
+		return "", 0, 0, false
+	}
+	it, err1 := strconv.Atoi(m[2])
+	rk, err2 := strconv.Atoi(m[3])
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, false
+	}
+	return m[1], it, rk, true
+}
+
+// History lists a run's checkpoint file names on a store, sorted by
+// iteration then rank.
+func History(store *pfs.Store, runID string) ([]string, error) {
+	names, err := store.List(runID + "/")
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, n := range names {
+		if _, _, _, ok := ParseName(n); ok {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		_, ii, ri, _ := ParseName(out[i])
+		_, ij, rj, _ := ParseName(out[j])
+		if ii != ij {
+			return ii < ij
+		}
+		return ri < rj
+	})
+	return out, nil
+}
+
+// Encode serializes a checkpoint to w. data[i] must hold exactly
+// meta.Fields[i].Bytes() raw little-endian bytes.
+//
+// Layout (little-endian):
+//
+//	magic     [4]byte "VLCK"
+//	version   u16
+//	reserved  u16
+//	runID     u16 len + bytes
+//	iteration u32
+//	rank      u32
+//	nfields   u32
+//	fields    n × { name u16 len + bytes, dtype u8, pad u8,
+//	                count u64, offset u64, crc32 u32 }
+//	headerCRC u32 (over everything above)
+//	data      concatenated field bytes
+func Encode(w io.Writer, meta Meta, data [][]byte) (int64, error) {
+	if len(data) != len(meta.Fields) {
+		return 0, fmt.Errorf("ckpt: %d data buffers for %d fields", len(data), len(meta.Fields))
+	}
+	if len(meta.Fields) == 0 {
+		return 0, errors.New("ckpt: checkpoint must have at least one field")
+	}
+	if len(meta.RunID) == 0 || len(meta.RunID) > maxNameLen {
+		return 0, fmt.Errorf("ckpt: run ID length %d out of range", len(meta.RunID))
+	}
+
+	var hdr []byte
+	hdr = append(hdr, formatMagic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, formatVer)
+	hdr = binary.LittleEndian.AppendUint16(hdr, 0)
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(meta.RunID)))
+	hdr = append(hdr, meta.RunID...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(meta.Iteration))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(meta.Rank))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(meta.Fields)))
+
+	var off int64
+	for i, f := range meta.Fields {
+		if f.DType.Size() == 0 {
+			return 0, fmt.Errorf("ckpt: field %q has unsupported dtype", f.Name)
+		}
+		if f.Count <= 0 {
+			return 0, fmt.Errorf("ckpt: field %q has non-positive count %d", f.Name, f.Count)
+		}
+		if len(f.Name) == 0 || len(f.Name) > maxNameLen {
+			return 0, fmt.Errorf("ckpt: field %d name length %d out of range", i, len(f.Name))
+		}
+		if int64(len(data[i])) != f.Bytes() {
+			return 0, fmt.Errorf("ckpt: field %q has %d bytes, want %d", f.Name, len(data[i]), f.Bytes())
+		}
+		hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(f.Name)))
+		hdr = append(hdr, f.Name...)
+		hdr = append(hdr, byte(f.DType), 0)
+		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(f.Count))
+		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(off))
+		hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(data[i]))
+		off += f.Bytes()
+	}
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(hdr))
+
+	var written int64
+	n, err := w.Write(hdr)
+	written += int64(n)
+	if err != nil {
+		return written, fmt.Errorf("ckpt: write header: %w", err)
+	}
+	for i := range data {
+		n, err := w.Write(data[i])
+		written += int64(n)
+		if err != nil {
+			return written, fmt.Errorf("ckpt: write field %q: %w", meta.Fields[i].Name, err)
+		}
+	}
+	return written, nil
+}
+
+// header is the parsed prefix of a checkpoint file.
+type header struct {
+	meta      Meta
+	offsets   []int64 // per-field offset within the data section
+	crcs      []uint32
+	dataStart int64
+}
+
+// parseHeader decodes a header from buf, returning the parsed header and
+// the number of header bytes consumed; needMore is set when buf is too
+// short (callers re-read with a larger prefix).
+func parseHeader(buf []byte) (h header, consumed int64, needMore bool, err error) {
+	r := &byteReader{buf: buf}
+	magic := r.bytes(4)
+	if r.short {
+		return h, 0, true, nil
+	}
+	if string(magic) != formatMagic {
+		return h, 0, false, fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic)
+	}
+	ver := r.u16()
+	r.u16() // reserved
+	if r.short {
+		return h, 0, true, nil
+	}
+	if ver != formatVer {
+		return h, 0, false, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
+	}
+	idLen := int(r.u16())
+	if r.short {
+		return h, 0, true, nil
+	}
+	if idLen == 0 || idLen > maxNameLen {
+		return h, 0, false, fmt.Errorf("%w: run ID length %d", ErrCorrupt, idLen)
+	}
+	id := r.bytes(idLen)
+	iter := r.u32()
+	rank := r.u32()
+	nf := int(r.u32())
+	if r.short {
+		return h, 0, true, nil
+	}
+	if nf == 0 || nf > maxFields {
+		return h, 0, false, fmt.Errorf("%w: field count %d", ErrCorrupt, nf)
+	}
+	h.meta = Meta{
+		RunID:     string(id),
+		Iteration: int(iter),
+		Rank:      int(rank),
+		Fields:    make([]FieldSpec, 0, nf),
+	}
+	h.offsets = make([]int64, 0, nf)
+	h.crcs = make([]uint32, 0, nf)
+	for i := 0; i < nf; i++ {
+		nameLen := int(r.u16())
+		if r.short {
+			return h, 0, true, nil
+		}
+		if nameLen == 0 || nameLen > maxNameLen {
+			return h, 0, false, fmt.Errorf("%w: field %d name length %d", ErrCorrupt, i, nameLen)
+		}
+		name := r.bytes(nameLen)
+		dtype := errbound.DType(r.u8())
+		r.u8() // pad
+		count := int64(r.u64())
+		off := int64(r.u64())
+		crc := r.u32()
+		if r.short {
+			return h, 0, true, nil
+		}
+		if dtype.Size() == 0 || count <= 0 || off < 0 {
+			return h, 0, false, fmt.Errorf("%w: field %q implausible (dtype=%d count=%d off=%d)",
+				ErrCorrupt, name, dtype, count, off)
+		}
+		h.meta.Fields = append(h.meta.Fields, FieldSpec{Name: string(name), DType: dtype, Count: count})
+		h.offsets = append(h.offsets, off)
+		h.crcs = append(h.crcs, crc)
+	}
+	bodyLen := r.off
+	gotCRC := r.u32()
+	if r.short {
+		return h, 0, true, nil
+	}
+	if crc32.ChecksumIEEE(buf[:bodyLen]) != gotCRC {
+		return h, 0, false, fmt.Errorf("%w: header crc mismatch", ErrCorrupt)
+	}
+	h.dataStart = r.off
+	return h, r.off, false, nil
+}
+
+// byteReader is a bounds-checked little-endian cursor.
+type byteReader struct {
+	buf   []byte
+	off   int64
+	short bool
+}
+
+func (r *byteReader) bytes(n int) []byte {
+	if r.short || int64(len(r.buf))-r.off < int64(n) {
+		r.short = true
+		return nil
+	}
+	b := r.buf[r.off : r.off+int64(n)]
+	r.off += int64(n)
+	return b
+}
+
+func (r *byteReader) u8() uint8 {
+	b := r.bytes(1)
+	if r.short {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *byteReader) u16() uint16 {
+	b := r.bytes(2)
+	if r.short {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *byteReader) u32() uint32 {
+	b := r.bytes(4)
+	if r.short {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *byteReader) u64() uint64 {
+	b := r.bytes(8)
+	if r.short {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

@@ -1,0 +1,168 @@
+// Package cluster implements the strong-scaling harness of the paper's
+// §3.4.6: a workload of checkpoint pairs is partitioned over N simulated
+// processes (four per node on Polaris), each process compares its share
+// sequentially, and the study reports per-process and aggregate throughput
+// as the process count grows.
+//
+// Processes on the same node share that node's PFS link, which the pfs
+// cost model expresses through the store's sharers factor; distinct nodes
+// add PFS bandwidth, as on a multi-OST Lustre installation, so the
+// aggregate scales near-linearly — the behaviour Fig. 10 shows for both
+// methods.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/compare"
+	"repro/internal/metrics"
+	"repro/internal/pfs"
+)
+
+// Pair is one unit of comparison work.
+type Pair struct {
+	NameA, NameB string
+}
+
+// Config parameterizes a scaling run.
+type Config struct {
+	// Processes is the total process count.
+	Processes int
+	// PerNode is how many processes share one node's PFS link (default 4,
+	// as on Polaris).
+	PerNode int
+	// Method selects the comparison approach.
+	Method compare.Method
+	// Opts are the comparison options used by every process.
+	Opts compare.Options
+}
+
+// ProcessResult is one process's share of the work.
+type ProcessResult struct {
+	// Proc is the process index.
+	Proc int
+	// Pairs is the number of checkpoint pairs compared.
+	Pairs int
+	// Virtual is the summed virtual runtime of the process's comparisons.
+	Virtual time.Duration
+	// Wall is the summed measured runtime.
+	Wall time.Duration
+	// BytesRead counts storage bytes read.
+	BytesRead int64
+	// BytesCompared counts checkpoint data covered (both runs).
+	BytesCompared int64
+}
+
+// Result is the outcome of one scaling configuration.
+type Result struct {
+	// Processes and PerNode echo the configuration.
+	Processes int
+	PerNode   int
+	// PerProcess holds every process's share.
+	PerProcess []ProcessResult
+	// TotalPairs is the workload size.
+	TotalPairs int
+	// MakespanVirtual is the slowest process's virtual runtime — the
+	// strong-scaling wall time of the study.
+	MakespanVirtual time.Duration
+	// TotalDiffs sums divergent elements across all pairs.
+	TotalDiffs int64
+}
+
+// PerProcessThroughputGBps returns the mean per-process comparison
+// throughput, the y-axis of Fig. 10.
+func (r *Result) PerProcessThroughputGBps() float64 {
+	if len(r.PerProcess) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range r.PerProcess {
+		sum += metrics.Throughput(p.BytesCompared, p.Virtual)
+	}
+	return sum / float64(len(r.PerProcess))
+}
+
+// AggregateThroughputGBps returns total data over the makespan.
+func (r *Result) AggregateThroughputGBps() float64 {
+	var bytes int64
+	for _, p := range r.PerProcess {
+		bytes += p.BytesCompared
+	}
+	return metrics.Throughput(bytes, r.MakespanVirtual)
+}
+
+// Run executes the workload under the configuration. The pairs' files
+// (and, for the Merkle method, their metadata) must already exist on the
+// store; the page cache is evicted first so every process starts cold.
+func Run(store *pfs.Store, pairs []Pair, cfg Config) (*Result, error) {
+	if cfg.Processes < 1 {
+		return nil, fmt.Errorf("cluster: processes %d must be positive", cfg.Processes)
+	}
+	if cfg.PerNode <= 0 {
+		cfg.PerNode = 4
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("cluster: empty workload")
+	}
+	store.EvictAll()
+	// Processes on one node contend for the node's PFS link.
+	sharers := cfg.Processes
+	if sharers > cfg.PerNode {
+		sharers = cfg.PerNode
+	}
+	store.SetSharers(sharers)
+	defer store.SetSharers(1)
+
+	res := &Result{
+		Processes:  cfg.Processes,
+		PerNode:    cfg.PerNode,
+		TotalPairs: len(pairs),
+		PerProcess: make([]ProcessResult, cfg.Processes),
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for p := 0; p < cfg.Processes; p++ {
+		wg.Add(1)
+		go func(proc int) {
+			defer wg.Done()
+			pr := ProcessResult{Proc: proc}
+			for i := proc; i < len(pairs); i += cfg.Processes {
+				r, err := cfg.Method.Run(store, pairs[i].NameA, pairs[i].NameB, cfg.Opts)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("cluster: proc %d pair %d: %w", proc, i, err)
+					}
+					mu.Unlock()
+					return
+				}
+				pr.Pairs++
+				pr.Virtual += r.VirtualElapsed()
+				pr.Wall += r.WallElapsed()
+				pr.BytesRead += r.BytesRead
+				pr.BytesCompared += 2 * r.CheckpointBytes
+				if r.DiffCount > 0 {
+					mu.Lock()
+					res.TotalDiffs += r.DiffCount
+					mu.Unlock()
+				}
+			}
+			mu.Lock()
+			res.PerProcess[proc] = pr
+			if pr.Virtual > res.MakespanVirtual {
+				res.MakespanVirtual = pr.Virtual
+			}
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}

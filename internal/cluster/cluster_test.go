@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/compare"
+	"repro/internal/device"
+	"repro/internal/errbound"
+	"repro/internal/pfs"
+	"repro/internal/synth"
+)
+
+// buildWorkload writes nPairs checkpoint pairs with metadata and returns
+// the pair list.
+func buildWorkload(t *testing.T, store *pfs.Store, nPairs, elems int, opts compare.Options) []Pair {
+	t.Helper()
+	fields := []ckpt.FieldSpec{
+		{Name: "x", DType: errbound.Float32, Count: int64(elems)},
+		{Name: "vx", DType: errbound.Float32, Count: int64(elems)},
+	}
+	pairs := make([]Pair, 0, nPairs)
+	for i := 0; i < nPairs; i++ {
+		pert := synth.DefaultPerturb(int64(100 + i))
+		pert.UntouchedFrac = 0.9
+		dataA, dataB := synth.RunPair(elems, len(fields), int64(i), pert)
+		metaA := ckpt.Meta{RunID: "scaleA", Iteration: i, Rank: 0, Fields: fields}
+		metaB := ckpt.Meta{RunID: "scaleB", Iteration: i, Rank: 0, Fields: fields}
+		if _, err := ckpt.WriteCheckpoint(store, metaA, dataA); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ckpt.WriteCheckpoint(store, metaB, dataB); err != nil {
+			t.Fatal(err)
+		}
+		nameA, nameB := ckpt.Name("scaleA", i, 0), ckpt.Name("scaleB", i, 0)
+		for _, nd := range []struct {
+			name string
+			data [][]byte
+		}{{nameA, dataA}, {nameB, dataB}} {
+			m, _, err := compare.Build(fields, nd.data, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := compare.SaveMetadata(store, nd.name, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pairs = append(pairs, Pair{NameA: nameA, NameB: nameB})
+	}
+	return pairs
+}
+
+func scalingOpts(eps float64) compare.Options {
+	return compare.Options{
+		Epsilon:      eps,
+		ChunkSize:    4 << 10,
+		Exec:         device.NewParallel(2),
+		SetupVirtual: time.Millisecond, // keep fixed costs from washing out laptop-scale dynamics
+	}
+}
+
+func TestRunPartitionsAllPairs(t *testing.T) {
+	store, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := scalingOpts(1e-5)
+	pairs := buildWorkload(t, store, 10, 8<<10, opts)
+	res, err := Run(store, pairs, Config{Processes: 3, Method: compare.MethodMerkle, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range res.PerProcess {
+		total += p.Pairs
+	}
+	if total != 10 {
+		t.Errorf("processes covered %d pairs, want 10", total)
+	}
+	if res.MakespanVirtual <= 0 {
+		t.Error("makespan not accounted")
+	}
+	if res.TotalPairs != 10 || res.Processes != 3 || res.PerNode != 4 {
+		t.Errorf("result identity: %+v", res)
+	}
+	if res.PerProcessThroughputGBps() <= 0 || res.AggregateThroughputGBps() <= 0 {
+		t.Error("throughput not accounted")
+	}
+}
+
+func TestStrongScalingShape(t *testing.T) {
+	// Fig. 10's structural claims at laptop scale: (1) makespan shrinks
+	// near-linearly with process count for both methods; (2) the Merkle
+	// method's per-process throughput stays above Direct's.
+	store, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := scalingOpts(1e-3)
+	pairs := buildWorkload(t, store, 8, 1<<20, opts)
+
+	makespan := map[int]map[string]float64{}
+	for _, procs := range []int{2, 4, 8} {
+		makespan[procs] = map[string]float64{}
+		for _, m := range []compare.Method{compare.MethodMerkle, compare.MethodDirect} {
+			res, err := Run(store, pairs, Config{Processes: procs, Method: m, Opts: opts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			makespan[procs][m.String()] = res.MakespanVirtual.Seconds()
+		}
+	}
+	for _, m := range []string{"merkle", "direct"} {
+		sp := makespan[2][m] / makespan[8][m]
+		if sp < 2.0 {
+			t.Errorf("%s: speedup 2→8 procs = %.2f, want >= 2", m, sp)
+		}
+	}
+	for _, procs := range []int{2, 4, 8} {
+		if makespan[procs]["merkle"] >= makespan[procs]["direct"] {
+			t.Errorf("procs=%d: merkle makespan %.4fs not below direct %.4fs",
+				procs, makespan[procs]["merkle"], makespan[procs]["direct"])
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	store, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := scalingOpts(1e-5)
+	if _, err := Run(store, nil, Config{Processes: 2, Method: compare.MethodDirect, Opts: opts}); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := Run(store, []Pair{{NameA: "a", NameB: "b"}}, Config{Processes: 0, Method: compare.MethodDirect, Opts: opts}); err == nil {
+		t.Error("zero processes accepted")
+	}
+	// Missing files must surface as an error, not a hang.
+	if _, err := Run(store, []Pair{{NameA: "missing1", NameB: "missing2"}},
+		Config{Processes: 2, Method: compare.MethodDirect, Opts: opts}); err == nil {
+		t.Error("missing files accepted")
+	}
+}
+
+func TestMoreProcessesThanPairs(t *testing.T) {
+	store, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := scalingOpts(1e-5)
+	pairs := buildWorkload(t, store, 2, 4<<10, opts)
+	res, err := Run(store, pairs, Config{Processes: 8, Method: compare.MethodMerkle, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range res.PerProcess {
+		total += p.Pairs
+	}
+	if total != 2 {
+		t.Errorf("covered %d pairs, want 2", total)
+	}
+}
+
+func TestSharersRestoredAfterRun(t *testing.T) {
+	store, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := scalingOpts(1e-5)
+	pairs := buildWorkload(t, store, 2, 4<<10, opts)
+	if _, err := Run(store, pairs, Config{Processes: 8, PerNode: 4, Method: compare.MethodDirect, Opts: opts}); err != nil {
+		t.Fatal(err)
+	}
+	if store.Sharers() != 1 {
+		t.Errorf("sharers left at %d after run", store.Sharers())
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if compare.MethodMerkle.String() != "merkle" ||
+		compare.MethodDirect.String() != "direct" ||
+		compare.MethodAllClose.String() != "allclose" {
+		t.Error("method names wrong")
+	}
+	if compare.Method(42).String() == "" {
+		t.Error("unknown method has empty name")
+	}
+	if _, err := compare.Method(42).Run(nil, "", "", compare.Options{Epsilon: 1}); err == nil {
+		t.Error("unknown method ran")
+	}
+}
+
+func ExampleRun() {
+	fmt.Println("see TestStrongScalingShape")
+	// Output: see TestStrongScalingShape
+}

@@ -1,0 +1,155 @@
+package compare
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/errbound"
+	"repro/internal/pfs"
+)
+
+func f32buf(vals ...float32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(v))
+	}
+	return b
+}
+
+func writePair(t *testing.T, a, b []byte) (*pfs.Store, string, string) {
+	t.Helper()
+	store, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(len(a) / 4)
+	fields := []ckpt.FieldSpec{{Name: "x", DType: errbound.Float32, Count: n}}
+	for run, data := range map[string][]byte{"hA": a, "hB": b} {
+		meta := ckpt.Meta{RunID: run, Iteration: 0, Rank: 0, Fields: fields}
+		if _, err := ckpt.WriteCheckpoint(store, meta, [][]byte{data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store, ckpt.Name("hA", 0, 0), ckpt.Name("hB", 0, 0)
+}
+
+func TestAnalyzeHistogram(t *testing.T) {
+	// Known diffs: 0, 1e-6-ish, 1e-3-ish, 0.5.
+	a := f32buf(1, 2, 3, 4)
+	b := f32buf(1, 2+1e-6, 3+1e-3, 4.5)
+	store, nameA, nameB := writePair(t, a, b)
+	an, err := Analyze(store, nameA, nameB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Fields) != 1 {
+		t.Fatalf("fields = %d", len(an.Fields))
+	}
+	h := an.Fields[0]
+	if h.Total != 4 || h.Zero != 1 {
+		t.Errorf("total=%d zero=%d", h.Total, h.Zero)
+	}
+	if h.Max < 0.49 || h.Max > 0.51 {
+		t.Errorf("max = %v", h.Max)
+	}
+	// Decade -1 holds the 0.5 diff.
+	if h.Decades[-1] != 1 {
+		t.Errorf("decades = %v", h.Decades)
+	}
+	var sum int64
+	for _, c := range h.Decades {
+		sum += c
+	}
+	if sum+h.Zero != h.Total {
+		t.Errorf("histogram does not partition: %v + %d != %d", h.Decades, h.Zero, h.Total)
+	}
+	s := h.String()
+	if !strings.Contains(s, "4 elements") || !strings.Contains(s, "1 identical") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestAnalyzeNonFinite(t *testing.T) {
+	a := f32buf(1, float32(math.NaN()), 3)
+	b := f32buf(1, float32(math.NaN()), float32(math.Inf(1)))
+	store, nameA, nameB := writePair(t, a, b)
+	an, err := Analyze(store, nameA, nameB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := an.Fields[0]
+	// NaN vs NaN counts as identical; 3 vs +Inf lands in the non-finite
+	// bucket.
+	if h.Zero != 2 {
+		t.Errorf("zero = %d", h.Zero)
+	}
+	if h.Decades[999] != 1 {
+		t.Errorf("non-finite bucket = %v", h.Decades)
+	}
+}
+
+func TestCountAbove(t *testing.T) {
+	h := FieldHistogram{
+		Field:   "x",
+		Total:   100,
+		Decades: map[int]int64{-7: 50, -4: 30, -1: 5},
+	}
+	if got := h.CountAbove(1e-3); got != 5 {
+		t.Errorf("CountAbove(1e-3) = %d", got)
+	}
+	if got := h.CountAbove(1e-5); got != 35 {
+		t.Errorf("CountAbove(1e-5) = %d", got)
+	}
+	if got := h.CountAbove(1e-9); got != 85 {
+		t.Errorf("CountAbove(1e-9) = %d", got)
+	}
+}
+
+func TestSuggestEpsilon(t *testing.T) {
+	h := FieldHistogram{
+		Field:   "x",
+		Total:   1000,
+		Zero:    900,
+		Decades: map[int]int64{-7: 80, -3: 20},
+	}
+	// Budget 5%: the -3 decade (20 elements = 2%) fits, the -7 decade
+	// (80 more) does not -> eps at the top of the -7 decade.
+	eps := h.SuggestEpsilon(0.05)
+	if eps != 1e-6 {
+		t.Errorf("SuggestEpsilon(0.05) = %g, want 1e-6", eps)
+	}
+	// Budget 50%: everything fits; the smallest decade's floor is used.
+	eps = h.SuggestEpsilon(0.5)
+	if eps != 1e-7 {
+		t.Errorf("SuggestEpsilon(0.5) = %g, want 1e-7", eps)
+	}
+	// Budget 0: even the top decade exceeds it -> bound above everything.
+	eps = h.SuggestEpsilon(0)
+	if eps != 1e-2 {
+		t.Errorf("SuggestEpsilon(0) = %g, want 1e-2", eps)
+	}
+	// Identical runs: any bound works.
+	clean := FieldHistogram{Field: "x", Total: 10, Zero: 10, Decades: map[int]int64{}}
+	if clean.SuggestEpsilon(0.1) <= 0 {
+		t.Error("identical-run suggestion not positive")
+	}
+	var empty FieldHistogram
+	if empty.SuggestEpsilon(0.1) != 0 {
+		t.Error("empty histogram should suggest 0")
+	}
+}
+
+func TestAnalyzeSchemaMismatch(t *testing.T) {
+	store, nameA, _ := writePair(t, f32buf(1, 2), f32buf(1, 2))
+	fields := []ckpt.FieldSpec{{Name: "other", DType: errbound.Float32, Count: 4}}
+	meta := ckpt.Meta{RunID: "odd", Iteration: 0, Rank: 0, Fields: fields}
+	if _, err := ckpt.WriteCheckpoint(store, meta, [][]byte{make([]byte, 16)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(store, nameA, ckpt.Name("odd", 0, 0)); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}

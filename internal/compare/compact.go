@@ -1,0 +1,213 @@
+package compare
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ckpt"
+	"repro/internal/merkle"
+	"repro/internal/metrics"
+	"repro/internal/pfs"
+	"repro/internal/simclock"
+)
+
+// This file implements the paper's §5 future-work extension: online
+// checkpoint compaction. Once a checkpoint's Merkle metadata exists, the
+// boolean reproducibility question ("did anything move beyond ε, and in
+// which chunks?") no longer needs the data — so old history can be
+// compacted to metadata-only, freeing ~99.9 % of its storage while keeping
+// every iteration comparable at chunk granularity.
+
+// ErrCompacted is returned when a data-level comparison is attempted on a
+// compacted checkpoint.
+var ErrCompacted = errors.New("compare: checkpoint is compacted (metadata only)")
+
+// CompactReport summarizes one compaction pass.
+type CompactReport struct {
+	// Removed lists the checkpoint files whose data was deleted.
+	Removed []string
+	// BytesFreed is the storage reclaimed.
+	BytesFreed int64
+	// MetadataBuilt lists checkpoints whose metadata had to be built
+	// during the pass (it must exist before the data can be dropped).
+	MetadataBuilt []string
+}
+
+// IsCompacted reports whether a checkpoint exists only as metadata.
+func IsCompacted(store *pfs.Store, name string) bool {
+	if _, err := store.Open(name); err == nil {
+		return false
+	}
+	if _, err := store.Open(MetadataName(name)); err == nil {
+		return true
+	}
+	return false
+}
+
+// CompactCheckpoint replaces one checkpoint with its metadata: metadata is
+// built (with opts) if missing, then the data file is removed.
+func CompactCheckpoint(store *pfs.Store, name string, opts Options) (built bool, freed int64, err error) {
+	if _, _, _, lerr := LoadMetadata(store, name); lerr != nil {
+		if _, _, err := BuildAndSave(store, name, opts); err != nil {
+			return false, 0, fmt.Errorf("compact %s: build metadata: %w", name, err)
+		}
+		built = true
+	}
+	f, err := store.Open(name)
+	if err != nil {
+		return built, 0, fmt.Errorf("compact %s: %w", name, err)
+	}
+	size := f.Size()
+	f.Close()
+	if err := store.Remove(name); err != nil {
+		return built, 0, err
+	}
+	return built, size, nil
+}
+
+// CompactHistory compacts every checkpoint of a run except the
+// keepLatest most recent iterations (per rank). Metadata is built where
+// missing so no comparability is lost.
+func CompactHistory(store *pfs.Store, runID string, keepLatest int, opts Options) (*CompactReport, error) {
+	if keepLatest < 0 {
+		keepLatest = 0
+	}
+	names, err := ckpt.History(store, runID)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("compare: run %q has no checkpoints to compact", runID)
+	}
+	// Determine the iterations to keep: the highest keepLatest distinct
+	// iteration numbers.
+	iterSet := map[int]bool{}
+	for _, n := range names {
+		_, it, _, _ := ckpt.ParseName(n)
+		iterSet[it] = true
+	}
+	iters := make([]int, 0, len(iterSet))
+	for it := range iterSet {
+		iters = append(iters, it)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(iters)))
+	keep := map[int]bool{}
+	for i := 0; i < keepLatest && i < len(iters); i++ {
+		keep[iters[i]] = true
+	}
+
+	report := &CompactReport{}
+	for _, n := range names {
+		_, it, _, _ := ckpt.ParseName(n)
+		if keep[it] {
+			continue
+		}
+		built, freed, err := CompactCheckpoint(store, n, opts)
+		if err != nil {
+			return report, err
+		}
+		if built {
+			report.MetadataBuilt = append(report.MetadataBuilt, n)
+		}
+		report.Removed = append(report.Removed, n)
+		report.BytesFreed += freed
+	}
+	return report, nil
+}
+
+// MetadataHistory lists the run's checkpoint names that still have
+// metadata, whether or not their data survives — the comparable history
+// after compaction.
+func MetadataHistory(store *pfs.Store, runID string) ([]string, error) {
+	names, err := store.List(runID + "/")
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, n := range names {
+		base, ok := strings.CutSuffix(n, ".mrkl")
+		if !ok {
+			continue
+		}
+		if _, _, _, ok := ckpt.ParseName(base); ok {
+			out = append(out, base)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		_, ii, ri, _ := ckpt.ParseName(out[i])
+		_, ij, rj, _ := ckpt.ParseName(out[j])
+		if ii != ij {
+			return ii < ij
+		}
+		return ri < rj
+	})
+	return out, nil
+}
+
+// CompareTreesOnly performs stage 1 alone from saved metadata: it answers
+// whether (and in which chunks) two checkpoints may differ beyond ε,
+// without touching checkpoint data — so it works on compacted history.
+// Result.Diffs stays empty; DiffCount is 0 when the trees fully match and
+// -1 (unknown count) when candidate chunks exist.
+func CompareTreesOnly(store *pfs.Store, nameA, nameB string, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Method: "merkle-meta"}
+	sw := metrics.NewStopwatch()
+	res.Breakdown.AddVirtual(metrics.PhaseSetup, opts.SetupVirtual)
+	res.Breakdown.AddWall(metrics.PhaseSetup, sw.Lap())
+
+	model := store.Model()
+	sharers := store.Sharers()
+	ma, costA, dwA, err := LoadMetadata(store, nameA)
+	if err != nil {
+		return nil, err
+	}
+	mb, costB, dwB, err := LoadMetadata(store, nameB)
+	if err != nil {
+		return nil, err
+	}
+	var cost pfs.Cost
+	cost.Add(costA)
+	cost.Add(costB)
+	res.MetadataBytes = ma.Bytes()
+	res.BytesRead = cost.TotalBytes()
+	res.Breakdown.AddVirtual(metrics.PhaseRead, model.SerialReadTime(cost, sharers))
+	res.Breakdown.AddWall(metrics.PhaseRead, sw.Lap())
+	res.Breakdown.AddVirtual(metrics.PhaseDeserialize,
+		simclock.BandwidthTime(cost.TotalBytes(), deserializeBytesPerSec))
+	res.Breakdown.AddWall(metrics.PhaseDeserialize, dwA+dwB)
+
+	if ma.Epsilon != opts.Epsilon || mb.Epsilon != opts.Epsilon {
+		return nil, fmt.Errorf("compare: metadata ε (%g, %g) does not match requested ε %g",
+			ma.Epsilon, mb.Epsilon, opts.Epsilon)
+	}
+	if len(ma.Fields) != len(mb.Fields) {
+		return nil, fmt.Errorf("compare: metadata field counts differ: %d vs %d",
+			len(ma.Fields), len(mb.Fields))
+	}
+	for fi := range ma.Fields {
+		ta, tb := ma.Fields[fi].Tree, mb.Fields[fi].Tree
+		start := opts.StartLevel
+		if start < 0 {
+			start = ta.DefaultStartLevel(opts.Exec.Workers())
+		}
+		chunks, _, err := merkle.Diff(ta, tb, start, opts.Exec)
+		if err != nil {
+			return nil, fmt.Errorf("compare: field %q: %w", ma.Fields[fi].Name, err)
+		}
+		res.TotalChunks += ta.NumChunks()
+		res.CandidateChunks += len(chunks)
+		res.TotalElements += ta.DataLen() / int64(ma.Fields[fi].DType.Size())
+		res.CheckpointBytes += ta.DataLen()
+	}
+	res.Breakdown.AddWall(metrics.PhaseCompareTree, sw.Lap())
+	if res.CandidateChunks > 0 {
+		res.DiffCount = -1
+	}
+	return res, nil
+}

@@ -1,0 +1,249 @@
+package compare
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/device"
+	"repro/internal/errbound"
+	"repro/internal/metrics"
+	"repro/internal/pfs"
+	"repro/internal/stream"
+)
+
+// hostCompareModel prices the AllClose baseline's vectorized host-side
+// comparison: memory-bound numpy kernels, no device, no kernel launches.
+func hostCompareModel() device.Model {
+	return device.Model{
+		Name:                "host",
+		HashBytesPerSec:     2e9,
+		CompareBytesPerSec:  4e9,
+		TransferBytesPerSec: 20e9,
+		NodeHashesPerSec:    1e7,
+	}
+}
+
+// CompareDirect is the optimized element-wise baseline of §3.2.2: every
+// byte of both checkpoints is streamed from the PFS through the async I/O
+// pipeline and compared within ε on the device, reporting the indices of
+// all divergent elements. Unlike the Merkle method it needs no metadata
+// but must always read everything, regardless of the error bound.
+func CompareDirect(store *pfs.Store, nameA, nameB string, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Method: "direct"}
+	sw := metrics.NewStopwatch()
+
+	ra, _, err := ckpt.OpenReader(store, nameA)
+	if err != nil {
+		return nil, err
+	}
+	defer ra.Close()
+	rb, _, err := ckpt.OpenReader(store, nameB)
+	if err != nil {
+		return nil, err
+	}
+	defer rb.Close()
+	if !ckpt.SameSchema(ra.Meta(), rb.Meta()) {
+		return nil, fmt.Errorf("compare: %s and %s have different schemas", nameA, nameB)
+	}
+	res.CheckpointBytes = ra.Meta().TotalBytes()
+	res.Breakdown.AddVirtual(metrics.PhaseSetup, opts.SetupVirtual)
+	res.Breakdown.AddWall(metrics.PhaseSetup, sw.Lap())
+
+	// Build one whole-checkpoint stream of contiguous slice-sized chunk
+	// pairs spanning every field, so the sequential sweep pays the batch
+	// latency once.
+	type chunkRef struct {
+		field    int
+		baseElem int64
+		hasher   *hasherRef
+	}
+	type job struct {
+		pairs []stream.ChunkPair
+		refs  []chunkRef
+	}
+	names := make([]string, ra.NumFields())
+	for i := range names {
+		names[i] = ra.Field(i).Name
+	}
+	selected, err := opts.fieldFilter(names)
+	if err != nil {
+		return nil, err
+	}
+
+	var jb job
+	hashers := make(map[int]*hasherRef, ra.NumFields())
+	for fi := 0; fi < ra.NumFields(); fi++ {
+		f := ra.Field(fi)
+		if !selected(f.Name) {
+			continue
+		}
+		h, err := opts.hasherFor(f.DType)
+		if err != nil {
+			return nil, err
+		}
+		hashers[fi] = &hasherRef{h: h, eltSize: int64(f.DType.Size())}
+		fb := f.Bytes()
+		chunkSize := int64(opts.SliceBytes)
+		baseA := ra.FieldFileOffset(fi)
+		baseB := rb.FieldFileOffset(fi)
+		for off := int64(0); off < fb; off += chunkSize {
+			n := chunkSize
+			if off+n > fb {
+				n = fb - off
+			}
+			jb.pairs = append(jb.pairs, stream.ChunkPair{
+				Index: len(jb.refs), OffA: baseA + off, OffB: baseB + off, Len: int(n),
+			})
+			jb.refs = append(jb.refs, chunkRef{
+				field:    fi,
+				baseElem: off / hashers[fi].eltSize,
+				hasher:   hashers[fi],
+			})
+		}
+		res.TotalElements += f.Count
+	}
+
+	var mu sync.Mutex
+	fieldDiffs := make(map[int][]int64)
+	stats, err := stream.Run(ra.File(), rb.File(), jb.pairs, stream.Config{
+		Backend:    opts.Backend,
+		Device:     opts.Device,
+		SliceBytes: opts.SliceBytes,
+	}, func(p stream.ChunkPair, a, b []byte) (time.Duration, error) {
+		ref := jb.refs[p.Index]
+		idx, _, err := ref.hasher.h.CompareSlices(nil, a, b)
+		if err != nil {
+			return 0, err
+		}
+		if len(idx) > 0 {
+			mu.Lock()
+			for _, e := range idx {
+				fieldDiffs[ref.field] = append(fieldDiffs[ref.field], ref.baseElem+e)
+			}
+			mu.Unlock()
+		}
+		return opts.Device.CompareRateTime(int64(len(a))), nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("compare: direct: %w", err)
+	}
+	res.BytesRead += stats.BytesRead
+	addPipeline(&res.Breakdown, stats)
+
+	for fi := 0; fi < ra.NumFields(); fi++ {
+		if idx := fieldDiffs[fi]; len(idx) > 0 {
+			sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+			res.Diffs = append(res.Diffs, FieldDiff{Field: ra.Field(fi).Name, Indices: idx})
+			res.DiffCount += int64(len(idx))
+		}
+	}
+	res.Breakdown.AddWall(metrics.PhaseCompareDirect, sw.Lap())
+	return res, nil
+}
+
+// hasherRef pairs a hasher with its element size for index arithmetic.
+type hasherRef struct {
+	h       *errbound.Hasher
+	eltSize int64
+}
+
+// CompareAllClose is the naive baseline of §3.2.1 (numpy.allclose with
+// atol=ε, rtol=0): both checkpoints are read in full with plain blocking
+// sequential I/O (no async overlap) and compared element-wise on the host.
+// It answers only whether ANY element exceeds the bound — it cannot say
+// where — which is why Result.Diffs stays empty.
+func CompareAllClose(store *pfs.Store, nameA, nameB string, opts Options) (bool, *Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return false, nil, err
+	}
+	res := &Result{Method: "allclose"}
+	sw := metrics.NewStopwatch()
+
+	ra, _, err := ckpt.OpenReader(store, nameA)
+	if err != nil {
+		return false, nil, err
+	}
+	defer ra.Close()
+	rb, _, err := ckpt.OpenReader(store, nameB)
+	if err != nil {
+		return false, nil, err
+	}
+	defer rb.Close()
+	if !ckpt.SameSchema(ra.Meta(), rb.Meta()) {
+		return false, nil, fmt.Errorf("compare: %s and %s have different schemas", nameA, nameB)
+	}
+	res.CheckpointBytes = ra.Meta().TotalBytes()
+	res.Breakdown.AddVirtual(metrics.PhaseSetup, opts.SetupVirtual)
+	res.Breakdown.AddWall(metrics.PhaseSetup, sw.Lap())
+
+	model := store.Model()
+	sharers := store.Sharers()
+	hostModel := hostCompareModel()
+
+	names := make([]string, ra.NumFields())
+	for i := range names {
+		names[i] = ra.Field(i).Name
+	}
+	selected, err := opts.fieldFilter(names)
+	if err != nil {
+		return false, nil, err
+	}
+
+	allWithin := true
+	for fi := 0; fi < ra.NumFields(); fi++ {
+		f := ra.Field(fi)
+		if !selected(f.Name) {
+			continue
+		}
+		hasher, err := opts.hasherFor(f.DType)
+		if err != nil {
+			return false, nil, err
+		}
+		// Blocking sequential reads of both fields, no overlap: the read
+		// cost of A and B stack (numpy reads an array at a time).
+		da, costA, err := ra.ReadField(fi)
+		if err != nil {
+			return false, nil, err
+		}
+		db, costB, err := rb.ReadField(fi)
+		if err != nil {
+			return false, nil, err
+		}
+		var cost pfs.Cost
+		cost.Add(costA)
+		cost.Add(costB)
+		res.BytesRead += cost.TotalBytes()
+		res.Breakdown.AddVirtual(metrics.PhaseRead, model.SerialReadTime(cost, sharers))
+		res.Breakdown.AddWall(metrics.PhaseRead, sw.Lap())
+
+		// Vectorized full-array comparison on the host (numpy computes
+		// the whole boolean array; there is no early exit).
+		var ok bool
+		if opts.RelEpsilon > 0 {
+			ok, err = errbound.AllCloseRel(da, db, f.DType, opts.Epsilon, opts.RelEpsilon)
+		} else {
+			ok, err = hasher.AllClose(da, db)
+		}
+		if err != nil {
+			return false, nil, err
+		}
+		if !ok {
+			allWithin = false
+		}
+		res.TotalElements += f.Count
+		res.Breakdown.AddVirtual(metrics.PhaseCompareDirect, hostModel.CompareTime(f.Bytes()))
+		res.Breakdown.AddWall(metrics.PhaseCompareDirect, sw.Lap())
+	}
+	if !allWithin {
+		res.DiffCount = -1 // unknown count: allclose only answers the boolean
+	}
+	return allWithin, res, nil
+}

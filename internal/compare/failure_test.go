@@ -1,0 +1,77 @@
+package compare
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/aio"
+	"repro/internal/synth"
+)
+
+var errStorage = errors.New("injected storage fault")
+
+// TestMerkleSurvivesNothingButReportsReadFaults injects a read fault at
+// various depths of the comparison and checks the error surfaces cleanly
+// (no hang, no partial result).
+func TestMerkleReadFaultPropagates(t *testing.T) {
+	opts := baseOpts(1e-5, 4<<10)
+	env := newEnv(t, 64<<10, opts, synth.DefaultPerturb(55))
+	// Fault during metadata read (first reads of the comparison).
+	env.store.FailReads(0, errStorage)
+	if _, err := CompareMerkle(env.store, env.nameA, env.nameB, opts); !errors.Is(err, errStorage) {
+		t.Errorf("metadata-read fault error = %v", err)
+	}
+	// Fault later, inside the verification pipeline's scattered reads.
+	env.store.EvictAll()
+	env.store.FailReads(20, errStorage)
+	if _, err := CompareMerkle(env.store, env.nameA, env.nameB, opts); !errors.Is(err, errStorage) {
+		t.Errorf("verification-read fault error = %v", err)
+	}
+	// Disarmed: succeeds again.
+	env.store.FailReads(0, nil)
+	env.store.EvictAll()
+	if _, err := CompareMerkle(env.store, env.nameA, env.nameB, opts); err != nil {
+		t.Errorf("post-fault comparison failed: %v", err)
+	}
+}
+
+func TestDirectReadFaultPropagates(t *testing.T) {
+	opts := baseOpts(1e-5, 4<<10)
+	env := newEnv(t, 32<<10, opts, synth.DefaultPerturb(56))
+	env.store.FailReads(3, errStorage)
+	if _, err := CompareDirect(env.store, env.nameA, env.nameB, opts); !errors.Is(err, errStorage) {
+		t.Errorf("direct fault error = %v", err)
+	}
+}
+
+func TestAllCloseReadFaultPropagates(t *testing.T) {
+	opts := baseOpts(1e-5, 4<<10)
+	env := newEnv(t, 32<<10, opts, synth.DefaultPerturb(57))
+	env.store.FailReads(2, errStorage)
+	if _, _, err := CompareAllClose(env.store, env.nameA, env.nameB, opts); !errors.Is(err, errStorage) {
+		t.Errorf("allclose fault error = %v", err)
+	}
+}
+
+func TestMerkleFaultWithMmapBackend(t *testing.T) {
+	opts := baseOpts(1e-5, 4<<10)
+	opts.Backend = aio.Mmap{}
+	env := newEnv(t, 32<<10, opts, synth.DefaultPerturb(58))
+	env.store.FailReads(10, errStorage)
+	if _, err := CompareMerkle(env.store, env.nameA, env.nameB, opts); !errors.Is(err, errStorage) {
+		t.Errorf("mmap fault error = %v", err)
+	}
+}
+
+func TestBuildAndSaveWriteFault(t *testing.T) {
+	opts := baseOpts(1e-5, 4<<10)
+	env := newEnv(t, 16<<10, opts, synth.DefaultPerturb(59))
+	env.store.FailWrites(0, errStorage)
+	if _, _, err := BuildAndSave(env.store, env.nameA, opts); !errors.Is(err, errStorage) {
+		t.Errorf("metadata write fault error = %v", err)
+	}
+	// Disarmed retry succeeds (the failed write is replaced).
+	if _, _, err := BuildAndSave(env.store, env.nameA, opts); err != nil {
+		t.Errorf("retry after write fault failed: %v", err)
+	}
+}

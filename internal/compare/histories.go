@@ -1,0 +1,128 @@
+package compare
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/pfs"
+)
+
+// Method selects a comparison approach.
+type Method int
+
+// Comparison methods.
+const (
+	// MethodMerkle is the paper's contribution: metadata-driven two-stage
+	// comparison.
+	MethodMerkle Method = iota + 1
+	// MethodDirect is the optimized element-wise baseline.
+	MethodDirect
+	// MethodAllClose is the naive boolean baseline.
+	MethodAllClose
+)
+
+// String returns the method's report name.
+func (m Method) String() string {
+	switch m {
+	case MethodMerkle:
+		return "merkle"
+	case MethodDirect:
+		return "direct"
+	case MethodAllClose:
+		return "allclose"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Run dispatches one checkpoint-pair comparison by method.
+func (m Method) Run(store *pfs.Store, nameA, nameB string, opts Options) (*Result, error) {
+	switch m {
+	case MethodMerkle:
+		return CompareMerkle(store, nameA, nameB, opts)
+	case MethodDirect:
+		return CompareDirect(store, nameA, nameB, opts)
+	case MethodAllClose:
+		_, res, err := CompareAllClose(store, nameA, nameB, opts)
+		return res, err
+	default:
+		return nil, fmt.Errorf("compare: unknown method %d", int(m))
+	}
+}
+
+// PairReport is the comparison of one aligned checkpoint pair.
+type PairReport struct {
+	// Iteration and Rank identify the checkpoint within the histories.
+	Iteration int
+	Rank      int
+	// NameA and NameB are the compared file names.
+	NameA, NameB string
+	// Result is the comparison outcome.
+	Result *Result
+}
+
+// HistoryReport is the comparison of two runs' full checkpoint histories,
+// the multi-run analysis of the paper's problem formulation.
+type HistoryReport struct {
+	// RunA and RunB are the compared run IDs.
+	RunA, RunB string
+	// Pairs holds one report per aligned checkpoint, ordered by iteration
+	// then rank.
+	Pairs []PairReport
+	// FirstDivergence points at the earliest pair with an out-of-bound
+	// difference (nil if the runs are reproducible within ε).
+	FirstDivergence *PairReport
+}
+
+// TotalDiffs sums divergent elements across all pairs.
+func (h *HistoryReport) TotalDiffs() int64 {
+	var t int64
+	for i := range h.Pairs {
+		if d := h.Pairs[i].Result.DiffCount; d > 0 {
+			t += d
+		}
+	}
+	return t
+}
+
+// Reproducible reports whether no checkpoint pair diverged beyond ε.
+func (h *HistoryReport) Reproducible() bool { return h.FirstDivergence == nil }
+
+// CompareHistories aligns the checkpoint histories of two runs on a store
+// (by iteration and rank) and compares every pair with the given method.
+// Both histories must contain the same set of (iteration, rank) captures.
+func CompareHistories(store *pfs.Store, runA, runB string, method Method, opts Options) (*HistoryReport, error) {
+	histA, err := ckpt.History(store, runA)
+	if err != nil {
+		return nil, err
+	}
+	histB, err := ckpt.History(store, runB)
+	if err != nil {
+		return nil, err
+	}
+	if len(histA) == 0 {
+		return nil, fmt.Errorf("compare: run %q has no checkpoints", runA)
+	}
+	if len(histA) != len(histB) {
+		return nil, fmt.Errorf("compare: histories have %d vs %d checkpoints", len(histA), len(histB))
+	}
+	report := &HistoryReport{RunA: runA, RunB: runB, Pairs: make([]PairReport, 0, len(histA))}
+	for i := range histA {
+		_, itA, rkA, _ := ckpt.ParseName(histA[i])
+		_, itB, rkB, _ := ckpt.ParseName(histB[i])
+		if itA != itB || rkA != rkB {
+			return nil, fmt.Errorf("compare: history misalignment at %s vs %s", histA[i], histB[i])
+		}
+		res, err := method.Run(store, histA[i], histB[i], opts)
+		if err != nil {
+			return nil, fmt.Errorf("compare: pair iter=%d rank=%d: %w", itA, rkA, err)
+		}
+		report.Pairs = append(report.Pairs, PairReport{
+			Iteration: itA, Rank: rkA, NameA: histA[i], NameB: histB[i], Result: res,
+		})
+		if res.DiffCount != 0 && report.FirstDivergence == nil {
+			report.FirstDivergence = &report.Pairs[len(report.Pairs)-1]
+		}
+	}
+	return report, nil
+}

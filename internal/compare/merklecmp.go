@@ -1,0 +1,260 @@
+package compare
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/errbound"
+	"repro/internal/merkle"
+	"repro/internal/metrics"
+	"repro/internal/pfs"
+	"repro/internal/simclock"
+	"repro/internal/stream"
+)
+
+// deserializeBytesPerSec prices metadata parsing (a memory-bandwidth-bound
+// scan) on the virtual clock.
+const deserializeBytesPerSec = 5e9
+
+// CompareMerkle runs the paper's two-stage comparison of one checkpoint
+// pair using previously saved metadata:
+//
+//	stage 1: load both metadata files and diff the trees (pruned BFS),
+//	         producing the candidate chunk list;
+//	stage 2: stream only the candidate chunks from both checkpoint files
+//	         and verify them element-wise within ε.
+//
+// Both checkpoints (and their metadata) live on the given store under
+// their canonical names.
+func CompareMerkle(store *pfs.Store, nameA, nameB string, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Method: "merkle"}
+	sw := metrics.NewStopwatch()
+
+	// --- Setup: open both checkpoints.
+	ra, _, err := ckpt.OpenReader(store, nameA)
+	if err != nil {
+		return nil, err
+	}
+	defer ra.Close()
+	rb, _, err := ckpt.OpenReader(store, nameB)
+	if err != nil {
+		return nil, err
+	}
+	defer rb.Close()
+	if !ckpt.SameSchema(ra.Meta(), rb.Meta()) {
+		return nil, fmt.Errorf("compare: %s and %s have different schemas", nameA, nameB)
+	}
+	res.CheckpointBytes = ra.Meta().TotalBytes()
+	res.Breakdown.AddVirtual(metrics.PhaseSetup, opts.SetupVirtual)
+	res.Breakdown.AddWall(metrics.PhaseSetup, sw.Lap())
+
+	// --- Stage 1a: read metadata (Read phase) and deserialize.
+	model := store.Model()
+	sharers := store.Sharers()
+	ma, costA, dwallA, err := LoadMetadata(store, nameA)
+	if err != nil {
+		return nil, err
+	}
+	mb, costB, dwallB, err := LoadMetadata(store, nameB)
+	if err != nil {
+		return nil, err
+	}
+	var metaCost pfs.Cost
+	metaCost.Add(costA)
+	metaCost.Add(costB)
+	res.MetadataBytes = ma.Bytes()
+	res.BytesRead += metaCost.TotalBytes()
+	res.Breakdown.AddVirtual(metrics.PhaseRead, model.SerialReadTime(metaCost, sharers))
+	res.Breakdown.AddWall(metrics.PhaseRead, sw.Lap())
+	res.Breakdown.AddVirtual(metrics.PhaseDeserialize,
+		simclock.BandwidthTime(metaCost.TotalBytes(), deserializeBytesPerSec))
+	res.Breakdown.AddWall(metrics.PhaseDeserialize, dwallA+dwallB)
+
+	if ma.Epsilon != opts.Epsilon || mb.Epsilon != opts.Epsilon {
+		return nil, fmt.Errorf("compare: metadata ε (%g, %g) does not match requested ε %g",
+			ma.Epsilon, mb.Epsilon, opts.Epsilon)
+	}
+	if len(ma.Fields) != len(mb.Fields) {
+		return nil, fmt.Errorf("compare: metadata field counts differ: %d vs %d",
+			len(ma.Fields), len(mb.Fields))
+	}
+
+	fieldNames := make([]string, len(ma.Fields))
+	for i := range ma.Fields {
+		fieldNames[i] = ma.Fields[i].Name
+	}
+	selected, err := opts.fieldFilter(fieldNames)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Stage 1b: pruned BFS tree diff per field (CompareTree phase).
+	type fieldCandidates struct {
+		field  int
+		chunks []int
+	}
+	candidates := make([]fieldCandidates, 0, len(ma.Fields))
+	var treeVirtual time.Duration
+	for fi := range ma.Fields {
+		if !selected(ma.Fields[fi].Name) {
+			continue
+		}
+		ta, tb := ma.Fields[fi].Tree, mb.Fields[fi].Tree
+		start := opts.StartLevel
+		if start < 0 {
+			start = ta.DefaultStartLevel(opts.Exec.Workers())
+		}
+		chunks, nodes, err := merkle.Diff(ta, tb, start, opts.Exec)
+		if err != nil {
+			return nil, fmt.Errorf("compare: field %q: %w", ma.Fields[fi].Name, err)
+		}
+		res.TotalChunks += ta.NumChunks()
+		res.CandidateChunks += len(chunks)
+		if len(chunks) > 0 {
+			candidates = append(candidates, fieldCandidates{field: fi, chunks: chunks})
+		}
+		// One kernel per visited level (bounded by depth), nodes at the
+		// node-hash comparison rate.
+		levels := ta.Depth() - start + 1
+		treeVirtual += time.Duration(levels)*opts.Device.KernelLaunch +
+			simclock.BandwidthTime(nodes*16, float64(opts.Device.NodeHashesPerSec)*16)
+	}
+	res.Breakdown.AddVirtual(metrics.PhaseCompareTree, treeVirtual)
+	res.Breakdown.AddWall(metrics.PhaseCompareTree, sw.Lap())
+
+	// --- Stage 2: stream ALL candidate chunks (across fields) in one
+	// batched pipeline per checkpoint pair, so scattered reads amortize
+	// the queue latency once instead of once per field.
+	type chunkRef struct {
+		field      int
+		chunk      int
+		hasher     *errbound.Hasher
+		chunkElems int64
+	}
+	var (
+		pairs []stream.ChunkPair
+		refs  []chunkRef
+	)
+	hashers := make(map[errbound.DType]*errbound.Hasher)
+	for _, fc := range candidates {
+		fi := fc.field
+		fm := ma.Fields[fi]
+		hasher := hashers[fm.DType]
+		if hasher == nil {
+			h, err := opts.hasherFor(fm.DType)
+			if err != nil {
+				return nil, err
+			}
+			hashers[fm.DType] = h
+			hasher = h
+		}
+		tree := fm.Tree
+		baseA := ra.FieldFileOffset(fi)
+		baseB := rb.FieldFileOffset(fi)
+		eltSize := int64(fm.DType.Size())
+		for _, ci := range fc.chunks {
+			off, n := tree.ChunkRange(ci)
+			pairs = append(pairs, stream.ChunkPair{
+				Index: len(refs),
+				OffA:  baseA + off,
+				OffB:  baseB + off,
+				Len:   n,
+			})
+			refs = append(refs, chunkRef{
+				field:      fi,
+				chunk:      ci,
+				hasher:     hasher,
+				chunkElems: int64(tree.ChunkSize()) / eltSize,
+			})
+		}
+	}
+	var (
+		mu         sync.Mutex
+		fieldDiffs = make(map[int][]int64)
+		changed    = make(map[int]map[int]bool) // field -> chunk -> really changed
+	)
+	if len(pairs) > 0 {
+		stats, err := stream.Run(ra.File(), rb.File(), pairs, stream.Config{
+			Backend:    opts.Backend,
+			Device:     opts.Device,
+			SliceBytes: opts.SliceBytes,
+		}, func(p stream.ChunkPair, a, b []byte) (time.Duration, error) {
+			ref := refs[p.Index]
+			idx, _, err := ref.hasher.CompareSlices(nil, a, b)
+			if err != nil {
+				return 0, err
+			}
+			if len(idx) > 0 {
+				base := int64(ref.chunk) * ref.chunkElems
+				mu.Lock()
+				for _, e := range idx {
+					fieldDiffs[ref.field] = append(fieldDiffs[ref.field], base+e)
+				}
+				if changed[ref.field] == nil {
+					changed[ref.field] = make(map[int]bool)
+				}
+				changed[ref.field][ref.chunk] = true
+				mu.Unlock()
+			}
+			return opts.Device.CompareRateTime(int64(len(a))), nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("compare: verification: %w", err)
+		}
+		res.BytesRead += stats.BytesRead
+		addPipeline(&res.Breakdown, stats)
+	}
+	res.Breakdown.AddWall(metrics.PhaseCompareDirect, sw.Lap())
+
+	// --- Assemble the report.
+	for _, fc := range candidates {
+		res.ChangedChunks += len(changed[fc.field])
+	}
+	for fi, fm := range ma.Fields {
+		if !selected(fm.Name) {
+			continue
+		}
+		res.TotalElements += fm.Tree.DataLen() / int64(fm.DType.Size())
+		if idx := fieldDiffs[fi]; len(idx) > 0 {
+			sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+			res.Diffs = append(res.Diffs, FieldDiff{Field: fm.Name, Indices: idx})
+			res.DiffCount += int64(len(idx))
+		}
+	}
+	return res, nil
+}
+
+// addPipeline folds a stage-2 pipeline's virtual cost into the breakdown.
+// Following the paper's timer structure (Fig. 6: "for small error bounds,
+// we need to load more data which is why the verification time is
+// dominant"), the verification phase owns its overlapped data loading:
+// the whole pipeline time is charged to CompareDirect, while PhaseRead
+// holds only the metadata reads.
+func addPipeline(b *metrics.Breakdown, stats stream.Stats) {
+	b.AddVirtual(metrics.PhaseCompareDirect, stats.PipelineVirtual)
+}
+
+// BuildAndSave builds metadata for a checkpoint already on the store and
+// saves it alongside (the offline-tool flow of cmd/reprocmp).
+func BuildAndSave(store *pfs.Store, name string, opts Options) (*Metadata, BuildStats, error) {
+	r, _, err := ckpt.OpenReader(store, name)
+	if err != nil {
+		return nil, BuildStats{}, err
+	}
+	defer r.Close()
+	m, stats, _, err := BuildFromReader(r, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	if _, err := SaveMetadata(store, name, m); err != nil {
+		return nil, stats, err
+	}
+	return m, stats, nil
+}

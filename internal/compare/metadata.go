@@ -1,0 +1,294 @@
+package compare
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/errbound"
+	"repro/internal/merkle"
+	"repro/internal/metrics"
+	"repro/internal/murmur3"
+	"repro/internal/pfs"
+)
+
+// Metadata is the compact Merkle representation of one checkpoint: one
+// error-bounded tree per field (paper §2.3).
+type Metadata struct {
+	// Epsilon is the error bound the leaves were hashed under. Two
+	// metadata files are comparable only with equal ε and chunk size.
+	Epsilon float64
+	// Fields holds one named tree per checkpoint field, in field order.
+	Fields []FieldMeta
+}
+
+// FieldMeta is the tree of one field.
+type FieldMeta struct {
+	Name  string
+	DType errbound.DType
+	Tree  *merkle.Tree
+}
+
+// BuildStats reports metadata construction cost.
+type BuildStats struct {
+	// HashVirtual prices the leaf-hash kernels on the device model.
+	HashVirtual time.Duration
+	// TreeVirtual prices the interior-node kernels (one per level).
+	TreeVirtual time.Duration
+	// Wall is the measured construction time.
+	Wall time.Duration
+	// Bytes is the data hashed.
+	Bytes int64
+}
+
+// TotalVirtual returns hash + tree virtual time, the Fig. 8 metric.
+func (s BuildStats) TotalVirtual() time.Duration { return s.HashVirtual + s.TreeVirtual }
+
+// Build constructs checkpoint metadata from in-memory field buffers (the
+// paper's checkpoint-time path, where the data is already resident on the
+// device). data[i] must match fields[i].Bytes().
+func Build(fields []ckpt.FieldSpec, data [][]byte, opts Options) (*Metadata, BuildStats, error) {
+	opts = opts.withDefaults()
+	var stats BuildStats
+	if err := opts.validate(); err != nil {
+		return nil, stats, err
+	}
+	if len(fields) != len(data) {
+		return nil, stats, fmt.Errorf("compare: %d buffers for %d fields", len(data), len(fields))
+	}
+	sw := metrics.NewStopwatch()
+	m := &Metadata{Epsilon: opts.Epsilon, Fields: make([]FieldMeta, 0, len(fields))}
+	for i, f := range fields {
+		if int64(len(data[i])) != f.Bytes() {
+			return nil, stats, fmt.Errorf("compare: field %q has %d bytes, want %d", f.Name, len(data[i]), f.Bytes())
+		}
+		hasher, err := opts.hasherFor(f.DType)
+		if err != nil {
+			return nil, stats, err
+		}
+		tree, err := buildFieldTree(hasher, data[i], opts)
+		if err != nil {
+			return nil, stats, fmt.Errorf("compare: field %q: %w", f.Name, err)
+		}
+		m.Fields = append(m.Fields, FieldMeta{Name: f.Name, DType: f.DType, Tree: tree})
+
+		// Virtual pricing: one leaf-hash kernel over the field bytes, one
+		// node kernel per interior level.
+		stats.HashVirtual += opts.Device.HashTime(f.Bytes())
+		for level := tree.Depth() - 1; level >= 0; level-- {
+			stats.TreeVirtual += opts.Device.NodeHashTime(int64(1) << level)
+		}
+		stats.Bytes += f.Bytes()
+	}
+	stats.Wall = sw.Lap()
+	return m, stats, nil
+}
+
+// buildFieldTree chunks one field, hashes the chunks in parallel, and
+// builds the tree's interior levels.
+func buildFieldTree(hasher *errbound.Hasher, data []byte, opts Options) (*merkle.Tree, error) {
+	dataLen := int64(len(data))
+	if dataLen == 0 {
+		return nil, errors.New("empty field")
+	}
+	chunkSize := opts.ChunkSize
+	numChunks := int((dataLen + int64(chunkSize) - 1) / int64(chunkSize))
+	leaves := make([]murmur3.Digest, numChunks)
+	errs := make([]error, numChunks)
+	opts.Exec.For(numChunks, func(i int) {
+		off := int64(i) * int64(chunkSize)
+		end := off + int64(chunkSize)
+		if end > dataLen {
+			end = dataLen
+		}
+		var scratch [16]byte
+		d, err := hasher.HashChunkScratch(data[off:end], scratch[:])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		leaves[i] = d
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	tree, err := merkle.New(dataLen, chunkSize, leaves)
+	if err != nil {
+		return nil, err
+	}
+	tree.Build(opts.Exec)
+	return tree, nil
+}
+
+// BuildFromReader reads every field of a checkpoint and builds its
+// metadata, returning the storage cost of the reads (the offline-tool
+// path).
+func BuildFromReader(r *ckpt.Reader, opts Options) (*Metadata, BuildStats, pfs.Cost, error) {
+	meta := r.Meta()
+	data := make([][]byte, len(meta.Fields))
+	var total pfs.Cost
+	for i := range meta.Fields {
+		d, cost, err := r.ReadField(i)
+		total.Add(cost)
+		if err != nil {
+			return nil, BuildStats{}, total, err
+		}
+		data[i] = d
+	}
+	m, stats, err := Build(meta.Fields, data, opts)
+	return m, stats, total, err
+}
+
+// MetadataName returns the canonical metadata file name for a checkpoint
+// file name.
+func MetadataName(checkpointName string) string { return checkpointName + ".mrkl" }
+
+// Metadata container format:
+//
+//	magic   [4]byte "RMET"
+//	version u16
+//	nfields u16
+//	epsilon f64 bits
+//	fields  n × { name u16 len + bytes, dtype u8, tree (merkle format) }
+const (
+	metaMagic = "RMET"
+	metaVer   = 1
+)
+
+// WriteTo serializes the metadata container.
+func (m *Metadata) WriteTo(w io.Writer) (int64, error) {
+	if len(m.Fields) == 0 || len(m.Fields) > 0xffff {
+		return 0, fmt.Errorf("compare: metadata field count %d out of range", len(m.Fields))
+	}
+	bw := bufio.NewWriter(w)
+	var written int64
+	hdr := make([]byte, 0, 16)
+	hdr = append(hdr, metaMagic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, metaVer)
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(m.Fields)))
+	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(m.Epsilon))
+	n, err := bw.Write(hdr)
+	written += int64(n)
+	if err != nil {
+		return written, fmt.Errorf("compare: write metadata header: %w", err)
+	}
+	for _, f := range m.Fields {
+		if len(f.Name) == 0 || len(f.Name) > 0xffff {
+			return written, fmt.Errorf("compare: field name length %d out of range", len(f.Name))
+		}
+		var fh []byte
+		fh = binary.LittleEndian.AppendUint16(fh, uint16(len(f.Name)))
+		fh = append(fh, f.Name...)
+		fh = append(fh, byte(f.DType))
+		n, err := bw.Write(fh)
+		written += int64(n)
+		if err != nil {
+			return written, fmt.Errorf("compare: write field header: %w", err)
+		}
+		tn, err := f.Tree.WriteTo(bw)
+		written += tn
+		if err != nil {
+			return written, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, fmt.Errorf("compare: flush metadata: %w", err)
+	}
+	return written, nil
+}
+
+// ReadMetadata deserializes a metadata container.
+func ReadMetadata(r io.Reader) (*Metadata, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("compare: read metadata header: %w", err)
+	}
+	if string(hdr[0:4]) != metaMagic {
+		return nil, fmt.Errorf("%w: bad metadata magic %q", merkle.ErrCorrupt, hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != metaVer {
+		return nil, fmt.Errorf("%w: unsupported metadata version %d", merkle.ErrCorrupt, v)
+	}
+	nf := int(binary.LittleEndian.Uint16(hdr[6:8]))
+	if nf == 0 {
+		return nil, fmt.Errorf("%w: zero fields", merkle.ErrCorrupt)
+	}
+	m := &Metadata{
+		Epsilon: math.Float64frombits(binary.LittleEndian.Uint64(hdr[8:16])),
+		Fields:  make([]FieldMeta, 0, nf),
+	}
+	for i := 0; i < nf; i++ {
+		var lb [2]byte
+		if _, err := io.ReadFull(br, lb[:]); err != nil {
+			return nil, fmt.Errorf("compare: read field %d header: %w", i, err)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(lb[:]))
+		if nameLen == 0 || nameLen > 4096 {
+			return nil, fmt.Errorf("%w: field %d name length %d", merkle.ErrCorrupt, i, nameLen)
+		}
+		nb := make([]byte, nameLen+1)
+		if _, err := io.ReadFull(br, nb); err != nil {
+			return nil, fmt.Errorf("compare: read field %d name: %w", i, err)
+		}
+		dtype := errbound.DType(nb[nameLen])
+		if dtype.Size() == 0 {
+			return nil, fmt.Errorf("%w: field %d bad dtype %d", merkle.ErrCorrupt, i, dtype)
+		}
+		tree, _, err := merkle.ReadFrom(br)
+		if err != nil {
+			return nil, err
+		}
+		m.Fields = append(m.Fields, FieldMeta{Name: string(nb[:nameLen]), DType: dtype, Tree: tree})
+	}
+	return m, nil
+}
+
+// Bytes returns the serialized size of the metadata.
+func (m *Metadata) Bytes() int64 {
+	var t int64 = 16
+	for _, f := range m.Fields {
+		t += int64(2+len(f.Name)+1) + f.Tree.MetadataBytes()
+	}
+	return t
+}
+
+// SaveMetadata writes the metadata next to its checkpoint on a store.
+func SaveMetadata(store *pfs.Store, checkpointName string, m *Metadata) (pfs.Cost, error) {
+	w, err := store.Create(MetadataName(checkpointName))
+	if err != nil {
+		return pfs.Cost{}, err
+	}
+	if _, err := m.WriteTo(w); err != nil {
+		w.Close()
+		return w.Cost(), err
+	}
+	cost := w.Cost()
+	if err := w.Close(); err != nil {
+		return cost, err
+	}
+	return cost, nil
+}
+
+// LoadMetadata reads the metadata for a checkpoint from a store, returning
+// the read cost and the wall time spent deserializing.
+func LoadMetadata(store *pfs.Store, checkpointName string) (*Metadata, pfs.Cost, time.Duration, error) {
+	data, cost, err := store.ReadFileFull(MetadataName(checkpointName), 4<<20)
+	if err != nil {
+		return nil, cost, 0, err
+	}
+	sw := metrics.NewStopwatch()
+	m, err := ReadMetadata(bytes.NewReader(data))
+	if err != nil {
+		return nil, cost, sw.Lap(), err
+	}
+	return m, cost, sw.Lap(), nil
+}

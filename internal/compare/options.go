@@ -1,0 +1,114 @@
+// Package compare implements the checkpoint-comparison runtime, the
+// paper's primary contribution: error-bounded Merkle metadata construction
+// at checkpoint time, and the two-stage comparison (pruned tree diff, then
+// streamed element-wise verification of candidate chunks) that identifies
+// every intermediate value differing between two runs by more than ε.
+// The Direct and AllClose baselines of §3.2 live here too, sharing the
+// same substrates so comparisons are apples-to-apples.
+package compare
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/aio"
+	"repro/internal/device"
+	"repro/internal/errbound"
+)
+
+// Options parameterizes metadata construction and comparison.
+type Options struct {
+	// Epsilon is the absolute error bound ε; values differing by more
+	// than ε count as divergent. Required.
+	Epsilon float64
+	// ChunkSize is the hashing/verification granularity in bytes
+	// (default 64 KiB; the paper sweeps 4 KiB–512 KiB).
+	ChunkSize int
+	// Exec runs the data-parallel kernels (default: parallel).
+	Exec device.Executor
+	// Device prices kernels and transfers (default: GPU model).
+	Device device.Model
+	// Backend performs scattered reads (default: io_uring-style).
+	Backend aio.Backend
+	// SliceBytes is the streaming pipeline slice size (default 8 MiB).
+	SliceBytes int
+	// StartLevel is the tree-diff BFS start level; negative selects the
+	// mid-tree heuristic (default).
+	StartLevel int
+	// SetupVirtual is the fixed setup cost charged per comparison on the
+	// virtual clock (buffer allocation, device context); default 50 ms.
+	SetupVirtual time.Duration
+	// Fields optionally restricts the comparison to the named checkpoint
+	// fields (nil compares everything). Unknown names are an error.
+	Fields []string
+	// RelEpsilon is the relative tolerance term of the AllClose baseline
+	// (numpy's rtol: close when |a-b| <= ε + RelEpsilon·|b|). The paper
+	// evaluates with rtol=0 and the Merkle/Direct methods ignore it —
+	// relative bounds cannot be grid-quantized globally.
+	RelEpsilon float64
+}
+
+// fieldFilter resolves the Fields option against the available field
+// names: it returns a predicate and an error naming any unknown field.
+func (o Options) fieldFilter(available []string) (func(string) bool, error) {
+	if len(o.Fields) == 0 {
+		return func(string) bool { return true }, nil
+	}
+	have := make(map[string]bool, len(available))
+	for _, n := range available {
+		have[n] = true
+	}
+	want := make(map[string]bool, len(o.Fields))
+	for _, n := range o.Fields {
+		if !have[n] {
+			return nil, fmt.Errorf("compare: field %q not in checkpoint (have %v)", n, available)
+		}
+		want[n] = true
+	}
+	return func(name string) bool { return want[name] }, nil
+}
+
+// withDefaults returns a copy with unset fields defaulted.
+func (o Options) withDefaults() Options {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 64 << 10
+	}
+	if o.Exec == nil {
+		o.Exec = device.NewParallel(0)
+	}
+	if o.Device.HashBytesPerSec == 0 {
+		o.Device = device.GPUModel()
+	}
+	if o.Backend == nil {
+		// Deep queue: Lustre-style PFS sustain high IOPS when many
+		// scattered reads are in flight, which is what io_uring enables.
+		o.Backend = aio.NewUring(256, 4)
+	}
+	if o.SliceBytes <= 0 {
+		o.SliceBytes = 8 << 20
+	}
+	if o.StartLevel == 0 {
+		o.StartLevel = -1
+	}
+	if o.SetupVirtual == 0 {
+		o.SetupVirtual = 50 * time.Millisecond
+	}
+	return o
+}
+
+// validate checks the required fields after defaulting.
+func (o Options) validate() error {
+	if !(o.Epsilon > 0) || math.IsInf(o.Epsilon, 0) {
+		return fmt.Errorf("compare: epsilon %v must be positive and finite", o.Epsilon)
+	}
+	if err := o.Device.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// hasherFor builds the error-bounded hasher for a field dtype.
+func (o Options) hasherFor(dtype errbound.DType) (*errbound.Hasher, error) {
+	return errbound.NewHasher(dtype, o.Epsilon)
+}

@@ -1,0 +1,93 @@
+package compare
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// FieldDiff lists the divergent elements of one checkpoint field.
+type FieldDiff struct {
+	// Field is the field name.
+	Field string
+	// Indices are the element indices whose difference exceeds ε,
+	// ascending.
+	Indices []int64
+}
+
+// Result reports one checkpoint-pair comparison.
+type Result struct {
+	// Method names the approach ("merkle", "direct", "allclose").
+	Method string
+	// Diffs lists the divergent elements per field (empty for AllClose,
+	// which only answers the boolean question).
+	Diffs []FieldDiff
+	// DiffCount is the total number of divergent elements.
+	DiffCount int64
+	// TotalElements is the total element count across fields.
+	TotalElements int64
+
+	// CandidateChunks counts chunks the hash stage marked as potentially
+	// changed (always 0 for the baselines).
+	CandidateChunks int
+	// ChangedChunks counts candidate chunks that really contained an
+	// out-of-bound difference.
+	ChangedChunks int
+	// TotalChunks counts all data chunks across fields.
+	TotalChunks int
+
+	// CheckpointBytes is the raw data size of ONE run's checkpoint.
+	CheckpointBytes int64
+	// BytesRead counts data + metadata bytes read from storage
+	// (both runs).
+	BytesRead int64
+	// MetadataBytes is the serialized Merkle metadata size per run
+	// (0 for baselines).
+	MetadataBytes int64
+
+	// Breakdown is the per-phase cost split of Fig. 6.
+	Breakdown metrics.Breakdown
+}
+
+// FalsePositiveChunks returns candidates that contained no real
+// difference — the conservative hash's false positives (Fig. 7b).
+func (r *Result) FalsePositiveChunks() int {
+	return r.CandidateChunks - r.ChangedChunks
+}
+
+// FalsePositiveRate returns false positives over total chunks, the Fig. 7b
+// metric.
+func (r *Result) FalsePositiveRate() float64 {
+	if r.TotalChunks == 0 {
+		return 0
+	}
+	return float64(r.FalsePositiveChunks()) / float64(r.TotalChunks)
+}
+
+// MarkedFraction returns the fraction of checkpoint data marked as
+// potentially changed by the hash stage, the Fig. 7a metric.
+func (r *Result) MarkedFraction() float64 {
+	if r.TotalChunks == 0 {
+		return 0
+	}
+	return float64(r.CandidateChunks) / float64(r.TotalChunks)
+}
+
+// VirtualElapsed returns the end-to-end virtual runtime.
+func (r *Result) VirtualElapsed() time.Duration {
+	return r.Breakdown.Total().Virtual
+}
+
+// WallElapsed returns the measured wall runtime.
+func (r *Result) WallElapsed() time.Duration {
+	return r.Breakdown.Total().Wall
+}
+
+// ThroughputGBps is the paper's throughput metric: the amount of
+// checkpoint data compared (both runs) over the total virtual runtime.
+func (r *Result) ThroughputGBps() float64 {
+	return metrics.Throughput(2*r.CheckpointBytes, r.VirtualElapsed())
+}
+
+// Identical reports whether no element exceeded the bound.
+func (r *Result) Identical() bool { return r.DiffCount == 0 }

@@ -1,0 +1,131 @@
+package device
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerialForVisitsAll(t *testing.T) {
+	var seen [100]bool
+	(Serial{}).For(100, func(i int) { seen[i] = true })
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+	if (Serial{}).Workers() != 1 {
+		t.Error("Serial.Workers != 1")
+	}
+}
+
+func TestParallelForVisitsAllOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 16} {
+		p := NewParallel(workers)
+		if p.Workers() != workers {
+			t.Errorf("Workers() = %d, want %d", p.Workers(), workers)
+		}
+		n := 1000
+		counts := make([]int32, n)
+		p.For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelForEdgeCases(t *testing.T) {
+	p := NewParallel(4)
+	p.For(0, func(i int) { t.Error("fn called for n=0") })
+	p.For(-3, func(i int) { t.Error("fn called for n<0") })
+	var called int32
+	p.For(1, func(i int) { atomic.AddInt32(&called, 1) })
+	if called != 1 {
+		t.Errorf("n=1 called %d times", called)
+	}
+}
+
+func TestNewParallelDefault(t *testing.T) {
+	if NewParallel(0).Workers() < 1 {
+		t.Error("default workers < 1")
+	}
+	if NewParallel(-5).Workers() < 1 {
+		t.Error("negative workers not defaulted")
+	}
+}
+
+func TestQuickParallelMatchesSerial(t *testing.T) {
+	p := NewParallel(3)
+	f := func(n uint8) bool {
+		var sumS, sumP int64
+		(Serial{}).For(int(n), func(i int) { sumS += int64(i * i) })
+		p.For(int(n), func(i int) { atomic.AddInt64(&sumP, int64(i*i)) })
+		return sumS == sumP
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelPricing(t *testing.T) {
+	m := GPUModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := CPUModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ht := m.HashTime(1 << 30); ht <= m.KernelLaunch {
+		t.Error("hash time does not exceed launch latency for 1 GiB")
+	}
+	if m.HashTime(0) != m.KernelLaunch {
+		t.Error("zero bytes should cost only the launch")
+	}
+	if m.TransferTime(0) != 0 {
+		t.Error("zero transfer should be free")
+	}
+	// Monotonicity in size.
+	if m.CompareTime(2048) < m.CompareTime(1024) {
+		t.Error("compare time not monotone")
+	}
+	if m.NodeHashTime(100) <= 0 {
+		t.Error("node hash time must be positive")
+	}
+}
+
+func TestModelGapCPUvsGPU(t *testing.T) {
+	// The calibrated models must preserve the ~4-orders-of-magnitude tree
+	// construction gap of Fig. 8 for a multi-GB checkpoint.
+	bytes := int64(7) << 30
+	cpu := CPUModel().HashTime(bytes)
+	gpu := GPUModel().HashTime(bytes)
+	ratio := float64(cpu) / float64(gpu)
+	if ratio < 1e3 || ratio > 1e5 {
+		t.Errorf("CPU/GPU hash-time ratio = %.1f, want within [1e3, 1e5]", ratio)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	bad := Model{Name: "bad", HashBytesPerSec: 0, CompareBytesPerSec: 1, TransferBytesPerSec: 1, NodeHashesPerSec: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero hash rate accepted")
+	}
+}
+
+func TestRateTimeNeverNegative(t *testing.T) {
+	if d := rateTime(-5, 1e9); d != 0 {
+		t.Errorf("negative units priced %v", d)
+	}
+	if d := rateTime(100, 0); d != 0 {
+		t.Errorf("zero rate priced %v", d)
+	}
+}
+
+func BenchmarkParallelForOverhead(b *testing.B) {
+	p := NewParallel(4)
+	for i := 0; i < b.N; i++ {
+		p.For(64, func(int) {})
+	}
+}

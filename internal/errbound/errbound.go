@@ -1,0 +1,351 @@
+// Package errbound implements the error-bounded floating-point
+// quantization and chunk hashing scheme of the comparator (paper §2.4).
+//
+// Floating-point values are conservatively mapped onto a grid of cell width
+// ε (the user-defined absolute error bound): cell(x) = floor(x/ε). Two
+// values whose absolute difference exceeds ε always land in different cells,
+// so hashing the cell indices can never hide an out-of-bound difference
+// (no false negatives). Two values within ε of each other usually land in
+// the same cell but may straddle a cell boundary, producing the false
+// positives that stage 2 of the comparator filters out with an exact
+// element-wise check.
+//
+// Chunks are hashed at 128-bit block granularity: each block is hashed with
+// Murmur3F seeded by the digest of the previous block, so the final digest
+// reflects every quantized value in the chunk (paper §2.4, "block-based
+// hashing").
+package errbound
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/murmur3"
+)
+
+// DType identifies the element type of checkpoint data.
+type DType uint8
+
+// Supported element types.
+const (
+	Float32 DType = iota + 1
+	Float64
+)
+
+// Size returns the element size in bytes.
+func (d DType) Size() int {
+	switch d {
+	case Float32:
+		return 4
+	case Float64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// String returns the conventional name of the element type.
+func (d DType) String() string {
+	switch d {
+	case Float32:
+		return "f32"
+	case Float64:
+		return "f64"
+	default:
+		return fmt.Sprintf("DType(%d)", uint8(d))
+	}
+}
+
+// ErrBadEpsilon is returned when an error bound is not a positive, finite
+// number.
+var ErrBadEpsilon = errors.New("error bound must be positive and finite")
+
+// Special quantization cells for non-finite values. They sit outside the
+// range reachable by finite float32/float64 inputs divided by any positive
+// ε ≥ 2^-1074 scale combination that matters in practice, and more
+// importantly are distinct from each other.
+const (
+	cellNaN    = int64(math.MaxInt64)
+	cellPosInf = int64(math.MaxInt64 - 1)
+	cellNegInf = int64(math.MinInt64)
+)
+
+// Quantize maps a float64 value to its ε-grid cell index.
+//
+// Guarantee: for finite a, b with |a-b| > ε (up to floating-point division
+// rounding), Quantize(a, ε) != Quantize(b, ε). NaN and infinities map to
+// dedicated sentinel cells so that, e.g., NaN in one run vs. a finite value
+// in the other is always flagged.
+func Quantize(x, eps float64) int64 {
+	switch {
+	case math.IsNaN(x):
+		return cellNaN
+	case math.IsInf(x, 1):
+		return cellPosInf
+	case math.IsInf(x, -1):
+		return cellNegInf
+	}
+	q := math.Floor(x / eps)
+	// Clamp the finite range away from the sentinels.
+	if q >= float64(math.MaxInt64-2) {
+		return math.MaxInt64 - 2
+	}
+	if q <= float64(math.MinInt64+2) {
+		return math.MinInt64 + 2
+	}
+	return int64(q)
+}
+
+// Equal reports whether two values are equal within the absolute error
+// bound ε, i.e. NOT different in the paper's sense (|a-b| > ε means
+// different). NaN equals NaN here: two runs both producing NaN at the same
+// index are not a divergence the bound can rank, and the hash treats them
+// identically.
+func Equal(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= eps
+}
+
+// Hasher hashes chunks of raw checkpoint bytes under an error bound.
+// A Hasher is safe for concurrent use by multiple goroutines as long as
+// each goroutine passes its own scratch buffer; the convenience HashChunk
+// method allocates per call.
+type Hasher struct {
+	eps   float64
+	dtype DType
+}
+
+// NewHasher returns a Hasher for the given element type and absolute error
+// bound.
+func NewHasher(dtype DType, eps float64) (*Hasher, error) {
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("errbound: eps %v: %w", eps, ErrBadEpsilon)
+	}
+	if dtype.Size() == 0 {
+		return nil, fmt.Errorf("errbound: unsupported dtype %v", dtype)
+	}
+	return &Hasher{eps: eps, dtype: dtype}, nil
+}
+
+// Epsilon returns the hasher's absolute error bound.
+func (h *Hasher) Epsilon() float64 { return h.eps }
+
+// DType returns the hasher's element type.
+func (h *Hasher) DType() DType { return h.dtype }
+
+// blockElems is the number of quantized elements per hashed block. Cells
+// are 8 bytes, so two cells fill one 128-bit Murmur3F block, matching the
+// paper's 128-bit block granularity.
+const blockElems = 2
+
+// HashChunk hashes one chunk of raw bytes. The chunk length must be a
+// multiple of the element size (the final chunk of a checkpoint field is
+// padded by the caller's chunking layer). It allocates a small scratch
+// buffer; use HashChunkScratch in hot paths.
+func (h *Hasher) HashChunk(chunk []byte) (murmur3.Digest, error) {
+	var scratch [blockElems * 8]byte
+	return h.HashChunkScratch(chunk, scratch[:])
+}
+
+// HashChunkScratch is HashChunk with a caller-provided scratch buffer of at
+// least 16 bytes, for allocation-free hashing.
+func (h *Hasher) HashChunkScratch(chunk, scratch []byte) (murmur3.Digest, error) {
+	esz := h.dtype.Size()
+	if len(chunk)%esz != 0 {
+		return murmur3.Digest{}, fmt.Errorf("errbound: chunk length %d not a multiple of element size %d", len(chunk), esz)
+	}
+	if len(scratch) < blockElems*8 {
+		return murmur3.Digest{}, fmt.Errorf("errbound: scratch buffer too small: %d < %d", len(scratch), blockElems*8)
+	}
+	n := len(chunk) / esz
+	var digest murmur3.Digest
+	// Serialize quantized cells into 16-byte blocks and chain-hash them.
+	bi := 0
+	for i := 0; i < n; i++ {
+		var v float64
+		if h.dtype == Float32 {
+			v = float64(math.Float32frombits(binary.LittleEndian.Uint32(chunk[i*4:])))
+		} else {
+			v = math.Float64frombits(binary.LittleEndian.Uint64(chunk[i*8:]))
+		}
+		cell := Quantize(v, h.eps)
+		binary.LittleEndian.PutUint64(scratch[bi*8:], uint64(cell))
+		bi++
+		if bi == blockElems {
+			digest = murmur3.SumDigest(scratch[:blockElems*8], digest)
+			bi = 0
+		}
+	}
+	if bi > 0 {
+		digest = murmur3.SumDigest(scratch[:bi*8], digest)
+	}
+	return digest, nil
+}
+
+// CompareSlices compares two equal-length raw byte slices element-wise and
+// appends to dst the indices (element offsets relative to the start of the
+// slices) whose absolute difference exceeds ε. It returns the extended
+// slice and the number of elements compared.
+func (h *Hasher) CompareSlices(dst []int64, a, b []byte) ([]int64, int, error) {
+	esz := h.dtype.Size()
+	if len(a) != len(b) {
+		return dst, 0, fmt.Errorf("errbound: slice length mismatch %d != %d", len(a), len(b))
+	}
+	if len(a)%esz != 0 {
+		return dst, 0, fmt.Errorf("errbound: slice length %d not a multiple of element size %d", len(a), esz)
+	}
+	n := len(a) / esz
+	for i := 0; i < n; i++ {
+		var va, vb float64
+		if h.dtype == Float32 {
+			va = float64(math.Float32frombits(binary.LittleEndian.Uint32(a[i*4:])))
+			vb = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:])))
+		} else {
+			va = math.Float64frombits(binary.LittleEndian.Uint64(a[i*8:]))
+			vb = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+		if !Equal(va, vb, h.eps) {
+			dst = append(dst, int64(i))
+		}
+	}
+	return dst, n, nil
+}
+
+// AllClose reports whether every pair of elements in the two raw byte
+// slices is within ε, the numpy.allclose(atol=ε, rtol=0) baseline of the
+// paper. It stops at the first out-of-bound pair.
+func (h *Hasher) AllClose(a, b []byte) (bool, error) {
+	esz := h.dtype.Size()
+	if len(a) != len(b) {
+		return false, fmt.Errorf("errbound: slice length mismatch %d != %d", len(a), len(b))
+	}
+	if len(a)%esz != 0 {
+		return false, fmt.Errorf("errbound: slice length %d not a multiple of element size %d", len(a), esz)
+	}
+	n := len(a) / esz
+	for i := 0; i < n; i++ {
+		var va, vb float64
+		if h.dtype == Float32 {
+			va = float64(math.Float32frombits(binary.LittleEndian.Uint32(a[i*4:])))
+			vb = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:])))
+		} else {
+			va = math.Float64frombits(binary.LittleEndian.Uint64(a[i*8:]))
+			vb = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+		if !Equal(va, vb, h.eps) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// EqualRel reports whether a and b are close under numpy.allclose
+// semantics: |a-b| <= atol + rtol·|b|. The paper evaluates with rtol=0
+// (absolute bounds only); this generalization exists for baseline parity.
+func EqualRel(a, b, atol, rtol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= atol+rtol*math.Abs(b)
+}
+
+// AllCloseRel is the full numpy.allclose baseline over raw buffers: true
+// when every element pair satisfies |a-b| <= atol + rtol·|b|.
+func AllCloseRel(a, b []byte, dtype DType, atol, rtol float64) (bool, error) {
+	esz := dtype.Size()
+	if esz == 0 {
+		return false, fmt.Errorf("errbound: unsupported dtype %v", dtype)
+	}
+	if len(a) != len(b) {
+		return false, fmt.Errorf("errbound: slice length mismatch %d != %d", len(a), len(b))
+	}
+	if len(a)%esz != 0 {
+		return false, fmt.Errorf("errbound: slice length %d not a multiple of element size %d", len(a), esz)
+	}
+	n := len(a) / esz
+	for i := 0; i < n; i++ {
+		var va, vb float64
+		if dtype == Float32 {
+			va = float64(math.Float32frombits(binary.LittleEndian.Uint32(a[i*4:])))
+			vb = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:])))
+		} else {
+			va = math.Float64frombits(binary.LittleEndian.Uint64(a[i*8:]))
+			vb = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+		if !EqualRel(va, vb, atol, rtol) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// TruncationHasher is the ablation alternative to the ε-grid scheme: it
+// rounds by zeroing low mantissa bits (bit truncation) instead of grid
+// quantization. Truncation is cheaper but NOT conservative — values that
+// differ by more than ε can share a truncated representation near large
+// magnitudes, and values within ε can differ — so it is used only by the
+// ablation benchmark in DESIGN.md §6.
+type TruncationHasher struct {
+	dtype    DType
+	keepBits uint
+}
+
+// NewTruncationHasher returns a TruncationHasher that keeps the given
+// number of mantissa bits (1..52 for f64, 1..23 for f32 effective).
+func NewTruncationHasher(dtype DType, keepBits uint) (*TruncationHasher, error) {
+	if dtype.Size() == 0 {
+		return nil, fmt.Errorf("errbound: unsupported dtype %v", dtype)
+	}
+	if keepBits < 1 || keepBits > 52 {
+		return nil, fmt.Errorf("errbound: keepBits %d out of range [1,52]", keepBits)
+	}
+	return &TruncationHasher{dtype: dtype, keepBits: keepBits}, nil
+}
+
+// HashChunk hashes one chunk of raw bytes under bit truncation.
+func (t *TruncationHasher) HashChunk(chunk []byte) (murmur3.Digest, error) {
+	esz := t.dtype.Size()
+	if len(chunk)%esz != 0 {
+		return murmur3.Digest{}, fmt.Errorf("errbound: chunk length %d not a multiple of element size %d", len(chunk), esz)
+	}
+	n := len(chunk) / esz
+	var digest murmur3.Digest
+	var scratch [blockElems * 8]byte
+	bi := 0
+	for i := 0; i < n; i++ {
+		var bits uint64
+		if t.dtype == Float32 {
+			b32 := binary.LittleEndian.Uint32(chunk[i*4:])
+			keep := t.keepBits
+			if keep > 23 {
+				keep = 23
+			}
+			mask := uint32(math.MaxUint32) << (23 - keep)
+			bits = uint64(b32 & mask)
+		} else {
+			b64 := binary.LittleEndian.Uint64(chunk[i*8:])
+			mask := uint64(math.MaxUint64) << (52 - t.keepBits)
+			bits = b64 & mask
+		}
+		binary.LittleEndian.PutUint64(scratch[bi*8:], bits)
+		bi++
+		if bi == blockElems {
+			digest = murmur3.SumDigest(scratch[:], digest)
+			bi = 0
+		}
+	}
+	if bi > 0 {
+		digest = murmur3.SumDigest(scratch[:bi*8], digest)
+	}
+	return digest, nil
+}

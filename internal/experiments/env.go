@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/compare"
+	"repro/internal/device"
+	"repro/internal/errbound"
+	"repro/internal/pfs"
+	"repro/internal/synth"
+)
+
+// Paper constants: the evaluation's problem sizes and sweeps (Tables 1–2).
+var (
+	// PaperCheckpointBytes are the per-checkpoint sizes of the three
+	// Fig. 5 problem sizes (7/14/28 GB) plus the Fig. 10 per-rank share
+	// of the 17-billion-particle run (563 GB over 512 ranks ≈ 1.1 GB).
+	PaperCheckpointBytes = map[string]int64{
+		"500M": 7e9,
+		"1B":   14e9,
+		"2B":   28e9,
+		"17B":  1.1e9,
+	}
+	// ErrorBounds is the ε sweep of Table 2.
+	ErrorBounds = []float64{1e-3, 1e-4, 1e-5, 1e-6, 1e-7}
+	// ChunkSizes is the chunk-size sweep of Table 2 / Fig. 5.
+	ChunkSizes = []int{4 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}
+)
+
+// BytesPerParticle is the checkpoint footprint of one particle (Table 1:
+// seven float32 fields).
+const BytesPerParticle = 28
+
+// Env is the shared experiment environment.
+type Env struct {
+	// Store is the PFS tier the checkpoints live on.
+	Store *pfs.Store
+	// ScaleDiv divides every paper size (default 448: 7 GB → ~15.6 MB).
+	ScaleDiv int
+	// Exec runs comparison kernels.
+	Exec device.Executor
+	// Seed makes all workloads deterministic.
+	Seed int64
+}
+
+// NewEnv creates an experiment environment rooted at dir.
+func NewEnv(dir string, scaleDiv int) (*Env, error) {
+	if scaleDiv <= 0 {
+		scaleDiv = 448
+	}
+	store, err := pfs.NewStore(filepath.Join(dir, "pfs"), pfs.LustreModel())
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Store:    store,
+		ScaleDiv: scaleDiv,
+		Exec:     device.NewParallel(0),
+		Seed:     1,
+	}, nil
+}
+
+// ScaledBytes maps a paper checkpoint size to this environment's size.
+func (e *Env) ScaledBytes(size string) (int64, error) {
+	paper, ok := PaperCheckpointBytes[size]
+	if !ok {
+		return 0, fmt.Errorf("experiments: unknown problem size %q", size)
+	}
+	b := paper / int64(e.ScaleDiv)
+	// Keep fields a multiple of the largest chunk size so sweeps align.
+	const quantum = 7 * 4 * 1024
+	if b < quantum {
+		b = quantum
+	}
+	return b - b%quantum, nil
+}
+
+// scaledParticles converts a scaled checkpoint size to a particle count.
+func scaledParticles(ckptBytes int64) int {
+	return int(ckptBytes / BytesPerParticle)
+}
+
+// paperSetupVirtual is the fixed comparison setup cost at paper scale
+// (buffer allocation and device context, ~the Fig. 6 setup bars).
+const paperSetupVirtual = 500 * time.Millisecond
+
+// opts builds comparison options for one sweep point. Fixed virtual costs
+// shrink with the scale divisor so that scaled-down sweeps keep the
+// paper's cost proportions.
+func (e *Env) opts(eps float64, chunkSize int) compare.Options {
+	return compare.Options{
+		Epsilon:      eps,
+		ChunkSize:    chunkSize,
+		Exec:         e.Exec,
+		SetupVirtual: paperSetupVirtual / time.Duration(e.ScaleDiv),
+	}
+}
+
+// pairKey identifies a generated checkpoint pair on the store.
+type pairKey struct {
+	size string
+	seed int64
+}
+
+// Pair is a generated checkpoint pair (runA/runB names on the store).
+type Pair struct {
+	NameA, NameB string
+	Fields       []ckpt.FieldSpec
+	Bytes        int64 // per-checkpoint raw data bytes
+}
+
+// MakePair generates (or reuses) a synthetic nondeterministic-run
+// checkpoint pair for a paper problem size, with the HACC Table 1 schema
+// at scaled particle count. The perturbation spans the whole ε sweep (see
+// internal/synth).
+func (e *Env) MakePair(size string, seed int64) (Pair, error) {
+	ckptBytes, err := e.ScaledBytes(size)
+	if err != nil {
+		return Pair{}, err
+	}
+	particles := scaledParticles(ckptBytes)
+	runA := fmt.Sprintf("%s-s%d-A", size, seed)
+	runB := fmt.Sprintf("%s-s%d-B", size, seed)
+	nameA := ckpt.Name(runA, 0, 0)
+	nameB := ckpt.Name(runB, 0, 0)
+
+	fields := make([]ckpt.FieldSpec, 0, 7)
+	for _, n := range []string{"x", "y", "z", "vx", "vy", "vz", "phi"} {
+		fields = append(fields, ckpt.FieldSpec{Name: n, DType: errbound.Float32, Count: int64(particles)})
+	}
+	p := Pair{NameA: nameA, NameB: nameB, Fields: fields, Bytes: int64(particles) * BytesPerParticle}
+
+	// Reuse if both files already exist (pairs are deterministic in seed).
+	if names, err := e.Store.List(runA + "/"); err == nil && len(names) > 0 {
+		if namesB, err := e.Store.List(runB + "/"); err == nil && len(namesB) > 0 {
+			return p, nil
+		}
+	}
+
+	pert := synth.DefaultPerturb(e.Seed + seed)
+	dataA, dataB := synth.RunPair(particles, len(fields), e.Seed*7919+seed, pert)
+	metaA := ckpt.Meta{RunID: runA, Iteration: 0, Rank: 0, Fields: fields}
+	metaB := ckpt.Meta{RunID: runB, Iteration: 0, Rank: 0, Fields: fields}
+	if _, err := ckpt.WriteCheckpoint(e.Store, metaA, dataA); err != nil {
+		return Pair{}, err
+	}
+	if _, err := ckpt.WriteCheckpoint(e.Store, metaB, dataB); err != nil {
+		return Pair{}, err
+	}
+	return p, nil
+}
+
+// BuildMetadataFor (re)builds and saves both runs' metadata for a sweep
+// point. Metadata depends on (ε, chunk size), so sweeps rebuild it.
+func (e *Env) BuildMetadataFor(p Pair, eps float64, chunkSize int) error {
+	opts := e.opts(eps, chunkSize)
+	for _, name := range []string{p.NameA, p.NameB} {
+		if _, _, err := compare.BuildAndSave(e.Store, name, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/compare"
+)
+
+// Fig10 reproduces Figure 10 (a: ε=1e-7, b: ε=1e-3): strong scaling of
+// the Merkle method vs Direct over an increasing process count (four per
+// node), comparing a fixed workload of checkpoint pairs from the
+// 17-billion-particle run. Reported: mean per-process throughput (GB/s,
+// higher is better) and makespan (virtual s, lower is better).
+func (e *Env) Fig10(eps float64, pairsCount int, processCounts []int) (*Table, error) {
+	if pairsCount <= 0 {
+		pairsCount = 128
+	}
+	if len(processCounts) == 0 {
+		processCounts = []int{16, 32, 64, 128}
+	}
+	sub := "a"
+	if eps >= 1e-4 {
+		sub = "b"
+	}
+	// Build the workload: pairsCount checkpoint pairs at the 17B per-rank
+	// scale, with metadata at the sweep's chunk size.
+	const chunk = 64 << 10
+	pairs := make([]cluster.Pair, 0, pairsCount)
+	for i := 0; i < pairsCount; i++ {
+		p, err := e.MakePair("17B", int64(1000+i))
+		if err != nil {
+			return nil, err
+		}
+		if err := e.BuildMetadataFor(p, eps, chunk); err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, cluster.Pair{NameA: p.NameA, NameB: p.NameB})
+	}
+
+	t := &Table{
+		ID:    "Figure 10" + sub,
+		Title: fmt.Sprintf("Strong scaling, %d checkpoint pairs, ε=%.0e", pairsCount, eps),
+		Header: []string{"Processes", "Direct GB/s/proc", "Ours GB/s/proc",
+			"Direct makespan", "Ours makespan", "speedup"},
+		Notes: []string{
+			"four processes per node share one node's PFS link (cost model)",
+			fmt.Sprintf("chunk size %s; throughput is per-process mean on the virtual clock", kb(chunk)),
+		},
+	}
+	for _, procs := range processCounts {
+		row := []string{fmt.Sprintf("%d", procs)}
+		var makespans []float64
+		var ths []float64
+		for _, m := range []compare.Method{compare.MethodDirect, compare.MethodMerkle} {
+			res, err := cluster.Run(e.Store, pairs, cluster.Config{
+				Processes: procs,
+				PerNode:   4,
+				Method:    m,
+				Opts:      e.opts(eps, chunk),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s procs=%d: %w", m, procs, err)
+			}
+			ths = append(ths, res.PerProcessThroughputGBps())
+			makespans = append(makespans, res.MakespanVirtual.Seconds())
+		}
+		row = append(row,
+			fmt.Sprintf("%.2f", ths[0]),
+			fmt.Sprintf("%.2f", ths[1]),
+			fmt.Sprintf("%.3f", makespans[0]),
+			fmt.Sprintf("%.3f", makespans[1]),
+			fmt.Sprintf("%.1fx", makespans[0]/makespans[1]),
+		)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/compare"
+)
+
+// Fig5 reproduces Figure 5 (a, b or c by problem size): comparison
+// throughput of AllClose, Direct and the Merkle method across the error
+// bound × chunk size sweep. Throughput is checkpoint data (both runs)
+// over virtual runtime, in GB/s, higher is better.
+func (e *Env) Fig5(size string) (*Table, error) {
+	p, err := e.MakePair(size, 5)
+	if err != nil {
+		return nil, err
+	}
+	sub := map[string]string{"500M": "a", "1B": "b", "2B": "c"}[size]
+	t := &Table{
+		ID:    "Figure 5" + sub,
+		Title: fmt.Sprintf("Comparison throughput (GB/s), %s particles (%s per checkpoint)", size, gb(p.Bytes)),
+		Header: []string{"Error bound", "AllClose", "Direct",
+			kb(ChunkSizes[0]), kb(ChunkSizes[1]), kb(ChunkSizes[2]),
+			kb(ChunkSizes[3]), kb(ChunkSizes[4]), kb(ChunkSizes[5])},
+		Notes: []string{
+			"columns 4KB-512KB are our method at that chunk size",
+			"virtual-clock throughput (Lustre+A100 cost model); see EXPERIMENTS.md",
+		},
+	}
+	for _, eps := range ErrorBounds {
+		row := []string{fmt.Sprintf("%.0e", eps)}
+		opts := e.opts(eps, ChunkSizes[0])
+
+		// AllClose baseline.
+		e.Store.EvictAll()
+		_, resA, err := compare.CompareAllClose(e.Store, p.NameA, p.NameB, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 allclose eps=%g: %w", eps, err)
+		}
+		row = append(row, fmt.Sprintf("%.2f", resA.ThroughputGBps()))
+
+		// Direct baseline.
+		e.Store.EvictAll()
+		resD, err := compare.CompareDirect(e.Store, p.NameA, p.NameB, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 direct eps=%g: %w", eps, err)
+		}
+		row = append(row, fmt.Sprintf("%.2f", resD.ThroughputGBps()))
+
+		// Our method across chunk sizes.
+		for _, chunk := range ChunkSizes {
+			if err := e.BuildMetadataFor(p, eps, chunk); err != nil {
+				return nil, err
+			}
+			e.Store.EvictAll()
+			res, err := compare.CompareMerkle(e.Store, p.NameA, p.NameB, e.opts(eps, chunk))
+			if err != nil {
+				return nil, fmt.Errorf("fig5 merkle eps=%g chunk=%d: %w", eps, chunk, err)
+			}
+			row = append(row, fmt.Sprintf("%.2f", res.ThroughputGBps()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

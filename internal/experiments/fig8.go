@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/compare"
+	"repro/internal/device"
+)
+
+// Fig8 reproduces Figure 8: Merkle tree construction cost on the CPU vs
+// the GPU (500-million-particle checkpoint, ε=1e-7), across chunk sizes.
+//
+// Construction is actually executed at the scaled size (serial executor
+// for the CPU column, parallel executor for the GPU column; the measured
+// wall times are reported for reference), while the virtual columns price
+// the same kernels at the PAPER's 7 GB checkpoint size on the two device
+// models — reproducing the ~4-orders-of-magnitude gap and the flatness in
+// chunk size the paper reports.
+func (e *Env) Fig8() (*Table, error) {
+	p, err := e.MakePair("500M", 8)
+	if err != nil {
+		return nil, err
+	}
+	r, _, err := ckpt.OpenReader(e.Store, p.NameA)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	fields := r.Meta().Fields
+	data := make([][]byte, len(fields))
+	for i := range fields {
+		d, _, err := r.ReadField(i)
+		if err != nil {
+			return nil, err
+		}
+		data[i] = d
+	}
+
+	paperBytes := PaperCheckpointBytes["500M"]
+	t := &Table{
+		ID:    "Figure 8",
+		Title: "Tree construction cost, 500M particles (7 GB), ε=1e-7",
+		Header: []string{"Chunk", "CPU virt(s)", "GPU virt(s)", "CPU/GPU",
+			"CPU wall(ms,scaled)", "GPU wall(ms,scaled)"},
+		Notes: []string{
+			"virtual columns price the kernels at the paper's 7 GB size on the device models",
+			fmt.Sprintf("wall columns measure real construction of the %s scaled checkpoint", gb(p.Bytes)),
+		},
+	}
+	for _, chunk := range []int{4 << 10, 8 << 10, 16 << 10, 32 << 10} {
+		cpuOpts := compare.Options{Epsilon: 1e-7, ChunkSize: chunk, Exec: device.Serial{}, Device: device.CPUModel()}
+		gpuOpts := compare.Options{Epsilon: 1e-7, ChunkSize: chunk, Exec: e.Exec, Device: device.GPUModel()}
+		_, cpuStats, err := compare.Build(fields, data, cpuOpts)
+		if err != nil {
+			return nil, err
+		}
+		_, gpuStats, err := compare.Build(fields, data, gpuOpts)
+		if err != nil {
+			return nil, err
+		}
+		cpu := priceBuild(device.CPUModel(), paperBytes, len(fields), chunk)
+		gpu := priceBuild(device.GPUModel(), paperBytes, len(fields), chunk)
+		t.Rows = append(t.Rows, []string{
+			kb(chunk),
+			fmt.Sprintf("%.4g", cpu.Seconds()),
+			fmt.Sprintf("%.4g", gpu.Seconds()),
+			fmt.Sprintf("%.0fx", float64(cpu)/float64(gpu)),
+			fmt.Sprintf("%.1f", float64(cpuStats.Wall.Microseconds())/1000),
+			fmt.Sprintf("%.1f", float64(gpuStats.Wall.Microseconds())/1000),
+		})
+	}
+	return t, nil
+}
+
+// priceBuild prices metadata construction for a checkpoint of totalBytes
+// split into nFields fields, at the given chunk size, on a device model —
+// the same kernel structure compare.Build charges.
+func priceBuild(m device.Model, totalBytes int64, nFields, chunk int) time.Duration {
+	perField := totalBytes / int64(nFields)
+	leaves := perField / int64(chunk)
+	levels := 0
+	for w := int64(1); w < leaves; w <<= 1 {
+		levels++
+	}
+	var total time.Duration
+	for f := 0; f < nFields; f++ {
+		total += m.HashTime(perField)
+		for l := levels - 1; l >= 0; l-- {
+			total += m.NodeHashTime(int64(1) << l)
+		}
+	}
+	return total
+}

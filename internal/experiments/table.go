@@ -1,0 +1,101 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3) at laptop scale: same sweeps, same metrics, same
+// comparative shapes, with sizes scaled down by a configurable factor and
+// performance reported on the virtual clock (see DESIGN.md §2 and §5).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one rendered experiment result.
+type Table struct {
+	// ID names the paper artifact ("Table 1", "Figure 5a", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows holds the data, row-major, already formatted.
+	Rows [][]string
+	// Notes records scale factors, calibration and caveats.
+	Notes []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "=== %s — %s ===\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			// Right-align numbers, left-align first column.
+			if i == 0 {
+				sb.WriteString(c)
+				sb.WriteString(strings.Repeat(" ", pad))
+			} else {
+				sb.WriteString(strings.Repeat(" ", pad))
+				sb.WriteString(c)
+			}
+		}
+		return sb.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// gb formats a byte count as decimal gigabytes or megabytes.
+func gb(bytes int64) string {
+	switch {
+	case bytes >= 1e9:
+		return fmt.Sprintf("%.1f GB", float64(bytes)/1e9)
+	case bytes >= 1e6:
+		return fmt.Sprintf("%.1f MB", float64(bytes)/1e6)
+	default:
+		return fmt.Sprintf("%.1f KB", float64(bytes)/1e3)
+	}
+}
+
+// kb formats a chunk size.
+func kb(bytes int) string { return fmt.Sprintf("%dKB", bytes/1024) }

@@ -1,0 +1,162 @@
+// Package fft implements the radix-2 complex fast Fourier transform used
+// by the particle-mesh Poisson solver in the HACC-like simulation
+// substrate (internal/hacc). Transforms are in-place, iterative
+// (bit-reversal permutation + butterfly passes), and support 1-D vectors
+// and 3-D cubes of power-of-two extent.
+package fft
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// ErrNotPowerOfTwo is returned when a transform length is not a power of
+// two.
+var ErrNotPowerOfTwo = errors.New("fft: length must be a power of two")
+
+// Forward computes the in-place forward DFT of data (negative-exponent
+// convention, no normalization).
+func Forward(data []complex128) error {
+	return transform(data, false)
+}
+
+// Inverse computes the in-place inverse DFT of data, including the 1/N
+// normalization, so Inverse(Forward(x)) == x up to rounding.
+func Inverse(data []complex128) error {
+	if err := transform(data, true); err != nil {
+		return err
+	}
+	n := complex(float64(len(data)), 0)
+	for i := range data {
+		data[i] /= n
+	}
+	return nil
+}
+
+func transform(data []complex128, inverse bool) error {
+	n := len(data)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("%w: %d", ErrNotPowerOfTwo, n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			data[i], data[j] = data[j], data[i]
+		}
+	}
+	// Butterfly passes.
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := complex(math.Cos(step), math.Sin(step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := data[start+k]
+				b := data[start+k+half] * w
+				data[start+k] = a + b
+				data[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	return nil
+}
+
+// Cube is a dense 3-D complex field of extent n per axis, stored
+// x-fastest: index = (z*n + y)*n + x.
+type Cube struct {
+	n    int
+	data []complex128
+}
+
+// NewCube allocates an n×n×n cube; n must be a power of two.
+func NewCube(n int) (*Cube, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("%w: %d", ErrNotPowerOfTwo, n)
+	}
+	return &Cube{n: n, data: make([]complex128, n*n*n)}, nil
+}
+
+// N returns the per-axis extent.
+func (c *Cube) N() int { return c.n }
+
+// Data returns the backing slice (x-fastest layout).
+func (c *Cube) Data() []complex128 { return c.data }
+
+// At returns the value at (x, y, z).
+func (c *Cube) At(x, y, z int) complex128 {
+	return c.data[(z*c.n+y)*c.n+x]
+}
+
+// Set stores v at (x, y, z).
+func (c *Cube) Set(x, y, z int, v complex128) {
+	c.data[(z*c.n+y)*c.n+x] = v
+}
+
+// Clear zeroes the cube.
+func (c *Cube) Clear() {
+	for i := range c.data {
+		c.data[i] = 0
+	}
+}
+
+// Forward3D computes the in-place 3-D forward DFT (separable: 1-D
+// transforms along x, then y, then z).
+func (c *Cube) Forward3D() error { return c.transform3D(Forward) }
+
+// Inverse3D computes the in-place 3-D inverse DFT with normalization.
+func (c *Cube) Inverse3D() error { return c.transform3D(Inverse) }
+
+func (c *Cube) transform3D(f func([]complex128) error) error {
+	n := c.n
+	// Along x: contiguous rows.
+	for zy := 0; zy < n*n; zy++ {
+		if err := f(c.data[zy*n : (zy+1)*n]); err != nil {
+			return err
+		}
+	}
+	// Along y and z: gather into a scratch line, transform, scatter back.
+	line := make([]complex128, n)
+	for z := 0; z < n; z++ {
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				line[y] = c.data[(z*n+y)*n+x]
+			}
+			if err := f(line); err != nil {
+				return err
+			}
+			for y := 0; y < n; y++ {
+				c.data[(z*n+y)*n+x] = line[y]
+			}
+		}
+	}
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			for z := 0; z < n; z++ {
+				line[z] = c.data[(z*n+y)*n+x]
+			}
+			if err := f(line); err != nil {
+				return err
+			}
+			for z := 0; z < n; z++ {
+				c.data[(z*n+y)*n+x] = line[z]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func TestForwardRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{3, 5, 6, 7, 9, 100} {
+		if err := Forward(make([]complex128, n)); err == nil {
+			t.Errorf("length %d accepted", n)
+		}
+	}
+}
+
+func TestForwardTrivialLengths(t *testing.T) {
+	if err := Forward(nil); err != nil {
+		t.Errorf("empty: %v", err)
+	}
+	one := []complex128{3 + 4i}
+	if err := Forward(one); err != nil || one[0] != 3+4i {
+		t.Errorf("length 1 changed: %v %v", one, err)
+	}
+}
+
+func TestForwardKnownDelta(t *testing.T) {
+	// DFT of a delta at 0 is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if !almostEqual(v, 1, 1e-12) {
+			t.Errorf("X[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestForwardKnownCosine(t *testing.T) {
+	// cos(2π k0 t / N) has spikes of N/2 at bins ±k0.
+	const n, k0 = 16, 3
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Cos(2*math.Pi*k0*float64(i)/n), 0)
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		want := complex(0, 0)
+		if i == k0 || i == n-k0 {
+			want = complex(n/2, 0)
+		}
+		if !almostEqual(v, want, 1e-9) {
+			t.Errorf("X[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := make([]complex128, 256)
+	orig := make([]complex128, len(x))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = x[i]
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inverse(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !almostEqual(x[i], orig[i], 1e-10) {
+			t.Fatalf("round trip lost x[%d]: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestQuickParseval(t *testing.T) {
+	// Parseval: sum |x|^2 == (1/N) sum |X|^2.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, 64)
+		var tdEnergy float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+			tdEnergy += real(x[i]) * real(x[i])
+		}
+		if err := Forward(x); err != nil {
+			return false
+		}
+		var fdEnergy float64
+		for _, v := range x {
+			fdEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(tdEnergy-fdEnergy/64) < 1e-8*(1+tdEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := make([]complex128, 32)
+	b := make([]complex128, 32)
+	sum := make([]complex128, 32)
+	for i := range a {
+		a[i] = complex(rng.NormFloat64(), 0)
+		b[i] = complex(rng.NormFloat64(), 0)
+		sum[i] = 2*a[i] + 3*b[i]
+	}
+	Forward(a)
+	Forward(b)
+	Forward(sum)
+	for i := range sum {
+		if !almostEqual(sum[i], 2*a[i]+3*b[i], 1e-9) {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}
+
+func TestNewCubeValidation(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 12} {
+		if _, err := NewCube(n); err == nil {
+			t.Errorf("NewCube(%d) accepted", n)
+		}
+	}
+	c, err := NewCube(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 8 || len(c.Data()) != 512 {
+		t.Error("cube geometry wrong")
+	}
+}
+
+func TestCubeAtSet(t *testing.T) {
+	c, _ := NewCube(4)
+	c.Set(1, 2, 3, 5+6i)
+	if c.At(1, 2, 3) != 5+6i {
+		t.Error("At/Set mismatch")
+	}
+	// x-fastest layout.
+	if c.Data()[(3*4+2)*4+1] != 5+6i {
+		t.Error("layout not x-fastest")
+	}
+	c.Clear()
+	if c.At(1, 2, 3) != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestCube3DRoundTrip(t *testing.T) {
+	c, _ := NewCube(8)
+	rng := rand.New(rand.NewSource(11))
+	orig := make([]complex128, len(c.Data()))
+	for i := range c.Data() {
+		c.Data()[i] = complex(rng.NormFloat64(), 0)
+		orig[i] = c.Data()[i]
+	}
+	if err := c.Forward3D(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Inverse3D(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if !almostEqual(c.Data()[i], orig[i], 1e-9) {
+			t.Fatalf("3D round trip lost element %d", i)
+		}
+	}
+}
+
+func TestCube3DDelta(t *testing.T) {
+	// 3-D DFT of a delta at the origin is all ones.
+	c, _ := NewCube(4)
+	c.Set(0, 0, 0, 1)
+	if err := c.Forward3D(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range c.Data() {
+		if !almostEqual(v, 1, 1e-12) {
+			t.Fatalf("element %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestCube3DPlaneWave(t *testing.T) {
+	// A plane wave exp(2πi·k·r/n) transforms to a single spike of n^3.
+	const n = 8
+	c, _ := NewCube(n)
+	kx, ky, kz := 2, 1, 3
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				ph := 2 * math.Pi * float64(kx*x+ky*y+kz*z) / n
+				c.Set(x, y, z, cmplx.Exp(complex(0, ph)))
+			}
+		}
+	}
+	if err := c.Forward3D(); err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				want := complex(0, 0)
+				if x == kx && y == ky && z == kz {
+					want = complex(n*n*n, 0)
+				}
+				if !almostEqual(c.At(x, y, z), want, 1e-7) {
+					t.Fatalf("X[%d,%d,%d] = %v, want %v", x, y, z, c.At(x, y, z), want)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkForward1K(b *testing.B) {
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(float64(i), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCube32Forward(b *testing.B) {
+	c, _ := NewCube(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Forward3D(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package hacc
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/errbound"
+	"repro/internal/pfs"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig(512)
+	cfg.Grid = 16
+	cfg.Box = 16
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := smallConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Particles = 0 },
+		func(c *Config) { c.Grid = 12 },
+		func(c *Config) { c.Grid = 0 },
+		func(c *Config) { c.Box = 0 },
+		func(c *Config) { c.DT = 0 },
+		func(c *Config) { c.Cutoff = -1 },
+		func(c *Config) { c.Softening = 0 },
+	}
+	for i, mut := range cases {
+		c := smallConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: New accepted invalid config", i)
+		}
+	}
+}
+
+func TestDeterministicRunsAreIdentical(t *testing.T) {
+	cfg := smallConfig()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	for f := range sa {
+		for i := range sa[f] {
+			if sa[f][i] != sb[f][i] {
+				t.Fatalf("deterministic runs diverged in field %s", FieldNames[f])
+			}
+		}
+	}
+	if a.Iteration() != 5 {
+		t.Errorf("Iteration = %d", a.Iteration())
+	}
+}
+
+// maxRelDiff returns the largest absolute difference between two float32
+// field buffers.
+func maxAbsDiff(a, b []byte) float64 {
+	var m float64
+	for i := 0; i+4 <= len(a); i += 4 {
+		va := float64(math.Float32frombits(binary.LittleEndian.Uint32(a[i:])))
+		vb := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i:])))
+		if d := math.Abs(va - vb); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestNondeterministicRunsDiverge(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Nondet = true
+	cfg.NondetSeed = 1
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NondetSeed = 2
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	var diverged bool
+	for f := range sa {
+		if maxAbsDiff(sa[f], sb[f]) > 0 {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("nondeterministic runs with different seeds did not diverge")
+	}
+	// The divergence must start at rounding scale, far below the data
+	// magnitude (box size ~16).
+	if d := maxAbsDiff(sa[0], sb[0]); d > 1.0 {
+		t.Errorf("position divergence %v too large after 10 steps", d)
+	}
+}
+
+func TestDivergenceGrowsWithIterations(t *testing.T) {
+	run := func(seed int64, steps int) [][]byte {
+		cfg := smallConfig()
+		cfg.Nondet = true
+		cfg.NondetSeed = seed
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(steps); err != nil {
+			t.Fatal(err)
+		}
+		return s.Snapshot()
+	}
+	early1, early2 := run(1, 2), run(2, 2)
+	late1, late2 := run(1, 20), run(2, 20)
+	dEarly := maxAbsDiff(early1[3], early2[3]) // vx
+	dLate := maxAbsDiff(late1[3], late2[3])
+	if dLate <= dEarly {
+		t.Errorf("divergence did not grow: early=%g late=%g", dEarly, dLate)
+	}
+}
+
+func TestParticlesStayInBox(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Particles; i++ {
+		for _, v := range []float64{s.px[i], s.py[i], s.pz[i]} {
+			if v < 0 || v >= cfg.Box {
+				t.Fatalf("particle %d left the box: %v", i, v)
+			}
+		}
+	}
+}
+
+func TestMomentumApproximatelyConserved(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mom := func() (float64, float64, float64) {
+		var x, y, z float64
+		for i := 0; i < cfg.Particles; i++ {
+			x += s.vx[i]
+			y += s.vy[i]
+			z += s.vz[i]
+		}
+		return x, y, z
+	}
+	x0, y0, z0 := mom()
+	if err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	x1, y1, z1 := mom()
+	// CIC deposit/interp with the same kernel is momentum-conserving for
+	// the mesh part; the PP cutoff force is pairwise antisymmetric. Allow
+	// loose numerical drift.
+	scale := 1.0
+	for _, d := range []float64{x1 - x0, y1 - y0, z1 - z0} {
+		if math.Abs(d) > 0.05*scale {
+			t.Errorf("momentum drifted by %v", d)
+		}
+	}
+}
+
+func TestFiniteState(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Particles; i++ {
+		vals := []float64{s.px[i], s.py[i], s.pz[i], s.vx[i], s.vy[i], s.vz[i], s.phi[i]}
+		for j, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("particle %d field %d is not finite: %v", i, j, v)
+			}
+		}
+	}
+}
+
+func TestSchemaMatchesTable1(t *testing.T) {
+	fields := Schema(100)
+	if len(fields) != 7 {
+		t.Fatalf("schema has %d fields", len(fields))
+	}
+	for i, want := range FieldNames {
+		if fields[i].Name != want || fields[i].DType != errbound.Float32 || fields[i].Count != 100 {
+			t.Errorf("field %d = %+v", i, fields[i])
+		}
+	}
+	if CheckpointBytes(100) != 2800 {
+		t.Errorf("CheckpointBytes(100) = %d", CheckpointBytes(100))
+	}
+}
+
+func TestSnapshotAndCapture(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 7 {
+		t.Fatalf("snapshot has %d fields", len(snap))
+	}
+	for f, b := range snap {
+		if len(b) != 4*cfg.Particles {
+			t.Errorf("field %s has %d bytes", FieldNames[f], len(b))
+		}
+	}
+	// Capture through the async checkpointer and read back.
+	local, err := pfs.NewStore(t.TempDir(), pfs.NVMeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ckpt.NewCheckpointer(local, remote, 1)
+	defer c.Close()
+	if err := s.Capture(c, "sim-run", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := ckpt.OpenReader(remote, ckpt.Name("sim-run", 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, _, err := r.ReadField(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(snap[0]) {
+		t.Error("captured field size mismatch")
+	}
+	for i := range got {
+		if got[i] != snap[0][i] {
+			t.Fatal("captured bytes differ from snapshot")
+		}
+	}
+}
+
+func BenchmarkStep512Particles(b *testing.B) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

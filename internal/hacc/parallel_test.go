@@ -1,0 +1,299 @@
+package hacc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+)
+
+func parallelConfig(particles int) Config {
+	cfg := DefaultConfig(particles)
+	cfg.Grid = 16
+	cfg.Box = 16
+	return cfg
+}
+
+// runParallel executes a parallel simulation and returns every rank's
+// shard snapshot at the end.
+func runParallel(t *testing.T, cfg Config, ranks, steps int) [][][]byte {
+	t.Helper()
+	shards := make([][][]byte, ranks)
+	var mu sync.Mutex
+	err := mpi.Run(ranks, func(r *mpi.Rank) error {
+		sim, err := NewRankSim(cfg, r)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < steps; s++ {
+			if err := sim.Step(); err != nil {
+				return err
+			}
+		}
+		shard, err := sim.SnapshotShard()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		shards[r.ID()] = shard
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shards
+}
+
+func TestNewRankSimValidation(t *testing.T) {
+	err := mpi.Run(2, func(r *mpi.Rank) error {
+		bad := parallelConfig(100)
+		bad.Grid = 12
+		if _, err := NewRankSim(bad, r); err == nil {
+			return fmt.Errorf("invalid grid accepted")
+		}
+		// Slab narrower than the cutoff must be rejected: cutoff 2 cells
+		// = 2.0 box units; with 16 ranks the slab is 1.0 wide.
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.Run(16, func(r *mpi.Rank) error {
+		if _, err := NewRankSim(parallelConfig(100), r); err == nil {
+			return fmt.Errorf("cutoff wider than slab accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-rank parallel simulations are rejected (use Sim).
+	err = mpi.Run(1, func(r *mpi.Rank) error {
+		if _, err := NewRankSim(parallelConfig(100), r); err == nil {
+			return fmt.Errorf("1-rank parallel sim accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelConservesParticles(t *testing.T) {
+	cfg := parallelConfig(500)
+	const ranks = 4
+	counts := make([]int, ranks)
+	err := mpi.Run(ranks, func(r *mpi.Rank) error {
+		sim, err := NewRankSim(cfg, r)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < 5; s++ {
+			if err := sim.Step(); err != nil {
+				return err
+			}
+		}
+		counts[r.ID()] = sim.LocalParticles()
+		// Every local particle must be inside the slab after migration.
+		for i := range sim.ids {
+			if sim.pz[i] < sim.slabLo || sim.pz[i] >= sim.slabHi {
+				return fmt.Errorf("rank %d: particle %d at z=%v outside slab [%v,%v)",
+					r.ID(), sim.ids[i], sim.pz[i], sim.slabLo, sim.slabHi)
+			}
+		}
+		// Local IDs are sorted and unique.
+		for i := 1; i < len(sim.ids); i++ {
+			if sim.ids[i] <= sim.ids[i-1] {
+				return fmt.Errorf("rank %d: ids not strictly sorted at %d", r.ID(), i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != cfg.Particles {
+		t.Errorf("particles after migration: %d, want %d", total, cfg.Particles)
+	}
+}
+
+func TestParallelDeterministic(t *testing.T) {
+	cfg := parallelConfig(400)
+	a := runParallel(t, cfg, 2, 4)
+	b := runParallel(t, cfg, 2, 4)
+	for rank := range a {
+		for f := range a[rank] {
+			for i := range a[rank][f] {
+				if a[rank][f][i] != b[rank][f][i] {
+					t.Fatalf("deterministic parallel runs differ at rank %d field %d", rank, f)
+				}
+			}
+		}
+	}
+}
+
+// readF32 decodes element i of a raw float32 buffer.
+func readF32(b []byte, i int) float64 {
+	return float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:])))
+}
+
+func TestParallelMatchesSerialPhysics(t *testing.T) {
+	cfg := parallelConfig(400)
+	const steps = 3
+	// Serial reference.
+	serial, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.Run(steps); err != nil {
+		t.Fatal(err)
+	}
+	ref := serial.Snapshot()
+
+	// Parallel: concatenate shards in ID order = global order.
+	shards := runParallel(t, cfg, 2, steps)
+	for f := 0; f < len(FieldNames); f++ {
+		idx := 0
+		var maxDiff float64
+		for rank := range shards {
+			buf := shards[rank][f]
+			for i := 0; i < len(buf)/4; i++ {
+				d := math.Abs(readF32(buf, i) - readF32(ref[f], idx))
+				// Positions wrap: treat across-the-box differences via
+				// minimum image on coordinate fields.
+				if f < 3 && d > cfg.Box/2 {
+					d = cfg.Box - d
+				}
+				if d > maxDiff {
+					maxDiff = d
+				}
+				idx++
+			}
+		}
+		// FP summation order differs between decompositions; physics must
+		// agree to far better than the box scale after a few steps.
+		if maxDiff > 0.02 {
+			t.Errorf("field %s: parallel vs serial max diff %v", FieldNames[f], maxDiff)
+		}
+	}
+}
+
+func TestParallelNondetRunsDiverge(t *testing.T) {
+	cfg := parallelConfig(400)
+	cfg.Nondet = true
+	cfg.NondetSeed = 1
+	a := runParallel(t, cfg, 2, 6)
+	cfg.NondetSeed = 2
+	b := runParallel(t, cfg, 2, 6)
+	diff := false
+	for rank := range a {
+		for f := range a[rank] {
+			for i := range a[rank][f] {
+				if a[rank][f][i] != b[rank][f][i] {
+					diff = true
+				}
+			}
+		}
+	}
+	if !diff {
+		t.Error("nondeterministic parallel runs with different seeds are identical")
+	}
+}
+
+func TestShardRangesPartitionPopulation(t *testing.T) {
+	cfg := parallelConfig(401) // non-divisible count: last rank absorbs the remainder
+	const ranks = 3
+	err := mpi.Run(ranks, func(r *mpi.Rank) error {
+		sim, err := NewRankSim(cfg, r)
+		if err != nil {
+			return err
+		}
+		lo, hi := sim.ShardRange()
+		if r.ID() == 0 && lo != 0 {
+			return fmt.Errorf("rank 0 shard starts at %d", lo)
+		}
+		if r.ID() == ranks-1 && hi != int64(cfg.Particles) {
+			return fmt.Errorf("last shard ends at %d", hi)
+		}
+		shard, err := sim.SnapshotShard()
+		if err != nil {
+			return err
+		}
+		if int64(len(shard[0])/4) != hi-lo {
+			return fmt.Errorf("shard size %d, want %d", len(shard[0])/4, hi-lo)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelCaptureEndToEnd(t *testing.T) {
+	cfg := parallelConfig(300)
+	cfg.Nondet = true
+	cfg.NondetSeed = 7
+	local, err := pfs.NewStore(t.TempDir(), pfs.NVMeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ckpt.NewCheckpointer(local, remote, 2)
+	const ranks = 2
+	err = mpi.Run(ranks, func(r *mpi.Rank) error {
+		sim, err := NewRankSim(cfg, r)
+		if err != nil {
+			return err
+		}
+		for s := 1; s <= 4; s++ {
+			if err := sim.Step(); err != nil {
+				return err
+			}
+			if s%2 == 0 {
+				if err := sim.Capture(c, "par-run"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := ckpt.History(remote, "par-run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 4 { // 2 iterations × 2 ranks
+		t.Fatalf("history = %v", hist)
+	}
+	// Both ranks' shards at one iteration reassemble the full population.
+	var totalElems int64
+	for _, name := range hist[:2] {
+		r, _, err := ckpt.OpenReader(remote, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalElems += r.Field(0).Count
+		r.Close()
+	}
+	if totalElems != int64(cfg.Particles) {
+		t.Errorf("shards cover %d particles, want %d", totalElems, cfg.Particles)
+	}
+}

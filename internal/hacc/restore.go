@@ -1,0 +1,59 @@
+package hacc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/ckpt"
+)
+
+// Restore reconstructs a simulation from a captured checkpoint — the
+// suspend-resume use of checkpointing (paper §1). The checkpoint must
+// carry the full Table 1 schema; cfg must match the run that captured it
+// (particle count is taken from the checkpoint). Velocities and positions
+// resume exactly as stored (float32 precision); forces are recomputed, so
+// the leapfrog stream continues from the captured iteration.
+func Restore(cfg Config, r *ckpt.Reader) (*Sim, error) {
+	meta := r.Meta()
+	if len(meta.Fields) != len(FieldNames) {
+		return nil, fmt.Errorf("hacc: checkpoint has %d fields, want %d", len(meta.Fields), len(FieldNames))
+	}
+	for i, want := range FieldNames {
+		if meta.Fields[i].Name != want {
+			return nil, fmt.Errorf("hacc: field %d is %q, want %q", i, meta.Fields[i].Name, want)
+		}
+	}
+	particles := int(meta.Fields[0].Count)
+	cfg.Particles = particles
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Build the simulation shell (initial conditions are immediately
+	// overwritten by the checkpoint state).
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dst := [][]float64{s.px, s.py, s.pz, s.vx, s.vy, s.vz, s.phi}
+	for fi := range FieldNames {
+		raw, _, err := r.ReadField(fi)
+		if err != nil {
+			return nil, fmt.Errorf("hacc: restore field %q: %w", FieldNames[fi], err)
+		}
+		for i := 0; i < particles; i++ {
+			v := float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
+			if fi < 3 {
+				v = wrap(v, cfg.Box) // float32 rounding can graze the box edge
+			}
+			dst[fi][i] = v
+		}
+	}
+	s.step = meta.Iteration
+	// Forces correspond to the restored positions, not the ICs.
+	if err := s.computeForces(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,134 @@
+package hacc
+
+import (
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/pfs"
+)
+
+// captureAt runs a fresh sim to `steps` and captures a checkpoint.
+func captureAt(t *testing.T, cfg Config, store *pfs.Store, runID string, steps int) *Sim {
+	t.Helper()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(steps); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckpt.WriteCheckpoint(store, sim.CheckpointMeta(runID, 0), sim.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestRestoreResumesIteration(t *testing.T) {
+	cfg := smallConfig()
+	store, err := pfs.NewStore(t.TempDir(), pfs.NVMeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	captureAt(t, cfg, store, "resume", 10)
+	r, _, err := ckpt.OpenReader(store, ckpt.Name("resume", 10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	restored, err := Restore(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Iteration() != 10 {
+		t.Errorf("restored iteration = %d, want 10", restored.Iteration())
+	}
+	if restored.Config().Particles != cfg.Particles {
+		t.Errorf("restored particles = %d", restored.Config().Particles)
+	}
+}
+
+func TestRestoredRunTracksStraightRun(t *testing.T) {
+	cfg := smallConfig()
+	store, err := pfs.NewStore(t.TempDir(), pfs.NVMeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Straight-through reference: 16 steps.
+	straight, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := straight.Run(16); err != nil {
+		t.Fatal(err)
+	}
+	// Suspended run: 8 steps, capture, restore, 8 more.
+	captureAt(t, cfg, store, "sus", 8)
+	r, _, err := ckpt.OpenReader(store, ckpt.Name("sus", 8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	resumed, err := Restore(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Iteration() != 16 {
+		t.Fatalf("resumed iteration = %d", resumed.Iteration())
+	}
+	// The checkpoint stores float32 state, so the resumed trajectory
+	// shadows the straight run within float32-seeded divergence, far
+	// below the box scale after 8 chaotic steps.
+	a, b := straight.Snapshot(), resumed.Snapshot()
+	for f := range a {
+		d := maxAbsDiff(a[f], b[f])
+		if f < 3 && d > cfg.Box/2 {
+			d = cfg.Box - d // periodic wrap on coordinates
+		}
+		if d > 0.05 {
+			t.Errorf("field %s drifted %v after resume", FieldNames[f], d)
+		}
+	}
+}
+
+func TestRestoreRejectsWrongSchema(t *testing.T) {
+	store, err := pfs.NewStore(t.TempDir(), pfs.NVMeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A checkpoint with too few fields.
+	meta := ckpt.Meta{RunID: "bad", Iteration: 0, Rank: 0, Fields: Schema(10)[:3]}
+	data := [][]byte{make([]byte, 40), make([]byte, 40), make([]byte, 40)}
+	if _, err := ckpt.WriteCheckpoint(store, meta, data); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := ckpt.OpenReader(store, ckpt.Name("bad", 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := Restore(smallConfig(), r); err == nil {
+		t.Error("wrong schema accepted")
+	}
+
+	// Wrong field names.
+	meta2 := ckpt.Meta{RunID: "bad2", Iteration: 0, Rank: 0, Fields: Schema(10)}
+	meta2.Fields[0].Name = "qq"
+	data2 := make([][]byte, 7)
+	for i := range data2 {
+		data2[i] = make([]byte, 40)
+	}
+	if _, err := ckpt.WriteCheckpoint(store, meta2, data2); err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := ckpt.OpenReader(store, ckpt.Name("bad2", 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, err := Restore(smallConfig(), r2); err == nil {
+		t.Error("wrong field name accepted")
+	}
+}

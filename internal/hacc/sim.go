@@ -1,0 +1,252 @@
+// Package hacc implements the simulation substrate of the evaluation: a
+// particle-mesh N-body cosmology code modelled on HACC's P³M solver
+// (paper §3.3.1). It produces the multi-iteration float32 particle
+// checkpoints (coordinates, velocities, gravitational potential — Table 1)
+// that the comparator is evaluated on.
+//
+// The solver is a standard simplified P³M:
+//
+//   - cloud-in-cell (CIC) mass deposit onto an n³ periodic mesh;
+//   - FFT Poisson solve with the discrete-Laplacian Green's function;
+//   - central-difference mesh forces, CIC-interpolated back to particles;
+//   - a short-range particle-particle correction with a polynomial
+//     cutoff inside a cell-list neighbourhood;
+//   - kick-drift-kick leapfrog integration in a periodic box.
+//
+// Nondeterminism, the phenomenon the paper studies, is injected exactly
+// where it arises in the real code: the order in which concurrent threads
+// accumulate short-range force contributions. With Nondet enabled, each
+// run shuffles the pair-accumulation order with its own seed and
+// accumulates partial sums in float32, so two runs from identical initial
+// conditions drift apart at floating-point rounding scale and the gap is
+// amplified by the system's chaotic dynamics over iterations.
+package hacc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/fft"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Particles is the particle count.
+	Particles int
+	// Grid is the mesh extent per axis (power of two).
+	Grid int
+	// Box is the box side length.
+	Box float64
+	// Seed seeds the initial conditions (identical across compared runs).
+	Seed int64
+	// DT is the leapfrog timestep.
+	DT float64
+	// Cutoff is the short-range PP radius in mesh-cell units.
+	Cutoff float64
+	// Softening is the Plummer softening length in mesh-cell units.
+	Softening float64
+	// Nondet enables nondeterministic force accumulation.
+	Nondet bool
+	// NondetSeed distinguishes runs (only used when Nondet is set).
+	NondetSeed int64
+}
+
+// DefaultConfig returns a laptop-scale configuration with HACC-like
+// parameter ratios.
+func DefaultConfig(particles int) Config {
+	return Config{
+		Particles: particles,
+		Grid:      32,
+		Box:       32.0,
+		Seed:      1,
+		DT:        0.05,
+		Cutoff:    2.0,
+		Softening: 0.3,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Particles <= 0 {
+		return fmt.Errorf("hacc: particles %d must be positive", c.Particles)
+	}
+	if c.Grid <= 0 || c.Grid&(c.Grid-1) != 0 {
+		return fmt.Errorf("hacc: grid %d must be a power of two", c.Grid)
+	}
+	if c.Box <= 0 {
+		return fmt.Errorf("hacc: box %v must be positive", c.Box)
+	}
+	if c.DT <= 0 {
+		return fmt.Errorf("hacc: dt %v must be positive", c.DT)
+	}
+	if c.Cutoff < 0 || c.Softening <= 0 {
+		return fmt.Errorf("hacc: cutoff %v / softening %v invalid", c.Cutoff, c.Softening)
+	}
+	return nil
+}
+
+// Sim is one running simulation.
+type Sim struct {
+	cfg  Config
+	step int
+
+	// Particle state (float64 internally; checkpoints are float32).
+	px, py, pz []float64
+	vx, vy, vz []float64
+	ax, ay, az []float64
+	phi        []float64 // per-particle potential, refreshed each force calc
+
+	mesh   *fft.Cube
+	fx     []float64 // mesh force fields
+	fy     []float64
+	fz     []float64
+	greens []float64 // precomputed -1/k² (discrete), 0 at k=0
+
+	rng *rand.Rand // nondeterminism source; nil when deterministic
+
+	// cell list scratch
+	cellHead []int
+	cellNext []int
+	order    []int
+}
+
+// New creates a simulation with Zel'dovich-like perturbed-lattice initial
+// conditions derived deterministically from cfg.Seed.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mesh, err := fft.NewCube(cfg.Grid)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Particles
+	g := cfg.Grid
+	s := &Sim{
+		cfg:      cfg,
+		px:       make([]float64, n),
+		py:       make([]float64, n),
+		pz:       make([]float64, n),
+		vx:       make([]float64, n),
+		vy:       make([]float64, n),
+		vz:       make([]float64, n),
+		ax:       make([]float64, n),
+		ay:       make([]float64, n),
+		az:       make([]float64, n),
+		phi:      make([]float64, n),
+		mesh:     mesh,
+		fx:       make([]float64, g*g*g),
+		fy:       make([]float64, g*g*g),
+		fz:       make([]float64, g*g*g),
+		greens:   greens(g, cfg.Box),
+		cellHead: make([]int, g*g*g),
+		cellNext: make([]int, n),
+		order:    make([]int, n),
+	}
+	if cfg.Nondet {
+		s.rng = rand.New(rand.NewSource(cfg.NondetSeed))
+	}
+	s.initialConditions()
+	if err := s.computeForces(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// initialConditions places particles on a jittered lattice with small
+// correlated velocities, a cheap stand-in for Zel'dovich displacement.
+func (s *Sim) initialConditions() {
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	n := s.cfg.Particles
+	// Lattice side: smallest cube covering n particles.
+	side := int(math.Ceil(math.Cbrt(float64(n))))
+	spacing := s.cfg.Box / float64(side)
+	i := 0
+	for z := 0; z < side && i < n; z++ {
+		for y := 0; y < side && i < n; y++ {
+			for x := 0; x < side && i < n; x++ {
+				jit := spacing * 0.3
+				s.px[i] = wrap((float64(x)+0.5)*spacing+rng.NormFloat64()*jit, s.cfg.Box)
+				s.py[i] = wrap((float64(y)+0.5)*spacing+rng.NormFloat64()*jit, s.cfg.Box)
+				s.pz[i] = wrap((float64(z)+0.5)*spacing+rng.NormFloat64()*jit, s.cfg.Box)
+				vscale := spacing * 0.05
+				s.vx[i] = rng.NormFloat64() * vscale
+				s.vy[i] = rng.NormFloat64() * vscale
+				s.vz[i] = rng.NormFloat64() * vscale
+				i++
+			}
+		}
+	}
+}
+
+// greens precomputes the discrete Green's function -1/k²_eff for the
+// Poisson solve, matching the central-difference gradient.
+func greens(n int, box float64) []float64 {
+	h := box / float64(n)
+	g := make([]float64, n*n*n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				if x == 0 && y == 0 && z == 0 {
+					continue // zero mode: mean subtracted
+				}
+				sx := math.Sin(math.Pi * float64(x) / float64(n))
+				sy := math.Sin(math.Pi * float64(y) / float64(n))
+				sz := math.Sin(math.Pi * float64(z) / float64(n))
+				k2 := 4 / (h * h) * (sx*sx + sy*sy + sz*sz)
+				g[(z*n+y)*n+x] = -1 / k2
+			}
+		}
+	}
+	return g
+}
+
+// Iteration returns the number of completed steps.
+func (s *Sim) Iteration() int { return s.step }
+
+// Config returns the simulation configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Step advances the simulation by one kick-drift-kick leapfrog step.
+func (s *Sim) Step() error {
+	n := s.cfg.Particles
+	half := s.cfg.DT / 2
+	for i := 0; i < n; i++ {
+		s.vx[i] += s.ax[i] * half
+		s.vy[i] += s.ay[i] * half
+		s.vz[i] += s.az[i] * half
+		s.px[i] = wrap(s.px[i]+s.vx[i]*s.cfg.DT, s.cfg.Box)
+		s.py[i] = wrap(s.py[i]+s.vy[i]*s.cfg.DT, s.cfg.Box)
+		s.pz[i] = wrap(s.pz[i]+s.vz[i]*s.cfg.DT, s.cfg.Box)
+	}
+	if err := s.computeForces(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		s.vx[i] += s.ax[i] * half
+		s.vy[i] += s.ay[i] * half
+		s.vz[i] += s.az[i] * half
+	}
+	s.step++
+	return nil
+}
+
+// Run advances the simulation by k steps.
+func (s *Sim) Run(k int) error {
+	for i := 0; i < k; i++ {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wrap maps x into [0, box).
+func wrap(x, box float64) float64 {
+	x = math.Mod(x, box)
+	if x < 0 {
+		x += box
+	}
+	return x
+}

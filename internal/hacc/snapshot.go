@@ -1,0 +1,63 @@
+package hacc
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/ckpt"
+	"repro/internal/errbound"
+)
+
+// FieldNames lists the checkpointed variables in Table 1 order.
+var FieldNames = []string{"x", "y", "z", "vx", "vy", "vz", "phi"}
+
+// Schema returns the checkpoint field specs for a particle count, matching
+// the paper's Table 1 (seven float32 fields per particle).
+func Schema(particles int) []ckpt.FieldSpec {
+	fields := make([]ckpt.FieldSpec, 0, len(FieldNames))
+	for _, n := range FieldNames {
+		fields = append(fields, ckpt.FieldSpec{
+			Name:  n,
+			DType: errbound.Float32,
+			Count: int64(particles),
+		})
+	}
+	return fields
+}
+
+// CheckpointBytes returns the raw checkpoint size for a particle count.
+func CheckpointBytes(particles int) int64 {
+	return int64(len(FieldNames)) * int64(particles) * 4
+}
+
+// Snapshot captures the current particle state as the raw little-endian
+// float32 field buffers of a checkpoint, in FieldNames order.
+func (s *Sim) Snapshot() [][]byte {
+	n := s.cfg.Particles
+	sources := [][]float64{s.px, s.py, s.pz, s.vx, s.vy, s.vz, s.phi}
+	out := make([][]byte, len(sources))
+	for fi, src := range sources {
+		b := make([]byte, 4*n)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(float32(src[i])))
+		}
+		out[fi] = b
+	}
+	return out
+}
+
+// CheckpointMeta builds the checkpoint identity for the current iteration.
+func (s *Sim) CheckpointMeta(runID string, rank int) ckpt.Meta {
+	return ckpt.Meta{
+		RunID:     runID,
+		Iteration: s.step,
+		Rank:      rank,
+		Fields:    Schema(s.cfg.Particles),
+	}
+}
+
+// Capture snapshots the simulation and hands the checkpoint to a
+// checkpointer (asynchronous two-tier capture, the paper's VELOC flow).
+func (s *Sim) Capture(c *ckpt.Checkpointer, runID string, rank int) error {
+	return c.Capture(s.CheckpointMeta(runID, rank), s.Snapshot())
+}

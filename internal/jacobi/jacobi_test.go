@@ -1,0 +1,224 @@
+package jacobi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/pfs"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(64).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Config{
+		{N: 2, Alpha: 0.2, ReduceChunks: 4},
+		{N: 64, Alpha: 0, ReduceChunks: 4},
+		{N: 64, Alpha: 0.3, ReduceChunks: 4},
+		{N: 64, Alpha: 0.2, ReduceChunks: -1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := New(Config{N: 2, Alpha: 0.2}); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+func TestDeterministicRunsIdentical(t *testing.T) {
+	cfg := DefaultConfig(32)
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		a.Step()
+		b.Step()
+	}
+	if !bytes.Equal(a.Snapshot()[0], b.Snapshot()[0]) {
+		t.Error("deterministic runs differ")
+	}
+	if a.Residual() != b.Residual() {
+		t.Error("deterministic residuals differ")
+	}
+}
+
+func TestDiffusionSmoothsAndConserves(t *testing.T) {
+	cfg := DefaultConfig(48)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxAt := func() float64 {
+		var m float64
+		for _, v := range s.u {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	m0 := maxAt()
+	for i := 0; i < 100; i++ {
+		s.Step()
+	}
+	if m1 := maxAt(); m1 >= m0 {
+		t.Errorf("diffusion did not smooth the peak: %v -> %v", m0, m1)
+	}
+	// Residual decreases as the field relaxes.
+	r1 := s.Residual()
+	for i := 0; i < 200; i++ {
+		s.Step()
+	}
+	if s.Residual() >= r1 {
+		t.Errorf("residual did not decay: %v -> %v", r1, s.Residual())
+	}
+	if s.Iteration() != 300 {
+		t.Errorf("Iteration = %d", s.Iteration())
+	}
+}
+
+func TestFiniteField(t *testing.T) {
+	s, err := New(DefaultConfig(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	for i, v := range s.u {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("cell %d not finite: %v", i, v)
+		}
+	}
+}
+
+func TestNondetResidualsDiffer(t *testing.T) {
+	mk := func(seed int64) *Sim {
+		cfg := DefaultConfig(64)
+		cfg.Nondet = true
+		cfg.NondetSeed = seed
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(1), mk(2)
+	var diverged bool
+	for i := 0; i < 50; i++ {
+		a.Step()
+		b.Step()
+		if a.Residual() != b.Residual() {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("nondeterministic reductions never differed across 50 steps")
+	}
+	// The FIELDS stay identical (only the reduction is nondeterministic):
+	// the divergence mechanism here is the convergence decision.
+	if !bytes.Equal(a.Snapshot()[0], b.Snapshot()[0]) {
+		t.Error("fields diverged; only the reduction should")
+	}
+}
+
+func TestRunUntilIterationCountCanDiverge(t *testing.T) {
+	// The headline behaviour: two runs of the same solver can stop at
+	// different iteration counts because the nondeterministic residual
+	// reduction straddles the tolerance differently. Search a window of
+	// tolerances derived from the deterministic residual trajectory.
+	det, err := New(DefaultConfig(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := det.RunUntil(0, 60) // never converges: collect trajectory
+	if steps != 60 {
+		t.Fatalf("trajectory run stopped early at %d", steps)
+	}
+	target := det.Residual() // a residual reached around step 60
+
+	run := func(seed int64) int {
+		cfg := DefaultConfig(48)
+		cfg.Nondet = true
+		cfg.NondetSeed = seed
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.RunUntil(target, 200)
+	}
+	counts := map[int]bool{}
+	for seed := int64(1); seed <= 20; seed++ {
+		counts[run(seed)] = true
+	}
+	if len(counts) < 2 {
+		t.Logf("all 20 seeds converged in the same step count; tolerance did not straddle")
+		// Not a hard failure: float32 reduction noise may sit entirely on
+		// one side for this trajectory. The residual-difference test
+		// above already proves the mechanism.
+	}
+}
+
+func TestSnapshotAndCapture(t *testing.T) {
+	cfg := DefaultConfig(24)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	snap := s.Snapshot()
+	if len(snap) != 1 || len(snap[0]) != 4*24*24 {
+		t.Fatalf("snapshot shape: %d fields, %d bytes", len(snap), len(snap[0]))
+	}
+	// Values are the interior cells.
+	v0 := math.Float32frombits(binary.LittleEndian.Uint32(snap[0]))
+	if math.IsNaN(float64(v0)) {
+		t.Error("snapshot contains NaN")
+	}
+
+	local, err := pfs.NewStore(t.TempDir(), pfs.NVMeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ckpt.NewCheckpointer(local, remote, 1)
+	defer c.Close()
+	if err := s.Capture(c, "heat", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := ckpt.OpenReader(remote, ckpt.Name("heat", 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Field(0).Name != "temp" || r.Field(0).Count != 24*24 {
+		t.Errorf("captured schema: %+v", r.Field(0))
+	}
+}
+
+func BenchmarkStep64(b *testing.B) {
+	s, err := New(DefaultConfig(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

@@ -1,0 +1,136 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/murmur3"
+)
+
+func TestProveVerifyAllChunks(t *testing.T) {
+	tr := buildTree(t, 100*64, 64, map[int]bool{17: true})
+	root := tr.Root()
+	for c := 0; c < tr.NumChunks(); c++ {
+		p, err := tr.Prove(c)
+		if err != nil {
+			t.Fatalf("Prove(%d): %v", c, err)
+		}
+		if len(p.Siblings) != tr.Depth() {
+			t.Fatalf("chunk %d: %d siblings, want depth %d", c, len(p.Siblings), tr.Depth())
+		}
+		if !VerifyProof(root, p) {
+			t.Fatalf("valid proof for chunk %d rejected", c)
+		}
+	}
+}
+
+func TestProofRejectsTamperedLeaf(t *testing.T) {
+	tr := buildTree(t, 64*64, 64, nil)
+	p, err := tr.Prove(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := p
+	tampered.Leaf = murmur3.SumDigest([]byte("evil"), murmur3.Digest{})
+	if VerifyProof(tr.Root(), tampered) {
+		t.Error("tampered leaf accepted")
+	}
+}
+
+func TestProofRejectsWrongChunkClaim(t *testing.T) {
+	tr := buildTree(t, 64*64, 64, nil)
+	p, err := tr.Prove(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claiming the same leaf sits at another position must fail (the
+	// path encodes the position).
+	wrong := p
+	wrong.Chunk = 11
+	if VerifyProof(tr.Root(), wrong) {
+		t.Error("relocated proof accepted")
+	}
+	// Out-of-range claims fail cleanly.
+	wrong.Chunk = 1 << 30
+	if VerifyProof(tr.Root(), wrong) {
+		t.Error("out-of-range chunk accepted")
+	}
+	wrong.Chunk = -1
+	if VerifyProof(tr.Root(), wrong) {
+		t.Error("negative chunk accepted")
+	}
+}
+
+func TestProofRejectsWrongRoot(t *testing.T) {
+	a := buildTree(t, 64*64, 64, nil)
+	b := buildTree(t, 64*64, 64, map[int]bool{3: true})
+	p, err := a.Prove(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyProof(b.Root(), p) {
+		t.Error("proof verified against a different tree's root")
+	}
+}
+
+func TestProveValidation(t *testing.T) {
+	tr := buildTree(t, 16*64, 64, nil)
+	if _, err := tr.Prove(-1); err == nil {
+		t.Error("negative chunk accepted")
+	}
+	if _, err := tr.Prove(16); err == nil {
+		t.Error("out-of-range chunk accepted")
+	}
+}
+
+func TestProofSingleLeaf(t *testing.T) {
+	tr := buildTree(t, 10, 64, nil)
+	p, err := tr.Prove(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Siblings) != 0 {
+		t.Errorf("single-leaf proof has %d siblings", len(p.Siblings))
+	}
+	if !VerifyProof(tr.Root(), p) {
+		t.Error("single-leaf proof rejected")
+	}
+	if p.ProofSize() != 16 {
+		t.Errorf("ProofSize = %d", p.ProofSize())
+	}
+}
+
+func TestQuickProofsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := func(nSeed uint8, chunkSeed uint8) bool {
+		n := int(nSeed%200) + 1
+		tr, err := New(int64(n)*32, 32, leafDigests(n, nil))
+		if err != nil {
+			return false
+		}
+		tr.Build(nil)
+		c := int(chunkSeed) % n
+		p, err := tr.Prove(c)
+		if err != nil {
+			return false
+		}
+		if !VerifyProof(tr.Root(), p) {
+			return false
+		}
+		// A random sibling flip breaks the proof.
+		if len(p.Siblings) > 0 {
+			bad := p
+			bad.Siblings = append([]murmur3.Digest(nil), p.Siblings...)
+			i := rng.Intn(len(bad.Siblings))
+			bad.Siblings[i][0] ^= 0xff
+			if VerifyProof(tr.Root(), bad) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

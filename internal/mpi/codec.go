@@ -1,0 +1,69 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// encodeF64 serializes a float64 vector little-endian.
+func encodeF64(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// decodeF64 inverts encodeF64.
+func decodeF64(data []byte) ([]float64, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("mpi: float64 payload length %d not a multiple of 8", len(data))
+	}
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return out, nil
+}
+
+// encodeParts serializes a list of byte slices with length prefixes.
+func encodeParts(parts [][]byte) []byte {
+	total := 4
+	for _, p := range parts {
+		total += 4 + len(p)
+	}
+	out := make([]byte, 0, total)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(parts)))
+	for _, p := range parts {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p)))
+		out = append(out, p...)
+	}
+	return out
+}
+
+// decodeParts inverts encodeParts.
+func decodeParts(data []byte) ([][]byte, error) {
+	if len(data) < 4 {
+		return nil, errors.New("mpi: truncated parts payload")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	parts := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if len(data) < 4 {
+			return nil, errors.New("mpi: truncated parts payload")
+		}
+		l := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if len(data) < l {
+			return nil, errors.New("mpi: truncated parts payload")
+		}
+		p := make([]byte, l)
+		copy(p, data[:l])
+		data = data[l:]
+		parts = append(parts, p)
+	}
+	return parts, nil
+}

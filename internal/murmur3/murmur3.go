@@ -1,0 +1,168 @@
+// Package murmur3 implements the 128-bit x64 variant of MurmurHash3
+// (referred to as Murmur3F in the paper and in SMHasher), the
+// non-cryptographic hash used for error-bounded chunk hashing.
+//
+// The implementation is a from-scratch transliteration of the public-domain
+// reference algorithm by Austin Appleby. It supports 64-bit seeds as well as
+// 128-bit digest seeding, which the chained block-hashing scheme of the
+// comparator uses (the digest of block i seeds the hash of block i+1).
+package murmur3
+
+import "encoding/binary"
+
+const (
+	c1 = 0x87c37b91114253d5
+	c2 = 0x4cf5ad432745937f
+)
+
+// DigestSize is the size of a Murmur3F digest in bytes.
+const DigestSize = 16
+
+// Digest is a 128-bit Murmur3F hash value in canonical little-endian byte
+// order (h1 first, then h2).
+type Digest [DigestSize]byte
+
+// Sum128 computes the 128-bit Murmur3F hash of data with a 64-bit seed
+// (both internal state words are initialized to the seed, matching the
+// reference implementation's 32-bit seed widening behaviour generalized to
+// 64 bits).
+func Sum128(data []byte, seed uint64) (uint64, uint64) {
+	return Sum128Seeded(data, seed, seed)
+}
+
+// Sum128Seeded computes the 128-bit Murmur3F hash of data with independent
+// 64-bit seeds for the two internal state words. Chained block hashing uses
+// the two halves of the previous digest as the seeds of the next block.
+func Sum128Seeded(data []byte, seed1, seed2 uint64) (uint64, uint64) {
+	h1, h2 := seed1, seed2
+	n := len(data)
+	nblocks := n / 16
+
+	for i := 0; i < nblocks; i++ {
+		k1 := binary.LittleEndian.Uint64(data[i*16:])
+		k2 := binary.LittleEndian.Uint64(data[i*16+8:])
+
+		k1 *= c1
+		k1 = rotl64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+
+		h1 = rotl64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+
+		k2 *= c2
+		k2 = rotl64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+
+		h2 = rotl64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+
+	tail := data[nblocks*16:]
+	var k1, k2 uint64
+	switch len(tail) & 15 {
+	case 15:
+		k2 ^= uint64(tail[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(tail[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(tail[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(tail[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(tail[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(tail[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(tail[8])
+		k2 *= c2
+		k2 = rotl64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(tail[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(tail[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(tail[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(tail[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(tail[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(tail[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(tail[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(tail[0])
+		k1 *= c1
+		k1 = rotl64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+	}
+
+	h1 ^= uint64(n)
+	h2 ^= uint64(n)
+
+	h1 += h2
+	h2 += h1
+
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+
+	h1 += h2
+	h2 += h1
+
+	return h1, h2
+}
+
+// SumDigest computes the Murmur3F digest of data using a previous digest as
+// the 128-bit seed. A zero Digest is a valid initial seed.
+func SumDigest(data []byte, seed Digest) Digest {
+	s1 := binary.LittleEndian.Uint64(seed[0:8])
+	s2 := binary.LittleEndian.Uint64(seed[8:16])
+	h1, h2 := Sum128Seeded(data, s1, s2)
+	var d Digest
+	binary.LittleEndian.PutUint64(d[0:8], h1)
+	binary.LittleEndian.PutUint64(d[8:16], h2)
+	return d
+}
+
+// HashPair hashes the concatenation of two digests, the interior-node
+// operation of the Merkle tree.
+func HashPair(left, right Digest) Digest {
+	var buf [2 * DigestSize]byte
+	copy(buf[:DigestSize], left[:])
+	copy(buf[DigestSize:], right[:])
+	return SumDigest(buf[:], Digest{})
+}
+
+func rotl64(x uint64, r uint) uint64 {
+	return (x << r) | (x >> (64 - r))
+}
+
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}

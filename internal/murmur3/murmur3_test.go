@@ -1,0 +1,153 @@
+package murmur3
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// Reference vectors for MurmurHash3_x64_128 with seed 0, widely published
+// and cross-checked against the SMHasher reference implementation.
+func TestSum128KnownVectors(t *testing.T) {
+	tests := []struct {
+		in     string
+		h1, h2 uint64
+	}{
+		{"", 0x0000000000000000, 0x0000000000000000},
+		{"hello", 0xcbd8a7b341bd9b02, 0x5b1e906a48ae1d19},
+		{"hello, world", 0x342fac623a5ebc8e, 0x4cdcbc079642414d},
+		{"19 Jan 2038 at 3:14:07 AM", 0xb89e5988b737affc, 0x664fc2950231b2cb},
+		{"The quick brown fox jumps over the lazy dog.", 0xcd99481f9ee902c9, 0x695da1a38987b6e7},
+	}
+	for _, tt := range tests {
+		t.Run(fmt.Sprintf("%q", tt.in), func(t *testing.T) {
+			h1, h2 := Sum128([]byte(tt.in), 0)
+			if h1 != tt.h1 || h2 != tt.h2 {
+				t.Errorf("Sum128(%q) = (%#x, %#x), want (%#x, %#x)", tt.in, h1, h2, tt.h1, tt.h2)
+			}
+		})
+	}
+}
+
+func TestSum128SeedChangesHash(t *testing.T) {
+	data := []byte("checkpoint chunk data")
+	h1a, h2a := Sum128(data, 0)
+	h1b, h2b := Sum128(data, 1)
+	if h1a == h1b && h2a == h2b {
+		t.Error("different seeds produced identical hashes")
+	}
+}
+
+func TestSum128Deterministic(t *testing.T) {
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	h1a, h2a := Sum128(data, 42)
+	h1b, h2b := Sum128(data, 42)
+	if h1a != h1b || h2a != h2b {
+		t.Error("hash is not deterministic")
+	}
+}
+
+func TestSum128AllTailLengths(t *testing.T) {
+	// Exercise every tail-switch branch (lengths 0..16) and make sure no
+	// two prefixes of distinct length collide.
+	data := make([]byte, 16)
+	for i := range data {
+		data[i] = byte(i + 1)
+	}
+	seen := make(map[Digest]int, 17)
+	for n := 0; n <= 16; n++ {
+		d := SumDigest(data[:n], Digest{})
+		if prev, ok := seen[d]; ok {
+			t.Errorf("length %d collides with length %d", n, prev)
+		}
+		seen[d] = n
+	}
+}
+
+func TestSumDigestChaining(t *testing.T) {
+	// Chained hashing must differ from unchained hashing and must depend on
+	// the seed digest.
+	block := []byte("0123456789abcdef")
+	zero := SumDigest(block, Digest{})
+	chained := SumDigest(block, zero)
+	if zero == chained {
+		t.Error("chained digest equals unchained digest")
+	}
+}
+
+func TestHashPairOrderSensitive(t *testing.T) {
+	a := SumDigest([]byte("a"), Digest{})
+	b := SumDigest([]byte("b"), Digest{})
+	if HashPair(a, b) == HashPair(b, a) {
+		t.Error("HashPair is not order sensitive")
+	}
+}
+
+func TestSum128InputSensitivity(t *testing.T) {
+	// Flipping any single bit of a 64-byte input must change the digest.
+	base := make([]byte, 64)
+	for i := range base {
+		base[i] = byte(i)
+	}
+	want := SumDigest(base, Digest{})
+	for i := 0; i < len(base)*8; i++ {
+		mut := make([]byte, len(base))
+		copy(mut, base)
+		mut[i/8] ^= 1 << (i % 8)
+		if SumDigest(mut, Digest{}) == want {
+			t.Fatalf("bit flip at %d did not change digest", i)
+		}
+	}
+}
+
+func TestQuickNoCasualCollisions(t *testing.T) {
+	// Property: distinct byte slices (almost surely) hash differently.
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return true
+		}
+		return SumDigest(a, Digest{}) != SumDigest(b, Digest{})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSeedRoundTrip(t *testing.T) {
+	// Property: Sum128 and SumDigest agree through the byte encoding.
+	f := func(data []byte, s1, s2 uint64) bool {
+		var seed Digest
+		binary.LittleEndian.PutUint64(seed[0:8], s1)
+		binary.LittleEndian.PutUint64(seed[8:16], s2)
+		d := SumDigest(data, seed)
+		h1, h2 := Sum128Seeded(data, s1, s2)
+		return binary.LittleEndian.Uint64(d[0:8]) == h1 &&
+			binary.LittleEndian.Uint64(d[8:16]) == h2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSum128_4KB(b *testing.B) {
+	data := make([]byte, 4096)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sum128(data, 0)
+	}
+}
+
+func BenchmarkSum128_64B(b *testing.B) {
+	data := make([]byte, 64)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sum128(data, 0)
+	}
+}

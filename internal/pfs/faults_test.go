@@ -1,0 +1,62 @@
+package pfs
+
+import (
+	"errors"
+	"testing"
+)
+
+var errInjected = errors.New("injected storage fault")
+
+func TestFailReadsFiresOnce(t *testing.T) {
+	s := newTestStore(t)
+	writeTestFile(t, s, "fr.dat", make([]byte, 16<<10))
+	f, err := s.Open("fr.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 4096)
+
+	s.FailReads(1, errInjected)
+	if _, _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("first read should pass: %v", err)
+	}
+	if _, _, err := f.ReadAt(buf, 0); !errors.Is(err, errInjected) {
+		t.Fatalf("second read error = %v", err)
+	}
+	// Fault consumed: subsequent reads succeed.
+	if _, _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("post-fault read failed: %v", err)
+	}
+}
+
+func TestFailWritesFiresImmediately(t *testing.T) {
+	s := newTestStore(t)
+	w, err := s.Create("fw.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	s.FailWrites(0, errInjected)
+	if _, err := w.Write([]byte("boom")); !errors.Is(err, errInjected) {
+		t.Fatalf("write error = %v", err)
+	}
+	if _, err := w.Write([]byte("ok")); err != nil {
+		t.Fatalf("post-fault write failed: %v", err)
+	}
+}
+
+func TestDisarmFaults(t *testing.T) {
+	s := newTestStore(t)
+	s.FailReads(0, errInjected)
+	s.FailReads(0, nil) // disarm
+	writeTestFile(t, s, "dz.dat", make([]byte, 4096))
+	f, err := s.Open("dz.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, _, err := f.ReadAt(make([]byte, 16), 0); err != nil {
+		t.Fatalf("disarmed fault still fired: %v", err)
+	}
+}

@@ -1,0 +1,562 @@
+// Package pfs simulates the parallel file system (Lustre on Polaris in the
+// paper) that checkpoints and Merkle metadata live on.
+//
+// Files are stored on the real local filesystem under a root directory, so
+// all data paths are genuinely exercised; alongside every operation the
+// store returns a Cost that a cost model prices on the virtual clock. The
+// model captures the two properties of a PFS that drive the paper's
+// trade-offs and that a laptop's page cache would otherwise hide:
+//
+//   - per-operation latency dominates scattered small reads;
+//   - bandwidth is shared, so concurrent processes contend.
+//
+// A page cache tracks residency at page granularity: reads and writes
+// populate it, Evict (the "vmtouch -e" of the paper's methodology, §3.3.4)
+// drops a file's pages so every experiment starts cold.
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// ErrClosed is returned by operations on a closed file or writer.
+var ErrClosed = errors.New("pfs: closed")
+
+// CostModel prices storage operations on the virtual clock.
+type CostModel struct {
+	// Name identifies the tier ("lustre", "nvme").
+	Name string
+	// ReadLatency is the per-operation latency of an uncached read.
+	ReadLatency time.Duration
+	// WriteLatency is the per-operation latency of a write.
+	WriteLatency time.Duration
+	// ReadBytesPerSec is the uncached read bandwidth of one synchronous
+	// sequential stream (client-pipeline limited on a PFS).
+	ReadBytesPerSec float64
+	// ScatteredBytesPerSec is the aggregate bandwidth reachable by a deep
+	// asynchronous queue of scattered reads, which stripe across a PFS's
+	// object storage targets and exceed a single stream. Zero means no
+	// boost (same as ReadBytesPerSec).
+	ScatteredBytesPerSec float64
+	// WriteBytesPerSec is the write bandwidth.
+	WriteBytesPerSec float64
+	// CachedLatency is the per-operation latency of a page-cache hit.
+	CachedLatency time.Duration
+	// CachedBytesPerSec is the page-cache copy bandwidth.
+	CachedBytesPerSec float64
+	// PageSize is the cache granularity in bytes.
+	PageSize int
+}
+
+// LustreModel approximates the paper's Lustre PFS: high per-RPC latency for
+// scattered reads, ~8 GB/s of shared sequential bandwidth per client group.
+func LustreModel() CostModel {
+	return CostModel{
+		Name:                 "lustre",
+		ReadLatency:          100 * time.Microsecond,
+		WriteLatency:         150 * time.Microsecond,
+		ReadBytesPerSec:      5.3e9,
+		ScatteredBytesPerSec: 14e9,
+		WriteBytesPerSec:     6e9,
+		CachedLatency:        2 * time.Microsecond,
+		CachedBytesPerSec:    20e9,
+		PageSize:             4096,
+	}
+}
+
+// NVMeModel approximates node-local NVMe, the first checkpoint tier.
+func NVMeModel() CostModel {
+	return CostModel{
+		Name:                 "nvme",
+		ReadLatency:          20 * time.Microsecond,
+		WriteLatency:         25 * time.Microsecond,
+		ReadBytesPerSec:      6e9,
+		ScatteredBytesPerSec: 5e9,
+		WriteBytesPerSec:     3e9,
+		CachedLatency:        time.Microsecond,
+		CachedBytesPerSec:    20e9,
+		PageSize:             4096,
+	}
+}
+
+// Validate reports whether the model is usable.
+func (m CostModel) Validate() error {
+	if m.PageSize <= 0 {
+		return fmt.Errorf("pfs: model %q: page size must be positive", m.Name)
+	}
+	if m.ReadBytesPerSec <= 0 || m.WriteBytesPerSec <= 0 || m.CachedBytesPerSec <= 0 {
+		return fmt.Errorf("pfs: model %q: bandwidths must be positive", m.Name)
+	}
+	return nil
+}
+
+// Cost is the resource consumption of one or more storage operations,
+// split into cached and uncached components so backends can price latency
+// overlap and bandwidth contention separately.
+type Cost struct {
+	Ops         int   // uncached operations
+	CachedOps   int   // page-cache-hit operations
+	Bytes       int64 // uncached bytes moved
+	CachedBytes int64 // cached bytes moved
+}
+
+// Add accumulates another cost.
+func (c *Cost) Add(o Cost) {
+	c.Ops += o.Ops
+	c.CachedOps += o.CachedOps
+	c.Bytes += o.Bytes
+	c.CachedBytes += o.CachedBytes
+}
+
+// TotalBytes returns cached plus uncached bytes.
+func (c Cost) TotalBytes() int64 { return c.Bytes + c.CachedBytes }
+
+// LatencyTerm returns the summed per-op latency of the cost under the
+// model, with every operation serialized (no overlap).
+func (m CostModel) LatencyTerm(c Cost) time.Duration {
+	return time.Duration(c.Ops)*m.ReadLatency + time.Duration(c.CachedOps)*m.CachedLatency
+}
+
+// BandwidthTerm returns the transfer time of the cost's bytes with the
+// single-stream bandwidth shared by `sharers` concurrent processes.
+func (m CostModel) BandwidthTerm(c Cost, sharers int) time.Duration {
+	return m.bandwidthTerm(c, sharers, m.ReadBytesPerSec)
+}
+
+// ScatteredBandwidthTerm prices the cost's bytes at the deep-queue
+// scattered-read bandwidth (OST striping), falling back to the stream
+// bandwidth when the model defines no boost.
+func (m CostModel) ScatteredBandwidthTerm(c Cost, sharers int) time.Duration {
+	bw := m.ScatteredBytesPerSec
+	if bw <= 0 {
+		bw = m.ReadBytesPerSec
+	}
+	return m.bandwidthTerm(c, sharers, bw)
+}
+
+func (m CostModel) bandwidthTerm(c Cost, sharers int, bw float64) time.Duration {
+	if sharers < 1 {
+		sharers = 1
+	}
+	un := simclock.BandwidthTime(c.Bytes, bw/float64(sharers))
+	ca := simclock.BandwidthTime(c.CachedBytes, m.CachedBytesPerSec)
+	return un + ca
+}
+
+// SerialReadTime prices the cost as fully synchronous reads.
+func (m CostModel) SerialReadTime(c Cost, sharers int) time.Duration {
+	return m.LatencyTerm(c) + m.BandwidthTerm(c, sharers)
+}
+
+// WriteTime prices the cost as writes.
+func (m CostModel) WriteTime(c Cost, sharers int) time.Duration {
+	if sharers < 1 {
+		sharers = 1
+	}
+	lat := time.Duration(c.Ops) * m.WriteLatency
+	bw := simclock.BandwidthTime(c.Bytes+c.CachedBytes, m.WriteBytesPerSec/float64(sharers))
+	return lat + bw
+}
+
+// Store is one storage tier rooted at a real directory.
+// It is safe for concurrent use.
+type Store struct {
+	root  string
+	model CostModel
+
+	mu      sync.Mutex
+	cache   map[string]map[int64]struct{} // name -> resident page indices
+	sharers int
+
+	// fault injection (tests): countdown until the next injected failure.
+	readFaultAfter  int
+	readFaultErr    error
+	writeFaultAfter int
+	writeFaultErr   error
+}
+
+// NewStore creates (if needed) the root directory and returns a store.
+func NewStore(root string, model CostModel) (*Store, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("pfs: create root: %w", err)
+	}
+	return &Store{
+		root:    root,
+		model:   model,
+		cache:   make(map[string]map[int64]struct{}),
+		sharers: 1,
+	}, nil
+}
+
+// Model returns the store's cost model.
+func (s *Store) Model() CostModel { return s.model }
+
+// Root returns the backing directory.
+func (s *Store) Root() string { return s.root }
+
+// SetSharers sets the number of processes assumed to contend for the
+// store's bandwidth (the cluster harness calls this).
+func (s *Store) SetSharers(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	s.sharers = n
+}
+
+// Sharers returns the current contention factor.
+func (s *Store) Sharers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sharers
+}
+
+// path maps a store-relative name to the backing path, rejecting escapes.
+func (s *Store) path(name string) (string, error) {
+	clean := filepath.Clean(name)
+	if clean == "." || strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+		return "", fmt.Errorf("pfs: invalid name %q", name)
+	}
+	return filepath.Join(s.root, clean), nil
+}
+
+// FailReads arms fault injection: the (after+1)-th subsequent read
+// operation fails with err (once). Used by failure-path tests; a nil err
+// disarms.
+func (s *Store) FailReads(after int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readFaultAfter = after
+	s.readFaultErr = err
+}
+
+// FailWrites arms fault injection for writes, like FailReads.
+func (s *Store) FailWrites(after int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeFaultAfter = after
+	s.writeFaultErr = err
+}
+
+// takeReadFault consumes one armed read fault if due.
+func (s *Store) takeReadFault() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readFaultErr == nil {
+		return nil
+	}
+	if s.readFaultAfter > 0 {
+		s.readFaultAfter--
+		return nil
+	}
+	err := s.readFaultErr
+	s.readFaultErr = nil
+	return err
+}
+
+// takeWriteFault consumes one armed write fault if due.
+func (s *Store) takeWriteFault() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.writeFaultErr == nil {
+		return nil
+	}
+	if s.writeFaultAfter > 0 {
+		s.writeFaultAfter--
+		return nil
+	}
+	err := s.writeFaultErr
+	s.writeFaultErr = nil
+	return err
+}
+
+// Evict drops all of the file's pages from the simulated page cache — the
+// equivalent of `vmtouch -e` in the paper's methodology.
+func (s *Store) Evict(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.cache, name)
+}
+
+// EvictAll drops every file's pages.
+func (s *Store) EvictAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = make(map[string]map[int64]struct{})
+}
+
+// ResidentPages returns how many pages of the file are cached.
+func (s *Store) ResidentPages(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache[name])
+}
+
+// Remove deletes a file and its cache entries.
+func (s *Store) Remove(name string) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	s.Evict(name)
+	if err := os.Remove(p); err != nil {
+		return fmt.Errorf("pfs: remove %s: %w", name, err)
+	}
+	return nil
+}
+
+// List returns the names of files under the store root with the prefix,
+// sorted lexicographically.
+func (s *Store) List(prefix string) ([]string, error) {
+	var names []string
+	err := filepath.WalkDir(s.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(s.root, p)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if strings.HasPrefix(rel, prefix) {
+			names = append(names, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pfs: list: %w", err)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// pagesOf returns the page index range [first, last] covering [off, off+n).
+func (m CostModel) pagesOf(off int64, n int) (int64, int64) {
+	first := off / int64(m.PageSize)
+	last := (off + int64(n) - 1) / int64(m.PageSize)
+	return first, last
+}
+
+// touch classifies the page range of a read as cached/uncached bytes, marks
+// the pages resident, and returns the cost of a single read operation over
+// that range. Callers hold no lock.
+func (s *Store) touch(name string, off int64, n int) Cost {
+	if n <= 0 {
+		return Cost{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pages := s.cache[name]
+	if pages == nil {
+		pages = make(map[int64]struct{})
+		s.cache[name] = pages
+	}
+	first, last := s.model.pagesOf(off, n)
+	var cold int64
+	for p := first; p <= last; p++ {
+		if _, ok := pages[p]; !ok {
+			cold++
+			pages[p] = struct{}{}
+		}
+	}
+	total := int64(n)
+	coldBytes := cold * int64(s.model.PageSize)
+	if coldBytes > total {
+		coldBytes = total
+	}
+	c := Cost{Bytes: coldBytes, CachedBytes: total - coldBytes}
+	if cold > 0 {
+		c.Ops = 1
+	} else {
+		c.CachedOps = 1
+	}
+	return c
+}
+
+// markWritten marks the page range resident after a write and returns its
+// write cost (one op, all bytes uncached for bandwidth purposes).
+func (s *Store) markWritten(name string, off int64, n int) Cost {
+	if n <= 0 {
+		return Cost{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pages := s.cache[name]
+	if pages == nil {
+		pages = make(map[int64]struct{})
+		s.cache[name] = pages
+	}
+	first, last := s.model.pagesOf(off, n)
+	for p := first; p <= last; p++ {
+		pages[p] = struct{}{}
+	}
+	return Cost{Ops: 1, Bytes: int64(n)}
+}
+
+// File is an open read handle.
+type File struct {
+	store *Store
+	name  string
+	f     *os.File
+	size  int64
+}
+
+// Open opens a file for reading.
+func (s *Store) Open(name string) (*File, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, fmt.Errorf("pfs: open %s: %w", name, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pfs: stat %s: %w", name, err)
+	}
+	return &File{store: s, name: name, f: f, size: st.Size()}, nil
+}
+
+// Name returns the store-relative name.
+func (f *File) Name() string { return f.name }
+
+// Store returns the store the file belongs to (for cost pricing).
+func (f *File) Store() *Store { return f.store }
+
+// Size returns the file size in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// ReadAt reads len(p) bytes at offset off, returning the bytes read and the
+// cost of the operation. Short reads at EOF return io.EOF like os.File.
+func (f *File) ReadAt(p []byte, off int64) (int, Cost, error) {
+	if f.f == nil {
+		return 0, Cost{}, ErrClosed
+	}
+	if err := f.store.takeReadFault(); err != nil {
+		return 0, Cost{}, fmt.Errorf("pfs: read %s@%d: %w", f.name, off, err)
+	}
+	n, err := f.f.ReadAt(p, off)
+	cost := f.store.touch(f.name, off, n)
+	if err != nil && !errors.Is(err, io.EOF) {
+		return n, cost, fmt.Errorf("pfs: read %s@%d: %w", f.name, off, err)
+	}
+	return n, cost, err
+}
+
+// Close releases the handle.
+func (f *File) Close() error {
+	if f.f == nil {
+		return nil
+	}
+	err := f.f.Close()
+	f.f = nil
+	return err
+}
+
+// Writer is a streaming file writer that accumulates virtual cost.
+type Writer struct {
+	store *Store
+	name  string
+	f     *os.File
+	off   int64
+	cost  Cost
+}
+
+// Create opens a file for writing, truncating any existing content.
+func (s *Store) Create(name string) (*Writer, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, fmt.Errorf("pfs: create dirs for %s: %w", name, err)
+	}
+	f, err := os.Create(p)
+	if err != nil {
+		return nil, fmt.Errorf("pfs: create %s: %w", name, err)
+	}
+	s.Evict(name)
+	return &Writer{store: s, name: name, f: f}, nil
+}
+
+var _ io.WriteCloser = (*Writer)(nil)
+
+// Write appends bytes, tracking cost per operation.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.f == nil {
+		return 0, ErrClosed
+	}
+	if err := w.store.takeWriteFault(); err != nil {
+		return 0, fmt.Errorf("pfs: write %s: %w", w.name, err)
+	}
+	n, err := w.f.Write(p)
+	w.cost.Add(w.store.markWritten(w.name, w.off, n))
+	w.off += int64(n)
+	if err != nil {
+		return n, fmt.Errorf("pfs: write %s: %w", w.name, err)
+	}
+	return n, nil
+}
+
+// Cost returns the accumulated write cost so far.
+func (w *Writer) Cost() Cost { return w.cost }
+
+// Close flushes and closes the file.
+func (w *Writer) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	if err != nil {
+		return fmt.Errorf("pfs: close %s: %w", w.name, err)
+	}
+	return nil
+}
+
+// ReadFileFull reads an entire file sequentially in large blocks and
+// returns its content with the aggregate cost — the access pattern of the
+// AllClose baseline.
+func (s *Store) ReadFileFull(name string, blockSize int) ([]byte, Cost, error) {
+	if blockSize <= 0 {
+		blockSize = 1 << 20
+	}
+	f, err := s.Open(name)
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	defer f.Close()
+	data := make([]byte, f.Size())
+	var total Cost
+	for off := int64(0); off < f.Size(); off += int64(blockSize) {
+		end := off + int64(blockSize)
+		if end > f.Size() {
+			end = f.Size()
+		}
+		_, c, err := f.ReadAt(data[off:end], off)
+		total.Add(c)
+		if err != nil && !errors.Is(err, io.EOF) {
+			return nil, total, err
+		}
+	}
+	return data, total, nil
+}

@@ -1,0 +1,204 @@
+// Package stream implements the multi-level overlapping I/O pipeline of
+// the comparator's verification stage (paper §2.1, Fig. 3): an I/O
+// producer reads slices of scattered chunk pairs from the PFS into host
+// buffers through an aio backend while the consumer transfers the previous
+// slice to the device and runs the comparison kernel. Double buffering
+// overlaps the two, so steady-state cost is the maximum of the I/O and
+// compute rates rather than their sum.
+//
+// The pipeline runs with real goroutine overlap (wall time) and accounts
+// virtual time with the standard double-buffer recurrence:
+//
+//	total = io_0 + Σ_{i≥1} max(io_i, comp_{i-1}) + comp_last
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/aio"
+	"repro/internal/device"
+	"repro/internal/metrics"
+	"repro/internal/pfs"
+)
+
+// ChunkPair is one unit of verification work: the same logical chunk in
+// the two runs' checkpoint files.
+type ChunkPair struct {
+	// Index is the caller-defined chunk identifier.
+	Index int
+	// OffA and OffB are absolute file offsets in run A's and run B's files.
+	OffA, OffB int64
+	// Len is the chunk length in bytes.
+	Len int
+}
+
+// Config parameterizes the pipeline.
+type Config struct {
+	// Backend performs the scattered reads.
+	Backend aio.Backend
+	// Device prices host-to-device transfers.
+	Device device.Model
+	// SliceBytes is the target bytes per pipeline slice per run
+	// (default 8 MiB).
+	SliceBytes int
+}
+
+// Stats reports the pipeline's resource consumption.
+type Stats struct {
+	// Slices is the number of pipeline slices executed.
+	Slices int
+	// BytesRead counts bytes read from both files.
+	BytesRead int64
+	// ReadCost aggregates the storage cost of all reads.
+	ReadCost pfs.Cost
+	// IOVirtual is the summed un-overlapped I/O virtual time.
+	IOVirtual time.Duration
+	// ComputeVirtual is the summed transfer + kernel virtual time.
+	ComputeVirtual time.Duration
+	// PipelineVirtual is the overlapped end-to-end virtual time.
+	PipelineVirtual time.Duration
+	// Wall is the measured wall-clock time of the pipeline.
+	Wall time.Duration
+}
+
+// Compute is the consumer callback: it receives one chunk pair with both
+// buffers filled and returns the virtual duration of its kernel work.
+type Compute func(p ChunkPair, a, b []byte) (time.Duration, error)
+
+type slice struct {
+	pairs    []ChunkPair
+	bufA     []byte
+	bufB     []byte
+	io       time.Duration
+	cost     pfs.Cost
+	err      error
+	reqsA    []aio.ReadReq
+	reqsB    []aio.ReadReq
+	byteSize int64
+}
+
+// Run streams all chunk pairs through the pipeline.
+func Run(fA, fB *pfs.File, pairs []ChunkPair, cfg Config, compute Compute) (Stats, error) {
+	var stats Stats
+	if len(pairs) == 0 {
+		return stats, nil
+	}
+	if cfg.Backend == nil {
+		cfg.Backend = aio.NewUring(0, 0)
+	}
+	if cfg.SliceBytes <= 0 {
+		cfg.SliceBytes = 8 << 20
+	}
+	sw := metrics.NewStopwatch()
+
+	// Partition pairs into slices of ~SliceBytes.
+	var slices []*slice
+	cur := &slice{}
+	for _, p := range pairs {
+		if p.Len <= 0 {
+			return stats, fmt.Errorf("stream: chunk %d has non-positive length", p.Index)
+		}
+		cur.pairs = append(cur.pairs, p)
+		cur.byteSize += int64(p.Len)
+		if cur.byteSize >= int64(cfg.SliceBytes) {
+			slices = append(slices, cur)
+			cur = &slice{}
+		}
+	}
+	if len(cur.pairs) > 0 {
+		slices = append(slices, cur)
+	}
+	stats.Slices = len(slices)
+
+	// Producer: fills slices in order, double-buffered via a depth-1
+	// channel (one slice in flight while one is consumed).
+	filled := make(chan *slice, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(filled)
+		for _, s := range slices {
+			s.fill(fA, fB, cfg.Backend)
+			select {
+			case filled <- s:
+			case <-done:
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(done)
+		for range filled { // drain so the producer can exit
+		}
+	}()
+
+	// Consumer: virtual-time recurrence for the double-buffered pipeline.
+	var pipeVirtual, prevComp time.Duration
+	first := true
+	for s := range filled {
+		if s.err != nil {
+			return stats, s.err
+		}
+		stats.ReadCost.Add(s.cost)
+		stats.BytesRead += 2 * s.byteSize
+		stats.IOVirtual += s.io
+
+		if first {
+			pipeVirtual += s.io
+			first = false
+		} else if s.io > prevComp {
+			pipeVirtual += s.io
+		} else {
+			pipeVirtual += prevComp
+		}
+
+		// One batched kernel per slice: launch charged here, the
+		// callbacks contribute only their bandwidth terms.
+		comp := cfg.Device.KernelLaunch + cfg.Device.TransferTime(2*s.byteSize)
+		var posA, posB int64
+		for _, p := range s.pairs {
+			a := s.bufA[posA : posA+int64(p.Len)]
+			b := s.bufB[posB : posB+int64(p.Len)]
+			posA += int64(p.Len)
+			posB += int64(p.Len)
+			kv, err := compute(p, a, b)
+			if err != nil {
+				return stats, err
+			}
+			comp += kv
+		}
+		stats.ComputeVirtual += comp
+		prevComp = comp
+	}
+	pipeVirtual += prevComp // drain the final compute stage
+	stats.PipelineVirtual = pipeVirtual
+	stats.Wall = sw.Lap()
+	return stats, nil
+}
+
+// fill reads the slice's chunks from both files through the backend.
+func (s *slice) fill(fA, fB *pfs.File, backend aio.Backend) {
+	s.bufA = make([]byte, s.byteSize)
+	s.bufB = make([]byte, s.byteSize)
+	s.reqsA = make([]aio.ReadReq, len(s.pairs))
+	s.reqsB = make([]aio.ReadReq, len(s.pairs))
+	var pos int64
+	for i, p := range s.pairs {
+		s.reqsA[i] = aio.ReadReq{Off: p.OffA, Len: p.Len, Buf: s.bufA[pos : pos+int64(p.Len)], Tag: p.Index}
+		s.reqsB[i] = aio.ReadReq{Off: p.OffB, Len: p.Len, Buf: s.bufB[pos : pos+int64(p.Len)], Tag: p.Index}
+		pos += int64(p.Len)
+	}
+	costA, tA, err := backend.ReadBatch(fA, s.reqsA)
+	if err != nil {
+		s.err = fmt.Errorf("stream: read run A: %w", err)
+		return
+	}
+	costB, tB, err := backend.ReadBatch(fB, s.reqsB)
+	if err != nil {
+		s.err = fmt.Errorf("stream: read run B: %w", err)
+		return
+	}
+	s.cost = costA
+	s.cost.Add(costB)
+	s.io = tA + tB
+}

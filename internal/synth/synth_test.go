@@ -1,0 +1,137 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFieldF32Deterministic(t *testing.T) {
+	a := FieldF32(1000, 42)
+	b := FieldF32(1000, 42)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different fields")
+	}
+	c := FieldF32(1000, 43)
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical fields")
+	}
+	if len(a) != 4000 {
+		t.Errorf("field length = %d", len(a))
+	}
+}
+
+func TestPerturbDeterministic(t *testing.T) {
+	data := FieldF32(200000, 1)
+	cfg := DefaultPerturb(7)
+	a := PerturbF32(data, cfg)
+	b := PerturbF32(data, cfg)
+	if !bytes.Equal(a, b) {
+		t.Error("same perturbation seed produced different outputs")
+	}
+	if bytes.Equal(a, data) {
+		t.Error("perturbation changed nothing")
+	}
+	if len(a) != len(data) {
+		t.Error("perturbation changed length")
+	}
+}
+
+func TestPerturbUntouchedFraction(t *testing.T) {
+	data := FieldF32(100*1024, 2)
+	cfg := DefaultPerturb(3)
+	cfg.UntouchedFrac = 1.0
+	same := PerturbF32(data, cfg)
+	if !bytes.Equal(same, data) {
+		t.Error("UntouchedFrac=1 still perturbed data")
+	}
+	cfg.UntouchedFrac = 0
+	all := PerturbF32(data, cfg)
+	// Most blocks must contain at least one changed byte. (Blocks whose
+	// drawn magnitude is below the float32 ULP of the data are legitimately
+	// absorbed by rounding, as in the real simulation.)
+	blockBytes := cfg.BlockElems * 4
+	total, changed := 0, 0
+	for off := 0; off+blockBytes <= len(data); off += blockBytes {
+		total++
+		if !bytes.Equal(all[off:off+blockBytes], data[off:off+blockBytes]) {
+			changed++
+		}
+	}
+	if float64(changed) < 0.5*float64(total) {
+		t.Errorf("only %d/%d blocks changed with UntouchedFrac=0", changed, total)
+	}
+}
+
+func TestPerturbBadMagnitudesNoop(t *testing.T) {
+	data := FieldF32(1024, 4)
+	cfg := PerturbConfig{Seed: 1, BlockElems: 64, MagLo: 0, MagHi: 1}
+	if !bytes.Equal(PerturbF32(data, cfg), data) {
+		t.Error("MagLo=0 should be a no-op")
+	}
+	cfg = PerturbConfig{Seed: 1, BlockElems: 64, MagLo: 1e-3, MagHi: 1e-5}
+	if !bytes.Equal(PerturbF32(data, cfg), data) {
+		t.Error("MagHi<MagLo should be a no-op")
+	}
+}
+
+func TestExceedanceFractionOrdering(t *testing.T) {
+	// The key workload property: smaller ε marks strictly more data.
+	data := FieldF32(512*1024, 5)
+	pert := PerturbF32(data, DefaultPerturb(6))
+	n := len(data) / 4
+	var prev int
+	for i, eps := range []float64{1e-3, 1e-4, 1e-5, 1e-6, 1e-7} {
+		c := CountExceedingF32(data, pert, eps)
+		if i > 0 && c < prev {
+			t.Errorf("eps=%g marks %d < previous %d", eps, c, prev)
+		}
+		prev = c
+	}
+	// Element-level divergence is sparse (ChangedFrac) but must be
+	// nonzero at the largest bound and grow several-fold by the smallest.
+	lo := CountExceedingF32(data, pert, 1e-3)
+	hi := CountExceedingF32(data, pert, 1e-7)
+	if lo == 0 {
+		t.Error("no elements exceed 1e-3")
+	}
+	if float64(hi) < 2*float64(lo) {
+		t.Errorf("1e-7 exceedances (%d) not well above 1e-3 (%d)", hi, lo)
+	}
+	if frac := float64(hi) / float64(n); frac > 0.05 {
+		t.Errorf("1e-7 marks %.3f of elements, want sparse (< 0.05)", frac)
+	}
+}
+
+func TestCountExceeding(t *testing.T) {
+	a := FieldF32(100, 1)
+	if CountExceedingF32(a, a, 1e-9) != 0 {
+		t.Error("identical data has exceedances")
+	}
+	// Mismatched lengths: compares the common prefix.
+	if CountExceedingF32(a, a[:40], 1e-9) != 0 {
+		t.Error("prefix comparison failed")
+	}
+}
+
+func TestRunPair(t *testing.T) {
+	a, b := RunPair(1000, 7, 11, DefaultPerturb(12))
+	if len(a) != 7 || len(b) != 7 {
+		t.Fatalf("field counts: %d, %d", len(a), len(b))
+	}
+	var anyDiff bool
+	for f := range a {
+		if len(a[f]) != 4000 || len(b[f]) != 4000 {
+			t.Errorf("field %d sizes: %d, %d", f, len(a[f]), len(b[f]))
+		}
+		if !bytes.Equal(a[f], b[f]) {
+			anyDiff = true
+		}
+	}
+	if !anyDiff {
+		t.Error("run pair has no divergence at all")
+	}
+	// Fields must differ from each other (independent seeds).
+	if bytes.Equal(a[0], a[1]) {
+		t.Error("fields 0 and 1 are identical")
+	}
+}

@@ -1,0 +1,80 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/synth"
+)
+
+// TestOnlineModeBuildingBlocks exercises the metadata-only comparison flow
+// used by examples/onlinecompare: build trees from in-memory state, save
+// one side, reload it, and diff against the live side without any
+// checkpoint data I/O.
+func TestOnlineModeBuildingBlocks(t *testing.T) {
+	store, err := repro.NewStore(t.TempDir(), repro.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const elems = 64 << 10
+	fields := []repro.FieldSpec{{Name: "state", DType: repro.Float32, Count: elems}}
+	opts := repro.Options{Epsilon: 1e-5, ChunkSize: 4 << 10}
+
+	refData := synth.FieldF32(elems, 42)
+	pert := synth.DefaultPerturb(43)
+	pert.MagLo, pert.MagHi = 1e-3, 1e-2 // clearly beyond eps
+	pert.BlockElems = 1024
+	pert.ChangedFrac = 0.1
+	pert.UntouchedFrac = 0.5
+	liveData := synth.PerturbF32(refData, pert)
+
+	// Reference side: the checkpoint must exist so metadata has a home.
+	meta := repro.Checkpoint{RunID: "ref", Iteration: 0, Rank: 0, Fields: fields}
+	if _, err := repro.WriteCheckpoint(store, meta, [][]byte{refData}); err != nil {
+		t.Fatal(err)
+	}
+	refMeta, stats, err := repro.BuildMetadata(fields, [][]byte{refData}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Bytes != 4*elems {
+		t.Errorf("hashed %d bytes", stats.Bytes)
+	}
+	name := repro.CheckpointName("ref", 0, 0)
+	if err := repro.SaveMetadata(store, name, refMeta); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := repro.LoadMetadata(store, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live side: trees built in memory, diffed against the loaded trees.
+	liveMeta, _, err := repro.BuildMetadata(fields, [][]byte{liveData}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := repro.DiffTrees(loaded.Fields[0].Tree, liveMeta.Fields[0].Tree, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) == 0 {
+		t.Fatal("online diff found no divergent chunks")
+	}
+	// Self-diff must be empty.
+	self, err := repro.DiffTrees(loaded.Fields[0].Tree, refMeta.Fields[0].Tree, repro.SerialExecutor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(self) != 0 {
+		t.Errorf("self diff = %v", self)
+	}
+	// Geometry mismatch surfaces as an error.
+	small, _, err := repro.BuildMetadata(fields, [][]byte{refData}, repro.Options{Epsilon: 1e-5, ChunkSize: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.DiffTrees(loaded.Fields[0].Tree, small.Fields[0].Tree, nil); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}

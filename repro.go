@@ -1,0 +1,323 @@
+// Package repro is a scalable capture-and-comparison toolkit for studying
+// the reproducibility of HPC applications, a from-scratch Go
+// implementation of "Towards Affordable Reproducibility Using Scalable
+// Capture and Comparison of Intermediate Multi-Run Results"
+// (MIDDLEWARE '24).
+//
+// The core idea: instead of comparing the final outputs of two application
+// runs — which says nothing about where or when they diverged — capture
+// intermediate checkpoints during both runs and compare the checkpoint
+// histories. To make that affordable at scale, each checkpoint is
+// summarized at capture time into compact Merkle-tree metadata whose
+// leaves are error-bounded hashes of fixed-size chunks: two values
+// differing by more than the user's absolute error bound ε always hash
+// differently, values within ε usually hash identically. Comparing two
+// checkpoints then starts as a pruned tree diff that touches no checkpoint
+// data at all, and only the few candidate chunks whose hashes differ are
+// streamed back from the parallel file system (overlapping I/O with
+// comparison) for an exact element-wise check.
+//
+// # Quick start
+//
+//	store, _ := repro.NewStore(dir, repro.LustreModel())
+//	opts := repro.Options{Epsilon: 1e-6, ChunkSize: 64 << 10}
+//
+//	// At checkpoint time (both runs):
+//	repro.WriteCheckpoint(store, meta, fields)
+//	m, _, _ := repro.BuildAndSave(store, repro.CheckpointName("run1", 10, 0), opts)
+//
+//	// At analysis time:
+//	res, _ := repro.Compare(store, nameRun1, nameRun2, opts)
+//	for _, d := range res.Diffs {
+//	    fmt.Println(d.Field, len(d.Indices), "elements diverged")
+//	}
+//
+// See the runnable programs under examples/ for full workflows, including
+// driving the bundled HACC-style cosmology simulation, comparing whole
+// checkpoint histories, and the continuous-integration golden-tree mode.
+//
+// # Virtual performance clock
+//
+// All performance-sensitive layers (PFS, async I/O, device kernels) do
+// their real work AND report a virtual duration from a calibrated cost
+// model of the paper's evaluation platform (Lustre + A100 GPUs), so the
+// performance studies in cmd/experiments reproduce the paper's
+// comparative shapes on laptop hardware. Correctness results never depend
+// on the virtual clock.
+package repro
+
+import (
+	"repro/internal/aio"
+	"repro/internal/ckpt"
+	"repro/internal/compare"
+	"repro/internal/device"
+	"repro/internal/errbound"
+	"repro/internal/merkle"
+	"repro/internal/pfs"
+)
+
+// Core comparison API.
+type (
+	// Options parameterizes metadata construction and comparison.
+	Options = compare.Options
+	// Result reports one checkpoint-pair comparison.
+	Result = compare.Result
+	// FieldDiff lists the divergent elements of one field.
+	FieldDiff = compare.FieldDiff
+	// Metadata is the compact Merkle representation of a checkpoint.
+	Metadata = compare.Metadata
+	// BuildStats reports metadata construction cost.
+	BuildStats = compare.BuildStats
+	// FieldMeta is one field's tree within a Metadata container.
+	FieldMeta = compare.FieldMeta
+	// Tree is the flattened error-bounded Merkle tree of one field.
+	Tree = merkle.Tree
+	// Method selects a comparison approach.
+	Method = compare.Method
+	// HistoryReport is a whole-history multi-run comparison.
+	HistoryReport = compare.HistoryReport
+	// PairReport is one aligned checkpoint pair within a history.
+	PairReport = compare.PairReport
+)
+
+// Comparison methods.
+const (
+	// MethodMerkle is the paper's metadata-driven two-stage comparison.
+	MethodMerkle = compare.MethodMerkle
+	// MethodDirect is the optimized element-wise baseline.
+	MethodDirect = compare.MethodDirect
+	// MethodAllClose is the naive boolean baseline.
+	MethodAllClose = compare.MethodAllClose
+)
+
+// Checkpoint capture API.
+type (
+	// Checkpoint identifies a checkpoint and its field schema.
+	Checkpoint = ckpt.Meta
+	// FieldSpec describes one captured variable.
+	FieldSpec = ckpt.FieldSpec
+	// Reader reads checkpoint files.
+	Reader = ckpt.Reader
+	// Checkpointer captures checkpoints through two storage tiers
+	// asynchronously.
+	Checkpointer = ckpt.Checkpointer
+)
+
+// Storage API.
+type (
+	// Store is a cost-modelled storage tier backed by a real directory.
+	Store = pfs.Store
+	// CostModel prices storage operations on the virtual clock.
+	CostModel = pfs.CostModel
+	// Cost is the resource consumption of storage operations.
+	Cost = pfs.Cost
+)
+
+// Element types.
+type DType = errbound.DType
+
+// Supported element types.
+const (
+	Float32 = errbound.Float32
+	Float64 = errbound.Float64
+)
+
+// Device execution API.
+type (
+	// Executor runs data-parallel kernels.
+	Executor = device.Executor
+	// DeviceModel prices kernels and transfers on the virtual clock.
+	DeviceModel = device.Model
+)
+
+// NewStore creates a storage tier rooted at dir with the given cost model.
+func NewStore(dir string, model CostModel) (*Store, error) {
+	return pfs.NewStore(dir, model)
+}
+
+// LustreModel approximates the paper's Lustre parallel file system.
+func LustreModel() CostModel { return pfs.LustreModel() }
+
+// NVMeModel approximates node-local NVMe storage.
+func NVMeModel() CostModel { return pfs.NVMeModel() }
+
+// GPUModel approximates one NVIDIA A100.
+func GPUModel() DeviceModel { return device.GPUModel() }
+
+// CPUModel approximates a single CPU core.
+func CPUModel() DeviceModel { return device.CPUModel() }
+
+// NewParallelExecutor returns a worker-pool executor (workers <= 0 selects
+// GOMAXPROCS).
+func NewParallelExecutor(workers int) Executor { return device.NewParallel(workers) }
+
+// SerialExecutor returns the single-threaded executor.
+func SerialExecutor() Executor { return device.Serial{} }
+
+// NewUringBackend returns the io_uring-style asynchronous read backend.
+func NewUringBackend(queueDepth, workers int) *aio.Uring {
+	return aio.NewUring(queueDepth, workers)
+}
+
+// MmapBackend returns the synchronous page-fault read backend.
+func MmapBackend() aio.Mmap { return aio.Mmap{} }
+
+// CoalescingBackend wraps a backend so nearby scattered reads merge into
+// fewer, larger operations (gaps up to maxGap bytes are bridged). A nil
+// inner backend selects io_uring defaults.
+func CoalescingBackend(inner aio.Backend, maxGap int) aio.Coalescing {
+	return aio.NewCoalescing(inner, maxGap)
+}
+
+// CheckpointName returns the canonical history file name for a checkpoint.
+func CheckpointName(runID string, iteration, rank int) string {
+	return ckpt.Name(runID, iteration, rank)
+}
+
+// WriteCheckpoint encodes a checkpoint synchronously onto a store.
+// data[i] must hold exactly meta.Fields[i].Bytes() raw little-endian
+// bytes.
+func WriteCheckpoint(store *Store, meta Checkpoint, data [][]byte) (Cost, error) {
+	return ckpt.WriteCheckpoint(store, meta, data)
+}
+
+// NewCheckpointer starts an asynchronous two-tier checkpointer: captures
+// are written to the local tier synchronously and flushed to the remote
+// tier in the background. Close it to guarantee durability.
+func NewCheckpointer(local, remote *Store, flushWorkers int) *Checkpointer {
+	return ckpt.NewCheckpointer(local, remote, flushWorkers)
+}
+
+// OpenCheckpoint opens a checkpoint file for reading.
+func OpenCheckpoint(store *Store, name string) (*Reader, error) {
+	r, _, err := ckpt.OpenReader(store, name)
+	return r, err
+}
+
+// History lists a run's checkpoint file names, ordered by iteration then
+// rank.
+func History(store *Store, runID string) ([]string, error) {
+	return ckpt.History(store, runID)
+}
+
+// BuildMetadata constructs Merkle metadata from in-memory field buffers
+// (the checkpoint-time path).
+func BuildMetadata(fields []FieldSpec, data [][]byte, opts Options) (*Metadata, BuildStats, error) {
+	return compare.Build(fields, data, opts)
+}
+
+// BuildAndSave builds metadata for a checkpoint already on the store and
+// saves it alongside under MetadataName(name).
+func BuildAndSave(store *Store, name string, opts Options) (*Metadata, BuildStats, error) {
+	return compare.BuildAndSave(store, name, opts)
+}
+
+// SaveMetadata writes metadata next to its checkpoint on a store.
+func SaveMetadata(store *Store, checkpointName string, m *Metadata) error {
+	_, err := compare.SaveMetadata(store, checkpointName, m)
+	return err
+}
+
+// LoadMetadata reads a checkpoint's saved metadata from a store.
+func LoadMetadata(store *Store, checkpointName string) (*Metadata, error) {
+	m, _, _, err := compare.LoadMetadata(store, checkpointName)
+	return m, err
+}
+
+// MetadataName returns the canonical metadata file name for a checkpoint
+// file name.
+func MetadataName(checkpointName string) string {
+	return compare.MetadataName(checkpointName)
+}
+
+// Compare runs the paper's two-stage Merkle comparison of one checkpoint
+// pair. Both checkpoints and their metadata (see BuildAndSave) must exist
+// on the store.
+func Compare(store *Store, nameA, nameB string, opts Options) (*Result, error) {
+	return compare.CompareMerkle(store, nameA, nameB, opts)
+}
+
+// CompareDirect runs the optimized element-wise baseline.
+func CompareDirect(store *Store, nameA, nameB string, opts Options) (*Result, error) {
+	return compare.CompareDirect(store, nameA, nameB, opts)
+}
+
+// AllClose runs the naive boolean baseline (numpy.allclose with atol=ε,
+// rtol=0): true means every element pair is within ε.
+func AllClose(store *Store, nameA, nameB string, opts Options) (bool, error) {
+	ok, _, err := compare.CompareAllClose(store, nameA, nameB, opts)
+	return ok, err
+}
+
+// CompareHistories aligns two runs' checkpoint histories on a store and
+// compares every pair, reporting the earliest divergence.
+func CompareHistories(store *Store, runA, runB string, method Method, opts Options) (*HistoryReport, error) {
+	return compare.CompareHistories(store, runA, runB, method, opts)
+}
+
+// Analysis characterizes how two checkpoints differ: per-field divergence
+// magnitude histograms, used to choose an error bound.
+type Analysis = compare.Analysis
+
+// FieldHistogram is one field's divergence profile within an Analysis.
+type FieldHistogram = compare.FieldHistogram
+
+// Analyze reads both checkpoints fully and profiles their divergence
+// magnitudes per field — the tool for picking ε before committing to it.
+func Analyze(store *Store, nameA, nameB string) (*Analysis, error) {
+	return compare.Analyze(store, nameA, nameB)
+}
+
+// EvolutionReport profiles how fast one run's state changes relative to ε
+// from metadata alone (consecutive-checkpoint tree diffs).
+type EvolutionReport = compare.EvolutionReport
+
+// Evolution builds a run's state-evolution profile from saved metadata.
+func Evolution(store *Store, runID string, opts Options) (*EvolutionReport, error) {
+	return compare.Evolution(store, runID, opts)
+}
+
+// CompactReport summarizes one history-compaction pass.
+type CompactReport = compare.CompactReport
+
+// CompactHistory compacts every checkpoint of a run except the keepLatest
+// most recent iterations to metadata-only form (the paper's §5 online
+// compaction): the data files are removed, the compact Merkle trees stay,
+// and CompareTreesOnly keeps every compacted iteration comparable at chunk
+// granularity. Metadata is built first where missing.
+func CompactHistory(store *Store, runID string, keepLatest int, opts Options) (*CompactReport, error) {
+	return compare.CompactHistory(store, runID, keepLatest, opts)
+}
+
+// CompareTreesOnly answers the reproducibility question from metadata
+// alone — no checkpoint data is touched, so it works on compacted history.
+// Result.DiffCount is 0 for a within-bound pair and -1 (unknown count)
+// when candidate chunks differ.
+func CompareTreesOnly(store *Store, nameA, nameB string, opts Options) (*Result, error) {
+	return compare.CompareTreesOnly(store, nameA, nameB, opts)
+}
+
+// IsCompacted reports whether a checkpoint survives only as metadata.
+func IsCompacted(store *Store, name string) bool {
+	return compare.IsCompacted(store, name)
+}
+
+// MetadataHistory lists a run's checkpoints that still have metadata,
+// compacted or not.
+func MetadataHistory(store *Store, runID string) ([]string, error) {
+	return compare.MetadataHistory(store, runID)
+}
+
+// DiffTrees runs the pruned breadth-first tree comparison directly on two
+// trees with identical geometry (the metadata-only stage of the method,
+// enough to answer "did anything move beyond ε, and in which chunks"
+// without any data I/O — the online-comparison building block). It
+// returns the indices of chunks whose error-bounded hashes differ. A nil
+// executor selects the default parallel one.
+func DiffTrees(a, b *Tree, exec Executor) ([]int, error) {
+	if exec == nil {
+		exec = device.NewParallel(0)
+	}
+	chunks, _, err := merkle.Diff(a, b, a.DefaultStartLevel(exec.Workers()), exec)
+	return chunks, err
+}
