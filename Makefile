@@ -1,8 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples clean
+.PHONY: all build vet lint test race check bench experiments examples clean
 
 all: build vet test
+
+# check is the pre-PR gate: everything that must be green before merging.
+check: build vet lint test race
 
 build:
 	$(GO) build ./...
@@ -10,12 +13,18 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the project-specific static-analysis suite (see internal/lint
+# and `go run ./cmd/reprovet -list`).
+lint:
+	$(GO) run ./cmd/reprovet ./...
+
 test:
 	$(GO) test ./...
 
+# The race detector slows the experiment-reproduction tests ~10x, so the
+# per-package timeout is raised above Go's 10m default.
 race:
-	$(GO) test -race ./internal/mpi ./internal/aio ./internal/ckpt \
-		./internal/stream ./internal/cluster ./internal/hacc
+	$(GO) test -race -timeout 30m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

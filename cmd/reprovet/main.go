@@ -1,0 +1,155 @@
+// Command reprovet runs the project's static-analysis suite
+// (internal/lint) over the source tree and exits nonzero on findings.
+//
+// Usage:
+//
+//	reprovet [flags] [packages]
+//
+// Packages follow go-tool patterns ("./...", "./internal/ckpt");
+// the default is "./..." from the enclosing module root.
+//
+// Flags:
+//
+//	-json     emit findings as a JSON array instead of text
+//	-tests    include _test.go files
+//	-rules    comma-separated rule subset (default: all)
+//	-list     print the rule set and exit
+//	-C dir    run as if invoked from dir
+//
+// Exit status: 0 when no error-severity finding survives suppression,
+// 1 when at least one does, 2 on usage or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so tests can drive exit
+// codes and output without spawning a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reprovet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as JSON")
+		tests   = fs.Bool("tests", false, "include _test.go files")
+		rules   = fs.String("rules", "", "comma-separated subset of rules to run")
+		list    = fs.Bool("list", false, "list available rules and exit")
+		chdir   = fs.String("C", ".", "run as if invoked from this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *rules != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*rules, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a := lint.ByName(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "reprovet: unknown rule %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+		if len(analyzers) == 0 {
+			fmt.Fprintln(stderr, "reprovet: -rules selected no rules")
+			return 2
+		}
+	}
+
+	root, err := lint.FindModuleRoot(*chdir)
+	if err != nil {
+		fmt.Fprintf(stderr, "reprovet: %v\n", err)
+		return 2
+	}
+
+	// Patterns are written relative to -C (like the go tool); the lint
+	// runner resolves them against the module root.
+	patterns, err := rebasePatterns(root, *chdir, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "reprovet: %v\n", err)
+		return 2
+	}
+	diags, err := lint.Run(lint.Config{
+		Root:         root,
+		Analyzers:    analyzers,
+		IncludeTests: *tests,
+	}, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "reprovet: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "reprovet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stdout, "reprovet: %d finding(s)\n", len(diags))
+		}
+	}
+
+	if lint.HasErrors(diags) {
+		return 1
+	}
+	return 0
+}
+
+// rebasePatterns rewrites patterns given relative to dir so they resolve
+// correctly against the module root.
+func rebasePatterns(root, dir string, patterns []string) ([]string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil {
+		return nil, err
+	}
+	if rel == "." {
+		return patterns, nil
+	}
+	out := make([]string, len(patterns))
+	for i, p := range patterns {
+		out[i] = filepath.ToSlash(filepath.Join(rel, p))
+		// filepath.Join cleans "x/..." into "x/...", but a bare "..."
+		// suffix must survive the rebase.
+		if strings.HasSuffix(p, "...") && !strings.HasSuffix(out[i], "...") {
+			out[i] += "/..."
+		}
+	}
+	return out, nil
+}

@@ -253,6 +253,7 @@ func NewRing(queueDepth, workers int) *Ring {
 	r.cond = sync.NewCond(&r.mu)
 	r.wg.Add(workers)
 	for i := 0; i < workers; i++ {
+		//lint:ignore gocheck worker pool joined by Ring.Close via r.wg.Wait
 		go r.worker()
 	}
 	return r

@@ -54,6 +54,7 @@ func ManifestName(runID string) string { return runID + "/manifest.json" }
 // checkpoints and compacted (metadata-only) ones are inventoried.
 func Scan(store *pfs.Store, runID string, now func() time.Time) (*Manifest, error) {
 	if now == nil {
+		//lint:ignore walltime manifest creation timestamps are run metadata, not priced measurements; callers inject a fixed clock for reproducible manifests
 		now = time.Now
 	}
 	live, err := ckpt.History(store, runID)

@@ -47,6 +47,7 @@ func NewCheckpointer(local, remote *pfs.Store, flushWorkers int) *Checkpointer {
 	}
 	c.wg.Add(flushWorkers)
 	for i := 0; i < flushWorkers; i++ {
+		//lint:ignore gocheck flusher pool joined by Checkpointer.Close via c.wg.Wait
 		go c.flusher()
 	}
 	return c
@@ -82,7 +83,7 @@ func (c *Checkpointer) flushOne(name string) error {
 		return fmt.Errorf("flush %s: %w", name, err)
 	}
 	if _, err := w.Write(data); err != nil {
-		w.Close()
+		_ = w.Close() // the write error takes precedence
 		return fmt.Errorf("flush %s: %w", name, err)
 	}
 	wc := w.Cost()
@@ -114,7 +115,7 @@ func (c *Checkpointer) Capture(meta Meta, data [][]byte) error {
 		return err
 	}
 	if _, err := Encode(w, meta, data); err != nil {
-		w.Close()
+		_ = w.Close() // the encode error takes precedence
 		c.inFlight.Done()
 		return err
 	}
@@ -172,7 +173,7 @@ func WriteCheckpoint(store *pfs.Store, meta Meta, data [][]byte) (pfs.Cost, erro
 		return pfs.Cost{}, err
 	}
 	if _, err := Encode(w, meta, data); err != nil {
-		w.Close()
+		_ = w.Close() // the encode error takes precedence
 		return w.Cost(), err
 	}
 	cost := w.Cost()

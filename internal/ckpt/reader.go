@@ -26,7 +26,7 @@ func OpenReader(store *pfs.Store, name string) (*Reader, pfs.Cost, error) {
 	}
 	r, cost, err := NewReader(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // the header parse error takes precedence
 		return nil, cost, err
 	}
 	return r, cost, nil

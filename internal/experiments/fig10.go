@@ -20,6 +20,7 @@ func (e *Env) Fig10(eps float64, pairsCount int, processCounts []int) (*Table, e
 		processCounts = []int{16, 32, 64, 128}
 	}
 	sub := "a"
+	//lint:ignore floatcmp figure sublabel selection by ε decade, not a repro decision
 	if eps >= 1e-4 {
 		sub = "b"
 	}

@@ -16,6 +16,7 @@ func (e *Env) Fig6(eps float64) (*Table, error) {
 		return nil, err
 	}
 	sub := "a"
+	//lint:ignore floatcmp figure sublabel selection by ε decade, not a repro decision
 	if eps >= 1e-4 {
 		sub = "b"
 	}

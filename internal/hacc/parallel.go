@@ -74,6 +74,7 @@ func NewRankSim(cfg Config, r *mpi.Rank) (*RankSim, error) {
 	}
 	slabW := cfg.Box / float64(r.Size())
 	h := cfg.Box / float64(cfg.Grid)
+	//lint:ignore floatcmp configuration validation; any consistent tie-break is acceptable
 	if cfg.Cutoff*h > slabW {
 		return nil, fmt.Errorf("hacc: cutoff %.3g exceeds slab width %.3g; use fewer ranks", cfg.Cutoff*h, slabW)
 	}
@@ -392,11 +393,13 @@ func (s *RankSim) exchangeHalo() error {
 
 	var toLeft, toRight []byte
 	for i := range s.ids {
+		//lint:ignore floatcmp exact slab-boundary test is part of the deterministic ghost exchange
 		if s.pz[i] < s.slabLo+rc {
 			var rec [particleRecBytes]byte
 			packParticle(rec[:], s.ids[i], s.px[i], s.py[i], s.pz[i], 0, 0, 0)
 			toLeft = append(toLeft, rec[:]...)
 		}
+		//lint:ignore floatcmp exact slab-boundary test is part of the deterministic ghost exchange
 		if s.pz[i] > s.slabHi-rc {
 			var rec [particleRecBytes]byte
 			packParticle(rec[:], s.ids[i], s.px[i], s.py[i], s.pz[i], 0, 0, 0)
@@ -486,6 +489,7 @@ func (s *RankSim) shortRange() {
 				continue
 			}
 			dz := cpz[j] - s.pz[i]
+			//lint:ignore floatcmp exact cutoff prefilter is part of the deterministic force law
 			if dz > rc || dz < -rc {
 				continue
 			}

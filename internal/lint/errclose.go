@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ErrClose flags statements in internal/ckpt and internal/pfs that call
+// Close, Flush, Sync, or Write and drop the returned error on the floor.
+// On the checkpoint write path a dropped Close error is a checkpoint
+// that hashed clean but never became durable — the comparator would then
+// certify reproducibility against data that does not exist. The rule
+// covers bare expression statements and `defer x.Close()`-style defers.
+//
+// An explicit `_ = x.Close()` assignment is allowed: it is a reviewed,
+// visible decision to discard (used on error-return paths where the
+// original error must win). Deferred closes on read-only paths where the
+// error genuinely cannot matter are annotated //lint:ignore errclose.
+var ErrClose = &Analyzer{
+	Name:     "errclose",
+	Doc:      "dropped error from Close/Flush/Sync/Write on a checkpoint or PFS path (handle it or assign to _)",
+	Severity: SeverityError,
+	Run:      runErrClose,
+}
+
+// errClosePkgs are the packages whose write paths the rule polices.
+var errClosePkgs = []string{"internal/ckpt", "internal/pfs"}
+
+// errCloseMethods are the error-returning I/O methods whose result must
+// not be silently dropped.
+var errCloseMethods = map[string]bool{
+	"Close": true, "Flush": true, "Sync": true, "Write": true,
+}
+
+func runErrClose(p *Pass) {
+	if !pkgIn(p.Pkg, errClosePkgs...) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if name, ok := droppedIOCall(n.X); ok {
+					p.Reportf(n.Pos(), "error from %s dropped; handle it or discard explicitly with _ =", name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := droppedIOCall(n.Call); ok {
+					p.Reportf(n.Pos(), "error from deferred %s dropped; capture it or //lint:ignore errclose with why it cannot matter", name)
+				}
+			case *ast.GoStmt:
+				if name, ok := droppedIOCall(n.Call); ok {
+					p.Reportf(n.Pos(), "error from %s dropped in go statement", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// droppedIOCall reports whether e is a method call like x.Close() whose
+// method is in errCloseMethods, returning a printable name.
+func droppedIOCall(e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !errCloseMethods[sel.Sel.Name] {
+		return "", false
+	}
+	recv := exprString(sel.X)
+	if recv == "" {
+		recv = "<expr>"
+	}
+	return recv + "." + sel.Sel.Name, true
+}

@@ -1,0 +1,110 @@
+package lint
+
+import "testing"
+
+func TestErrClose(t *testing.T) {
+	cases := []struct {
+		name string
+		pkg  string
+		src  string
+		want []string
+	}{
+		{
+			name: "bare close in ckpt",
+			pkg:  "internal/ckpt",
+			src: `package ckpt
+import "os"
+func f(w *os.File) {
+	w.Close()
+}
+`,
+			want: []string{"4:errclose"},
+		},
+		{
+			name: "deferred close flagged",
+			pkg:  "internal/pfs",
+			src: `package pfs
+import "os"
+func f(w *os.File) {
+	defer w.Close()
+}
+`,
+			want: []string{"4:errclose"},
+		},
+		{
+			name: "go statement close flagged",
+			pkg:  "internal/pfs",
+			src: `package pfs
+import "os"
+func f(w *os.File) {
+	go w.Close()
+}
+`,
+			want: []string{"4:errclose"},
+		},
+		{
+			name: "dropped write flagged",
+			pkg:  "internal/ckpt",
+			src: `package ckpt
+import "os"
+func f(w *os.File, b []byte) {
+	w.Write(b)
+}
+`,
+			want: []string{"4:errclose"},
+		},
+		{
+			name: "explicit discard allowed",
+			pkg:  "internal/ckpt",
+			src: `package ckpt
+import "os"
+func f(w *os.File) {
+	_ = w.Close()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "handled error clean",
+			pkg:  "internal/ckpt",
+			src: `package ckpt
+import "os"
+func f(w *os.File) error {
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+`,
+			want: nil,
+		},
+		{
+			name: "other packages out of scope",
+			pkg:  "internal/hacc",
+			src: `package hacc
+import "os"
+func f(w *os.File) {
+	w.Close()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "suppressed",
+			pkg:  "internal/pfs",
+			src: `package pfs
+import "os"
+func f(w *os.File) {
+	//lint:ignore errclose read path, data already validated
+	defer w.Close()
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, runSource(t, ErrClose, tc.pkg, tc.src), tc.want...)
+		})
+	}
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatCmp flags raw ==, !=, <, <=, >, >= comparisons whose operands are
+// (syntactically) floating point. The paper's no-false-negative guarantee
+// is defined in terms of the ε-bound machinery in internal/errbound:
+// a raw float comparison on a decision path silently re-introduces
+// bit-exactness sensitivity that the quantization grid was built to
+// absorb. Use errbound.Equal / errbound.EqualRel, or compare against an
+// explicit epsilon, and suppress with //lint:ignore floatcmp <reason>
+// where an exact comparison is intentional (e.g. IEEE special-value
+// dispatch).
+//
+// Scoping decisions, deliberate and documented:
+//   - internal/errbound and internal/murmur3 are exempt: they ARE the
+//     ε-compare and hashing machinery.
+//   - Comparisons against a literal zero are exempt: sign tests and
+//     emptiness guards (x <= 0) are exact in IEEE 754 and ubiquitous in
+//     the cost model.
+var FloatCmp = &Analyzer{
+	Name:     "floatcmp",
+	Doc:      "raw float comparison outside the ε-bound machinery (use errbound.Equal or an explicit epsilon)",
+	Severity: SeverityError,
+	Run:      runFloatCmp,
+}
+
+// floatCmpExempt lists packages allowed to compare floats raw.
+var floatCmpExempt = []string{"internal/errbound", "internal/murmur3"}
+
+func runFloatCmp(p *Pass) {
+	if pkgIn(p.Pkg, floatCmpExempt...) {
+		return
+	}
+	for _, f := range p.Files {
+		forEachFunc(f, func(node ast.Node, body *ast.BlockStmt, sc *funcScope) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || !isCompareOp(be.Op) {
+					return true
+				}
+				if !sc.isFloatExpr(be.X) && !sc.isFloatExpr(be.Y) {
+					return true
+				}
+				if be.Op != token.EQL && be.Op != token.NEQ && (isZeroLit(be.X) || isZeroLit(be.Y)) {
+					return true
+				}
+				p.Reportf(be.OpPos, "raw float comparison %q: route through errbound.Equal or an explicit ε", be.Op)
+				return true
+			})
+		})
+	}
+}
+
+func isCompareOp(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// isZeroLit reports whether e is the literal 0 or 0.0 (possibly signed or
+// parenthesized).
+func isZeroLit(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return isZeroLit(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return isZeroLit(e.X)
+		}
+	case *ast.BasicLit:
+		if e.Kind != token.INT && e.Kind != token.FLOAT {
+			return false
+		}
+		for _, c := range e.Value {
+			if c != '0' && c != '.' {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,148 @@
+package lint
+
+import "testing"
+
+func TestFloatCmp(t *testing.T) {
+	cases := []struct {
+		name string
+		pkg  string
+		src  string
+		want []string
+	}{
+		{
+			name: "declared float params",
+			pkg:  "internal/x",
+			src: `package p
+func f(a, b float64) bool { return a == b }
+`,
+			want: []string{"2:floatcmp"},
+		},
+		{
+			name: "var decl and arithmetic",
+			pkg:  "internal/x",
+			src: `package p
+func f() bool {
+	var x float32
+	y := x * 2
+	return y != x
+}
+`,
+			want: []string{"5:floatcmp"},
+		},
+		{
+			name: "ordered comparison on float",
+			pkg:  "internal/x",
+			src: `package p
+func f(tol float64, residual float64) bool { return residual < tol }
+`,
+			want: []string{"2:floatcmp"},
+		},
+		{
+			name: "fractional literal is float evidence",
+			pkg:  "internal/x",
+			src: `package p
+func f(n int64) bool { return float64(n) >= 1.5 }
+`,
+			want: []string{"2:floatcmp"},
+		},
+		{
+			name: "integral float literal vs int is exempt",
+			pkg:  "internal/x",
+			src: `package p
+func f(bytes int64) bool { return bytes >= 1e9 }
+`,
+			want: nil,
+		},
+		{
+			name: "zero guard is exempt for ordered ops",
+			pkg:  "internal/x",
+			src: `package p
+func f(x float64) bool { return x <= 0 }
+`,
+			want: nil,
+		},
+		{
+			name: "zero is not exempt for equality",
+			pkg:  "internal/x",
+			src: `package p
+func f(x float64) bool { return x == 0 }
+`,
+			want: []string{"2:floatcmp"},
+		},
+		{
+			name: "math call result",
+			pkg:  "internal/x",
+			src: `package p
+import "math"
+func f(a, b, eps float64) bool { return math.Abs(a-b) > eps }
+`,
+			want: []string{"3:floatcmp"},
+		},
+		{
+			name: "float slice element via range",
+			pkg:  "internal/x",
+			src: `package p
+func f(xs []float64, lo float64) int {
+	n := 0
+	for _, v := range xs {
+		if v > lo {
+			n++
+		}
+	}
+	return n
+}
+`,
+			want: []string{"5:floatcmp"},
+		},
+		{
+			name: "closure inherits outer float scope",
+			pkg:  "internal/x",
+			src: `package p
+func f(a float64) func(float64) bool {
+	return func(b float64) bool { return a == b }
+}
+`,
+			want: []string{"3:floatcmp"},
+		},
+		{
+			name: "int comparison clean",
+			pkg:  "internal/x",
+			src: `package p
+func f(a, b int) bool { return a == b }
+`,
+			want: nil,
+		},
+		{
+			name: "errbound package exempt",
+			pkg:  "internal/errbound",
+			src: `package errbound
+func f(a, b float64) bool { return a == b }
+`,
+			want: nil,
+		},
+		{
+			name: "murmur3 package exempt",
+			pkg:  "internal/murmur3",
+			src: `package murmur3
+func f(a, b float64) bool { return a == b }
+`,
+			want: nil,
+		},
+		{
+			name: "suppressed",
+			pkg:  "internal/x",
+			src: `package p
+func f(a, b float64) bool {
+	//lint:ignore floatcmp IEEE special-value dispatch
+	return a == b
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, runSource(t, FloatCmp, tc.pkg, tc.src), tc.want...)
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// GoCheck flags `go` statements launched from a function that shows no
+// join construct at all: no WaitGroup/errgroup Wait, no channel receive,
+// no range-over-channel, no select, no Join call. An unjoined goroutine
+// in the aio/stream/cluster pipelines can outlive its Run call and keep
+// mutating shared cost accumulators while the next phase reads them —
+// exactly the kind of nondeterminism the capture pipeline must exclude.
+//
+// The check is per enclosing function and deliberately coarse: any join
+// evidence in the function clears all its launches, because matching a
+// specific goroutine to a specific join is a whole-program property a
+// syntactic pass cannot decide. Worker pools joined by a separate
+// Close/Shutdown method are the known false positive; annotate those
+// launch sites with //lint:ignore gocheck <how it is joined>.
+var GoCheck = &Analyzer{
+	Name:     "gocheck",
+	Doc:      "goroutine launch with no join (WaitGroup, channel receive, select, or Join) in scope",
+	Severity: SeverityError,
+	Run:      runGoCheck,
+}
+
+func runGoCheck(p *Pass) {
+	for _, f := range p.Files {
+		forEachFunc(f, func(node ast.Node, body *ast.BlockStmt, sc *funcScope) {
+			var launches []*ast.GoStmt
+			ast.Inspect(body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					launches = append(launches, g)
+				}
+				return true
+			})
+			if len(launches) == 0 {
+				return
+			}
+			if hasJoinEvidence(body, sc) {
+				return
+			}
+			for _, g := range launches {
+				p.Reportf(g.Go, "goroutine launched with no join in the enclosing function (add a WaitGroup/channel join, or //lint:ignore gocheck with the join site)")
+			}
+		})
+	}
+}
+
+// hasJoinEvidence reports whether the function body contains any
+// construct that waits for concurrent work to finish.
+func hasJoinEvidence(body *ast.BlockStmt, sc *funcScope) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW { // <-ch receive
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if x, ok := n.X.(*ast.Ident); ok && sc.chans[x.Name] {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Wait", "Join":
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

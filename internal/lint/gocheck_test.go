@@ -1,0 +1,97 @@
+package lint
+
+import "testing"
+
+func TestGoCheck(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "unjoined goroutine",
+			src: `package p
+func f() {
+	go func() {}()
+}
+`,
+			want: []string{"3:gocheck"},
+		},
+		{
+			name: "unjoined method launch",
+			src: `package p
+type worker struct{}
+func (w *worker) loop() {}
+func f(w *worker) {
+	go w.loop()
+}
+`,
+			want: []string{"5:gocheck"},
+		},
+		{
+			name: "waitgroup join clears",
+			src: `package p
+import "sync"
+func f() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "channel receive clears",
+			src: `package p
+func f() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+`,
+			want: nil,
+		},
+		{
+			name: "range over channel clears",
+			src: `package p
+func f() {
+	ch := make(chan int, 1)
+	go func() { close(ch) }()
+	for range ch {
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "select clears",
+			src: `package p
+func f(done chan struct{}) {
+	go func() {}()
+	select {
+	case <-done:
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "suppressed with join site",
+			src: `package p
+type pool struct{}
+func (p *pool) worker() {}
+func f(p *pool) {
+	//lint:ignore gocheck joined by pool.Close via inFlight WaitGroup
+	go p.worker()
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, runSource(t, GoCheck, "internal/x", tc.src), tc.want...)
+		})
+	}
+}

@@ -1,0 +1,187 @@
+// Package lint is a project-specific static-analysis framework for the
+// repro codebase. It enforces, at the source level, the invariants the
+// paper's no-false-negative guarantee rests on:
+//
+//   - determinism of every hashed or recorded path (chained Murmur3F
+//     digests are order-sensitive, so map-iteration order must never
+//     reach a digest or a run artifact),
+//   - ε-safety of float comparisons (raw ==/!=/< on floats bypasses the
+//     error-bound machinery in internal/errbound),
+//   - leak-free concurrency (an unjoined goroutine in the aio/stream/
+//     cluster pipelines can outlive its run and corrupt shared cost
+//     accounting),
+//   - no silently dropped I/O errors on checkpoint and PFS write paths
+//     (a dropped Close error means a checkpoint that hashes clean but
+//     never became durable),
+//   - virtual-clock discipline (packages priced by internal/simclock
+//     must not consult the wall clock).
+//
+// The framework is stdlib-only (go/ast, go/parser, go/token); analyzers
+// are purely syntactic, tuned to this codebase's idioms rather than
+// general Go. Findings can be suppressed with a
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// comment on the flagged line or the line directly above it. The
+// cmd/reprovet CLI drives the framework; `make lint` runs it over the
+// whole tree.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Severity classifies how a diagnostic affects the exit status of the
+// reprovet CLI. Both levels are reported; only the distinction between
+// "informational" and "gate-failing" is encoded here so future rules can
+// soft-launch as warnings.
+type Severity int
+
+// Severity levels, ordered.
+const (
+	// SeverityWarning marks findings that are reported but do not fail
+	// the lint gate on their own.
+	SeverityWarning Severity = iota
+	// SeverityError marks findings that fail the lint gate.
+	SeverityError
+)
+
+// String returns the lowercase name of the severity.
+func (s Severity) String() string {
+	switch s {
+	case SeverityWarning:
+		return "warning"
+	case SeverityError:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Diagnostic is one finding: a position, the rule that produced it, its
+// severity, and a human-readable message.
+type Diagnostic struct {
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Rule     string         `json:"rule"`
+	Severity string         `json:"severity"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s [%s]", d.File, d.Line, d.Col, d.Severity, d.Message, d.Rule)
+}
+
+// Analyzer is one named rule. Run inspects the files of a single package
+// and reports findings through the Pass.
+type Analyzer struct {
+	// Name is the rule ID used in reports and //lint:ignore comments.
+	Name string
+	// Doc is a one-line description shown by `reprovet -list`.
+	Doc string
+	// Severity is attached to every diagnostic the analyzer reports.
+	Severity Severity
+	// Run performs the analysis on one package.
+	Run func(*Pass)
+}
+
+// Pass carries one package's parsed files through one analyzer and
+// collects its diagnostics.
+type Pass struct {
+	// Fset maps token.Pos values to file positions.
+	Fset *token.FileSet
+	// Files are the package's parsed files (comments included).
+	Files []*ast.File
+	// Pkg is the package directory relative to the module root with
+	// forward slashes, e.g. "internal/ckpt". The module root itself is
+	// ".".
+	Pkg string
+
+	analyzer *Analyzer
+	diags    []Diagnostic
+}
+
+// Reportf records a diagnostic at pos under the pass's current analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Rule:     p.analyzer.Name,
+		Severity: p.analyzer.Severity.String(),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// AnalyzeFiles runs the given analyzers over one package's files and
+// returns the surviving diagnostics: suppression comments are honored,
+// and results are sorted by file, line, column, then rule.
+func AnalyzeFiles(fset *token.FileSet, files []*ast.File, pkg string, analyzers []*Analyzer) []Diagnostic {
+	sup := collectSuppressions(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Fset: fset, Files: files, Pkg: pkg, analyzer: a}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if sup.suppressed(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// HasErrors reports whether any diagnostic carries error severity — the
+// condition under which the lint gate fails.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == SeverityError.String() {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full analyzer suite in stable order. Callers that need
+// a subset (reprovet -rules) filter by name.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FloatCmp,
+		MapHash,
+		GoCheck,
+		ErrClose,
+		WallTime,
+	}
+}
+
+// ByName returns the analyzer with the given rule ID, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

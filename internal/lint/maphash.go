@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// MapHash flags `range` loops over maps whose body feeds data into a
+// hash/digest/writer or appends to a slice that outlives the loop. Go
+// randomizes map iteration order per run, and the comparator's chained
+// Murmur3F digests are order-sensitive: a map-ordered write into a digest
+// (or into recorded run metadata) makes two identical runs hash
+// differently — a false POSITIVE factory at best, and a broken
+// hash-linked evidence chain at worst. Iterate over sorted keys instead;
+// an append that is sorted later in the same function is recognized and
+// exempt.
+var MapHash = &Analyzer{
+	Name:     "maphash",
+	Doc:      "map-ordered iteration feeding a hash, writer, or accumulated result (sort the keys first)",
+	Severity: SeverityError,
+	Run:      runMapHash,
+}
+
+// hashSinkMethods are method names whose invocation inside a map-range
+// body marks the loop as order-sensitive.
+var hashSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Sum": true, "Sum64": true, "Sum128": true, "SumDigest": true,
+	"Hash": true, "HashChunk": true, "HashChunkScratch": true,
+	"Digest": true, "Update": true, "Encode": true,
+}
+
+func runMapHash(p *Pass) {
+	for _, f := range p.Files {
+		forEachFunc(f, func(node ast.Node, body *ast.BlockStmt, sc *funcScope) {
+			// Collect the sort targets of the whole function once: an
+			// append inside a map range is fine if the result is sorted
+			// before use.
+			sorted := sortTargets(body)
+			ast.Inspect(body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapRange(rs, sc) {
+					return true
+				}
+				if sink, what := mapRangeSink(rs, sorted); sink {
+					p.Reportf(rs.For, "map iteration order is nondeterministic but the loop body %s; iterate over sorted keys", what)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// isMapRange reports whether the range expression is syntactically a map.
+func isMapRange(rs *ast.RangeStmt, sc *funcScope) bool {
+	switch x := rs.X.(type) {
+	case *ast.Ident:
+		return sc.maps[x.Name]
+	case *ast.CompositeLit:
+		_, ok := x.Type.(*ast.MapType)
+		return ok
+	case *ast.CallExpr:
+		return isMakeOf(x, func(t ast.Expr) bool { _, ok := t.(*ast.MapType); return ok })
+	}
+	return false
+}
+
+// mapRangeSink inspects a map-range body for order-sensitive sinks and
+// returns a description of the first one found. Appends whose target is
+// later sorted (per the sorted set) are exempt.
+func mapRangeSink(rs *ast.RangeStmt, sorted map[string]bool) (bool, string) {
+	found := false
+	what := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if hashSinkMethods[fn.Sel.Name] {
+				found = true
+				what = "calls " + exprString(fn.X) + "." + fn.Sel.Name
+				return false
+			}
+		case *ast.Ident:
+			if fn.Name == "append" && len(call.Args) > 0 {
+				target := exprString(call.Args[0])
+				if target != "" && !sorted[target] {
+					found = true
+					what = "appends to " + target + " (unsorted after the loop)"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found, what
+}
+
+// sortTargets returns the rendered expressions passed as the first
+// argument to a sort.* or slices.Sort* call anywhere in the body.
+func sortTargets(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		isSort := pkg.Name == "sort" || (pkg.Name == "slices" && strings.HasPrefix(sel.Sel.Name, "Sort"))
+		if !isSort {
+			return true
+		}
+		if t := exprString(call.Args[0]); t != "" {
+			out[t] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,138 @@
+package lint
+
+import "testing"
+
+func TestMapHash(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "map range feeding writer",
+			src: `package p
+import "hash"
+func f(m map[string][]byte, h hash.Hash) {
+	for _, v := range m {
+		h.Write(v)
+	}
+}
+`,
+			want: []string{"4:maphash"},
+		},
+		{
+			name: "map range appending unsorted",
+			src: `package p
+func f(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+			want: []string{"4:maphash"},
+		},
+		{
+			name: "append then sort is exempt",
+			src: `package p
+import "sort"
+func f(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`,
+			want: nil,
+		},
+		{
+			name: "append to selector then sort.Slice is exempt",
+			src: `package p
+import "sort"
+type box struct{ names []string }
+func f(m map[string]bool, b *box) {
+	for k := range m {
+		b.names = append(b.names, k)
+	}
+	sort.Slice(b.names, func(i, j int) bool { return b.names[i] < b.names[j] })
+}
+`,
+			want: nil,
+		},
+		{
+			name: "slices.Sort counts as sorted",
+			src: `package p
+import "slices"
+func f(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+`,
+			want: nil,
+		},
+		{
+			name: "make map range with digest call",
+			src: `package p
+type hasher struct{}
+func (hasher) SumDigest(b []byte) {}
+func f(h hasher) {
+	m := make(map[string][]byte)
+	for _, v := range m {
+		h.SumDigest(v)
+	}
+}
+`,
+			want: []string{"6:maphash"},
+		},
+		{
+			name: "slice range is not a map",
+			src: `package p
+import "hash"
+func f(xs [][]byte, h hash.Hash) {
+	for _, v := range xs {
+		h.Write(v)
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "map range with pure reads is clean",
+			src: `package p
+func f(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+`,
+			want: nil,
+		},
+		{
+			name: "suppressed",
+			src: `package p
+import "hash"
+func f(m map[string][]byte, h hash.Hash) {
+	//lint:ignore maphash keys are hashed commutatively
+	for _, v := range m {
+		h.Write(v)
+	}
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, runSource(t, MapHash, "internal/x", tc.src), tc.want...)
+		})
+	}
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Config controls a lint run over the source tree.
+type Config struct {
+	// Root is the module root. Package paths in diagnostics and in
+	// analyzer scoping rules are relative to it.
+	Root string
+	// Analyzers is the rule set to run; nil means All().
+	Analyzers []*Analyzer
+	// IncludeTests includes _test.go files in the analysis. Off by
+	// default: the determinism and ε-safety guarantees are about
+	// production paths, and test files compare floats and leak nothing
+	// past the test binary.
+	IncludeTests bool
+}
+
+// Run expands the given package patterns relative to cfg.Root, parses
+// each package, runs the analyzers, and returns all surviving
+// diagnostics sorted by position. Patterns follow go-tool conventions:
+// "./..." walks recursively, "./internal/ckpt" names one directory.
+func Run(cfg Config, patterns ...string) ([]Diagnostic, error) {
+	if cfg.Root == "" {
+		cfg.Root = "."
+	}
+	if cfg.Analyzers == nil {
+		cfg.Analyzers = All()
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := expandPatterns(cfg.Root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []Diagnostic
+	for _, dir := range dirs {
+		files, err := parseDir(fset, filepath.Join(cfg.Root, dir), cfg.IncludeTests)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg := filepath.ToSlash(dir)
+		out = append(out, AnalyzeFiles(fset, files, pkg, cfg.Analyzers)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	return out, nil
+}
+
+// expandPatterns resolves package patterns to a sorted, de-duplicated
+// list of directories relative to root.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(rel string) {
+		rel = filepath.ToSlash(filepath.Clean(rel))
+		if !seen[rel] {
+			seen[rel] = true
+			dirs = append(dirs, rel)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		p := pat
+		if strings.HasSuffix(p, "/...") {
+			recursive = true
+			p = strings.TrimSuffix(p, "/...")
+		} else if p == "..." {
+			recursive = true
+			p = "."
+		}
+		p = filepath.Clean(p)
+		base := filepath.Join(root, p)
+		info, err := os.Stat(base)
+		if err != nil {
+			return nil, fmt.Errorf("lint: pattern %q: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q is not a directory", pat)
+		}
+		if !recursive {
+			add(p)
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			add(rel)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the Go files of one directory (non-recursive) with
+// comments. It returns nil if the directory holds no eligible files.
+func parseDir(fset *token.FileSet, dir string, includeTests bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// FindModuleRoot walks upward from dir looking for go.mod, so reprovet
+// can be invoked from any subdirectory.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses findings.
+const ignoreDirective = "lint:ignore"
+
+// suppressions indexes //lint:ignore directives by file and line.
+type suppressions struct {
+	// byLine maps "file\x00line" to the set of rule IDs ignored there.
+	// The wildcard rule "*" ignores every rule.
+	byLine map[suppressKey]map[string]bool
+}
+
+type suppressKey struct {
+	file string
+	line int
+}
+
+// collectSuppressions scans the comment lists of the package's files for
+// lint:ignore directives. A directive written as
+//
+//	//lint:ignore rule1[,rule2] reason
+//
+// suppresses the named rules on the directive's own line (end-of-line
+// comment) and on the line directly below it (comment above the flagged
+// statement). A missing reason keeps the directive valid but is
+// discouraged; the reason exists for reviewers, not the tool.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: map[suppressKey]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, rule := range strings.Split(fields[0], ",") {
+					rule = strings.TrimSpace(rule)
+					if rule == "" {
+						continue
+					}
+					s.add(pos.Filename, pos.Line, rule)
+					s.add(pos.Filename, pos.Line+1, rule)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) add(file string, line int, rule string) {
+	k := suppressKey{file: file, line: line}
+	m := s.byLine[k]
+	if m == nil {
+		m = map[string]bool{}
+		s.byLine[k] = m
+	}
+	m[rule] = true
+}
+
+// suppressed reports whether the diagnostic is covered by a directive on
+// its own line or the line above it.
+func (s *suppressions) suppressed(d Diagnostic) bool {
+	m := s.byLine[suppressKey{file: d.File, line: d.Line}]
+	return m != nil && (m[d.Rule] || m["*"])
+}

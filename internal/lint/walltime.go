@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WallTime flags references to time.Now, time.Since, and time.Until in
+// internal packages that are supposed to run on the analytic virtual
+// clock (internal/simclock). The whole point of the virtual clock is that
+// a run's recorded timings are a pure function of the workload — two runs
+// of the same input produce byte-identical metadata and reports. A stray
+// wall-clock read smuggles the host's scheduler back into results that
+// the comparison layer treats as reproducible.
+//
+// Exempt by design:
+//   - internal/simclock: owns time modeling.
+//   - internal/metrics: its Stopwatch is the sanctioned, injectable
+//     wall-clock measurement point (used to report real wall time next
+//     to virtual time, never inside it).
+//   - everything outside internal/ (cmd/, examples/, the root package):
+//     user-facing tools may timestamp freely.
+var WallTime = &Analyzer{
+	Name:     "walltime",
+	Doc:      "wall-clock read (time.Now/Since/Until) in a virtual-clock package (use internal/simclock or inject a clock)",
+	Severity: SeverityError,
+	Run:      runWallTime,
+}
+
+// wallTimeExempt are internal packages allowed to touch the wall clock.
+var wallTimeExempt = []string{"internal/simclock", "internal/metrics"}
+
+// wallTimeFuncs are the flagged time-package functions.
+var wallTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWallTime(p *Pass) {
+	if !strings.HasPrefix(p.Pkg, "internal/") || pkgIn(p.Pkg, wallTimeExempt...) {
+		return
+	}
+	for _, f := range p.Files {
+		if !importsTime(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok || x.Name != "time" || !wallTimeFuncs[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "time.%s reads the wall clock in a virtual-clock package; price the operation with internal/simclock or inject a clock", sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// importsTime reports whether the file imports the standard time package
+// without renaming it away from the default identifier.
+func importsTime(f *ast.File) bool {
+	for _, imp := range f.Imports {
+		if imp.Path.Value != `"time"` {
+			continue
+		}
+		if imp.Name == nil || imp.Name.Name == "time" {
+			return true
+		}
+	}
+	return false
+}

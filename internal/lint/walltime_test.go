@@ -1,0 +1,105 @@
+package lint
+
+import "testing"
+
+func TestWallTime(t *testing.T) {
+	cases := []struct {
+		name string
+		pkg  string
+		src  string
+		want []string
+	}{
+		{
+			name: "time.Now in virtual-clock package",
+			pkg:  "internal/catalog",
+			src: `package catalog
+import "time"
+func f() int64 { return time.Now().Unix() }
+`,
+			want: []string{"3:walltime"},
+		},
+		{
+			name: "time.Since flagged",
+			pkg:  "internal/stream",
+			src: `package stream
+import "time"
+func f(t0 time.Time) time.Duration { return time.Since(t0) }
+`,
+			want: []string{"3:walltime"},
+		},
+		{
+			name: "time.Now as value flagged",
+			pkg:  "internal/catalog",
+			src: `package catalog
+import "time"
+func f(now func() time.Time) func() time.Time {
+	if now == nil {
+		now = time.Now
+	}
+	return now
+}
+`,
+			want: []string{"5:walltime"},
+		},
+		{
+			name: "duration arithmetic clean",
+			pkg:  "internal/stream",
+			src: `package stream
+import "time"
+func f(d time.Duration) time.Duration { return d * 2 }
+`,
+			want: nil,
+		},
+		{
+			name: "simclock exempt",
+			pkg:  "internal/simclock",
+			src: `package simclock
+import "time"
+func f() time.Time { return time.Now() }
+`,
+			want: nil,
+		},
+		{
+			name: "metrics exempt",
+			pkg:  "internal/metrics",
+			src: `package metrics
+import "time"
+func f() time.Time { return time.Now() }
+`,
+			want: nil,
+		},
+		{
+			name: "cmd packages exempt",
+			pkg:  "cmd/experiments",
+			src: `package main
+import "time"
+func f() time.Time { return time.Now() }
+`,
+			want: nil,
+		},
+		{
+			name: "local ident named time not flagged",
+			pkg:  "internal/stream",
+			src: `package stream
+type clock struct{ Now func() int64 }
+func f(time clock) int64 { return time.Now() }
+`,
+			want: nil,
+		},
+		{
+			name: "suppressed",
+			pkg:  "internal/catalog",
+			src: `package catalog
+import "time"
+//lint:ignore walltime manifest timestamps are metadata, not measurements
+func f() int64 { return time.Now().Unix() }
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, runSource(t, WallTime, tc.pkg, tc.src), tc.want...)
+		})
+	}
+}

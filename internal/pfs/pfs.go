@@ -430,7 +430,7 @@ func (s *Store) Open(name string) (*File, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close() // the stat error takes precedence
 		return nil, fmt.Errorf("pfs: stat %s: %w", name, err)
 	}
 	return &File{store: s, name: name, f: f, size: st.Size()}, nil
@@ -544,6 +544,7 @@ func (s *Store) ReadFileFull(name string, blockSize int) ([]byte, Cost, error) {
 	if err != nil {
 		return nil, Cost{}, err
 	}
+	//lint:ignore errclose read-only handle; every ReadAt error is already checked below
 	defer f.Close()
 	data := make([]byte, f.Size())
 	var total Cost

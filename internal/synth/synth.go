@@ -15,6 +15,8 @@ import (
 	"encoding/binary"
 	"math"
 	"math/rand"
+
+	"repro/internal/errbound"
 )
 
 // FieldF32 generates n float32 elements with HACC-like statistics:
@@ -121,7 +123,7 @@ func CountExceedingF32(a, b []byte, eps float64) int {
 	for i := 0; i < n; i++ {
 		va := float64(math.Float32frombits(binary.LittleEndian.Uint32(a[i*4:])))
 		vb := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:])))
-		if math.Abs(va-vb) > eps {
+		if !errbound.Equal(va, vb, eps) {
 			count++
 		}
 	}
