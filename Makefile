@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check bench experiments examples clean
+.PHONY: all build vet lint test race check bench bench-smoke bench-json experiments examples clean
 
 all: build vet test
 
 # check is the pre-PR gate: everything that must be green before merging.
-check: build vet lint test race
+check: build vet lint test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,17 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke validates the kernel-benchmark runner end-to-end in
+# milliseconds (tiny sizes, output discarded); part of `make check`.
+bench-smoke:
+	$(GO) run ./cmd/benchkernels -smoke > /dev/null
+
+# bench-json regenerates the tracked kernel-throughput baseline at the
+# repository root. Diff BENCH_kernels.json in review to catch kernel
+# regressions (same-machine deltas are signal, cross-machine noise).
+bench-json:
+	$(GO) run ./cmd/benchkernels -o BENCH_kernels.json
 
 # Regenerate every paper table and figure (see EXPERIMENTS.md).
 experiments:

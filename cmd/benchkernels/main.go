@@ -1,0 +1,237 @@
+// Command benchkernels measures the throughput of the comparator's four
+// hot kernels — leaf hashing, tree construction, tree diffing, and exact
+// element-wise comparison — and emits the results as JSON. The checked-in
+// BENCH_kernels.json at the repository root is the tracked baseline;
+// regenerate it with `make bench-json` and diff it in review to catch
+// kernel regressions.
+//
+// Usage:
+//
+//	benchkernels [-smoke] [-mintime d] [-o file]
+//
+// Flags:
+//
+//	-smoke    tiny sizes and a short measurement window: validates the
+//	          runner end-to-end in milliseconds (wired into `make check`)
+//	-mintime  minimum measurement window per kernel (default 300ms)
+//	-o        output file ("" writes JSON to stdout)
+//
+// Numbers come from the host wall clock (this is a cmd/ tool; the
+// library's virtual clock is not involved) and therefore vary with
+// hardware; treat cross-machine deltas as noise and same-machine deltas
+// as signal.
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/compare"
+	"repro/internal/device"
+	"repro/internal/errbound"
+	"repro/internal/merkle"
+	"repro/internal/synth"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Report is the JSON document benchkernels emits.
+type Report struct {
+	// GeneratedAt is the RFC 3339 wall-clock timestamp of the run.
+	GeneratedAt string `json:"generated_at"`
+	// GoVersion and GOMAXPROCS identify the toolchain and parallelism.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Smoke marks reduced-size validation runs; their numbers are not
+	// comparable to full runs.
+	Smoke bool `json:"smoke,omitempty"`
+	// Kernels are the per-kernel measurements, in fixed order.
+	Kernels []Kernel `json:"kernels"`
+}
+
+// Kernel is one measured kernel.
+type Kernel struct {
+	// Name identifies the kernel and dtype, e.g. "leaf_hash_f64".
+	Name string `json:"name"`
+	// Bytes is the data processed per operation (both inputs for the
+	// comparison kernels, the covered data for the diff kernel).
+	Bytes int64 `json:"bytes"`
+	// Iters is the number of operations timed.
+	Iters int `json:"iters"`
+	// NsPerOp is the mean wall time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MBPerS is Bytes·Iters / elapsed, in SI megabytes per second.
+	MBPerS float64 `json:"mb_per_s"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchkernels", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		smoke   = fs.Bool("smoke", false, "tiny sizes and window; validates the runner, numbers not comparable")
+		minTime = fs.Duration("mintime", 300*time.Millisecond, "minimum measurement window per kernel")
+		out     = fs.String("o", "", "output file (empty writes to stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Kernel working-set sizes: a 64 KiB chunk (the default hashing
+	// granularity) and a 4 MiB field for the tree-level kernels.
+	chunkSize := 64 << 10
+	fieldBytes := 4 << 20
+	window := *minTime
+	if *smoke {
+		chunkSize = 4 << 10
+		fieldBytes = 64 << 10
+		window = 2 * time.Millisecond
+	}
+
+	report, err := collect(chunkSize, fieldBytes, window)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchkernels: %v\n", err)
+		return 1
+	}
+	report.Smoke = *smoke
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchkernels: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "benchkernels: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// collect measures every kernel once and assembles the report.
+func collect(chunkSize, fieldBytes int, window time.Duration) (*Report, error) {
+	const eps = 1e-6
+	report := &Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	// Deterministic inputs: the synth generator for f32 (and its
+	// perturbed twin for the comparison kernels), a sine sweep for f64.
+	f32Chunk := synth.FieldF32(chunkSize/4, 1)
+	f64Chunk := make([]byte, 0, chunkSize)
+	for i := 0; i < chunkSize/8; i++ {
+		f64Chunk = binary.LittleEndian.AppendUint64(f64Chunk, math.Float64bits(math.Sin(float64(i)*0.001)))
+	}
+	f32Pair := synth.PerturbF32(f32Chunk, synth.DefaultPerturb(2))
+
+	h32, err := errbound.NewHasher(errbound.Float32, eps)
+	if err != nil {
+		return nil, err
+	}
+	h64, err := errbound.NewHasher(errbound.Float64, eps)
+	if err != nil {
+		return nil, err
+	}
+
+	report.add(measure("leaf_hash_f32", int64(len(f32Chunk)), window, func() error {
+		_, err := h32.HashChunk(f32Chunk)
+		return err
+	}))
+	report.add(measure("leaf_hash_f64", int64(len(f64Chunk)), window, func() error {
+		_, err := h64.HashChunk(f64Chunk)
+		return err
+	}))
+
+	// Tree build: full metadata construction (leaf hashing + interior
+	// levels) over one field through the default persistent-pool executor.
+	field := synth.FieldF32(fieldBytes/4, 3)
+	specs := []ckpt.FieldSpec{{Name: "x", DType: errbound.Float32, Count: int64(fieldBytes / 4)}}
+	opts := compare.Options{Epsilon: eps, ChunkSize: chunkSize}
+	report.add(measure("tree_build", int64(len(field)), window, func() error {
+		_, _, err := compare.Build(specs, [][]byte{field}, opts)
+		return err
+	}))
+
+	// Tree diff: the pruned BFS over two precomputed trees of a perturbed
+	// pair. Bytes is the data the metadata covers — the rate at which the
+	// diff answers "which chunks moved" without touching that data.
+	fieldB := synth.PerturbF32(field, synth.DefaultPerturb(4))
+	ma, _, err := compare.Build(specs, [][]byte{field}, opts)
+	if err != nil {
+		return nil, err
+	}
+	mb, _, err := compare.Build(specs, [][]byte{fieldB}, opts)
+	if err != nil {
+		return nil, err
+	}
+	ta, tb := ma.Fields[0].Tree, mb.Fields[0].Tree
+	exec := device.Default()
+	report.add(measure("tree_diff", int64(len(field)), window, func() error {
+		_, _, err := merkle.Diff(ta, tb, ta.DefaultStartLevel(exec.Workers()), exec)
+		return err
+	}))
+
+	// Element compare: the stage-2 exact verification kernel.
+	var dst []int64
+	report.add(measure("element_compare_f32", 2*int64(len(f32Chunk)), window, func() error {
+		var err error
+		dst, _, err = h32.CompareSlices(dst[:0], f32Chunk, f32Pair)
+		return err
+	}))
+
+	return report, nil
+}
+
+// add appends a measurement, panicking on measurement errors (a kernel
+// error here is a programming error in the runner, not a benchmark
+// outcome).
+func (r *Report) add(k Kernel, err error) {
+	if err != nil {
+		panic(err)
+	}
+	r.Kernels = append(r.Kernels, k)
+}
+
+// measure times fn until the window elapses (always at least one call
+// after a warmup) and returns the aggregate rate.
+func measure(name string, bytes int64, window time.Duration, fn func() error) (Kernel, error) {
+	if err := fn(); err != nil { // warmup + error check
+		return Kernel{}, fmt.Errorf("%s: %w", name, err)
+	}
+	var (
+		iters   int
+		elapsed time.Duration
+	)
+	start := time.Now()
+	for elapsed < window {
+		if err := fn(); err != nil {
+			return Kernel{}, fmt.Errorf("%s: %w", name, err)
+		}
+		iters++
+		elapsed = time.Since(start)
+	}
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
+	return Kernel{
+		Name:    name,
+		Bytes:   bytes,
+		Iters:   iters,
+		NsPerOp: nsPerOp,
+		MBPerS:  float64(bytes) * float64(iters) / elapsed.Seconds() / 1e6,
+	}, nil
+}

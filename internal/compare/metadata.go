@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ckpt"
@@ -63,23 +65,52 @@ func Build(fields []ckpt.FieldSpec, data [][]byte, opts Options) (*Metadata, Bui
 		return nil, stats, fmt.Errorf("compare: %d buffers for %d fields", len(data), len(fields))
 	}
 	sw := metrics.NewStopwatch()
-	m := &Metadata{Epsilon: opts.Epsilon, Fields: make([]FieldMeta, 0, len(fields))}
+
+	// Validate buffers and construct hashers serially, so size and ε
+	// errors surface deterministically in field order.
+	hashers := make([]*errbound.Hasher, len(fields))
 	for i, f := range fields {
 		if int64(len(data[i])) != f.Bytes() {
 			return nil, stats, fmt.Errorf("compare: field %q has %d bytes, want %d", f.Name, len(data[i]), f.Bytes())
 		}
-		hasher, err := opts.hasherFor(f.DType)
+		h, err := opts.hasherFor(f.DType)
 		if err != nil {
 			return nil, stats, err
 		}
-		tree, err := buildFieldTree(hasher, data[i], opts)
-		if err != nil {
-			return nil, stats, fmt.Errorf("compare: field %q: %w", f.Name, err)
-		}
-		m.Fields = append(m.Fields, FieldMeta{Name: f.Name, DType: f.DType, Tree: tree})
+		hashers[i] = h
+	}
 
-		// Virtual pricing: one leaf-hash kernel over the field bytes, one
-		// node kernel per interior level.
+	// Build the field trees, in parallel across fields when the executor
+	// has idle capacity (each tree's chunk hashing is itself parallel, but
+	// small fields underfill the pool; cross-field fan-out keeps it busy).
+	trees := make([]*merkle.Tree, len(fields))
+	fieldErrs := make([]error, len(fields))
+	if opts.Exec.Workers() > 1 && len(fields) > 1 {
+		var wg sync.WaitGroup
+		for i := range fields {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				trees[i], fieldErrs[i] = buildFieldTree(hashers[i], data[i], opts)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range fields {
+			trees[i], fieldErrs[i] = buildFieldTree(hashers[i], data[i], opts)
+		}
+	}
+
+	// Assemble results and virtual pricing in field order, deterministic
+	// regardless of build interleaving: one leaf-hash kernel over each
+	// field's bytes, one node kernel per interior level.
+	m := &Metadata{Epsilon: opts.Epsilon, Fields: make([]FieldMeta, 0, len(fields))}
+	for i, f := range fields {
+		if fieldErrs[i] != nil {
+			return nil, stats, fmt.Errorf("compare: field %q: %w", f.Name, fieldErrs[i])
+		}
+		tree := trees[i]
+		m.Fields = append(m.Fields, FieldMeta{Name: f.Name, DType: f.DType, Tree: tree})
 		stats.HashVirtual += opts.Device.HashTime(f.Bytes())
 		for level := tree.Depth() - 1; level >= 0; level-- {
 			stats.TreeVirtual += opts.Device.NodeHashTime(int64(1) << level)
@@ -100,25 +131,22 @@ func buildFieldTree(hasher *errbound.Hasher, data []byte, opts Options) (*merkle
 	chunkSize := opts.ChunkSize
 	numChunks := int((dataLen + int64(chunkSize) - 1) / int64(chunkSize))
 	leaves := make([]murmur3.Digest, numChunks)
-	errs := make([]error, numChunks)
+	var firstErr kernelError
 	opts.Exec.For(numChunks, func(i int) {
 		off := int64(i) * int64(chunkSize)
 		end := off + int64(chunkSize)
 		if end > dataLen {
 			end = dataLen
 		}
-		var scratch [16]byte
-		d, err := hasher.HashChunkScratch(data[off:end], scratch[:])
+		d, err := hasher.HashChunk(data[off:end])
 		if err != nil {
-			errs[i] = err
+			firstErr.store(i, err)
 			return
 		}
 		leaves[i] = d
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := firstErr.err(); err != nil {
+		return nil, err
 	}
 	tree, err := merkle.New(dataLen, chunkSize, leaves)
 	if err != nil {
@@ -126,6 +154,43 @@ func buildFieldTree(hasher *errbound.Hasher, data []byte, opts Options) (*merkle
 	}
 	tree.Build(opts.Exec)
 	return tree, nil
+}
+
+// kernelError captures the lowest-index error produced by a parallel
+// kernel without allocating an O(iterations) error slice per build: a CAS
+// loop keeps the entry with the smallest index, so the reported error is
+// the same one the old serial scan found, regardless of worker
+// interleaving.
+type kernelError struct {
+	p atomic.Pointer[indexedError]
+}
+
+type indexedError struct {
+	index int
+	err   error
+}
+
+// store records err for iteration index unless an earlier iteration
+// already failed.
+func (k *kernelError) store(index int, err error) {
+	e := &indexedError{index: index, err: err}
+	for {
+		cur := k.p.Load()
+		if cur != nil && cur.index <= index {
+			return
+		}
+		if k.p.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// err returns the captured error, nil if every iteration succeeded.
+func (k *kernelError) err() error {
+	if e := k.p.Load(); e != nil {
+		return e.err
+	}
+	return nil
 }
 
 // BuildFromReader reads every field of a checkpoint and builds its

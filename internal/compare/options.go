@@ -25,7 +25,12 @@ type Options struct {
 	// ChunkSize is the hashing/verification granularity in bytes
 	// (default 64 KiB; the paper sweeps 4 KiB–512 KiB).
 	ChunkSize int
-	// Exec runs the data-parallel kernels (default: parallel).
+	// Exec runs the data-parallel kernels. The default is the process-wide
+	// persistent worker pool (device.Default(): GOMAXPROCS workers started
+	// once, reused across every tree level and compare batch). Pass
+	// device.Serial{} for the single-threaded "CPU" backend, or a private
+	// device.NewPool/device.NewParallel to bound parallelism per
+	// comparison.
 	Exec device.Executor
 	// Device prices kernels and transfers (default: GPU model).
 	Device device.Model
@@ -75,7 +80,7 @@ func (o Options) withDefaults() Options {
 		o.ChunkSize = 64 << 10
 	}
 	if o.Exec == nil {
-		o.Exec = device.NewParallel(0)
+		o.Exec = device.Default()
 	}
 	if o.Device.HashBytesPerSec == 0 {
 		o.Device = device.GPUModel()

@@ -1,0 +1,143 @@
+package device
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolForVisitsAllOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 16} {
+		p := NewPool(workers)
+		if p.Workers() != workers {
+			t.Errorf("Workers() = %d, want %d", p.Workers(), workers)
+		}
+		// Span both the inline (n <= cutoff) and dispatched regimes.
+		for _, n := range []int{1, poolSerialCutoff, poolSerialCutoff + 1, 1000} {
+			counts := make([]int32, n)
+			p.For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolForEdgeCases(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	p.For(0, func(i int) { t.Error("fn called for n=0") })
+	p.For(-3, func(i int) { t.Error("fn called for n<0") })
+	var called int32
+	p.For(1, func(i int) { atomic.AddInt32(&called, 1) })
+	if called != 1 {
+		t.Errorf("n=1 called %d times", called)
+	}
+}
+
+func TestPoolReusedAcrossCalls(t *testing.T) {
+	// Many sequential For calls over one pool: the regression this guards
+	// is per-call worker startup state leaking between tasks.
+	p := NewPool(3)
+	defer p.Close()
+	for round := 0; round < 200; round++ {
+		var sum int64
+		p.For(100, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+		if sum != 99*100/2 {
+			t.Fatalf("round %d: sum = %d", round, sum)
+		}
+	}
+}
+
+func TestPoolConcurrentFor(t *testing.T) {
+	// Concurrent For calls on a shared pool must each complete all their
+	// own iterations even when the task queue saturates.
+	p := NewPool(2)
+	defer p.Close()
+	done := make(chan int64)
+	for g := 0; g < 8; g++ {
+		go func() {
+			var sum int64
+			p.For(500, func(i int) { atomic.AddInt64(&sum, 1) })
+			done <- sum
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if got := <-done; got != 500 {
+			t.Fatalf("concurrent For completed %d/500 iterations", got)
+		}
+	}
+}
+
+func TestPoolNestedFor(t *testing.T) {
+	// A For body that itself dispatches a For (field loop over chunk
+	// loops) must not deadlock: the submitter always participates.
+	p := NewPool(2)
+	defer p.Close()
+	var sum int64
+	p.For(40, func(i int) {
+		p.For(40, func(j int) { atomic.AddInt64(&sum, 1) })
+	})
+	if sum != 40*40 {
+		t.Fatalf("nested For: %d iterations, want %d", sum, 40*40)
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close()
+}
+
+func TestNewPoolDefaultWorkers(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Error("default workers < 1")
+	}
+}
+
+func TestDefaultPoolShared(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default() is not a process-wide singleton")
+	}
+	var called int32
+	Default().For(64, func(i int) { atomic.AddInt32(&called, 1) })
+	if called != 64 {
+		t.Errorf("default pool ran %d/64 iterations", called)
+	}
+}
+
+func TestQuickPoolMatchesSerial(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	f := func(n uint8) bool {
+		var sumS, sumP int64
+		(Serial{}).For(int(n), func(i int) { sumS += int64(i * i) })
+		p.For(int(n), func(i int) { atomic.AddInt64(&sumP, int64(i*i)) })
+		return sumS == sumP
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPoolForOverhead(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	for i := 0; i < b.N; i++ {
+		p.For(64, func(int) {})
+	}
+}
+
+func BenchmarkPoolForDispatch(b *testing.B) {
+	// Above the serial cutoff, so every call exercises the dispatch path.
+	p := NewPool(4)
+	defer p.Close()
+	for i := 0; i < b.N; i++ {
+		p.For(1024, func(int) {})
+	}
+}

@@ -1,0 +1,117 @@
+package errbound
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/murmur3"
+)
+
+// benchChunk builds a deterministic 64 KiB chunk of the given dtype.
+func benchChunk(b *testing.B, dtype DType) []byte {
+	b.Helper()
+	const n = 64 << 10 / 8
+	out := make([]byte, 0, n*dtype.Size())
+	for i := 0; i < n; i++ {
+		v := math.Sin(float64(i) * 0.001)
+		if dtype == Float32 {
+			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(float32(v)))
+		} else {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+	}
+	return out
+}
+
+// BenchmarkHashChunk measures the fused quantize+hash leaf kernel, the
+// comparator's hot path (bytes/sec is the headline kernel metric).
+func BenchmarkHashChunk(b *testing.B) {
+	for _, dtype := range []DType{Float32, Float64} {
+		b.Run(dtype.String(), func(b *testing.B) {
+			chunk := benchChunk(b, dtype)
+			h, err := NewHasher(dtype, 1e-6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(chunk)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.HashChunk(chunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHashChunkReference measures the seed two-phase implementation
+// (quantize into a scratch buffer, SumDigest per block) that the fused
+// kernel replaced — kept runnable so benchstat can track the fused/seed
+// ratio.
+func BenchmarkHashChunkReference(b *testing.B) {
+	for _, dtype := range []DType{Float32, Float64} {
+		b.Run(dtype.String(), func(b *testing.B) {
+			chunk := benchChunk(b, dtype)
+			h, err := NewHasher(dtype, 1e-6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(chunk)))
+			var scratch [blockElems * 8]byte
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := referenceHashChunkScratch(h, chunk, scratch[:]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompareSlices measures the dtype-specialized element-wise
+// ε-compare kernel over two equal buffers (stage-2 verification rate).
+func BenchmarkCompareSlices(b *testing.B) {
+	for _, dtype := range []DType{Float32, Float64} {
+		b.Run(dtype.String(), func(b *testing.B) {
+			chunk := benchChunk(b, dtype)
+			h, err := NewHasher(dtype, 1e-6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(2 * int64(len(chunk)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := h.CompareSlices(nil, chunk, chunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAllClose measures the boolean baseline kernel.
+func BenchmarkAllClose(b *testing.B) {
+	chunk := benchChunk(b, Float32)
+	h, err := NewHasher(Float32, 1e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(2 * int64(len(chunk)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.AllClose(chunk, chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChainBlock isolates the streaming hasher's per-block cost from
+// quantization.
+func BenchmarkChainBlock(b *testing.B) {
+	var c murmur3.Chain
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Block(uint64(i), uint64(i)^0x9e3779b97f4a7c15)
+	}
+}

@@ -58,7 +58,7 @@ func NewEnv(dir string, scaleDiv int) (*Env, error) {
 	return &Env{
 		Store:    store,
 		ScaleDiv: scaleDiv,
-		Exec:     device.NewParallel(0),
+		Exec:     device.Default(),
 		Seed:     1,
 	}, nil
 }

@@ -173,6 +173,7 @@ func All() []*Analyzer {
 		GoCheck,
 		ErrClose,
 		WallTime,
+		KernelAlloc,
 	}
 }
 

@@ -86,8 +86,16 @@ func newShell(dataLen int64, chunkSize, numLeaves int) *Tree {
 	}
 }
 
+// buildSerialCutoff is the level width below which Build hashes inline
+// instead of dispatching a kernel: near the root a level holds a handful
+// of ~60 ns pair hashes, so even a reused worker pool costs more to wake
+// than the level takes serially.
+const buildSerialCutoff = 128
+
 // Build computes all interior hashes bottom-up, level by level, running
-// each level's hashes in parallel on the executor.
+// each level's hashes in parallel on the executor. Levels narrower than
+// buildSerialCutoff (the top of the tree) run inline on the calling
+// goroutine — the per-level kernel dispatch would dominate them.
 func (t *Tree) Build(exec device.Executor) {
 	if exec == nil {
 		exec = device.Serial{}
@@ -95,6 +103,13 @@ func (t *Tree) Build(exec device.Executor) {
 	for level := t.depth - 1; level >= 0; level-- {
 		base := (1 << level) - 1
 		width := 1 << level
+		if width <= buildSerialCutoff {
+			for j := 0; j < width; j++ {
+				node := base + j
+				t.nodes[node] = murmur3.HashPair(t.nodes[2*node+1], t.nodes[2*node+2])
+			}
+			continue
+		}
 		exec.For(width, func(j int) {
 			node := base + j
 			t.nodes[node] = murmur3.HashPair(t.nodes[2*node+1], t.nodes[2*node+2])

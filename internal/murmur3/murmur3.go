@@ -146,12 +146,160 @@ func SumDigest(data []byte, seed Digest) Digest {
 }
 
 // HashPair hashes the concatenation of two digests, the interior-node
-// operation of the Merkle tree.
+// operation of the Merkle tree. The loop over the two 16-byte blocks and
+// the tail switch of Sum128Seeded are fully unrolled (the input length is
+// statically 32, so the tail is empty); the output is bit-identical to
+// SumDigest(left||right, Digest{}).
 func HashPair(left, right Digest) Digest {
-	var buf [2 * DigestSize]byte
-	copy(buf[:DigestSize], left[:])
-	copy(buf[DigestSize:], right[:])
-	return SumDigest(buf[:], Digest{})
+	var h1, h2 uint64
+	h1, h2 = pairBlock(h1, h2,
+		binary.LittleEndian.Uint64(left[0:8]), binary.LittleEndian.Uint64(left[8:16]))
+	h1, h2 = pairBlock(h1, h2,
+		binary.LittleEndian.Uint64(right[0:8]), binary.LittleEndian.Uint64(right[8:16]))
+
+	h1 ^= 2 * DigestSize
+	h2 ^= 2 * DigestSize
+
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	h2 += h1
+
+	var d Digest
+	binary.LittleEndian.PutUint64(d[0:8], h1)
+	binary.LittleEndian.PutUint64(d[8:16], h2)
+	return d
+}
+
+// pairBlock is one body round of the x64 128-bit algorithm (no
+// finalization), shared by HashPair's unrolled blocks.
+func pairBlock(h1, h2, k1, k2 uint64) (uint64, uint64) {
+	k1 *= c1
+	k1 = rotl64(k1, 31)
+	k1 *= c2
+	h1 ^= k1
+
+	h1 = rotl64(h1, 27)
+	h1 += h2
+	h1 = h1*5 + 0x52dce729
+
+	k2 *= c2
+	k2 = rotl64(k2, 33)
+	k2 *= c1
+	h2 ^= k2
+
+	h2 = rotl64(h2, 31)
+	h2 += h1
+	h2 = h2*5 + 0x38495ab5
+	return h1, h2
+}
+
+// Chain is a streaming chained-block hasher: the fused equivalent of the
+// comparator's per-block digest chaining
+//
+//	digest = SumDigest(block, digest)
+//
+// with the two state words kept live as uint64 across blocks instead of
+// being serialized to a Digest and re-parsed as the next seed. Digest
+// serialization is little-endian h1 then h2 and Sum128Seeded seeds
+// (s1, s2) from exactly those words, so carrying (h1, h2) forward is
+// bit-identical to the round-trip — Sum() after any sequence of
+// Block/BlockTail calls equals the digest the SumDigest chain would have
+// produced. The zero Chain is ready to use and corresponds to the zero
+// Digest seed.
+//
+// Each Block call still runs the full finalization (length xor, fmix64
+// avalanche): chaining semantics pin the block boundary, so finalization
+// per block is part of the hash definition, not overhead that can be
+// deferred. What the Chain eliminates is the per-block seed/serialize
+// round-trip, the slice framing, and the dead 0..15 tail switch.
+type Chain struct {
+	h1, h2 uint64
+}
+
+// NewChain returns a Chain seeded from a previous digest (use the zero
+// Chain for a zero seed).
+func NewChain(seed Digest) Chain {
+	return Chain{
+		h1: binary.LittleEndian.Uint64(seed[0:8]),
+		h2: binary.LittleEndian.Uint64(seed[8:16]),
+	}
+}
+
+// Block absorbs one full 16-byte block given as two little-endian uint64
+// words, exactly as if SumDigest had hashed those 16 bytes seeded by the
+// current state. The body round is written out inline rather than calling
+// pairBlock: Block is the per-block unit of the leaf-hash kernel, and one
+// call frame per block (instead of two) is worth the duplication.
+func (c *Chain) Block(k1, k2 uint64) {
+	h1, h2 := c.h1, c.h2
+
+	k1 *= c1
+	k1 = rotl64(k1, 31)
+	k1 *= c2
+	h1 ^= k1
+
+	h1 = rotl64(h1, 27)
+	h1 += h2
+	h1 = h1*5 + 0x52dce729
+
+	k2 *= c2
+	k2 = rotl64(k2, 33)
+	k2 *= c1
+	h2 ^= k2
+
+	h2 = rotl64(h2, 31)
+	h2 += h1
+	h2 = h2*5 + 0x38495ab5
+
+	// Finalization of a 16-byte input.
+	h1 ^= 16
+	h2 ^= 16
+
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	h2 += h1
+
+	c.h1, c.h2 = h1, h2
+}
+
+// BlockTail absorbs a final half block: one 8-byte little-endian word,
+// exactly as if SumDigest had hashed those 8 bytes seeded by the current
+// state (the odd-cell tail of an odd-element chunk).
+func (c *Chain) BlockTail(k1 uint64) {
+	h1, h2 := c.h1, c.h2
+
+	// Tail path of Sum128Seeded for an 8-byte input: k1 only, no body
+	// round for h2.
+	k1 *= c1
+	k1 = rotl64(k1, 31)
+	k1 *= c2
+	h1 ^= k1
+
+	h1 ^= 8
+	h2 ^= 8
+
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	h2 += h1
+
+	c.h1, c.h2 = h1, h2
+}
+
+// Sum returns the current chain state as a Digest.
+func (c *Chain) Sum() Digest {
+	var d Digest
+	binary.LittleEndian.PutUint64(d[0:8], c.h1)
+	binary.LittleEndian.PutUint64(d[8:16], c.h2)
+	return d
 }
 
 func rotl64(x uint64, r uint) uint64 {

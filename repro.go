@@ -147,9 +147,20 @@ func GPUModel() DeviceModel { return device.GPUModel() }
 // CPUModel approximates a single CPU core.
 func CPUModel() DeviceModel { return device.CPUModel() }
 
-// NewParallelExecutor returns a worker-pool executor (workers <= 0 selects
-// GOMAXPROCS).
+// NewParallelExecutor returns a spawn-per-loop executor (workers <= 0
+// selects GOMAXPROCS). Prefer DefaultExecutor or NewPoolExecutor, which
+// reuse persistent workers across kernels.
 func NewParallelExecutor(workers int) Executor { return device.NewParallel(workers) }
+
+// NewPoolExecutor returns a persistent worker-pool executor (workers <= 0
+// selects GOMAXPROCS). Workers are started once and reused by every
+// kernel dispatched through the executor; call its Close method when the
+// pool is no longer needed.
+func NewPoolExecutor(workers int) *device.Pool { return device.NewPool(workers) }
+
+// DefaultExecutor returns the process-wide shared persistent pool, the
+// executor used when Options.Exec is nil.
+func DefaultExecutor() Executor { return device.Default() }
 
 // SerialExecutor returns the single-threaded executor.
 func SerialExecutor() Executor { return device.Serial{} }
@@ -316,7 +327,7 @@ func MetadataHistory(store *Store, runID string) ([]string, error) {
 // executor selects the default parallel one.
 func DiffTrees(a, b *Tree, exec Executor) ([]int, error) {
 	if exec == nil {
-		exec = device.NewParallel(0)
+		exec = device.Default()
 	}
 	chunks, _, err := merkle.Diff(a, b, a.DefaultStartLevel(exec.Workers()), exec)
 	return chunks, err
