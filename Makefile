@@ -29,16 +29,20 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# bench-smoke validates the kernel-benchmark runner end-to-end in
-# milliseconds (tiny sizes, output discarded); part of `make check`.
+# bench-smoke validates the benchmark runners end-to-end in milliseconds
+# (tiny sizes, output discarded); part of `make check`.
 bench-smoke:
 	$(GO) run ./cmd/benchkernels -smoke > /dev/null
+	$(GO) run ./cmd/benchstream -smoke > /dev/null
 
-# bench-json regenerates the tracked kernel-throughput baseline at the
-# repository root. Diff BENCH_kernels.json in review to catch kernel
-# regressions (same-machine deltas are signal, cross-machine noise).
+# bench-json regenerates the tracked baselines at the repository root:
+# kernel throughput (BENCH_kernels.json) and the stage-2 streaming
+# pipeline (BENCH_stream.json). Diff them in review to catch regressions
+# (same-machine deltas are signal, cross-machine noise; the stream
+# report's virtual columns are deterministic and comparable anywhere).
 bench-json:
 	$(GO) run ./cmd/benchkernels -o BENCH_kernels.json
+	$(GO) run ./cmd/benchstream -o BENCH_stream.json
 
 # Regenerate every paper table and figure (see EXPERIMENTS.md).
 experiments:

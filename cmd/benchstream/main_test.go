@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSmokeRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-smoke", "-o", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if !report.Smoke {
+		t.Error("smoke run not marked as smoke")
+	}
+	want := []string{
+		"plain_fresh_serial_depth1",
+		"plain_fresh_serial_depth2",
+		"ring_pair_depth1",
+		"ring_pair_depth2",
+		"ring_pair_depth4",
+		"ring_pair_coalesce_depth2",
+		"ring_pair_coalesce_depth4",
+	}
+	if len(report.Pipelines) != len(want) {
+		t.Fatalf("got %d pipelines, want %d", len(report.Pipelines), len(want))
+	}
+	byName := map[string]Pipeline{}
+	for i, p := range report.Pipelines {
+		if p.Name != want[i] {
+			t.Errorf("pipeline %d: name %q, want %q", i, p.Name, want[i])
+		}
+		if p.Slices < 1 || p.ReadOps < 1 || p.BytesRead <= 0 ||
+			p.PipelineVirtualMs <= 0 || p.WallMs <= 0 || p.SpeedupVsBaseline <= 0 {
+			t.Errorf("pipeline %q has degenerate measurement: %+v", p.Name, p)
+		}
+		byName[p.Name] = p
+	}
+
+	// Every variant streams the same candidate bytes.
+	base := report.Pipelines[0]
+	for _, p := range report.Pipelines[1:] {
+		if p.BytesRead != base.BytesRead {
+			t.Errorf("%s read %d bytes, baseline %d", p.Name, p.BytesRead, base.BytesRead)
+		}
+	}
+	// Coalescing must collapse the clustered batches into fewer PFS ops.
+	if co, plain := byName["ring_pair_coalesce_depth2"], byName["ring_pair_depth2"]; co.ReadOps >= plain.ReadOps {
+		t.Errorf("coalesced read ops = %d, plain = %d", co.ReadOps, plain.ReadOps)
+	}
+	// The default compare configuration must beat the pre-persistent-ring
+	// pipeline on the virtual clock.
+	if s := byName["ring_pair_coalesce_depth2"].SpeedupVsBaseline; s < 1.5 {
+		t.Errorf("ring_pair_coalesce_depth2 speedup = %.2f, want >= 1.5", s)
+	}
+	// Persistent-ring variants recycle every buffer: no marginal
+	// allocations per slice once warm. (Depth-4 is excluded: the smoke
+	// workload's half run has fewer slices than the pool, so the
+	// differencing doesn't cancel pool fills.)
+	for _, name := range []string{"ring_pair_depth1", "ring_pair_depth2", "ring_pair_coalesce_depth2"} {
+		if a := byName[name].AllocsPerSlice; a > 0.5 {
+			t.Errorf("%s steady-state allocations = %.2f per slice, want 0", name, a)
+		}
+	}
+}
+
+func TestSmokeRunStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-smoke"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+	var report Report
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

@@ -2,9 +2,14 @@
 // comparator (paper §2.5.2). Two backends implement the same interface:
 //
 //   - Uring: an io_uring-style engine with a submission queue and a
-//     completion queue shared with a pool of "kernel" workers. Many reads
-//     are enqueued with a single submit, latencies overlap up to the queue
-//     depth, and completions are reaped asynchronously.
+//     completion queue shared with a pool of "kernel" workers. The ring is
+//     persistent: it starts lazily on first use and is reused across every
+//     ReadBatch call, so steady-state batches pay no goroutine spawn or
+//     teardown. Many reads are enqueued with a single submit, latencies
+//     overlap up to the queue depth, and completions are reaped
+//     asynchronously. Uring also implements PairReader: the comparator's
+//     run-A and run-B batches are submitted into the one ring together so
+//     their latencies overlap instead of summing tA + tB.
 //   - Mmap: a memory-map-style backend in which every first touch of a
 //     page triggers a synchronous page fault: faults serialize and each
 //     pays the full device latency. This is the slower baseline of Fig. 9.
@@ -43,18 +48,45 @@ type Backend interface {
 	ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error)
 }
 
-// Uring is the io_uring-style backend.
+// PairReader is implemented by backends that can execute the run-A and
+// run-B halves of a verification slice as one overlapped batch. Both
+// files must live in the same store: the combined batch is priced once,
+// against fA's cost model, as a single deep queue of in-flight operations.
+// Backends without this fast path are driven through two serial ReadBatch
+// calls by the stream pipeline.
+type PairReader interface {
+	Backend
+	// ReadBatchPair executes reqsA against fA and reqsB against fB as one
+	// overlapped batch, returning the combined cost and the virtual
+	// elapsed time of the whole pair.
+	ReadBatchPair(fA, fB *pfs.File, reqsA, reqsB []ReadReq) (pfs.Cost, time.Duration, error)
+}
+
+// Uring is the io_uring-style backend. The zero value is usable: the
+// persistent ring starts lazily on the first batch with defaulted
+// parameters. A Uring serializes batch groups internally, so it is safe
+// for concurrent use; Close stops the ring's workers (the next batch
+// restarts them), and the process-wide Default engine is never closed.
 type Uring struct {
 	// QueueDepth is the maximum number of in-flight operations (ring size).
 	QueueDepth int
 	// Workers is the number of kernel-side worker goroutines.
 	Workers int
+
+	// mu serializes batch groups on the ring (one ReadBatch or
+	// ReadBatchPair reaps exactly its own completions) and guards the
+	// lazy ring start.
+	mu   sync.Mutex
+	ring *Ring
 }
 
-var _ Backend = (*Uring)(nil)
+var (
+	_ Backend    = (*Uring)(nil)
+	_ PairReader = (*Uring)(nil)
+)
 
 // NewUring returns a Uring backend with sensible defaults applied
-// (queue depth 64, workers 4).
+// (queue depth 64, workers 4). The ring itself starts on first use.
 func NewUring(queueDepth, workers int) *Uring {
 	if queueDepth < 1 {
 		queueDepth = 64
@@ -68,27 +100,139 @@ func NewUring(queueDepth, workers int) *Uring {
 // Name implements Backend.
 func (u *Uring) Name() string { return "io_uring" }
 
-// ReadBatch submits all requests through a ring and reaps completions.
+func (u *Uring) queueDepth() int {
+	if u.QueueDepth < 1 {
+		return 64
+	}
+	return u.QueueDepth
+}
+
+// ensureRing lazily starts the persistent ring. Caller holds u.mu.
+func (u *Uring) ensureRing() *Ring {
+	if u.ring == nil {
+		workers := u.Workers
+		if workers < 1 {
+			workers = 4
+		}
+		u.ring = NewRing(u.queueDepth(), workers)
+	}
+	return u.ring
+}
+
+// Close stops the persistent ring's workers. The ring restarts lazily on
+// the next batch, so a closed Uring remains usable; Close exists so
+// bounded-lifetime backends (benchmarks, per-experiment engines) do not
+// leak workers.
+func (u *Uring) Close() {
+	u.mu.Lock()
+	ring := u.ring
+	u.ring = nil
+	u.mu.Unlock()
+	if ring != nil {
+		ring.Close()
+	}
+}
+
+// ReadBatch submits all requests through the persistent ring and reaps
+// their completions.
 func (u *Uring) ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error) {
 	if len(reqs) == 0 {
 		return pfs.Cost{}, 0, nil
 	}
-	ring := NewRing(u.QueueDepth, u.Workers)
-	defer ring.Close()
-
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	ring := u.ensureRing()
 	if err := ring.Submit(f, reqs); err != nil {
 		return pfs.Cost{}, 0, err
 	}
-	comps, err := ring.Reap(len(reqs))
-	var cost pfs.Cost
-	for i := range comps {
-		cost.Add(comps[i].Cost)
+	cost, err := ring.reapCost(len(reqs))
+	elapsed := priceOverlapped(f, cost, u.queueDepth(), batchIsScattered(len(reqs), batchBytes(reqs)))
+	return cost, elapsed, err
+}
+
+// ReadBatchPair implements PairReader: both runs' requests enter the one
+// ring back to back and complete as a single deep queue, so the pair is
+// priced once — the A and B latencies overlap instead of summing, and the
+// final-completion latency is paid once instead of twice. Both files must
+// live in the same store; the combined batch is priced against fA's model.
+func (u *Uring) ReadBatchPair(fA, fB *pfs.File, reqsA, reqsB []ReadReq) (pfs.Cost, time.Duration, error) {
+	if len(reqsA)+len(reqsB) == 0 {
+		return pfs.Cost{}, 0, nil
 	}
-	elapsed := priceOverlapped(f, cost, u.QueueDepth, batchIsScattered(reqs))
-	if err != nil {
-		return cost, elapsed, err
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	ring := u.ensureRing()
+	if err := ring.Submit(fA, reqsA); err != nil {
+		return pfs.Cost{}, 0, err
 	}
-	return cost, elapsed, nil
+	if err := ring.Submit(fB, reqsB); err != nil {
+		// The A half is already in flight: drain its completions so the
+		// ring stays reusable for the next batch group.
+		cost, _ := ring.reapCost(len(reqsA))
+		return cost, 0, err
+	}
+	cost, err := ring.reapCost(len(reqsA) + len(reqsB))
+	ops := len(reqsA) + len(reqsB)
+	scattered := batchIsScattered(ops, batchBytes(reqsA)+batchBytes(reqsB))
+	elapsed := priceOverlapped(fA, cost, u.queueDepth(), scattered)
+	return cost, elapsed, err
+}
+
+// defaultUring is the process-wide shared engine behind Default.
+var (
+	defaultUring     *Uring
+	defaultUringOnce sync.Once
+)
+
+// Default returns the process-wide shared io_uring-style engine (queue
+// depth 256, 4 workers; ring started on first use, never closed). It is
+// the backend the compare layer selects when Options.Backend is nil,
+// mirroring device.Default().
+func Default() *Uring {
+	defaultUringOnce.Do(func() { defaultUring = NewUring(256, 4) })
+	return defaultUring
+}
+
+// Legacy is the pre-persistent-ring engine, retained as the benchmark
+// baseline (cmd/benchstream): every ReadBatch constructs a fresh Ring,
+// drives one batch through it, and tears it down — paying worker spawn and
+// join per batch — and it implements only Backend, so run-A and run-B
+// batches serialize. New code should use Uring.
+type Legacy struct {
+	// QueueDepth is the ring size (default 64).
+	QueueDepth int
+	// Workers is the worker count per ring (default 4).
+	Workers int
+}
+
+var _ Backend = Legacy{}
+
+// Name implements Backend.
+func (Legacy) Name() string { return "io_uring_fresh" }
+
+// ReadBatch spawns a ring, submits all requests, reaps, and tears the
+// ring down.
+func (l Legacy) ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error) {
+	if len(reqs) == 0 {
+		return pfs.Cost{}, 0, nil
+	}
+	queueDepth := l.QueueDepth
+	if queueDepth < 1 {
+		queueDepth = 64
+	}
+	workers := l.Workers
+	if workers < 1 {
+		workers = 4
+	}
+	//lint:ignore ringlife the per-batch ring spawn IS the baseline this backend preserves for benchmarks
+	ring := NewRing(queueDepth, workers)
+	defer ring.Close()
+	if err := ring.Submit(f, reqs); err != nil {
+		return pfs.Cost{}, 0, err
+	}
+	cost, err := ring.reapCost(len(reqs))
+	elapsed := priceOverlapped(f, cost, queueDepth, batchIsScattered(len(reqs), batchBytes(reqs)))
+	return cost, elapsed, err
 }
 
 // scatteredMaxReq is the request size up to which a deep queue of reads
@@ -100,17 +244,22 @@ const scatteredMaxReq = 2 << 20
 // scatteredMinOps is the minimum batch size for the striping effect.
 const scatteredMinOps = 8
 
-// batchIsScattered reports whether a request batch gets the deep-queue
-// striping bandwidth.
-func batchIsScattered(reqs []ReadReq) bool {
-	if len(reqs) < scatteredMinOps {
-		return false
-	}
+// batchBytes sums the requested bytes of a batch.
+func batchBytes(reqs []ReadReq) int64 {
 	var bytes int64
 	for i := range reqs {
 		bytes += int64(reqs[i].Len)
 	}
-	return bytes/int64(len(reqs)) <= scatteredMaxReq
+	return bytes
+}
+
+// batchIsScattered reports whether a batch of ops requests totalling bytes
+// gets the deep-queue striping bandwidth.
+func batchIsScattered(ops int, bytes int64) bool {
+	if ops < scatteredMinOps {
+		return false
+	}
+	return bytes/int64(ops) <= scatteredMaxReq
 }
 
 // priceOverlapped prices a batch whose per-op latencies overlap up to the
@@ -219,9 +368,15 @@ type Ring struct {
 	sq chan sqe
 	wg sync.WaitGroup
 
+	// submits tracks Submit calls in flight so Close can wait for them
+	// before closing sq: a Submit that passed the closed check is
+	// guaranteed to finish sending before the channel closes.
+	submits sync.WaitGroup
+
 	mu     sync.Mutex
 	cond   *sync.Cond
-	comps  []Completion
+	comps  []Completion // pending completions are comps[head:]
+	head   int
 	closed bool
 }
 
@@ -283,17 +438,42 @@ func (r *Ring) worker() {
 
 // Submit enqueues all requests for the file. It blocks only when the
 // submission queue is full (in-flight operations at the queue depth).
+// Submit is safe against a concurrent Close: it either completes the whole
+// send before the queue closes or returns the closed error without
+// sending. (Registering in r.submits under r.mu is what closes the old
+// TOCTOU window — Close waits on the group before closing sq.)
 func (r *Ring) Submit(f *pfs.File, reqs []ReadReq) error {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
 		return errors.New("aio: ring closed")
 	}
+	r.submits.Add(1)
 	r.mu.Unlock()
+	defer r.submits.Done()
 	for i := range reqs {
 		r.sq <- sqe{f: f, req: reqs[i]}
 	}
 	return nil
+}
+
+// takeLocked removes up to n pending completions and returns how many it
+// removed and the slice window holding them (valid until r.mu is
+// released). When the queue drains completely it is rewound to the front
+// of its backing array, so a serialized submit/reap cadence reuses one
+// allocation forever.
+func (r *Ring) takeLocked(n int) (int, []Completion) {
+	avail := len(r.comps) - r.head
+	if avail > n {
+		avail = n
+	}
+	window := r.comps[r.head : r.head+avail]
+	r.head += avail
+	if r.head == len(r.comps) {
+		r.comps = r.comps[:0]
+		r.head = 0
+	}
+	return avail, window
 }
 
 // Reap waits for n completions and returns them (order is completion
@@ -301,20 +481,17 @@ func (r *Ring) Submit(f *pfs.File, reqs []ReadReq) error {
 // after all n completions are collected.
 func (r *Ring) Reap(n int) ([]Completion, error) {
 	out := make([]Completion, 0, n)
-	var firstErr error
 	r.mu.Lock()
 	for len(out) < n {
-		for len(r.comps) == 0 {
+		got, window := r.takeLocked(n - len(out))
+		if got == 0 {
 			r.cond.Wait()
+			continue
 		}
-		take := n - len(out)
-		if take > len(r.comps) {
-			take = len(r.comps)
-		}
-		out = append(out, r.comps[:take]...)
-		r.comps = r.comps[take:]
+		out = append(out, window...)
 	}
 	r.mu.Unlock()
+	var firstErr error
 	for i := range out {
 		if out[i].Err != nil {
 			firstErr = out[i].Err
@@ -322,6 +499,32 @@ func (r *Ring) Reap(n int) ([]Completion, error) {
 		}
 	}
 	return out, firstErr
+}
+
+// reapCost waits for n completions and folds them directly into an
+// aggregate cost without materializing a []Completion — the zero-alloc
+// reap the persistent backends use on every batch.
+func (r *Ring) reapCost(n int) (pfs.Cost, error) {
+	var cost pfs.Cost
+	var firstErr error
+	got := 0
+	r.mu.Lock()
+	for got < n {
+		k, window := r.takeLocked(n - got)
+		if k == 0 {
+			r.cond.Wait()
+			continue
+		}
+		for i := range window {
+			cost.Add(window[i].Cost)
+			if window[i].Err != nil && firstErr == nil {
+				firstErr = window[i].Err
+			}
+		}
+		got += k
+	}
+	r.mu.Unlock()
+	return cost, firstErr
 }
 
 // Close stops accepting submissions, waits for in-flight operations to
@@ -334,6 +537,9 @@ func (r *Ring) Close() {
 	}
 	r.closed = true
 	r.mu.Unlock()
+	// Wait for Submits that passed the closed check before closing the
+	// channel they send on.
+	r.submits.Wait()
 	close(r.sq)
 	r.wg.Wait()
 }

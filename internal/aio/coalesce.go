@@ -2,6 +2,7 @@ package aio
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/pfs"
@@ -12,92 +13,273 @@ import (
 // verification stage's I/O pattern: when divergent chunks cluster (as they
 // do for spatially correlated divergence), adjacent candidate chunks can
 // be fetched with one request, trading a bounded amount of wasted gap
-// bytes for a large reduction in operation count.
+// bytes for a large reduction in operation count. With latency-dominated
+// scattered batches this is where most of the stage-2 speedup comes from,
+// which is why the compare layer enables it by default.
+//
+// Construct with NewCoalescing to attach the recycling scratch arena: the
+// merge plan (index order, runs, merged requests) and the merged read
+// buffer are then reused across batches, so steady-state coalescing does
+// no heap allocation. A zero-value Coalescing still works but plans each
+// batch in fresh memory.
+//
+// Coalescing implements PairReader by planning each side independently and
+// handing both merged batches to the inner backend's pair path (falling
+// back to two serial inner reads when the inner backend lacks one).
 type Coalescing struct {
-	// Inner executes the merged batch.
+	// Inner executes the merged batch (nil selects Default()).
 	Inner Backend
 	// MaxGap is the largest hole (in bytes) bridged between two requests
 	// (default 16 KiB). Gap bytes are read and discarded.
 	MaxGap int
+
+	scratch *coalesceScratch
 }
 
-var _ Backend = Coalescing{}
+var (
+	_ Backend    = Coalescing{}
+	_ PairReader = Coalescing{}
+)
 
-// NewCoalescing wraps a backend with defaults applied.
+// NewCoalescing wraps a backend with defaults applied and a private
+// scratch arena attached.
 func NewCoalescing(inner Backend, maxGap int) Coalescing {
-	if inner == nil {
-		inner = NewUring(0, 0)
-	}
 	if maxGap <= 0 {
 		maxGap = 16 << 10
 	}
-	return Coalescing{Inner: inner, MaxGap: maxGap}
+	return Coalescing{Inner: inner, MaxGap: maxGap, scratch: &coalesceScratch{}}
+}
+
+func (c Coalescing) inner() Backend {
+	if c.Inner == nil {
+		return Default()
+	}
+	return c.Inner
 }
 
 // Name implements Backend.
-func (c Coalescing) Name() string { return c.Inner.Name() + "+coalesce" }
+func (c Coalescing) Name() string { return c.inner().Name() + "+coalesce" }
+
+// acquire returns the scratch to plan in — the shared arena (locked) when
+// one was attached by NewCoalescing, a throwaway otherwise. Pair with
+// release. (No closures here: a per-batch method-value allocation would
+// defeat the arena.)
+func (c Coalescing) acquire() *coalesceScratch {
+	sc := c.scratch
+	if sc != nil {
+		sc.mu.Lock()
+	} else {
+		sc = &coalesceScratch{}
+	}
+	sc.begin()
+	return sc
+}
+
+// release unlocks the shared arena; throwaway scratches just drop.
+func (c Coalescing) release(sc *coalesceScratch) {
+	if sc == c.scratch {
+		sc.mu.Unlock()
+	}
+}
 
 // ReadBatch merges, executes, and scatters results back into the original
 // request buffers.
 func (c Coalescing) ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error) {
 	if len(reqs) <= 1 {
-		return c.Inner.ReadBatch(f, reqs)
+		return c.inner().ReadBatch(f, reqs)
 	}
-	for i := range reqs {
-		if err := checkReq(&reqs[i]); err != nil {
-			return pfs.Cost{}, 0, err
-		}
+	sc := c.acquire()
+	defer c.release(sc)
+	p, err := sc.plan(reqs, c.MaxGap)
+	if err != nil {
+		return pfs.Cost{}, 0, err
 	}
-	// Sort request indices by offset.
-	order := make([]int, len(reqs))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return reqs[order[a]].Off < reqs[order[b]].Off })
-
-	// Build merged runs.
-	type run struct {
-		off     int64
-		end     int64
-		members []int
-	}
-	var runs []run
-	cur := run{off: reqs[order[0]].Off, end: reqs[order[0]].Off + int64(reqs[order[0]].Len), members: []int{order[0]}}
-	for _, idx := range order[1:] {
-		r := &reqs[idx]
-		if r.Off <= cur.end+int64(c.MaxGap) {
-			cur.members = append(cur.members, idx)
-			if end := r.Off + int64(r.Len); end > cur.end {
-				cur.end = end
-			}
-			continue
-		}
-		runs = append(runs, cur)
-		cur = run{off: r.Off, end: r.Off + int64(r.Len), members: []int{idx}}
-	}
-	runs = append(runs, cur)
-
-	// Execute the merged batch.
-	merged := make([]ReadReq, len(runs))
-	for i, r := range runs {
-		merged[i] = ReadReq{
-			Off: r.off,
-			Len: int(r.end - r.off),
-			Buf: make([]byte, r.end-r.off),
-			Tag: i,
-		}
-	}
-	cost, elapsed, err := c.Inner.ReadBatch(f, merged)
+	cost, elapsed, err := c.inner().ReadBatch(f, sc.merged[p.mlo:p.mhi])
 	if err != nil {
 		return cost, elapsed, err
 	}
-	// Scatter back into the original buffers.
-	for i, r := range runs {
-		for _, idx := range r.members {
-			req := &reqs[idx]
-			src := req.Off - r.off
-			copy(req.Buf[:req.Len], merged[i].Buf[src:src+int64(req.Len)])
+	sc.scatter(p, reqs)
+	return cost, elapsed, nil
+}
+
+// ReadBatchPair implements PairReader: each side is planned independently
+// (runs never merge across files) and the two merged batches execute as
+// one overlapped pair when the inner backend supports it.
+func (c Coalescing) ReadBatchPair(fA, fB *pfs.File, reqsA, reqsB []ReadReq) (pfs.Cost, time.Duration, error) {
+	sc := c.acquire()
+	defer c.release(sc)
+	pa, err := sc.plan(reqsA, c.MaxGap)
+	if err != nil {
+		return pfs.Cost{}, 0, err
+	}
+	pb, err := sc.plan(reqsB, c.MaxGap)
+	if err != nil {
+		return pfs.Cost{}, 0, err
+	}
+	mergedA := sc.merged[pa.mlo:pa.mhi]
+	mergedB := sc.merged[pb.mlo:pb.mhi]
+
+	inner := c.inner()
+	var cost pfs.Cost
+	var elapsed time.Duration
+	if pr, ok := inner.(PairReader); ok {
+		cost, elapsed, err = pr.ReadBatchPair(fA, fB, mergedA, mergedB)
+	} else {
+		// No pair path underneath: the two merged batches serialize.
+		cost, elapsed, err = inner.ReadBatch(fA, mergedA)
+		if err == nil {
+			var costB pfs.Cost
+			var tB time.Duration
+			costB, tB, err = inner.ReadBatch(fB, mergedB)
+			cost.Add(costB)
+			elapsed += tB
 		}
 	}
+	if err != nil {
+		return cost, elapsed, err
+	}
+	sc.scatter(pa, reqsA)
+	sc.scatter(pb, reqsB)
 	return cost, elapsed, nil
+}
+
+// crun is one merged run: the file window [off,end) covering the original
+// requests at order[lo:hi] (offset-sorted, so members are consecutive).
+type crun struct {
+	off, end int64
+	lo, hi   int
+}
+
+// coalescePlan addresses one planned batch inside the scratch arena:
+// runs[rlo:rhi] and merged[mlo:mhi]. Plans are index ranges rather than
+// slices because a later plan in the same arena may grow (and therefore
+// move) the shared backing arrays.
+type coalescePlan struct {
+	rlo, rhi int
+	mlo, mhi int
+}
+
+// coalesceScratch holds the reusable planning state of one Coalescing
+// backend: the offset-sorted index order, the merged runs, the merged
+// request batch, and one grow-only byte buffer the merged reads land in.
+// All of it is reset (not freed) per batch group, so the arena reaches a
+// high-water size and then recycles. One batch group plans at a time (mu).
+type coalesceScratch struct {
+	mu     sync.Mutex
+	sorter orderSorter
+	runs   []crun
+	merged []ReadReq
+	buf    []byte
+	used   int
+}
+
+// begin resets the arena for a new batch group, keeping capacity.
+func (sc *coalesceScratch) begin() {
+	sc.sorter.order = sc.sorter.order[:0]
+	sc.runs = sc.runs[:0]
+	sc.merged = sc.merged[:0]
+	sc.used = 0
+}
+
+// carve returns an n-byte window of the arena buffer. Growing allocates a
+// fresh backing array; windows carved earlier keep referencing the old one,
+// which stays valid for the rest of the batch group.
+func (sc *coalesceScratch) carve(n int) []byte {
+	if len(sc.buf)-sc.used < n {
+		size := 2 * len(sc.buf)
+		if size < n {
+			size = n
+		}
+		if size < 1<<20 {
+			size = 1 << 20
+		}
+		sc.buf = make([]byte, size)
+		sc.used = 0
+	}
+	b := sc.buf[sc.used : sc.used+n]
+	sc.used += n
+	return b
+}
+
+// orderSorter sorts request indices by offset. It is kept in the scratch
+// (and passed to sort.Sort by pointer) so sorting allocates nothing.
+type orderSorter struct {
+	order []int
+	reqs  []ReadReq
+	base  int
+}
+
+func (s *orderSorter) Len() int { return len(s.order) - s.base }
+func (s *orderSorter) Less(i, j int) bool {
+	return s.reqs[s.order[s.base+i]].Off < s.reqs[s.order[s.base+j]].Off
+}
+func (s *orderSorter) Swap(i, j int) {
+	o := s.order
+	o[s.base+i], o[s.base+j] = o[s.base+j], o[s.base+i]
+}
+
+// plan validates reqs, sorts them by offset, and appends their merged runs
+// and merged requests to the arena.
+func (sc *coalesceScratch) plan(reqs []ReadReq, maxGap int) (coalescePlan, error) {
+	if maxGap <= 0 {
+		maxGap = 16 << 10
+	}
+	p := coalescePlan{rlo: len(sc.runs), mlo: len(sc.merged)}
+	p.rhi, p.mhi = p.rlo, p.mlo
+	if len(reqs) == 0 {
+		return p, nil
+	}
+	for i := range reqs {
+		if err := checkReq(&reqs[i]); err != nil {
+			return p, err
+		}
+	}
+	olo := len(sc.sorter.order)
+	for i := range reqs {
+		sc.sorter.order = append(sc.sorter.order, i)
+	}
+	sc.sorter.reqs = reqs
+	sc.sorter.base = olo
+	sort.Sort(&sc.sorter)
+	sc.sorter.reqs = nil
+
+	order := sc.sorter.order
+	first := &reqs[order[olo]]
+	cur := crun{off: first.Off, end: first.Off + int64(first.Len), lo: olo, hi: olo + 1}
+	for oi := olo + 1; oi < len(order); oi++ {
+		r := &reqs[order[oi]]
+		if r.Off <= cur.end+int64(maxGap) {
+			if end := r.Off + int64(r.Len); end > cur.end {
+				cur.end = end
+			}
+			cur.hi = oi + 1
+			continue
+		}
+		sc.runs = append(sc.runs, cur)
+		cur = crun{off: r.Off, end: r.Off + int64(r.Len), lo: oi, hi: oi + 1}
+	}
+	sc.runs = append(sc.runs, cur)
+
+	for ri := p.rlo; ri < len(sc.runs); ri++ {
+		r := sc.runs[ri]
+		n := int(r.end - r.off)
+		sc.merged = append(sc.merged, ReadReq{Off: r.off, Len: n, Buf: sc.carve(n), Tag: ri - p.rlo})
+	}
+	p.rhi = len(sc.runs)
+	p.mhi = len(sc.merged)
+	return p, nil
+}
+
+// scatter copies each original request's bytes out of its run's merged
+// buffer.
+func (sc *coalesceScratch) scatter(p coalescePlan, reqs []ReadReq) {
+	for ri := p.rlo; ri < p.rhi; ri++ {
+		r := sc.runs[ri]
+		merged := sc.merged[p.mlo+(ri-p.rlo)]
+		for oi := r.lo; oi < r.hi; oi++ {
+			req := &reqs[sc.sorter.order[oi]]
+			src := req.Off - r.off
+			copy(req.Buf[:req.Len], merged.Buf[src:src+int64(req.Len)])
+		}
+	}
 }

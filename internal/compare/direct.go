@@ -116,6 +116,7 @@ func CompareDirect(store *pfs.Store, nameA, nameB string, opts Options) (*Result
 		Backend:    opts.Backend,
 		Device:     opts.Device,
 		SliceBytes: opts.SliceBytes,
+		Depth:      opts.Depth,
 	}, func(p stream.ChunkPair, a, b []byte) (time.Duration, error) {
 		ref := jb.refs[p.Index]
 		idx, _, err := ref.hasher.h.CompareSlices(nil, a, b)

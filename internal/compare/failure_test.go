@@ -21,9 +21,11 @@ func TestMerkleReadFaultPropagates(t *testing.T) {
 	if _, err := CompareMerkle(env.store, env.nameA, env.nameB, opts); !errors.Is(err, errStorage) {
 		t.Errorf("metadata-read fault error = %v", err)
 	}
-	// Fault later, inside the verification pipeline's scattered reads.
+	// Fault later, inside the verification pipeline's scattered reads
+	// (ops 1-3 are the metadata reads; coalescing merges the candidate
+	// chunks into a handful of runs, so op 6 lands mid-verification).
 	env.store.EvictAll()
-	env.store.FailReads(20, errStorage)
+	env.store.FailReads(6, errStorage)
 	if _, err := CompareMerkle(env.store, env.nameA, env.nameB, opts); !errors.Is(err, errStorage) {
 		t.Errorf("verification-read fault error = %v", err)
 	}

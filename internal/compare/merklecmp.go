@@ -185,6 +185,7 @@ func CompareMerkle(store *pfs.Store, nameA, nameB string, opts Options) (*Result
 			Backend:    opts.Backend,
 			Device:     opts.Device,
 			SliceBytes: opts.SliceBytes,
+			Depth:      opts.Depth,
 		}, func(p stream.ChunkPair, a, b []byte) (time.Duration, error) {
 			ref := refs[p.Index]
 			idx, _, err := ref.hasher.CompareSlices(nil, a, b)

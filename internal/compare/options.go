@@ -34,10 +34,23 @@ type Options struct {
 	Exec device.Executor
 	// Device prices kernels and transfers (default: GPU model).
 	Device device.Model
-	// Backend performs scattered reads (default: io_uring-style).
+	// Backend performs scattered reads. The default is the process-wide
+	// persistent io_uring-style engine (aio.Default(): deep queue, ring
+	// workers started once and reused across every batch) wrapped in
+	// aio.Coalescing — see CoalesceMaxGap. An explicitly set Backend is
+	// used as-is, never wrapped.
 	Backend aio.Backend
 	// SliceBytes is the streaming pipeline slice size (default 8 MiB).
 	SliceBytes int
+	// Depth is the verification pipeline depth: buffer sets in flight
+	// between the I/O producer and the compute consumer (default 2,
+	// classic double buffering; 1 serializes I/O against compute).
+	Depth int
+	// CoalesceMaxGap controls read coalescing on the default backend: the
+	// largest hole in bytes bridged between two candidate chunks (0
+	// selects the 16 KiB default; negative disables coalescing). Ignored
+	// when Backend is set explicitly.
+	CoalesceMaxGap int
 	// StartLevel is the tree-diff BFS start level; negative selects the
 	// mid-tree heuristic (default).
 	StartLevel int
@@ -88,10 +101,20 @@ func (o Options) withDefaults() Options {
 	if o.Backend == nil {
 		// Deep queue: Lustre-style PFS sustain high IOPS when many
 		// scattered reads are in flight, which is what io_uring enables.
-		o.Backend = aio.NewUring(256, 4)
+		// The shared persistent engine is reused across comparisons, and
+		// clustered candidate chunks are coalesced into fewer PFS ops
+		// unless the caller opts out with a negative CoalesceMaxGap.
+		if o.CoalesceMaxGap < 0 {
+			o.Backend = aio.Default()
+		} else {
+			o.Backend = aio.NewCoalescing(aio.Default(), o.CoalesceMaxGap)
+		}
 	}
 	if o.SliceBytes <= 0 {
 		o.SliceBytes = 8 << 20
+	}
+	if o.Depth < 1 {
+		o.Depth = 2
 	}
 	if o.StartLevel == 0 {
 		o.StartLevel = -1

@@ -53,7 +53,7 @@ func (e *Env) Ablations() (*Table, error) {
 		return nil
 	}
 
-	if err := run("baseline", "mid-tree BFS, io_uring, double buffering", nil); err != nil {
+	if err := run("baseline", "mid-tree BFS, persistent io_uring + coalescing, depth-2 pipeline", nil); err != nil {
 		return nil, err
 	}
 	if err := run("BFS from root", "no mid-tree start (§2.5.1)", func(o *compare.Options) {
@@ -71,8 +71,18 @@ func (e *Env) Ablations() (*Table, error) {
 	}); err != nil {
 		return nil, err
 	}
-	if err := run("coalesced reads", "extension: adjacent candidate chunks merged", func(o *compare.Options) {
-		o.Backend = aio.NewCoalescing(nil, 16<<10)
+	if err := run("no coalescing", "every candidate chunk is its own PFS op", func(o *compare.Options) {
+		o.CoalesceMaxGap = -1
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("depth-1 pipeline", "one buffer set: stage-2 I/O and compare serialize", func(o *compare.Options) {
+		o.Depth = 1
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("depth-4 pipeline", "four buffer sets in flight", func(o *compare.Options) {
+		o.Depth = 4
 	}); err != nil {
 		return nil, err
 	}

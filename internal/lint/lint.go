@@ -174,6 +174,7 @@ func All() []*Analyzer {
 		ErrClose,
 		WallTime,
 		KernelAlloc,
+		RingLife,
 	}
 }
 

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// RingLife flags per-call construction of the aio submission/completion
+// ring — the I/O twin of kernelalloc. NewRing starts a pool of worker
+// goroutines; building one inside a batch-path function (and tearing it
+// down with a deferred Close) charges a spawn-and-join to every batch,
+// which is exactly the overhead the persistent Uring engine exists to
+// amortize. Rings belong in setup code: constructors (New*/new*),
+// lazy-start helpers (ensure*/Ensure*), process-wide Default accessors, or
+// package init. Anywhere else, reuse a persistent engine (aio.Default(),
+// or a Uring you Close when its scope ends).
+//
+// The check is syntactic: any call of a function named NewRing — bare or
+// selected from the aio package — outside those setup shapes is flagged.
+// A deliberate per-batch ring (the Legacy baseline backend) suppresses
+// with //lint:ignore ringlife <why>.
+var RingLife = &Analyzer{
+	Name:     "ringlife",
+	Doc:      "aio.NewRing constructed outside setup code (New*/ensure*/Default/init) — rings spawn workers and must persist across batches, not be rebuilt per call",
+	Severity: SeverityError,
+	Run:      runRingLife,
+}
+
+func runRingLife(p *Pass) {
+	for _, f := range p.Files {
+		forEachFunc(f, func(node ast.Node, body *ast.BlockStmt, _ *funcScope) {
+			if ringSetupFunc(node) {
+				return
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isNewRingCall(call) {
+					return true
+				}
+				p.Reportf(call.Pos(), "NewRing starts a worker pool per call; reuse a persistent engine (aio.Default() or a long-lived Uring) or move construction into setup code")
+				return true
+			})
+		})
+	}
+}
+
+// ringSetupFunc reports whether the function unit is setup code allowed to
+// construct rings: a constructor, a lazy-start helper, a Default accessor,
+// or package init. Package-level function literals are not setup code.
+func ringSetupFunc(node ast.Node) bool {
+	fd, ok := node.(*ast.FuncDecl)
+	if !ok {
+		return false
+	}
+	name := fd.Name.Name
+	if name == "init" || name == "Default" {
+		return true
+	}
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "new") || strings.HasPrefix(lower, "ensure")
+}
+
+// isNewRingCall matches NewRing(...) and aio.NewRing(...).
+func isNewRingCall(call *ast.CallExpr) bool {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "NewRing"
+	case *ast.SelectorExpr:
+		if fn.Sel.Name != "NewRing" {
+			return false
+		}
+		x, ok := fn.X.(*ast.Ident)
+		return ok && x.Name == "aio"
+	}
+	return false
+}

@@ -1,0 +1,122 @@
+package lint
+
+import "testing"
+
+func TestRingLife(t *testing.T) {
+	cases := []struct {
+		name string
+		pkg  string
+		src  string
+		want []string
+	}{
+		{
+			name: "per-batch ring in a method flagged",
+			pkg:  "internal/aio",
+			src: `package aio
+func (l Legacy) ReadBatch(f *File, reqs []ReadReq) error {
+	ring := NewRing(64, 4)
+	defer ring.Close()
+	return ring.Submit(f, reqs)
+}
+`,
+			want: []string{"3:ringlife"},
+		},
+		{
+			name: "qualified aio.NewRing outside aio flagged",
+			pkg:  "internal/stream",
+			src: `package stream
+import "repro/internal/aio"
+func fill() {
+	r := aio.NewRing(8, 2)
+	defer r.Close()
+}
+`,
+			want: []string{"4:ringlife"},
+		},
+		{
+			name: "constructor may build the ring",
+			pkg:  "internal/aio",
+			src: `package aio
+func NewUring(depth, workers int) *Uring {
+	return &Uring{ring: NewRing(depth, workers)}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "lazy ensure helper allowed",
+			pkg:  "internal/aio",
+			src: `package aio
+func (u *Uring) ensureRing() *Ring {
+	if u.ring == nil {
+		u.ring = NewRing(u.QueueDepth, u.Workers)
+	}
+	return u.ring
+}
+`,
+			want: nil,
+		},
+		{
+			name: "Default accessor allowed",
+			pkg:  "internal/aio",
+			src: `package aio
+func Default() *Ring { return NewRing(256, 4) }
+`,
+			want: nil,
+		},
+		{
+			name: "package init allowed",
+			pkg:  "internal/aio",
+			src: `package aio
+var shared *Ring
+func init() { shared = NewRing(64, 4) }
+`,
+			want: nil,
+		},
+		{
+			name: "other constructors not confused with NewRing",
+			pkg:  "internal/compare",
+			src: `package compare
+import "repro/internal/aio"
+func verify() {
+	_ = aio.NewUring(256, 4)
+	_ = aio.NewCoalescing(nil, 0)
+}
+`,
+			want: nil,
+		},
+		{
+			name: "selector from a non-aio receiver clean",
+			pkg:  "internal/synth",
+			src: `package synth
+func f(factory ringFactory) { factory.NewRing() }
+`,
+			want: nil,
+		},
+		{
+			name: "suppression honored",
+			pkg:  "internal/aio",
+			src: `package aio
+func (l Legacy) ReadBatch() {
+	//lint:ignore ringlife the per-batch spawn is the baseline being measured
+	ring := NewRing(64, 4)
+	_ = ring
+}
+`,
+			want: nil,
+		},
+		{
+			name: "package-level func literal is not setup code",
+			pkg:  "internal/aio",
+			src: `package aio
+var start = func() *Ring { return NewRing(1, 1) }
+`,
+			want: []string{"2:ringlife"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, runSource(t, RingLife, tc.pkg, tc.src), tc.want...)
+		})
+	}
+}

@@ -2,14 +2,29 @@
 // the comparator's verification stage (paper §2.1, Fig. 3): an I/O
 // producer reads slices of scattered chunk pairs from the PFS into host
 // buffers through an aio backend while the consumer transfers the previous
-// slice to the device and runs the comparison kernel. Double buffering
-// overlaps the two, so steady-state cost is the maximum of the I/O and
+// slice to the device and runs the comparison kernel. Buffering is
+// configurable depth-N (Config.Depth, default 2 — classic double
+// buffering), so steady-state cost is bounded by the slower of the I/O and
 // compute rates rather than their sum.
 //
+// Slice buffers come from a free list sized to the pipeline depth: each
+// buffer set (host buffers for both runs plus the two request batches) is
+// recycled as its slice completes, so steady-state slice processing does
+// no heap allocation. When the backend implements aio.PairReader, both
+// runs' requests for a slice are submitted as one overlapped batch;
+// otherwise the two reads serialize.
+//
 // The pipeline runs with real goroutine overlap (wall time) and accounts
-// virtual time with the standard double-buffer recurrence:
+// virtual time with the depth-N recurrence (VirtualPipeline):
+//
+//	ioStart_i   = max(ioEnd_{i-1}, compEnd_{i-depth})
+//	compStart_i = max(compEnd_{i-1}, ioEnd_i)
+//
+// which at depth 2 reduces to the classic double-buffer closed form
 //
 //	total = io_0 + Σ_{i≥1} max(io_i, comp_{i-1}) + comp_last
+//
+// and at depth 1 to the fully serial sum Σ (io_i + comp_i).
 package stream
 
 import (
@@ -35,18 +50,28 @@ type ChunkPair struct {
 
 // Config parameterizes the pipeline.
 type Config struct {
-	// Backend performs the scattered reads.
+	// Backend performs the scattered reads (default: the process-wide
+	// persistent aio.Default() engine).
 	Backend aio.Backend
 	// Device prices host-to-device transfers.
 	Device device.Model
 	// SliceBytes is the target bytes per pipeline slice per run
 	// (default 8 MiB).
 	SliceBytes int
+	// Depth is the pipeline depth: how many slice buffer sets may be in
+	// flight at once (default 2, classic double buffering; 1 serializes
+	// I/O against compute). The producer blocks acquiring a buffer set
+	// from the free list, so the wall-clock pipeline and the virtual-time
+	// recurrence share the same bound.
+	Depth int
 }
 
-// Stats reports the pipeline's resource consumption.
+// Stats reports the pipeline's resource consumption. On error the
+// cumulative fields (Slices, BytesRead, ReadCost, IOVirtual,
+// ComputeVirtual, PipelineVirtual) cover only the slices consumed before
+// the failure — partial but truthful; Wall always covers the whole call.
 type Stats struct {
-	// Slices is the number of pipeline slices executed.
+	// Slices is the number of pipeline slices consumed.
 	Slices int
 	// BytesRead counts bytes read from both files.
 	BytesRead int64
@@ -58,7 +83,8 @@ type Stats struct {
 	ComputeVirtual time.Duration
 	// PipelineVirtual is the overlapped end-to-end virtual time.
 	PipelineVirtual time.Duration
-	// Wall is the measured wall-clock time of the pipeline.
+	// Wall is the measured wall-clock time of the pipeline, set on both
+	// success and error returns.
 	Wall time.Duration
 }
 
@@ -66,6 +92,9 @@ type Stats struct {
 // buffers filled and returns the virtual duration of its kernel work.
 type Compute func(p ChunkPair, a, b []byte) (time.Duration, error)
 
+// slice is one pipeline buffer set. Buffers and request batches are
+// recycled through the free list: reset keeps capacity, so after the pool
+// warms up a fill performs no heap allocation.
 type slice struct {
 	pairs    []ChunkPair
 	bufA     []byte
@@ -78,47 +107,72 @@ type slice struct {
 	byteSize int64
 }
 
+// reset clears the slice for reuse, keeping every backing array.
+func (s *slice) reset() {
+	s.pairs = s.pairs[:0]
+	s.reqsA = s.reqsA[:0]
+	s.reqsB = s.reqsB[:0]
+	s.byteSize = 0
+	s.io = 0
+	s.cost = pfs.Cost{}
+	s.err = nil
+}
+
 // Run streams all chunk pairs through the pipeline.
-func Run(fA, fB *pfs.File, pairs []ChunkPair, cfg Config, compute Compute) (Stats, error) {
-	var stats Stats
+func Run(fA, fB *pfs.File, pairs []ChunkPair, cfg Config, compute Compute) (stats Stats, err error) {
 	if len(pairs) == 0 {
 		return stats, nil
 	}
 	if cfg.Backend == nil {
-		cfg.Backend = aio.NewUring(0, 0)
+		cfg.Backend = aio.Default()
 	}
 	if cfg.SliceBytes <= 0 {
 		cfg.SliceBytes = 8 << 20
 	}
-	sw := metrics.NewStopwatch()
-
-	// Partition pairs into slices of ~SliceBytes.
-	var slices []*slice
-	cur := &slice{}
+	if cfg.Depth < 1 {
+		cfg.Depth = 2
+	}
 	for _, p := range pairs {
 		if p.Len <= 0 {
 			return stats, fmt.Errorf("stream: chunk %d has non-positive length", p.Index)
 		}
-		cur.pairs = append(cur.pairs, p)
-		cur.byteSize += int64(p.Len)
-		if cur.byteSize >= int64(cfg.SliceBytes) {
-			slices = append(slices, cur)
-			cur = &slice{}
-		}
 	}
-	if len(cur.pairs) > 0 {
-		slices = append(slices, cur)
-	}
-	stats.Slices = len(slices)
+	sw := metrics.NewStopwatch()
+	defer func() { stats.Wall = sw.Lap() }()
 
-	// Producer: fills slices in order, double-buffered via a depth-1
-	// channel (one slice in flight while one is consumed).
-	filled := make(chan *slice, 1)
+	// Free list of slice buffer sets, sized to the pipeline depth: the
+	// producer cannot run more than Depth slices ahead of the consumer.
+	pool := make(chan *slice, cfg.Depth)
+	for i := 0; i < cfg.Depth; i++ {
+		pool <- &slice{}
+	}
+	pair, _ := cfg.Backend.(aio.PairReader)
+
+	// Producer: partitions pairs into ~SliceBytes slices lazily, filling
+	// each into a pooled buffer set.
+	filled := make(chan *slice, cfg.Depth)
 	done := make(chan struct{})
 	go func() {
 		defer close(filled)
-		for _, s := range slices {
-			s.fill(fA, fB, cfg.Backend)
+		next := 0
+		for next < len(pairs) {
+			var s *slice
+			select {
+			case s = <-pool:
+			case <-done:
+				return
+			}
+			s.reset()
+			for next < len(pairs) {
+				p := pairs[next]
+				s.pairs = append(s.pairs, p)
+				s.byteSize += int64(p.Len)
+				next++
+				if s.byteSize >= int64(cfg.SliceBytes) {
+					break
+				}
+			}
+			s.fill(fA, fB, cfg.Backend, pair)
 			select {
 			case filled <- s:
 			case <-done:
@@ -132,25 +186,17 @@ func Run(fA, fB *pfs.File, pairs []ChunkPair, cfg Config, compute Compute) (Stat
 		}
 	}()
 
-	// Consumer: virtual-time recurrence for the double-buffered pipeline.
-	var pipeVirtual, prevComp time.Duration
-	first := true
+	// Consumer: runs the compute stage and advances the virtual clock by
+	// the depth-N recurrence.
+	vp := NewVirtualPipeline(cfg.Depth)
 	for s := range filled {
 		if s.err != nil {
 			return stats, s.err
 		}
+		stats.Slices++
 		stats.ReadCost.Add(s.cost)
 		stats.BytesRead += 2 * s.byteSize
 		stats.IOVirtual += s.io
-
-		if first {
-			pipeVirtual += s.io
-			first = false
-		} else if s.io > prevComp {
-			pipeVirtual += s.io
-		} else {
-			pipeVirtual += prevComp
-		}
 
 		// One batched kernel per slice: launch charged here, the
 		// callbacks contribute only their bandwidth terms.
@@ -168,25 +214,38 @@ func Run(fA, fB *pfs.File, pairs []ChunkPair, cfg Config, compute Compute) (Stat
 			comp += kv
 		}
 		stats.ComputeVirtual += comp
-		prevComp = comp
+		vp.Advance(s.io, comp)
+		stats.PipelineVirtual = vp.Total()
+		pool <- s // recycle the buffer set
 	}
-	pipeVirtual += prevComp // drain the final compute stage
-	stats.PipelineVirtual = pipeVirtual
-	stats.Wall = sw.Lap()
 	return stats, nil
 }
 
-// fill reads the slice's chunks from both files through the backend.
-func (s *slice) fill(fA, fB *pfs.File, backend aio.Backend) {
-	s.bufA = make([]byte, s.byteSize)
-	s.bufB = make([]byte, s.byteSize)
-	s.reqsA = make([]aio.ReadReq, len(s.pairs))
-	s.reqsB = make([]aio.ReadReq, len(s.pairs))
+// fill reads the slice's chunks from both files through the backend,
+// reusing the slice's buffers and request batches.
+func (s *slice) fill(fA, fB *pfs.File, backend aio.Backend, pair aio.PairReader) {
+	n := s.byteSize
+	if int64(cap(s.bufA)) < n {
+		s.bufA = make([]byte, n)
+		s.bufB = make([]byte, n)
+	}
+	s.bufA = s.bufA[:n]
+	s.bufB = s.bufB[:n]
 	var pos int64
-	for i, p := range s.pairs {
-		s.reqsA[i] = aio.ReadReq{Off: p.OffA, Len: p.Len, Buf: s.bufA[pos : pos+int64(p.Len)], Tag: p.Index}
-		s.reqsB[i] = aio.ReadReq{Off: p.OffB, Len: p.Len, Buf: s.bufB[pos : pos+int64(p.Len)], Tag: p.Index}
+	for _, p := range s.pairs {
+		s.reqsA = append(s.reqsA, aio.ReadReq{Off: p.OffA, Len: p.Len, Buf: s.bufA[pos : pos+int64(p.Len)], Tag: p.Index})
+		s.reqsB = append(s.reqsB, aio.ReadReq{Off: p.OffB, Len: p.Len, Buf: s.bufB[pos : pos+int64(p.Len)], Tag: p.Index})
 		pos += int64(p.Len)
+	}
+	if pair != nil {
+		cost, t, err := pair.ReadBatchPair(fA, fB, s.reqsA, s.reqsB)
+		if err != nil {
+			s.err = fmt.Errorf("stream: read runs A+B: %w", err)
+			return
+		}
+		s.cost = cost
+		s.io = t
+		return
 	}
 	costA, tA, err := backend.ReadBatch(fA, s.reqsA)
 	if err != nil {
@@ -202,3 +261,54 @@ func (s *slice) fill(fA, fB *pfs.File, backend aio.Backend) {
 	s.cost.Add(costB)
 	s.io = tA + tB
 }
+
+// VirtualPipeline accumulates the virtual-clock completion time of a
+// depth-N two-stage (I/O → compute) pipeline. Slice i's read can start
+// only when the previous read finished (one I/O channel) AND a buffer set
+// is free, i.e. slice i-depth's compute finished; its compute starts when
+// the previous compute finished (one device) and its own read is done:
+//
+//	ioStart_i   = max(ioEnd_{i-1}, compEnd_{i-depth})
+//	compStart_i = max(compEnd_{i-1}, ioEnd_i)
+//
+// Exported so tests can check the recurrence against its closed forms
+// (serial sum at depth 1, the double-buffer formula at depth 2).
+type VirtualPipeline struct {
+	ioEnd   time.Duration
+	compEnd time.Duration
+	ends    []time.Duration // compEnd of the last `depth` slices, ring-indexed
+	n       int
+}
+
+// NewVirtualPipeline returns an accumulator for the given depth
+// (values < 1 are treated as 1).
+func NewVirtualPipeline(depth int) *VirtualPipeline {
+	if depth < 1 {
+		depth = 1
+	}
+	return &VirtualPipeline{ends: make([]time.Duration, depth)}
+}
+
+// Advance feeds the next slice's I/O and compute virtual durations.
+func (v *VirtualPipeline) Advance(io, comp time.Duration) {
+	depth := len(v.ends)
+	ioStart := v.ioEnd
+	if v.n >= depth {
+		// The buffer set is recycled from slice n-depth; wait for its
+		// compute to release it.
+		if free := v.ends[v.n%depth]; free > ioStart {
+			ioStart = free
+		}
+	}
+	v.ioEnd = ioStart + io
+	compStart := v.compEnd
+	if v.ioEnd > compStart {
+		compStart = v.ioEnd
+	}
+	v.compEnd = compStart + comp
+	v.ends[v.n%depth] = v.compEnd
+	v.n++
+}
+
+// Total returns the pipeline completion time of the slices fed so far.
+func (v *VirtualPipeline) Total() time.Duration { return v.compEnd }

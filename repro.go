@@ -165,17 +165,26 @@ func DefaultExecutor() Executor { return device.Default() }
 // SerialExecutor returns the single-threaded executor.
 func SerialExecutor() Executor { return device.Serial{} }
 
-// NewUringBackend returns the io_uring-style asynchronous read backend.
+// NewUringBackend returns an io_uring-style asynchronous read backend.
+// Its submission/completion ring is persistent — started on first use and
+// reused across every batch — and run-A/run-B request batches submitted
+// through it overlap in one ring. Call its Close method when the backend
+// is no longer needed (DefaultBackend never needs closing).
 func NewUringBackend(queueDepth, workers int) *aio.Uring {
 	return aio.NewUring(queueDepth, workers)
 }
+
+// DefaultBackend returns the process-wide shared persistent io_uring-style
+// engine, the backend the comparison layer builds on when Options.Backend
+// is nil (wrapped in read coalescing; see Options.CoalesceMaxGap).
+func DefaultBackend() *aio.Uring { return aio.Default() }
 
 // MmapBackend returns the synchronous page-fault read backend.
 func MmapBackend() aio.Mmap { return aio.Mmap{} }
 
 // CoalescingBackend wraps a backend so nearby scattered reads merge into
 // fewer, larger operations (gaps up to maxGap bytes are bridged). A nil
-// inner backend selects io_uring defaults.
+// inner backend selects the shared persistent io_uring engine.
 func CoalescingBackend(inner aio.Backend, maxGap int) aio.Coalescing {
 	return aio.NewCoalescing(inner, maxGap)
 }
