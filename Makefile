@@ -34,15 +34,18 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/benchkernels -smoke > /dev/null
 	$(GO) run ./cmd/benchstream -smoke > /dev/null
+	$(GO) run ./cmd/benchgroup -smoke > /dev/null
 
 # bench-json regenerates the tracked baselines at the repository root:
-# kernel throughput (BENCH_kernels.json) and the stage-2 streaming
-# pipeline (BENCH_stream.json). Diff them in review to catch regressions
-# (same-machine deltas are signal, cross-machine noise; the stream
-# report's virtual columns are deterministic and comparable anywhere).
+# kernel throughput (BENCH_kernels.json), the stage-2 streaming pipeline
+# (BENCH_stream.json), and the N-run group-comparison engine
+# (BENCH_group.json). Diff them in review to catch regressions
+# (same-machine deltas are signal, cross-machine noise; the virtual and
+# read-op columns are deterministic and comparable anywhere).
 bench-json:
 	$(GO) run ./cmd/benchkernels -o BENCH_kernels.json
 	$(GO) run ./cmd/benchstream -o BENCH_stream.json
+	$(GO) run ./cmd/benchgroup -o BENCH_group.json
 
 # Regenerate every paper table and figure (see EXPERIMENTS.md).
 experiments:

@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -117,7 +118,7 @@ func benchCompare(b *testing.B, bp *benchPair, method compare.Method) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bp.store.EvictAll()
-		res, err := method.Run(bp.store, bp.nameA, bp.nameB, bp.opts)
+		res, err := method.Run(context.Background(), bp.store, bp.nameA, bp.nameB, bp.opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -151,7 +152,7 @@ func BenchmarkFig6Breakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		bp.store.EvictAll()
 		var err error
-		res, err = compare.CompareMerkle(bp.store, bp.nameA, bp.nameB, bp.opts)
+		res, err = compare.CompareMerkle(context.Background(), bp.store, bp.nameA, bp.nameB, bp.opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -172,7 +173,7 @@ func BenchmarkFig7Effectiveness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		bp.store.EvictAll()
 		var err error
-		res, err = compare.CompareMerkle(bp.store, bp.nameA, bp.nameB, bp.opts)
+		res, err = compare.CompareMerkle(context.Background(), bp.store, bp.nameA, bp.nameB, bp.opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -235,7 +236,7 @@ func BenchmarkFig10Scaling(b *testing.B) {
 			var res *cluster.Result
 			for i := 0; i < b.N; i++ {
 				var err error
-				res, err = cluster.Run(bp.store, pairs, cluster.Config{
+				res, err = cluster.Run(context.Background(), bp.store, pairs, cluster.Config{
 					Processes: procs, PerNode: 4, Method: compare.MethodMerkle, Opts: bp.opts,
 				})
 				if err != nil {
@@ -401,7 +402,7 @@ func BenchmarkHistoryCompare(b *testing.B) {
 			if _, err := repro.WriteCheckpoint(store, meta, [][]byte{data}); err != nil {
 				b.Fatal(err)
 			}
-			if _, _, err := repro.BuildAndSave(store, repro.CheckpointName(run, iter, 0), opts); err != nil {
+			if _, _, err := repro.BuildAndSave(context.Background(), store, repro.CheckpointName(run, iter, 0), opts); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -409,7 +410,7 @@ func BenchmarkHistoryCompare(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		store.EvictAll()
-		if _, err := repro.CompareHistories(store, "hA", "hB", repro.MethodMerkle, opts); err != nil {
+		if _, err := repro.CompareHistories(context.Background(), store, "hA", "hB", repro.MethodMerkle, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

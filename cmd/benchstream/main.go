@@ -36,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -257,19 +258,19 @@ func measure(v variant, backend aio.Backend, store *pfs.Store, fA, fB *pfs.File,
 	}
 
 	store.EvictAll()
-	stats, err := stream.Run(fA, fB, pairs, cfg, compute)
+	stats, err := stream.Run(context.Background(), fA, fB, pairs, cfg, compute)
 	if err != nil {
 		return Pipeline{}, err
 	}
 
 	// Warm allocation pass: page cache, ring, buffer pools, and scratch
 	// arenas are all at their high-water marks after one more run.
-	warm, err := stream.Run(fA, fB, pairs, cfg, compute)
+	warm, err := stream.Run(context.Background(), fA, fB, pairs, cfg, compute)
 	if err != nil {
 		return Pipeline{}, err
 	}
 	runN := func(n int) error {
-		_, err := stream.Run(fA, fB, pairs[:n], cfg, compute)
+		_, err := stream.Run(context.Background(), fA, fB, pairs[:n], cfg, compute)
 		return err
 	}
 	half, full := len(pairs)/2, len(pairs)

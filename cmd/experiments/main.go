@@ -15,11 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"repro/internal/experiments"
 )
@@ -38,13 +41,15 @@ func (l *intList) Set(s string) error {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		tables intList
@@ -110,18 +115,18 @@ func run(args []string, out io.Writer) error {
 		switch n {
 		case 5:
 			for _, size := range []string{"500M", "1B", "2B"} {
-				if err := emit(env.Fig5(size)); err != nil {
+				if err := emit(env.Fig5(ctx, size)); err != nil {
 					return err
 				}
 			}
 		case 6:
 			for _, eps := range []float64{1e-7, 1e-3} {
-				if err := emit(env.Fig6(eps)); err != nil {
+				if err := emit(env.Fig6(ctx, eps)); err != nil {
 					return err
 				}
 			}
 		case 7:
-			marked, fpr, err := env.Fig7()
+			marked, fpr, err := env.Fig7(ctx)
 			if err != nil {
 				return err
 			}
@@ -136,12 +141,12 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 		case 9:
-			if err := emit(env.Fig9()); err != nil {
+			if err := emit(env.Fig9(ctx)); err != nil {
 				return err
 			}
 		case 10:
 			for _, eps := range []float64{1e-7, 1e-3} {
-				if err := emit(env.Fig10(eps, *pairs, nil)); err != nil {
+				if err := emit(env.Fig10(ctx, eps, *pairs, nil)); err != nil {
 					return err
 				}
 			}
@@ -150,7 +155,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *ablations {
-		if err := emit(env.Ablations()); err != nil {
+		if err := emit(env.Ablations(ctx)); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -8,27 +9,27 @@ import (
 
 func TestRunNothingToDo(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{}, &out); err == nil {
+	if err := run(context.Background(), []string{}, &out); err == nil {
 		t.Error("empty invocation accepted")
 	}
 }
 
 func TestRunUnknownArtifacts(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-table", "9"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-table", "9"}, &out); err == nil {
 		t.Error("unknown table accepted")
 	}
-	if err := run([]string{"-fig", "42"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-fig", "42"}, &out); err == nil {
 		t.Error("unknown figure accepted")
 	}
-	if err := run([]string{"-table", "abc"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-table", "abc"}, &out); err == nil {
 		t.Error("non-numeric table accepted")
 	}
 }
 
 func TestRunTablesOnly(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-table", "1", "-table", "2", "-scale", "7000"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-table", "1", "-table", "2", "-scale", "7000"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -43,7 +44,7 @@ func TestRunSmallFigure(t *testing.T) {
 	// Fig 8 is the cheapest figure; run it at an aggressive scale into a
 	// persistent dir to exercise the -dir path too.
 	var out bytes.Buffer
-	if err := run([]string{"-fig", "8", "-scale", "7000", "-dir", t.TempDir()}, &out); err != nil {
+	if err := run(context.Background(), []string{"-fig", "8", "-scale", "7000", "-dir", t.TempDir()}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Figure 8") || !strings.Contains(out.String(), "CPU/GPU") {
@@ -53,7 +54,7 @@ func TestRunSmallFigure(t *testing.T) {
 
 func TestRunAblations(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-ablations", "-scale", "7000"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-ablations", "-scale", "7000"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()

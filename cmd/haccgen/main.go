@@ -14,12 +14,15 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"repro"
 	"repro/internal/catalog"
@@ -28,13 +31,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "haccgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("haccgen", flag.ContinueOnError)
 	var (
 		dir       = fs.String("store", "", "store directory (PFS tier)")
@@ -95,7 +100,7 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			for _, n := range names {
-				if _, _, err := repro.BuildAndSave(remote, n, opts); err != nil {
+				if _, _, err := repro.BuildAndSave(ctx, remote, n, opts); err != nil {
 					return fmt.Errorf("hash %s: %w", n, err)
 				}
 			}
@@ -104,7 +109,7 @@ func run(args []string, out io.Writer) error {
 	}
 	// Record provenance manifests for both runs.
 	for i, runID := range []string{*runA, *runB} {
-		m, err := catalog.Scan(remote, runID, nil)
+		m, err := catalog.Scan(ctx, remote, runID, nil)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -10,13 +11,13 @@ import (
 
 func TestRunValidation(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{}, &out); err == nil {
+	if err := run(context.Background(), []string{}, &out); err == nil {
 		t.Error("missing -store accepted")
 	}
-	if err := run([]string{"-store", t.TempDir(), "-steps", "0"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-store", t.TempDir(), "-steps", "0"}, &out); err == nil {
 		t.Error("steps=0 accepted")
 	}
-	if err := run([]string{"-store", t.TempDir(), "-every", "-1"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-store", t.TempDir(), "-every", "-1"}, &out); err == nil {
 		t.Error("negative -every accepted")
 	}
 }
@@ -24,7 +25,7 @@ func TestRunValidation(t *testing.T) {
 func TestSerialGeneration(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	err := run([]string{"-store", dir, "-particles", "600", "-grid", "16",
+	err := run(context.Background(), []string{"-store", dir, "-particles", "600", "-grid", "16",
 		"-steps", "4", "-every", "2", "-hash", "-eps", "1e-6", "-chunk", "4096"}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -45,7 +46,7 @@ func TestSerialGeneration(t *testing.T) {
 			t.Errorf("%s history = %v", runID, h)
 		}
 		for _, n := range h {
-			if _, err := repro.LoadMetadata(store, n); err != nil {
+			if _, err := repro.LoadMetadata(context.Background(), store, n); err != nil {
 				t.Errorf("metadata missing for %s: %v", n, err)
 			}
 		}
@@ -55,7 +56,7 @@ func TestSerialGeneration(t *testing.T) {
 func TestParallelGeneration(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	err := run([]string{"-store", dir, "-particles", "400", "-grid", "16",
+	err := run(context.Background(), []string{"-store", dir, "-particles", "400", "-grid", "16",
 		"-steps", "2", "-every", "2", "-ranks", "2"}, &out)
 	if err != nil {
 		t.Fatal(err)

@@ -7,19 +7,27 @@
 //
 //	reprocmp hash    -store DIR -ckpt NAME -eps 1e-6 [-chunk 65536]
 //	reprocmp compare -store DIR -a NAME -b NAME -eps 1e-6 [-chunk 65536] [-method merkle|direct|allclose]
+//	reprocmp group   -store DIR -baseline NAME -runs NAME,NAME,... -eps 1e-6 [-topology star|all-pairs]
 //	reprocmp history -store DIR -runa RUN1 -runb RUN2 -eps 1e-6 [-method merkle] [-hash]
 //	reprocmp inspect -store DIR -ckpt NAME
+//
+// Every subcommand honours SIGINT/SIGTERM: an interrupted comparison
+// cancels its engine plan and exits with the context error.
 //
 // Checkpoint names follow the canonical <run>/iterNNNN.rankRRR.ckpt
 // layout produced by the capture library and cmd/haccgen.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"repro"
 	"repro/internal/catalog"
@@ -30,7 +38,9 @@ import (
 var errDivergent = errors.New("runs diverge beyond the error bound")
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		if errors.Is(err, errDivergent) {
 			os.Exit(2)
 		}
@@ -39,33 +49,35 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) < 1 {
-		return errors.New("usage: reprocmp <hash|compare|history|inspect|compact> [flags]")
+		return errors.New("usage: reprocmp <hash|compare|group|history|inspect|compact> [flags]")
 	}
 	switch args[0] {
 	case "hash":
-		return cmdHash(args[1:], out)
+		return cmdHash(ctx, args[1:], out)
 	case "compare":
-		return cmdCompare(args[1:], out)
+		return cmdCompare(ctx, args[1:], out)
+	case "group":
+		return cmdGroup(ctx, args[1:], out)
 	case "history":
-		return cmdHistory(args[1:], out)
+		return cmdHistory(ctx, args[1:], out)
 	case "inspect":
-		return cmdInspect(args[1:], out)
+		return cmdInspect(ctx, args[1:], out)
 	case "compact":
-		return cmdCompact(args[1:], out)
+		return cmdCompact(ctx, args[1:], out)
 	case "stats":
-		return cmdStats(args[1:], out)
+		return cmdStats(ctx, args[1:], out)
 	case "analyze":
-		return cmdAnalyze(args[1:], out)
+		return cmdAnalyze(ctx, args[1:], out)
 	case "evolution":
-		return cmdEvolution(args[1:], out)
+		return cmdEvolution(ctx, args[1:], out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
 }
 
-func cmdEvolution(args []string, out io.Writer) error {
+func cmdEvolution(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("evolution", flag.ContinueOnError)
 	dir := fs.String("store", "", "store directory")
 	runID := fs.String("run", "", "run ID")
@@ -81,7 +93,7 @@ func cmdEvolution(args []string, out io.Writer) error {
 	if *runID == "" {
 		return errors.New("-run is required")
 	}
-	report, err := repro.Evolution(store, *runID, repro.Options{Epsilon: *eps, ChunkSize: *chunk})
+	report, err := repro.Evolution(ctx, store, *runID, repro.Options{Epsilon: *eps, ChunkSize: *chunk})
 	if err != nil {
 		return err
 	}
@@ -93,7 +105,7 @@ func cmdEvolution(args []string, out io.Writer) error {
 	return nil
 }
 
-func cmdAnalyze(args []string, out io.Writer) error {
+func cmdAnalyze(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	dir := fs.String("store", "", "store directory")
 	a := fs.String("a", "", "first checkpoint name")
@@ -109,7 +121,7 @@ func cmdAnalyze(args []string, out io.Writer) error {
 	if *a == "" || *b == "" {
 		return errors.New("-a and -b are required")
 	}
-	an, err := repro.Analyze(store, *a, *b)
+	an, err := repro.Analyze(ctx, store, *a, *b)
 	if err != nil {
 		return err
 	}
@@ -124,7 +136,7 @@ func cmdAnalyze(args []string, out io.Writer) error {
 	return nil
 }
 
-func cmdStats(args []string, out io.Writer) error {
+func cmdStats(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	dir := fs.String("store", "", "store directory")
 	runID := fs.String("run", "", "run ID")
@@ -140,9 +152,9 @@ func cmdStats(args []string, out io.Writer) error {
 	if *runID == "" {
 		return errors.New("-run is required")
 	}
-	m, err := catalog.Load(store, *runID)
+	m, err := catalog.Load(ctx, store, *runID)
 	if err != nil || *rescan {
-		m, err = catalog.Scan(store, *runID, nil)
+		m, err = catalog.Scan(ctx, store, *runID, nil)
 		if err != nil {
 			return err
 		}
@@ -189,7 +201,7 @@ func byteCount(b int64) string {
 	}
 }
 
-func cmdCompact(args []string, out io.Writer) error {
+func cmdCompact(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("compact", flag.ContinueOnError)
 	dir := fs.String("store", "", "store directory")
 	run := fs.String("run", "", "run ID to compact")
@@ -206,7 +218,7 @@ func cmdCompact(args []string, out io.Writer) error {
 	if *run == "" {
 		return errors.New("-run is required")
 	}
-	report, err := repro.CompactHistory(store, *run, *keep, repro.Options{Epsilon: *eps, ChunkSize: *chunk})
+	report, err := repro.CompactHistory(ctx, store, *run, *keep, repro.Options{Epsilon: *eps, ChunkSize: *chunk})
 	if err != nil {
 		return err
 	}
@@ -238,7 +250,7 @@ func methodByName(name string) (repro.Method, error) {
 	}
 }
 
-func cmdHash(args []string, out io.Writer) error {
+func cmdHash(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hash", flag.ContinueOnError)
 	dir := fs.String("store", "", "store directory")
 	name := fs.String("ckpt", "", "checkpoint name within the store")
@@ -255,7 +267,7 @@ func cmdHash(args []string, out io.Writer) error {
 		return errors.New("-ckpt is required")
 	}
 	opts := repro.Options{Epsilon: *eps, ChunkSize: *chunk}
-	m, stats, err := repro.BuildAndSave(store, *name, opts)
+	m, stats, err := repro.BuildAndSave(ctx, store, *name, opts)
 	if err != nil {
 		return err
 	}
@@ -265,7 +277,7 @@ func cmdHash(args []string, out io.Writer) error {
 	return nil
 }
 
-func cmdCompare(args []string, out io.Writer) error {
+func cmdCompare(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	dir := fs.String("store", "", "store directory")
 	a := fs.String("a", "", "first checkpoint name")
@@ -292,7 +304,7 @@ func cmdCompare(args []string, out io.Writer) error {
 	opts := repro.Options{Epsilon: *eps, ChunkSize: *chunk}
 
 	if method == repro.MethodAllClose && !*asJSON {
-		ok, err := repro.AllClose(store, *a, *b, opts)
+		ok, err := repro.AllClose(ctx, store, *a, *b, opts)
 		if err != nil {
 			return err
 		}
@@ -302,7 +314,7 @@ func cmdCompare(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	res, err := method.Run(store, *a, *b, opts)
+	res, err := method.Run(ctx, store, *a, *b, opts)
 	if err != nil {
 		return err
 	}
@@ -339,7 +351,66 @@ func printResult(out io.Writer, res *repro.Result, verbose bool) {
 	}
 }
 
-func cmdHistory(args []string, out io.Writer) error {
+// cmdGroup compares N runs' checkpoints against a baseline in one engine
+// plan, sharing stage-2 reads between pairs (the GroupCompare API).
+func cmdGroup(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("group", flag.ContinueOnError)
+	dir := fs.String("store", "", "store directory")
+	baseline := fs.String("baseline", "", "baseline checkpoint name")
+	runs := fs.String("runs", "", "comma-separated checkpoint names to compare against the baseline")
+	eps := fs.Float64("eps", 0, "absolute error bound")
+	chunk := fs.Int("chunk", 64<<10, "chunk size in bytes")
+	topoName := fs.String("topology", "star", "star | all-pairs")
+	asJSON := fs.Bool("json", false, "emit a machine-readable JSON report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	if *baseline == "" || *runs == "" {
+		return errors.New("-baseline and -runs are required")
+	}
+	var topo repro.Topology
+	switch *topoName {
+	case "star", "":
+		topo = repro.TopologyStar
+	case "all-pairs":
+		topo = repro.TopologyAllPairs
+	default:
+		return fmt.Errorf("unknown topology %q", *topoName)
+	}
+	names := strings.Split(*runs, ",")
+	rep, err := repro.GroupCompare(ctx, store, *baseline, names, topo, repro.Options{Epsilon: *eps, ChunkSize: *chunk})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		if err := emitJSON(out, rep); err != nil {
+			return err
+		}
+		if !rep.Reproducible() {
+			return errDivergent
+		}
+		return nil
+	}
+	fmt.Fprintf(out, "group comparison of %d members (%s): %d pairs, %d read ops, %d bytes read\n",
+		len(rep.Members), topo, len(rep.Pairs), rep.ReadOps, rep.ReadBytes)
+	for _, p := range rep.Pairs {
+		status := "match"
+		if p.Result.DiffCount != 0 {
+			status = fmt.Sprintf("%d divergent elements", p.Result.DiffCount)
+		}
+		fmt.Fprintf(out, "  %s vs %s: %s\n", p.NameA, p.NameB, status)
+	}
+	if !rep.Reproducible() {
+		return errDivergent
+	}
+	return nil
+}
+
+func cmdHistory(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("history", flag.ContinueOnError)
 	dir := fs.String("store", "", "store directory")
 	runA := fs.String("runa", "", "first run ID")
@@ -372,14 +443,14 @@ func cmdHistory(args []string, out io.Writer) error {
 				return err
 			}
 			for _, n := range names {
-				if _, _, err := repro.BuildAndSave(store, n, opts); err != nil {
+				if _, _, err := repro.BuildAndSave(ctx, store, n, opts); err != nil {
 					return fmt.Errorf("hash %s: %w", n, err)
 				}
 			}
 		}
 	}
 
-	report, err := repro.CompareHistories(store, *runA, *runB, method, opts)
+	report, err := repro.CompareHistories(ctx, store, *runA, *runB, method, opts)
 	if err != nil {
 		return err
 	}
@@ -412,7 +483,7 @@ func cmdHistory(args []string, out io.Writer) error {
 	return errDivergent
 }
 
-func cmdInspect(args []string, out io.Writer) error {
+func cmdInspect(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
 	dir := fs.String("store", "", "store directory")
 	name := fs.String("ckpt", "", "checkpoint name within the store")
@@ -437,7 +508,7 @@ func cmdInspect(args []string, out io.Writer) error {
 	for i, f := range meta.Fields {
 		fmt.Fprintf(out, "  field %d: %-6s %s x %d (%d bytes)\n", i, f.Name, f.DType, f.Count, f.Bytes())
 	}
-	if m, err := repro.LoadMetadata(store, *name); err == nil {
+	if m, err := repro.LoadMetadata(ctx, store, *name); err == nil {
 		fmt.Fprintf(out, "metadata present: eps=%g, %d bytes\n", m.Epsilon, m.Bytes())
 	} else {
 		fmt.Fprintln(out, "no metadata saved for this checkpoint")

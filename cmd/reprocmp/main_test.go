@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"encoding/json"
 	"errors"
@@ -43,14 +44,14 @@ func seedStore(t *testing.T, diverge bool) string {
 
 func TestRunUsageErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, &out); err == nil {
+	if err := run(context.Background(), nil, &out); err == nil {
 		t.Error("no args accepted")
 	}
-	if err := run([]string{"bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"bogus"}, &out); err == nil {
 		t.Error("unknown subcommand accepted")
 	}
 	for _, sub := range []string{"hash", "compare", "history", "inspect", "compact"} {
-		if err := run([]string{sub}, &out); err == nil {
+		if err := run(context.Background(), []string{sub}, &out); err == nil {
 			t.Errorf("%s without -store accepted", sub)
 		}
 	}
@@ -62,7 +63,7 @@ func TestHashCompareHistoryFlow(t *testing.T) {
 
 	// hash both checkpoints
 	for _, run2 := range []string{"run1", "run2"} {
-		err := run([]string{"hash", "-store", dir, "-ckpt", run2 + "/iter0010.rank000.ckpt",
+		err := run(context.Background(), []string{"hash", "-store", dir, "-ckpt", run2 + "/iter0010.rank000.ckpt",
 			"-eps", "1e-5", "-chunk", "4096"}, &out)
 		if err != nil {
 			t.Fatal(err)
@@ -74,7 +75,7 @@ func TestHashCompareHistoryFlow(t *testing.T) {
 
 	// compare: divergence reported through errDivergent
 	out.Reset()
-	err := run([]string{"compare", "-store", dir,
+	err := run(context.Background(), []string{"compare", "-store", dir,
 		"-a", "run1/iter0010.rank000.ckpt", "-b", "run2/iter0010.rank000.ckpt",
 		"-eps", "1e-5", "-chunk", "4096"}, &out)
 	if !errors.Is(err, errDivergent) {
@@ -86,7 +87,7 @@ func TestHashCompareHistoryFlow(t *testing.T) {
 
 	// direct method agrees
 	out.Reset()
-	err = run([]string{"compare", "-store", dir,
+	err = run(context.Background(), []string{"compare", "-store", dir,
 		"-a", "run1/iter0010.rank000.ckpt", "-b", "run2/iter0010.rank000.ckpt",
 		"-eps", "1e-5", "-method", "direct"}, &out)
 	if !errors.Is(err, errDivergent) {
@@ -95,7 +96,7 @@ func TestHashCompareHistoryFlow(t *testing.T) {
 
 	// allclose answers the boolean
 	out.Reset()
-	err = run([]string{"compare", "-store", dir,
+	err = run(context.Background(), []string{"compare", "-store", dir,
 		"-a", "run1/iter0010.rank000.ckpt", "-b", "run2/iter0010.rank000.ckpt",
 		"-eps", "1e-5", "-method", "allclose"}, &out)
 	if !errors.Is(err, errDivergent) {
@@ -107,7 +108,7 @@ func TestHashCompareHistoryFlow(t *testing.T) {
 
 	// history with -hash finds the divergence
 	out.Reset()
-	err = run([]string{"history", "-store", dir, "-runa", "run1", "-runb", "run2",
+	err = run(context.Background(), []string{"history", "-store", dir, "-runa", "run1", "-runb", "run2",
 		"-eps", "1e-5", "-chunk", "4096", "-hash"}, &out)
 	if !errors.Is(err, errDivergent) {
 		t.Fatalf("history error = %v", err)
@@ -118,7 +119,7 @@ func TestHashCompareHistoryFlow(t *testing.T) {
 
 	// inspect prints the schema
 	out.Reset()
-	if err := run([]string{"inspect", "-store", dir, "-ckpt", "run1/iter0010.rank000.ckpt"}, &out); err != nil {
+	if err := run(context.Background(), []string{"inspect", "-store", dir, "-ckpt", "run1/iter0010.rank000.ckpt"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "f32 x 8192") {
@@ -127,7 +128,7 @@ func TestHashCompareHistoryFlow(t *testing.T) {
 
 	// compact the older history (everything, keep 0) and verify output
 	out.Reset()
-	if err := run([]string{"compact", "-store", dir, "-run", "run1", "-keep", "0",
+	if err := run(context.Background(), []string{"compact", "-store", dir, "-run", "run1", "-keep", "0",
 		"-eps", "1e-5", "-chunk", "4096"}, &out); err != nil {
 		t.Fatal(err)
 	}
@@ -140,12 +141,12 @@ func TestIdenticalRunsExitClean(t *testing.T) {
 	dir := seedStore(t, false)
 	var out bytes.Buffer
 	for _, r := range []string{"run1", "run2"} {
-		if err := run([]string{"hash", "-store", dir, "-ckpt", r + "/iter0010.rank000.ckpt",
+		if err := run(context.Background(), []string{"hash", "-store", dir, "-ckpt", r + "/iter0010.rank000.ckpt",
 			"-eps", "1e-5"}, &out); err != nil {
 			t.Fatal(err)
 		}
 	}
-	err := run([]string{"history", "-store", dir, "-runa", "run1", "-runb", "run2", "-eps", "1e-5"}, &out)
+	err := run(context.Background(), []string{"history", "-store", dir, "-runa", "run1", "-runb", "run2", "-eps", "1e-5"}, &out)
 	if err != nil {
 		t.Fatalf("identical history error = %v", err)
 	}
@@ -157,7 +158,7 @@ func TestIdenticalRunsExitClean(t *testing.T) {
 func TestBadMethodRejected(t *testing.T) {
 	dir := seedStore(t, false)
 	var out bytes.Buffer
-	err := run([]string{"compare", "-store", dir, "-a", "x", "-b", "y",
+	err := run(context.Background(), []string{"compare", "-store", dir, "-a", "x", "-b", "y",
 		"-eps", "1e-5", "-method", "nope"}, &out)
 	if err == nil || !strings.Contains(err.Error(), "unknown method") {
 		t.Errorf("error = %v", err)
@@ -168,13 +169,13 @@ func TestJSONOutput(t *testing.T) {
 	dir := seedStore(t, true)
 	var out bytes.Buffer
 	for _, r := range []string{"run1", "run2"} {
-		if err := run([]string{"hash", "-store", dir, "-ckpt", r + "/iter0010.rank000.ckpt",
+		if err := run(context.Background(), []string{"hash", "-store", dir, "-ckpt", r + "/iter0010.rank000.ckpt",
 			"-eps", "1e-5", "-chunk", "4096"}, &out); err != nil {
 			t.Fatal(err)
 		}
 	}
 	out.Reset()
-	err := run([]string{"compare", "-store", dir,
+	err := run(context.Background(), []string{"compare", "-store", dir,
 		"-a", "run1/iter0010.rank000.ckpt", "-b", "run2/iter0010.rank000.ckpt",
 		"-eps", "1e-5", "-chunk", "4096", "-json"}, &out)
 	if !errors.Is(err, errDivergent) {
@@ -195,7 +196,7 @@ func TestJSONOutput(t *testing.T) {
 	}
 
 	out.Reset()
-	err = run([]string{"history", "-store", dir, "-runa", "run1", "-runb", "run2",
+	err = run(context.Background(), []string{"history", "-store", dir, "-runa", "run1", "-runb", "run2",
 		"-eps", "1e-5", "-chunk", "4096", "-json"}, &out)
 	if !errors.Is(err, errDivergent) {
 		t.Fatalf("json history error = %v", err)
@@ -212,12 +213,12 @@ func TestJSONOutput(t *testing.T) {
 func TestStatsSubcommand(t *testing.T) {
 	dir := seedStore(t, false)
 	var out bytes.Buffer
-	if err := run([]string{"hash", "-store", dir, "-ckpt", "run1/iter0010.rank000.ckpt",
+	if err := run(context.Background(), []string{"hash", "-store", dir, "-ckpt", "run1/iter0010.rank000.ckpt",
 		"-eps", "1e-5", "-chunk", "4096"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run([]string{"stats", "-store", dir, "-run", "run1"}, &out); err != nil {
+	if err := run(context.Background(), []string{"stats", "-store", dir, "-run", "run1"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -226,7 +227,7 @@ func TestStatsSubcommand(t *testing.T) {
 	}
 	// JSON form parses.
 	out.Reset()
-	if err := run([]string{"stats", "-store", dir, "-run", "run1", "-json"}, &out); err != nil {
+	if err := run(context.Background(), []string{"stats", "-store", dir, "-run", "run1", "-json"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	var m map[string]any
@@ -237,10 +238,10 @@ func TestStatsSubcommand(t *testing.T) {
 		t.Errorf("manifest runId = %v", m["runId"])
 	}
 	// Missing run errors.
-	if err := run([]string{"stats", "-store", dir, "-run", "nope"}, &out); err == nil {
+	if err := run(context.Background(), []string{"stats", "-store", dir, "-run", "nope"}, &out); err == nil {
 		t.Error("missing run accepted")
 	}
-	if err := run([]string{"stats", "-store", dir}, &out); err == nil {
+	if err := run(context.Background(), []string{"stats", "-store", dir}, &out); err == nil {
 		t.Error("missing -run accepted")
 	}
 }
@@ -248,7 +249,7 @@ func TestStatsSubcommand(t *testing.T) {
 func TestAnalyzeSubcommand(t *testing.T) {
 	dir := seedStore(t, true)
 	var out bytes.Buffer
-	err := run([]string{"analyze", "-store", dir,
+	err := run(context.Background(), []string{"analyze", "-store", dir,
 		"-a", "run1/iter0010.rank000.ckpt", "-b", "run2/iter0010.rank000.ckpt"}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -257,7 +258,7 @@ func TestAnalyzeSubcommand(t *testing.T) {
 	if !strings.Contains(s, "divergence profile") || !strings.Contains(s, "suggested eps") {
 		t.Errorf("analyze output: %s", s)
 	}
-	if err := run([]string{"analyze", "-store", dir}, &out); err == nil {
+	if err := run(context.Background(), []string{"analyze", "-store", dir}, &out); err == nil {
 		t.Error("missing -a/-b accepted")
 	}
 }
@@ -265,7 +266,7 @@ func TestAnalyzeSubcommand(t *testing.T) {
 func TestEvolutionSubcommand(t *testing.T) {
 	dir := seedStore(t, true) // single iteration: evolution needs >= 2
 	var out bytes.Buffer
-	if err := run([]string{"evolution", "-store", dir, "-run", "run1", "-eps", "1e-5"}, &out); err == nil {
+	if err := run(context.Background(), []string{"evolution", "-store", dir, "-run", "run1", "-eps", "1e-5"}, &out); err == nil {
 		t.Error("single-checkpoint run accepted")
 	}
 	// Add a second iteration with metadata for both.
@@ -280,12 +281,12 @@ func TestEvolutionSubcommand(t *testing.T) {
 	}
 	opts := repro.Options{Epsilon: 1e-5, ChunkSize: 4096}
 	for _, it := range []int{10, 20} {
-		if _, _, err := repro.BuildAndSave(store, repro.CheckpointName("run1", it, 0), opts); err != nil {
+		if _, _, err := repro.BuildAndSave(context.Background(), store, repro.CheckpointName("run1", it, 0), opts); err != nil {
 			t.Fatal(err)
 		}
 	}
 	out.Reset()
-	if err := run([]string{"evolution", "-store", dir, "-run", "run1",
+	if err := run(context.Background(), []string{"evolution", "-store", dir, "-run", "run1",
 		"-eps", "1e-5", "-chunk", "4096"}, &out); err != nil {
 		t.Fatal(err)
 	}

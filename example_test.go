@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -31,7 +32,7 @@ func captureExample(store *repro.Store, run string, vals []float32, opts repro.O
 		return "", err
 	}
 	name := repro.CheckpointName(run, 0, 0)
-	if _, _, err := repro.BuildAndSave(store, name, opts); err != nil {
+	if _, _, err := repro.BuildAndSave(context.Background(), store, name, opts); err != nil {
 		return "", err
 	}
 	return name, nil
@@ -71,7 +72,7 @@ func Example_compare() {
 		return
 	}
 
-	res, err := repro.Compare(store, name1, name2, opts)
+	res, err := repro.Compare(context.Background(), store, name1, name2, opts)
 	if err != nil {
 		fmt.Println(err)
 		return

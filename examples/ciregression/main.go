@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -50,6 +51,7 @@ func simulateSolver(version int) []float32 {
 }
 
 func run() error {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "repro-ci-")
 	if err != nil {
 		return err
@@ -72,10 +74,10 @@ func run() error {
 		return err
 	}
 	goldenName := repro.CheckpointName("golden", 0, 0)
-	if _, _, err := repro.BuildAndSave(store, goldenName, opts); err != nil {
+	if _, _, err := repro.BuildAndSave(ctx, store, goldenName, opts); err != nil {
 		return err
 	}
-	m, err := repro.LoadMetadata(store, goldenName)
+	m, err := repro.LoadMetadata(ctx, store, goldenName)
 	if err != nil {
 		return err
 	}
@@ -90,11 +92,11 @@ func run() error {
 			return err
 		}
 		ciName := repro.CheckpointName(ciMeta.RunID, 0, 0)
-		if _, _, err := repro.BuildAndSave(store, ciName, opts); err != nil {
+		if _, _, err := repro.BuildAndSave(ctx, store, ciName, opts); err != nil {
 			return err
 		}
 
-		res, err := repro.Compare(store, goldenName, ciName, opts)
+		res, err := repro.Compare(ctx, store, goldenName, ciName, opts)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -32,6 +33,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "repro-hacc-")
 	if err != nil {
 		return err
@@ -87,14 +89,14 @@ func run() error {
 			return err
 		}
 		for _, n := range names {
-			if _, _, err := repro.BuildAndSave(pfsTier, n, opts); err != nil {
+			if _, _, err := repro.BuildAndSave(ctx, pfsTier, n, opts); err != nil {
 				return err
 			}
 		}
 	}
 
 	// --- Compare the two histories.
-	report, err := repro.CompareHistories(pfsTier, "run1", "run2", repro.MethodMerkle, opts)
+	report, err := repro.CompareHistories(ctx, pfsTier, "run1", "run2", repro.MethodMerkle, opts)
 	if err != nil {
 		return err
 	}

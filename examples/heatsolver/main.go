@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -35,6 +36,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "repro-heat-")
 	if err != nil {
 		return err
@@ -105,11 +107,11 @@ func run() error {
 	fmt.Printf("\ncomparing the %d shared checkpoint iterations:\n", shared)
 	for i := 0; i < shared; i++ {
 		for _, n := range []string{h1[i], h2[i]} {
-			if _, _, err := repro.BuildAndSave(pfsTier, n, opts); err != nil {
+			if _, _, err := repro.BuildAndSave(ctx, pfsTier, n, opts); err != nil {
 				return err
 			}
 		}
-		res, err := repro.Compare(pfsTier, h1[i], h2[i], opts)
+		res, err := repro.Compare(ctx, pfsTier, h1[i], h2[i], opts)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -33,6 +34,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "repro-online-")
 	if err != nil {
 		return err
@@ -49,7 +51,7 @@ func run() error {
 	opts := repro.Options{Epsilon: eps, ChunkSize: chunkSize}
 
 	// --- Reference run: capture history + metadata (the usual flow).
-	if err := referenceRun(localTier, pfsTier, opts); err != nil {
+	if err := referenceRun(ctx, localTier, pfsTier, opts); err != nil {
 		return err
 	}
 	fmt.Println("reference run captured with metadata")
@@ -67,7 +69,7 @@ func run() error {
 		if s%every != 0 {
 			continue
 		}
-		diverged, diffs, err := onlineCheck(pfsTier, sim, opts)
+		diverged, diffs, err := onlineCheck(ctx, pfsTier, sim, opts)
 		if err != nil {
 			return err
 		}
@@ -92,7 +94,7 @@ func simConfig(nondetSeed int64) hacc.Config {
 	return cfg
 }
 
-func referenceRun(localTier, pfsTier *repro.Store, opts repro.Options) error {
+func referenceRun(ctx context.Context, localTier, pfsTier *repro.Store, opts repro.Options) error {
 	sim, err := hacc.New(simConfig(1))
 	if err != nil {
 		return err
@@ -116,7 +118,7 @@ func referenceRun(localTier, pfsTier *repro.Store, opts repro.Options) error {
 		return err
 	}
 	for _, n := range names {
-		if _, _, err := repro.BuildAndSave(pfsTier, n, opts); err != nil {
+		if _, _, err := repro.BuildAndSave(ctx, pfsTier, n, opts); err != nil {
 			return err
 		}
 	}
@@ -127,9 +129,9 @@ func referenceRun(localTier, pfsTier *repro.Store, opts repro.Options) error {
 // against the reference run's stored metadata. Only metadata is read from
 // the PFS; chunk-level mismatches are reported without any data I/O
 // (locating exact indices would additionally stream the reference chunks).
-func onlineCheck(pfsTier *repro.Store, sim *hacc.Sim, opts repro.Options) (bool, int, error) {
+func onlineCheck(ctx context.Context, pfsTier *repro.Store, sim *hacc.Sim, opts repro.Options) (bool, int, error) {
 	refName := repro.CheckpointName("reference", sim.Iteration(), 0)
-	refMeta, err := repro.LoadMetadata(pfsTier, refName)
+	refMeta, err := repro.LoadMetadata(ctx, pfsTier, refName)
 	if err != nil {
 		return false, 0, fmt.Errorf("reference metadata for iteration %d: %w", sim.Iteration(), err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -19,6 +20,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "repro-quickstart-")
 	if err != nil {
 		return err
@@ -65,14 +67,14 @@ func run() error {
 		}
 		// Build the compact Merkle metadata at checkpoint time.
 		name := repro.CheckpointName(meta.RunID, 0, 0)
-		if _, _, err := repro.BuildAndSave(store, name, opts); err != nil {
+		if _, _, err := repro.BuildAndSave(ctx, store, name, opts); err != nil {
 			return err
 		}
 	}
 
 	// Compare: stage 1 walks the trees (no data I/O), stage 2 reads only
 	// the chunks whose hashes differ.
-	res, err := repro.Compare(store,
+	res, err := repro.Compare(ctx, store,
 		repro.CheckpointName("run1", 0, 0),
 		repro.CheckpointName("run2", 0, 0),
 		opts)

@@ -20,6 +20,7 @@
 package aio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -41,11 +42,13 @@ type ReadReq struct {
 // Backend reads a batch of scattered requests from a file. It returns the
 // aggregate storage cost and the virtual elapsed time of the whole batch.
 // Implementations must fill every request's buffer before returning.
+// Cancelling the context aborts the batch: in-flight operations complete
+// (or are skipped) promptly and the call returns ctx.Err().
 type Backend interface {
 	// Name identifies the backend in reports ("io_uring", "mmap").
 	Name() string
 	// ReadBatch executes all requests against f.
-	ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error)
+	ReadBatch(ctx context.Context, f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error)
 }
 
 // PairReader is implemented by backends that can execute the run-A and
@@ -59,7 +62,7 @@ type PairReader interface {
 	// ReadBatchPair executes reqsA against fA and reqsB against fB as one
 	// overlapped batch, returning the combined cost and the virtual
 	// elapsed time of the whole pair.
-	ReadBatchPair(fA, fB *pfs.File, reqsA, reqsB []ReadReq) (pfs.Cost, time.Duration, error)
+	ReadBatchPair(ctx context.Context, fA, fB *pfs.File, reqsA, reqsB []ReadReq) (pfs.Cost, time.Duration, error)
 }
 
 // Uring is the io_uring-style backend. The zero value is usable: the
@@ -134,18 +137,23 @@ func (u *Uring) Close() {
 }
 
 // ReadBatch submits all requests through the persistent ring and reaps
-// their completions.
-func (u *Uring) ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error) {
+// their completions. On cancellation every submitted operation is still
+// reaped (so the ring stays reusable) and ctx.Err() is returned.
+func (u *Uring) ReadBatch(ctx context.Context, f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error) {
 	if len(reqs) == 0 {
 		return pfs.Cost{}, 0, nil
 	}
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	ring := u.ensureRing()
-	if err := ring.Submit(f, reqs); err != nil {
-		return pfs.Cost{}, 0, err
+	submitted, serr := ring.Submit(ctx, f, reqs)
+	cost, err := ring.reapCost(submitted)
+	if serr != nil {
+		return cost, 0, serr
 	}
-	cost, err := ring.reapCost(len(reqs))
+	if cerr := ctx.Err(); cerr != nil {
+		return cost, 0, cerr
+	}
 	elapsed := priceOverlapped(f, cost, u.queueDepth(), batchIsScattered(len(reqs), batchBytes(reqs)))
 	return cost, elapsed, err
 }
@@ -155,23 +163,28 @@ func (u *Uring) ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration,
 // priced once — the A and B latencies overlap instead of summing, and the
 // final-completion latency is paid once instead of twice. Both files must
 // live in the same store; the combined batch is priced against fA's model.
-func (u *Uring) ReadBatchPair(fA, fB *pfs.File, reqsA, reqsB []ReadReq) (pfs.Cost, time.Duration, error) {
+func (u *Uring) ReadBatchPair(ctx context.Context, fA, fB *pfs.File, reqsA, reqsB []ReadReq) (pfs.Cost, time.Duration, error) {
 	if len(reqsA)+len(reqsB) == 0 {
 		return pfs.Cost{}, 0, nil
 	}
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	ring := u.ensureRing()
-	if err := ring.Submit(fA, reqsA); err != nil {
-		return pfs.Cost{}, 0, err
+	subA, errA := ring.Submit(ctx, fA, reqsA)
+	if errA != nil {
+		// Part of the A half may already be in flight: drain its
+		// completions so the ring stays reusable for the next group.
+		cost, _ := ring.reapCost(subA)
+		return cost, 0, errA
 	}
-	if err := ring.Submit(fB, reqsB); err != nil {
-		// The A half is already in flight: drain its completions so the
-		// ring stays reusable for the next batch group.
-		cost, _ := ring.reapCost(len(reqsA))
-		return cost, 0, err
+	subB, errB := ring.Submit(ctx, fB, reqsB)
+	cost, err := ring.reapCost(subA + subB)
+	if errB != nil {
+		return cost, 0, errB
 	}
-	cost, err := ring.reapCost(len(reqsA) + len(reqsB))
+	if cerr := ctx.Err(); cerr != nil {
+		return cost, 0, cerr
+	}
 	ops := len(reqsA) + len(reqsB)
 	scattered := batchIsScattered(ops, batchBytes(reqsA)+batchBytes(reqsB))
 	elapsed := priceOverlapped(fA, cost, u.queueDepth(), scattered)
@@ -212,7 +225,7 @@ func (Legacy) Name() string { return "io_uring_fresh" }
 
 // ReadBatch spawns a ring, submits all requests, reaps, and tears the
 // ring down.
-func (l Legacy) ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error) {
+func (l Legacy) ReadBatch(ctx context.Context, f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error) {
 	if len(reqs) == 0 {
 		return pfs.Cost{}, 0, nil
 	}
@@ -227,10 +240,14 @@ func (l Legacy) ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration,
 	//lint:ignore ringlife the per-batch ring spawn IS the baseline this backend preserves for benchmarks
 	ring := NewRing(queueDepth, workers)
 	defer ring.Close()
-	if err := ring.Submit(f, reqs); err != nil {
-		return pfs.Cost{}, 0, err
+	submitted, serr := ring.Submit(ctx, f, reqs)
+	cost, err := ring.reapCost(submitted)
+	if serr != nil {
+		return cost, 0, serr
 	}
-	cost, err := ring.reapCost(len(reqs))
+	if cerr := ctx.Err(); cerr != nil {
+		return cost, 0, cerr
+	}
 	elapsed := priceOverlapped(f, cost, queueDepth, batchIsScattered(len(reqs), batchBytes(reqs)))
 	return cost, elapsed, err
 }
@@ -311,8 +328,8 @@ var _ Backend = Mmap{}
 func (Mmap) Name() string { return "mmap" }
 
 // ReadBatch touches every request's pages in order, faulting cold clusters
-// synchronously.
-func (mm Mmap) ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error) {
+// synchronously. Every fault is a cancellation point.
+func (mm Mmap) ReadBatch(ctx context.Context, f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error) {
 	store := fileStore(f)
 	m := store.Model()
 	around := mm.FaultAroundPages
@@ -331,7 +348,7 @@ func (mm Mmap) ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, 
 		last := (r.Off + int64(r.Len) - 1) / clusterSize
 		for c := first; c <= last; c++ {
 			clusterOff := c * clusterSize
-			n, cc, err := f.ReadAt(cluster, clusterOff)
+			n, cc, err := f.ReadAtCtx(ctx, cluster, clusterOff)
 			cost.Add(cc)
 			if err != nil && !errors.Is(err, io.EOF) {
 				return cost, 0, fmt.Errorf("aio: mmap fault at cluster %d: %w", c, err)
@@ -383,7 +400,16 @@ type Ring struct {
 type sqe struct {
 	f   *pfs.File
 	req ReadReq
+	// cancel, when non-nil and closed, makes the worker complete the
+	// operation immediately with errCanceled instead of reading. It is the
+	// submitting context's Done channel (a channel, not the context itself,
+	// so no context is stored in a struct — see the ctxflow lint rule).
+	cancel <-chan struct{}
 }
+
+// errCanceled is the completion error of operations skipped because their
+// batch's context was canceled. Callers surface ctx.Err() instead.
+var errCanceled = errors.New("aio: batch canceled")
 
 // Completion is one completed operation.
 type Completion struct {
@@ -419,7 +445,19 @@ func (r *Ring) worker() {
 	for e := range r.sq {
 		var comp Completion
 		comp.Tag = e.req.Tag
-		if err := checkReq(&e.req); err != nil {
+		canceled := false
+		if e.cancel != nil {
+			select {
+			case <-e.cancel:
+				canceled = true
+			default:
+			}
+		}
+		if canceled {
+			// Complete without reading so a canceled batch drains the
+			// ring at channel speed rather than device speed.
+			comp.Err = errCanceled
+		} else if err := checkReq(&e.req); err != nil {
 			comp.Err = err
 		} else {
 			n, cost, err := e.f.ReadAt(e.req.Buf[:e.req.Len], e.req.Off)
@@ -436,25 +474,33 @@ func (r *Ring) worker() {
 	}
 }
 
-// Submit enqueues all requests for the file. It blocks only when the
-// submission queue is full (in-flight operations at the queue depth).
-// Submit is safe against a concurrent Close: it either completes the whole
-// send before the queue closes or returns the closed error without
-// sending. (Registering in r.submits under r.mu is what closes the old
-// TOCTOU window — Close waits on the group before closing sq.)
-func (r *Ring) Submit(f *pfs.File, reqs []ReadReq) error {
+// Submit enqueues all requests for the file, returning how many entered
+// the ring — the count the caller must reap even on error. It blocks only
+// when the submission queue is full (in-flight operations at the queue
+// depth); a canceled context unblocks it, and the requests submitted
+// before cancellation complete fast via their cancel channel. Submit is
+// safe against a concurrent Close: it either completes the whole send
+// before the queue closes or returns the closed error without sending.
+// (Registering in r.submits under r.mu is what closes the old TOCTOU
+// window — Close waits on the group before closing sq.)
+func (r *Ring) Submit(ctx context.Context, f *pfs.File, reqs []ReadReq) (int, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		return errors.New("aio: ring closed")
+		return 0, errors.New("aio: ring closed")
 	}
 	r.submits.Add(1)
 	r.mu.Unlock()
 	defer r.submits.Done()
+	done := ctx.Done()
 	for i := range reqs {
-		r.sq <- sqe{f: f, req: reqs[i]}
+		select {
+		case r.sq <- sqe{f: f, req: reqs[i], cancel: done}:
+		case <-done:
+			return i, ctx.Err()
+		}
 	}
-	return nil
+	return len(reqs), nil
 }
 
 // takeLocked removes up to n pending completions and returns how many it

@@ -1,6 +1,7 @@
 package aio
 
 import (
+	"context"
 	"bytes"
 	"math/rand"
 	"testing"
@@ -69,7 +70,7 @@ func TestUringFillsBuffers(t *testing.T) {
 	_, f, data := newFile(t, 1<<20)
 	reqs := scatteredReqs(data, 100, 4096, 1)
 	u := NewUring(16, 4)
-	cost, elapsed, err := u.ReadBatch(f, reqs)
+	cost, elapsed, err := u.ReadBatch(context.Background(), f, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestUringFillsBuffers(t *testing.T) {
 func TestMmapFillsBuffers(t *testing.T) {
 	_, f, data := newFile(t, 1<<20)
 	reqs := scatteredReqs(data, 100, 4096, 2)
-	cost, elapsed, err := Mmap{}.ReadBatch(f, reqs)
+	cost, elapsed, err := Mmap{}.ReadBatch(context.Background(), f, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestMmapUnalignedRequests(t *testing.T) {
 		{Off: 4095, Len: 2, Buf: make([]byte, 2), Tag: 1},
 		{Off: 65536 - 1, Len: 8192, Buf: make([]byte, 8192), Tag: 2},
 	}
-	if _, _, err := (Mmap{}).ReadBatch(f, reqs); err != nil {
+	if _, _, err := (Mmap{}).ReadBatch(context.Background(), f, reqs); err != nil {
 		t.Fatal(err)
 	}
 	verifyFilled(t, data, reqs)
@@ -119,14 +120,14 @@ func TestUringFasterThanMmapForScatteredReads(t *testing.T) {
 	// Fig. 9's structural claim: >3x on cold scattered smalls.
 	_, f1, data := newFile(t, 4<<20)
 	reqs1 := scatteredReqs(data, 500, 4096, 3)
-	_, mmapElapsed, err := Mmap{}.ReadBatch(f1, reqs1)
+	_, mmapElapsed, err := Mmap{}.ReadBatch(context.Background(), f1, reqs1)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	_, f2, data2 := newFile(t, 4<<20)
 	reqs2 := scatteredReqs(data2, 500, 4096, 3)
-	_, uringElapsed, err := NewUring(64, 4).ReadBatch(f2, reqs2)
+	_, uringElapsed, err := NewUring(64, 4).ReadBatch(context.Background(), f2, reqs2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,11 +141,11 @@ func TestWarmBatchCheaper(t *testing.T) {
 	_, f, data := newFile(t, 1<<20)
 	reqs := scatteredReqs(data, 200, 4096, 4)
 	u := NewUring(32, 2)
-	_, cold, err := u.ReadBatch(f, reqs)
+	_, cold, err := u.ReadBatch(context.Background(), f, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, warm, err := u.ReadBatch(f, reqs)
+	_, warm, err := u.ReadBatch(context.Background(), f, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestWarmBatchCheaper(t *testing.T) {
 
 func TestEmptyBatch(t *testing.T) {
 	_, f, _ := newFile(t, 4096)
-	cost, elapsed, err := NewUring(8, 2).ReadBatch(f, nil)
+	cost, elapsed, err := NewUring(8, 2).ReadBatch(context.Background(), f, nil)
 	if err != nil || cost.TotalBytes() != 0 || elapsed != 0 {
 		t.Errorf("empty batch: cost=%+v elapsed=%v err=%v", cost, elapsed, err)
 	}
@@ -169,10 +170,10 @@ func TestBadRequests(t *testing.T) {
 		{{Off: 0, Len: 10, Buf: make([]byte, 4)}},
 	}
 	for i, reqs := range bads {
-		if _, _, err := NewUring(4, 1).ReadBatch(f, reqs); err == nil {
+		if _, _, err := NewUring(4, 1).ReadBatch(context.Background(), f, reqs); err == nil {
 			t.Errorf("uring bad request %d accepted", i)
 		}
-		if _, _, err := (Mmap{}).ReadBatch(f, reqs); err == nil {
+		if _, _, err := (Mmap{}).ReadBatch(context.Background(), f, reqs); err == nil {
 			t.Errorf("mmap bad request %d accepted", i)
 		}
 	}
@@ -190,7 +191,7 @@ func TestRingSubmitReapDirect(t *testing.T) {
 	r := NewRing(8, 2)
 	defer r.Close()
 	reqs := scatteredReqs(data, 20, 1024, 5)
-	if err := r.Submit(f, reqs); err != nil {
+	if _, err := r.Submit(context.Background(), f, reqs); err != nil {
 		t.Fatal(err)
 	}
 	comps, err := r.Reap(len(reqs))
@@ -217,13 +218,13 @@ func TestRingCloseDrainsUnreaped(t *testing.T) {
 	_, f, data := newFile(t, 64<<10)
 	r := NewRing(4, 2)
 	reqs := scatteredReqs(data, 10, 512, 6)
-	if err := r.Submit(f, reqs); err != nil {
+	if _, err := r.Submit(context.Background(), f, reqs); err != nil {
 		t.Fatal(err)
 	}
 	// Close without reaping: must not deadlock or leak workers.
 	r.Close()
 	r.Close() // double close is a no-op
-	if err := r.Submit(f, reqs); err == nil {
+	if _, err := r.Submit(context.Background(), f, reqs); err == nil {
 		t.Error("submit after close accepted")
 	}
 }
@@ -234,7 +235,7 @@ func TestRingClampsParams(t *testing.T) {
 	// Must still function with clamped depth/workers.
 	_, f, data := newFile(t, 8<<10)
 	reqs := scatteredReqs(data, 4, 256, 7)
-	if err := r.Submit(f, reqs); err != nil {
+	if _, err := r.Submit(context.Background(), f, reqs); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := r.Reap(len(reqs)); err != nil {
@@ -262,7 +263,7 @@ func BenchmarkUring500Scattered4K(b *testing.B) {
 	b.SetBytes(500 * 4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := u.ReadBatch(f, reqs); err != nil {
+		if _, _, err := u.ReadBatch(context.Background(), f, reqs); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package aio
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -84,9 +85,9 @@ func (c Coalescing) release(sc *coalesceScratch) {
 
 // ReadBatch merges, executes, and scatters results back into the original
 // request buffers.
-func (c Coalescing) ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error) {
+func (c Coalescing) ReadBatch(ctx context.Context, f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Duration, error) {
 	if len(reqs) <= 1 {
-		return c.inner().ReadBatch(f, reqs)
+		return c.inner().ReadBatch(ctx, f, reqs)
 	}
 	sc := c.acquire()
 	defer c.release(sc)
@@ -94,7 +95,7 @@ func (c Coalescing) ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Durat
 	if err != nil {
 		return pfs.Cost{}, 0, err
 	}
-	cost, elapsed, err := c.inner().ReadBatch(f, sc.merged[p.mlo:p.mhi])
+	cost, elapsed, err := c.inner().ReadBatch(ctx, f, sc.merged[p.mlo:p.mhi])
 	if err != nil {
 		return cost, elapsed, err
 	}
@@ -105,7 +106,7 @@ func (c Coalescing) ReadBatch(f *pfs.File, reqs []ReadReq) (pfs.Cost, time.Durat
 // ReadBatchPair implements PairReader: each side is planned independently
 // (runs never merge across files) and the two merged batches execute as
 // one overlapped pair when the inner backend supports it.
-func (c Coalescing) ReadBatchPair(fA, fB *pfs.File, reqsA, reqsB []ReadReq) (pfs.Cost, time.Duration, error) {
+func (c Coalescing) ReadBatchPair(ctx context.Context, fA, fB *pfs.File, reqsA, reqsB []ReadReq) (pfs.Cost, time.Duration, error) {
 	sc := c.acquire()
 	defer c.release(sc)
 	pa, err := sc.plan(reqsA, c.MaxGap)
@@ -123,14 +124,14 @@ func (c Coalescing) ReadBatchPair(fA, fB *pfs.File, reqsA, reqsB []ReadReq) (pfs
 	var cost pfs.Cost
 	var elapsed time.Duration
 	if pr, ok := inner.(PairReader); ok {
-		cost, elapsed, err = pr.ReadBatchPair(fA, fB, mergedA, mergedB)
+		cost, elapsed, err = pr.ReadBatchPair(ctx, fA, fB, mergedA, mergedB)
 	} else {
 		// No pair path underneath: the two merged batches serialize.
-		cost, elapsed, err = inner.ReadBatch(fA, mergedA)
+		cost, elapsed, err = inner.ReadBatch(ctx, fA, mergedA)
 		if err == nil {
 			var costB pfs.Cost
 			var tB time.Duration
-			costB, tB, err = inner.ReadBatch(fB, mergedB)
+			costB, tB, err = inner.ReadBatch(ctx, fB, mergedB)
 			cost.Add(costB)
 			elapsed += tB
 		}

@@ -1,6 +1,7 @@
 package aio
 
 import (
+	"context"
 	"bytes"
 	"testing"
 	"testing/quick"
@@ -10,7 +11,7 @@ func TestCoalescingFillsBuffersCorrectly(t *testing.T) {
 	_, f, data := newFile(t, 1<<20)
 	reqs := scatteredReqs(data, 200, 4096, 21)
 	c := NewCoalescing(NewUring(64, 2), 8<<10)
-	cost, elapsed, err := c.ReadBatch(f, reqs)
+	cost, elapsed, err := c.ReadBatch(context.Background(), f, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestCoalescingReducesOps(t *testing.T) {
 	}
 	reqs := mk()
 	c := NewCoalescing(NewUring(64, 2), 4096)
-	cost, _, err := c.ReadBatch(f, reqs)
+	cost, _, err := c.ReadBatch(context.Background(), f, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestCoalescingReducesOps(t *testing.T) {
 	// The same batch uncoalesced pays one op per chunk.
 	_, f2, data2 := newFile(t, 512<<10)
 	reqs2 := mk()
-	cost2, _, err := NewUring(64, 2).ReadBatch(f2, reqs2)
+	cost2, _, err := NewUring(64, 2).ReadBatch(context.Background(), f2, reqs2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestCoalescingRespectsGapLimit(t *testing.T) {
 		{Off: 512 << 10, Len: 4096, Buf: make([]byte, 4096), Tag: 2},
 	}
 	c := NewCoalescing(NewUring(8, 1), 4096)
-	cost, _, err := c.ReadBatch(f, reqs)
+	cost, _, err := c.ReadBatch(context.Background(), f, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestCoalescingBridgesSmallGaps(t *testing.T) {
 		reqs[i] = ReadReq{Off: int64(i * 8192), Len: 4096, Buf: make([]byte, 4096), Tag: i}
 	}
 	c := NewCoalescing(NewUring(8, 1), 8192)
-	cost, _, err := c.ReadBatch(f, reqs)
+	cost, _, err := c.ReadBatch(context.Background(), f, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestCoalescingOverlappingRequests(t *testing.T) {
 		{Off: 100, Len: 50, Buf: make([]byte, 50), Tag: 2},      // inside 0
 	}
 	c := NewCoalescing(Mmap{}, 0)
-	if _, _, err := c.ReadBatch(f, reqs); err != nil {
+	if _, _, err := c.ReadBatch(context.Background(), f, reqs); err != nil {
 		t.Fatal(err)
 	}
 	verifyFilled(t, data, reqs)
@@ -117,11 +118,11 @@ func TestCoalescingSmallBatchPassThrough(t *testing.T) {
 	_, f, data := newFile(t, 16<<10)
 	reqs := []ReadReq{{Off: 0, Len: 1024, Buf: make([]byte, 1024), Tag: 0}}
 	c := NewCoalescing(nil, 0) // defaults
-	if _, _, err := c.ReadBatch(f, reqs); err != nil {
+	if _, _, err := c.ReadBatch(context.Background(), f, reqs); err != nil {
 		t.Fatal(err)
 	}
 	verifyFilled(t, data, reqs)
-	if _, _, err := c.ReadBatch(f, nil); err != nil {
+	if _, _, err := c.ReadBatch(context.Background(), f, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -132,7 +133,7 @@ func TestCoalescingRejectsBadRequests(t *testing.T) {
 		{Off: 0, Len: 16, Buf: make([]byte, 16)},
 		{Off: -5, Len: 16, Buf: make([]byte, 16)},
 	}
-	if _, _, err := (NewCoalescing(nil, 0)).ReadBatch(f, bad); err == nil {
+	if _, _, err := (NewCoalescing(nil, 0)).ReadBatch(context.Background(), f, bad); err == nil {
 		t.Error("bad request accepted")
 	}
 }
@@ -151,10 +152,10 @@ func TestQuickCoalescingEquivalence(t *testing.T) {
 			b[i] = a[i]
 			b[i].Buf = make([]byte, a[i].Len)
 		}
-		if _, _, err := c.ReadBatch(f, a); err != nil {
+		if _, _, err := c.ReadBatch(context.Background(), f, a); err != nil {
 			return false
 		}
-		if _, _, err := u.ReadBatch(f, b); err != nil {
+		if _, _, err := u.ReadBatch(context.Background(), f, b); err != nil {
 			return false
 		}
 		for i := range a {

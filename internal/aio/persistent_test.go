@@ -1,6 +1,7 @@
 package aio
 
 import (
+	"context"
 	"bytes"
 	"sync"
 	"testing"
@@ -63,7 +64,7 @@ func TestRingSubmitCloseRace(t *testing.T) {
 				defer wg.Done()
 				reqs := scatteredReqs(data, 16, 4096, seed)
 				for {
-					if err := r.Submit(f, reqs); err != nil {
+					if _, err := r.Submit(context.Background(), f, reqs); err != nil {
 						return // ring closed: the only legal failure
 					}
 				}
@@ -80,7 +81,7 @@ func TestUringRingPersistsAcrossBatches(t *testing.T) {
 	defer u.Close()
 	for i := 0; i < 3; i++ {
 		reqs := scatteredReqs(data, 32, 4096, int64(i))
-		if _, _, err := u.ReadBatch(f, reqs); err != nil {
+		if _, _, err := u.ReadBatch(context.Background(), f, reqs); err != nil {
 			t.Fatal(err)
 		}
 		verifyFilled(t, data, reqs)
@@ -94,7 +95,7 @@ func TestUringRingPersistsAcrossBatches(t *testing.T) {
 	// Close releases the ring; the next batch lazily restarts it.
 	u.Close()
 	reqs := scatteredReqs(data, 32, 4096, 99)
-	if _, _, err := u.ReadBatch(f, reqs); err != nil {
+	if _, _, err := u.ReadBatch(context.Background(), f, reqs); err != nil {
 		t.Fatalf("batch after Close: %v", err)
 	}
 	verifyFilled(t, data, reqs)
@@ -107,7 +108,7 @@ func TestReadBatchPairFillsBothRuns(t *testing.T) {
 	defer u.Close()
 	reqsA := distinctReqs(48)
 	reqsB := distinctReqs(48)
-	cost, elapsed, err := u.ReadBatchPair(fA, fB, reqsA, reqsB)
+	cost, elapsed, err := u.ReadBatchPair(context.Background(), fA, fB, reqsA, reqsB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,11 +135,11 @@ func TestPairCheaperThanSerialBatches(t *testing.T) {
 
 	reqsA, reqsB := mkReqs()
 	legacy := Legacy{QueueDepth: 64, Workers: 4}
-	costA, tA, err := legacy.ReadBatch(fA, reqsA)
+	costA, tA, err := legacy.ReadBatch(context.Background(), fA, reqsA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	costB, tB, err := legacy.ReadBatch(fB, reqsB)
+	costB, tB, err := legacy.ReadBatch(context.Background(), fB, reqsB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestPairCheaperThanSerialBatches(t *testing.T) {
 	reqsA, reqsB = mkReqs()
 	u := NewUring(64, 4)
 	defer u.Close()
-	pairCost, pair, err := u.ReadBatchPair(fA, fB, reqsA, reqsB)
+	pairCost, pair, err := u.ReadBatchPair(context.Background(), fA, fB, reqsA, reqsB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestDefaultSingleton(t *testing.T) {
 	}
 	_, f, data := newFile(t, 1<<20)
 	reqs := scatteredReqs(data, 16, 4096, 3)
-	if _, _, err := Default().ReadBatch(f, reqs); err != nil {
+	if _, _, err := Default().ReadBatch(context.Background(), f, reqs); err != nil {
 		t.Fatal(err)
 	}
 	verifyFilled(t, data, reqs)
@@ -188,7 +189,7 @@ func TestLegacyMatchesUringResults(t *testing.T) {
 	store, f, data := newFile(t, 1<<20)
 	reqsL := distinctReqs(40)
 	legacy := Legacy{}
-	costL, _, err := legacy.ReadBatch(f, reqsL)
+	costL, _, err := legacy.ReadBatch(context.Background(), f, reqsL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestLegacyMatchesUringResults(t *testing.T) {
 	u := NewUring(64, 4)
 	defer u.Close()
 	reqsU := distinctReqs(40)
-	costU, _, err := u.ReadBatch(f, reqsU)
+	costU, _, err := u.ReadBatch(context.Background(), f, reqsU)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestCoalescingPairEquivalence(t *testing.T) {
 	u := NewUring(64, 4)
 	defer u.Close()
 	plainA, plainB := clustered(dataA), clustered(dataB)
-	plainCost, _, err := u.ReadBatchPair(fA, fB, plainA, plainB)
+	plainCost, _, err := u.ReadBatchPair(context.Background(), fA, fB, plainA, plainB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestCoalescingPairEquivalence(t *testing.T) {
 	store.EvictAll()
 	co := NewCoalescing(u, 16<<10)
 	coA, coB := clustered(dataA), clustered(dataB)
-	coCost, _, err := co.ReadBatchPair(fA, fB, coA, coB)
+	coCost, _, err := co.ReadBatchPair(context.Background(), fA, fB, coA, coB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestCoalescingPairSerialInner(t *testing.T) {
 	co := NewCoalescing(Mmap{}, 16<<10)
 	reqsA := scatteredReqs(dataA, 24, 4096, 31)
 	reqsB := scatteredReqs(dataB, 24, 4096, 32)
-	if _, _, err := co.ReadBatchPair(fA, fB, reqsA, reqsB); err != nil {
+	if _, _, err := co.ReadBatchPair(context.Background(), fA, fB, reqsA, reqsB); err != nil {
 		t.Fatal(err)
 	}
 	verifyFilled(t, dataA, reqsA)

@@ -9,6 +9,7 @@ package catalog
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -52,7 +53,8 @@ func ManifestName(runID string) string { return runID + "/manifest.json" }
 
 // Scan builds a manifest from the store's current contents: both live
 // checkpoints and compacted (metadata-only) ones are inventoried.
-func Scan(store *pfs.Store, runID string, now func() time.Time) (*Manifest, error) {
+// Cancellation is observed between checkpoints.
+func Scan(ctx context.Context, store *pfs.Store, runID string, now func() time.Time) (*Manifest, error) {
 	if now == nil {
 		//lint:ignore walltime manifest creation timestamps are run metadata, not priced measurements; callers inject a fixed clock for reproducible manifests
 		now = time.Now
@@ -77,6 +79,9 @@ func Scan(store *pfs.Store, runID string, now func() time.Time) (*Manifest, erro
 	}
 	m := &Manifest{RunID: runID, CreatedUnix: now().Unix()}
 	for name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		_, it, rank, ok := ckpt.ParseName(name)
 		if !ok {
 			continue
@@ -89,7 +94,7 @@ func Scan(store *pfs.Store, runID string, now func() time.Time) (*Manifest, erro
 		} else {
 			e.Compacted = true
 		}
-		if meta, _, _, err := compare.LoadMetadata(store, name); err == nil {
+		if meta, _, _, err := compare.LoadMetadata(ctx, store, name); err == nil {
 			e.HasMetadata = true
 			e.Epsilon = meta.Epsilon
 			e.MetaBytes = meta.Bytes()
@@ -164,8 +169,8 @@ func Save(store *pfs.Store, m *Manifest) error {
 }
 
 // Load reads a run's manifest from the store.
-func Load(store *pfs.Store, runID string) (*Manifest, error) {
-	data, _, err := store.ReadFileFull(ManifestName(runID), 0)
+func Load(ctx context.Context, store *pfs.Store, runID string) (*Manifest, error) {
+	data, _, err := store.ReadFileFull(ctx, ManifestName(runID), 0)
 	if err != nil {
 		return nil, err
 	}

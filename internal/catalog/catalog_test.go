@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -26,7 +27,7 @@ func seedRun(t *testing.T, store *pfs.Store, runID string, iters []int, withMeta
 			t.Fatal(err)
 		}
 		if withMeta {
-			if _, _, err := compare.BuildAndSave(store, ckpt.Name(runID, it, 0), opts); err != nil {
+			if _, _, err := compare.BuildAndSave(context.Background(), store, ckpt.Name(runID, it, 0), opts); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -39,7 +40,7 @@ func TestScanInventoriesHistory(t *testing.T) {
 		t.Fatal(err)
 	}
 	seedRun(t, store, "runX", []int{10, 20, 30}, true)
-	m, err := Scan(store, "runX", fixedNow)
+	m, err := Scan(context.Background(), store, "runX", fixedNow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,10 +73,10 @@ func TestScanSeesCompactedCheckpoints(t *testing.T) {
 	}
 	seedRun(t, store, "runC", []int{10, 20}, true)
 	opts := compare.Options{Epsilon: 1e-5, ChunkSize: 4096, Exec: device.Serial{}}
-	if _, err := compare.CompactHistory(store, "runC", 1, opts); err != nil {
+	if _, err := compare.CompactHistory(context.Background(), store, "runC", 1, opts); err != nil {
 		t.Fatal(err)
 	}
-	m, err := Scan(store, "runC", fixedNow)
+	m, err := Scan(context.Background(), store, "runC", fixedNow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestScanEmptyRunRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Scan(store, "ghost", fixedNow); err == nil {
+	if _, err := Scan(context.Background(), store, "ghost", fixedNow); err == nil {
 		t.Error("empty run accepted")
 	}
 }
@@ -114,7 +115,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	seedRun(t, store, "runM", []int{5}, false)
-	m, err := Scan(store, "runM", fixedNow)
+	m, err := Scan(context.Background(), store, "runM", fixedNow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err := Save(store, m); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(store, "runM")
+	got, err := Load(context.Background(), store, "runM")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Errorf("config = %s", got.Config)
 	}
 	// Wrong run rejected.
-	if _, err := Load(store, "other"); err == nil {
+	if _, err := Load(context.Background(), store, "other"); err == nil {
 		t.Error("missing manifest accepted")
 	}
 }
@@ -151,7 +152,7 @@ func TestManifestNotListedAsCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	seedRun(t, store, "runL", []int{1}, false)
-	m, err := Scan(store, "runL", fixedNow)
+	m, err := Scan(context.Background(), store, "runL", fixedNow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestManifestNotListedAsCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Rescanning after the manifest exists must not inventory it.
-	m2, err := Scan(store, "runL", fixedNow)
+	m2, err := Scan(context.Background(), store, "runL", fixedNow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,15 +178,15 @@ func TestSameProvenance(t *testing.T) {
 	seedRun(t, store, "pB", []int{10, 20}, false)
 	seedRun(t, store, "pC", []int{10}, false)
 
-	ma, err := Scan(store, "pA", fixedNow)
+	ma, err := Scan(context.Background(), store, "pA", fixedNow)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mb, err := Scan(store, "pB", fixedNow)
+	mb, err := Scan(context.Background(), store, "pB", fixedNow)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mc, err := Scan(store, "pC", fixedNow)
+	mc, err := Scan(context.Background(), store, "pC", fixedNow)
 	if err != nil {
 		t.Fatal(err)
 	}

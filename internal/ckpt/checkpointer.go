@@ -1,6 +1,7 @@
 package ckpt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -69,8 +70,11 @@ func (c *Checkpointer) flusher() {
 }
 
 // flushOne copies one checkpoint from the local tier to the remote tier.
+// The background flusher has no caller-scoped lifetime to inherit — its
+// cancellation point is the jobs channel closing in Close, not a context.
 func (c *Checkpointer) flushOne(name string) error {
-	data, cost, err := c.local.ReadFileFull(name, 4<<20)
+	//lint:ignore ctxflow the flusher outlives any caller; Close is its cancellation
+	data, cost, err := c.local.ReadFileFull(context.Background(), name, 4<<20)
 	if err != nil {
 		return fmt.Errorf("flush %s: read local: %w", name, err)
 	}

@@ -12,6 +12,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -96,7 +97,9 @@ func (r *Result) AggregateThroughputGBps() float64 {
 // Run executes the workload under the configuration. The pairs' files
 // (and, for the Merkle method, their metadata) must already exist on the
 // store; the page cache is evicted first so every process starts cold.
-func Run(store *pfs.Store, pairs []Pair, cfg Config) (*Result, error) {
+// Cancellation is observed between pairs on every process and inside each
+// comparison's engine plan.
+func Run(ctx context.Context, store *pfs.Store, pairs []Pair, cfg Config) (*Result, error) {
 	if cfg.Processes < 1 {
 		return nil, fmt.Errorf("cluster: processes %d must be positive", cfg.Processes)
 	}
@@ -132,7 +135,15 @@ func Run(store *pfs.Store, pairs []Pair, cfg Config) (*Result, error) {
 			defer wg.Done()
 			pr := ProcessResult{Proc: proc}
 			for i := proc; i < len(pairs); i += cfg.Processes {
-				r, err := cfg.Method.Run(store, pairs[i].NameA, pairs[i].NameB, cfg.Opts)
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				r, err := cfg.Method.Run(ctx, store, pairs[i].NameA, pairs[i].NameB, cfg.Opts)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -68,7 +69,7 @@ func TestRunPartitionsAllPairs(t *testing.T) {
 	}
 	opts := scalingOpts(1e-5)
 	pairs := buildWorkload(t, store, 10, 8<<10, opts)
-	res, err := Run(store, pairs, Config{Processes: 3, Method: compare.MethodMerkle, Opts: opts})
+	res, err := Run(context.Background(), store, pairs, Config{Processes: 3, Method: compare.MethodMerkle, Opts: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestStrongScalingShape(t *testing.T) {
 	for _, procs := range []int{2, 4, 8} {
 		makespan[procs] = map[string]float64{}
 		for _, m := range []compare.Method{compare.MethodMerkle, compare.MethodDirect} {
-			res, err := Run(store, pairs, Config{Processes: procs, Method: m, Opts: opts})
+			res, err := Run(context.Background(), store, pairs, Config{Processes: procs, Method: m, Opts: opts})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -132,14 +133,14 @@ func TestRunValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := scalingOpts(1e-5)
-	if _, err := Run(store, nil, Config{Processes: 2, Method: compare.MethodDirect, Opts: opts}); err == nil {
+	if _, err := Run(context.Background(), store, nil, Config{Processes: 2, Method: compare.MethodDirect, Opts: opts}); err == nil {
 		t.Error("empty workload accepted")
 	}
-	if _, err := Run(store, []Pair{{NameA: "a", NameB: "b"}}, Config{Processes: 0, Method: compare.MethodDirect, Opts: opts}); err == nil {
+	if _, err := Run(context.Background(), store, []Pair{{NameA: "a", NameB: "b"}}, Config{Processes: 0, Method: compare.MethodDirect, Opts: opts}); err == nil {
 		t.Error("zero processes accepted")
 	}
 	// Missing files must surface as an error, not a hang.
-	if _, err := Run(store, []Pair{{NameA: "missing1", NameB: "missing2"}},
+	if _, err := Run(context.Background(), store, []Pair{{NameA: "missing1", NameB: "missing2"}},
 		Config{Processes: 2, Method: compare.MethodDirect, Opts: opts}); err == nil {
 		t.Error("missing files accepted")
 	}
@@ -152,7 +153,7 @@ func TestMoreProcessesThanPairs(t *testing.T) {
 	}
 	opts := scalingOpts(1e-5)
 	pairs := buildWorkload(t, store, 2, 4<<10, opts)
-	res, err := Run(store, pairs, Config{Processes: 8, Method: compare.MethodMerkle, Opts: opts})
+	res, err := Run(context.Background(), store, pairs, Config{Processes: 8, Method: compare.MethodMerkle, Opts: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestSharersRestoredAfterRun(t *testing.T) {
 	}
 	opts := scalingOpts(1e-5)
 	pairs := buildWorkload(t, store, 2, 4<<10, opts)
-	if _, err := Run(store, pairs, Config{Processes: 8, PerNode: 4, Method: compare.MethodDirect, Opts: opts}); err != nil {
+	if _, err := Run(context.Background(), store, pairs, Config{Processes: 8, PerNode: 4, Method: compare.MethodDirect, Opts: opts}); err != nil {
 		t.Fatal(err)
 	}
 	if store.Sharers() != 1 {
@@ -189,7 +190,7 @@ func TestMethodString(t *testing.T) {
 	if compare.Method(42).String() == "" {
 		t.Error("unknown method has empty name")
 	}
-	if _, err := compare.Method(42).Run(nil, "", "", compare.Options{Epsilon: 1}); err == nil {
+	if _, err := compare.Method(42).Run(context.Background(), nil, "", "", compare.Options{Epsilon: 1}); err == nil {
 		t.Error("unknown method ran")
 	}
 }

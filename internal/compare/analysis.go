@@ -1,6 +1,7 @@
 package compare
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -77,7 +78,8 @@ func (h *FieldHistogram) String() string {
 
 // Analyze reads both checkpoints fully and builds the divergence profile.
 // It is an analysis pass, not a fast comparison: every byte is read.
-func Analyze(store *pfs.Store, nameA, nameB string) (*Analysis, error) {
+// Cancellation is observed between fields.
+func Analyze(ctx context.Context, store *pfs.Store, nameA, nameB string) (*Analysis, error) {
 	ra, _, err := ckpt.OpenReader(store, nameA)
 	if err != nil {
 		return nil, err
@@ -93,6 +95,9 @@ func Analyze(store *pfs.Store, nameA, nameB string) (*Analysis, error) {
 	}
 	out := &Analysis{Fields: make([]FieldHistogram, 0, ra.NumFields())}
 	for fi := 0; fi < ra.NumFields(); fi++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		f := ra.Field(fi)
 		da, _, err := ra.ReadField(fi)
 		if err != nil {

@@ -1,6 +1,7 @@
 package compare
 
 import (
+	"context"
 	"encoding/binary"
 	"math"
 	"strings"
@@ -41,7 +42,7 @@ func TestAnalyzeHistogram(t *testing.T) {
 	a := f32buf(1, 2, 3, 4)
 	b := f32buf(1, 2+1e-6, 3+1e-3, 4.5)
 	store, nameA, nameB := writePair(t, a, b)
-	an, err := Analyze(store, nameA, nameB)
+	an, err := Analyze(context.Background(), store, nameA, nameB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestAnalyzeNonFinite(t *testing.T) {
 	a := f32buf(1, float32(math.NaN()), 3)
 	b := f32buf(1, float32(math.NaN()), float32(math.Inf(1)))
 	store, nameA, nameB := writePair(t, a, b)
-	an, err := Analyze(store, nameA, nameB)
+	an, err := Analyze(context.Background(), store, nameA, nameB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestAnalyzeSchemaMismatch(t *testing.T) {
 	if _, err := ckpt.WriteCheckpoint(store, meta, [][]byte{make([]byte, 16)}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Analyze(store, nameA, ckpt.Name("odd", 0, 0)); err == nil {
+	if _, err := Analyze(context.Background(), store, nameA, ckpt.Name("odd", 0, 0)); err == nil {
 		t.Error("schema mismatch accepted")
 	}
 }

@@ -1,16 +1,15 @@
 package compare
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/ckpt"
-	"repro/internal/merkle"
-	"repro/internal/metrics"
+	"repro/internal/engine"
 	"repro/internal/pfs"
-	"repro/internal/simclock"
 )
 
 // This file implements the paper's §5 future-work extension: online
@@ -37,20 +36,26 @@ type CompactReport struct {
 
 // IsCompacted reports whether a checkpoint exists only as metadata.
 func IsCompacted(store *pfs.Store, name string) bool {
-	if _, err := store.Open(name); err == nil {
+	if f, err := store.Open(name); err == nil {
+		f.Close()
 		return false
 	}
-	if _, err := store.Open(MetadataName(name)); err == nil {
-		return true
+	f, err := store.Open(MetadataName(name))
+	if err != nil {
+		return false
 	}
-	return false
+	f.Close()
+	return true
 }
 
 // CompactCheckpoint replaces one checkpoint with its metadata: metadata is
 // built (with opts) if missing, then the data file is removed.
-func CompactCheckpoint(store *pfs.Store, name string, opts Options) (built bool, freed int64, err error) {
-	if _, _, _, lerr := LoadMetadata(store, name); lerr != nil {
-		if _, _, err := BuildAndSave(store, name, opts); err != nil {
+func CompactCheckpoint(ctx context.Context, store *pfs.Store, name string, opts Options) (built bool, freed int64, err error) {
+	if _, _, _, lerr := LoadMetadata(ctx, store, name); lerr != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return false, 0, cerr
+		}
+		if _, _, err := BuildAndSave(ctx, store, name, opts); err != nil {
 			return false, 0, fmt.Errorf("compact %s: build metadata: %w", name, err)
 		}
 		built = true
@@ -69,8 +74,10 @@ func CompactCheckpoint(store *pfs.Store, name string, opts Options) (built bool,
 
 // CompactHistory compacts every checkpoint of a run except the
 // keepLatest most recent iterations (per rank). Metadata is built where
-// missing so no comparability is lost.
-func CompactHistory(store *pfs.Store, runID string, keepLatest int, opts Options) (*CompactReport, error) {
+// missing so no comparability is lost. The planner lists the history up
+// front and emits one compact step per checkpoint, so cancellation lands
+// on a checkpoint boundary and the partial report stays truthful.
+func CompactHistory(ctx context.Context, store *pfs.Store, runID string, keepLatest int, opts Options) (*CompactReport, error) {
 	if keepLatest < 0 {
 		keepLatest = 0
 	}
@@ -99,20 +106,28 @@ func CompactHistory(store *pfs.Store, runID string, keepLatest int, opts Options
 	}
 
 	report := &CompactReport{}
+	var p engine.Plan
 	for _, n := range names {
 		_, it, _, _ := ckpt.ParseName(n)
 		if keep[it] {
 			continue
 		}
-		built, freed, err := CompactCheckpoint(store, n, opts)
-		if err != nil {
-			return report, err
-		}
-		if built {
-			report.MetadataBuilt = append(report.MetadataBuilt, n)
-		}
-		report.Removed = append(report.Removed, n)
-		report.BytesFreed += freed
+		name := n
+		p.Add(engine.StepCompact, "compact:"+name, func(ctx context.Context, x *engine.Exec) error {
+			built, freed, err := CompactCheckpoint(ctx, store, name, opts)
+			if err != nil {
+				return err
+			}
+			if built {
+				report.MetadataBuilt = append(report.MetadataBuilt, name)
+			}
+			report.Removed = append(report.Removed, name)
+			report.BytesFreed += freed
+			return nil
+		})
+	}
+	if _, err := engine.Execute(ctx, &p); err != nil {
+		return report, err
 	}
 	return report, nil
 }
@@ -150,64 +165,24 @@ func MetadataHistory(store *pfs.Store, runID string) ([]string, error) {
 // whether (and in which chunks) two checkpoints may differ beyond ε,
 // without touching checkpoint data — so it works on compacted history.
 // Result.Diffs stays empty; DiffCount is 0 when the trees fully match and
-// -1 (unknown count) when candidate chunks exist.
-func CompareTreesOnly(store *pfs.Store, nameA, nameB string, opts Options) (*Result, error) {
+// -1 (unknown count) when candidate chunks exist. Its engine plan is
+// setup → load-metadata → tree-diff → report.
+func CompareTreesOnly(ctx context.Context, store *pfs.Store, nameA, nameB string, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{Method: "merkle-meta"}
-	sw := metrics.NewStopwatch()
-	res.Breakdown.AddVirtual(metrics.PhaseSetup, opts.SetupVirtual)
-	res.Breakdown.AddWall(metrics.PhaseSetup, sw.Lap())
-
-	model := store.Model()
-	sharers := store.Sharers()
-	ma, costA, dwA, err := LoadMetadata(store, nameA)
-	if err != nil {
-		return nil, err
-	}
-	mb, costB, dwB, err := LoadMetadata(store, nameB)
-	if err != nil {
-		return nil, err
-	}
-	var cost pfs.Cost
-	cost.Add(costA)
-	cost.Add(costB)
-	res.MetadataBytes = ma.Bytes()
-	res.BytesRead = cost.TotalBytes()
-	res.Breakdown.AddVirtual(metrics.PhaseRead, model.SerialReadTime(cost, sharers))
-	res.Breakdown.AddWall(metrics.PhaseRead, sw.Lap())
-	res.Breakdown.AddVirtual(metrics.PhaseDeserialize,
-		simclock.BandwidthTime(cost.TotalBytes(), deserializeBytesPerSec))
-	res.Breakdown.AddWall(metrics.PhaseDeserialize, dwA+dwB)
-
-	if ma.Epsilon != opts.Epsilon || mb.Epsilon != opts.Epsilon {
-		return nil, fmt.Errorf("compare: metadata ε (%g, %g) does not match requested ε %g",
-			ma.Epsilon, mb.Epsilon, opts.Epsilon)
-	}
-	if len(ma.Fields) != len(mb.Fields) {
-		return nil, fmt.Errorf("compare: metadata field counts differ: %d vs %d",
-			len(ma.Fields), len(mb.Fields))
-	}
-	for fi := range ma.Fields {
-		ta, tb := ma.Fields[fi].Tree, mb.Fields[fi].Tree
-		start := opts.StartLevel
-		if start < 0 {
-			start = ta.DefaultStartLevel(opts.Exec.Workers())
+	st := newPairState(store, nameA, nameB, opts, "merkle-meta")
+	st.dataless = true
+	var p engine.Plan
+	setup := p.Add(engine.StepSetup, "setup", st.stepSetupVirtual)
+	load := p.Add(engine.StepLoadMetadata, "load-metadata", st.stepLoadMetadata, setup)
+	diff := p.Add(engine.StepTreeDiff, "tree-diff", st.stepTreeDiff, load)
+	p.Add(engine.StepReport, "report", func(ctx context.Context, x *engine.Exec) error {
+		if st.res.CandidateChunks > 0 {
+			st.res.DiffCount = -1
 		}
-		chunks, _, err := merkle.Diff(ta, tb, start, opts.Exec)
-		if err != nil {
-			return nil, fmt.Errorf("compare: field %q: %w", ma.Fields[fi].Name, err)
-		}
-		res.TotalChunks += ta.NumChunks()
-		res.CandidateChunks += len(chunks)
-		res.TotalElements += ta.DataLen() / int64(ma.Fields[fi].DType.Size())
-		res.CheckpointBytes += ta.DataLen()
-	}
-	res.Breakdown.AddWall(metrics.PhaseCompareTree, sw.Lap())
-	if res.CandidateChunks > 0 {
-		res.DiffCount = -1
-	}
-	return res, nil
+		return nil
+	}, diff)
+	return st.runPlan(ctx, &p)
 }

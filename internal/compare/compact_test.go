@@ -1,6 +1,7 @@
 package compare
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ckpt"
@@ -32,7 +33,7 @@ func compactEnv(t *testing.T, opts Options) (*pfs.Store, []int) {
 			if _, err := ckpt.WriteCheckpoint(store, meta, [][]byte{data}); err != nil {
 				t.Fatal(err)
 			}
-			if _, _, err := BuildAndSave(store, ckpt.Name(run, it, 0), opts); err != nil {
+			if _, _, err := BuildAndSave(context.Background(), store, ckpt.Name(run, it, 0), opts); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -43,7 +44,7 @@ func compactEnv(t *testing.T, opts Options) (*pfs.Store, []int) {
 func TestCompactHistoryKeepsLatest(t *testing.T) {
 	opts := baseOpts(1e-5, 4<<10)
 	store, iters := compactEnv(t, opts)
-	report, err := CompactHistory(store, "cA", 1, opts)
+	report, err := CompactHistory(context.Background(), store, "cA", 1, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,21 +87,21 @@ func TestCompactedStillComparableAtTreeLevel(t *testing.T) {
 	opts := baseOpts(1e-5, 4<<10)
 	store, _ := compactEnv(t, opts)
 	// Establish ground truth while data exists.
-	full, err := CompareMerkle(store, ckpt.Name("cA", 10, 0), ckpt.Name("cB", 10, 0), opts)
+	full, err := CompareMerkle(context.Background(), store, ckpt.Name("cA", 10, 0), ckpt.Name("cB", 10, 0), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, run := range []string{"cA", "cB"} {
-		if _, err := CompactHistory(store, run, 1, opts); err != nil {
+		if _, err := CompactHistory(context.Background(), store, run, 1, opts); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Data-level comparison now fails for compacted iterations...
-	if _, err := CompareMerkle(store, ckpt.Name("cA", 10, 0), ckpt.Name("cB", 10, 0), opts); err == nil {
+	if _, err := CompareMerkle(context.Background(), store, ckpt.Name("cA", 10, 0), ckpt.Name("cB", 10, 0), opts); err == nil {
 		t.Error("data-level compare succeeded on compacted checkpoints")
 	}
 	// ...but the tree-level comparison still answers the question.
-	res, err := CompareTreesOnly(store, ckpt.Name("cA", 10, 0), ckpt.Name("cB", 10, 0), opts)
+	res, err := CompareTreesOnly(context.Background(), store, ckpt.Name("cA", 10, 0), ckpt.Name("cB", 10, 0), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,14 +132,14 @@ func TestCompactTreesOnlyIdentical(t *testing.T) {
 		if _, err := ckpt.WriteCheckpoint(store, meta, [][]byte{data}); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := BuildAndSave(store, ckpt.Name(run, 0, 0), opts); err != nil {
+		if _, _, err := BuildAndSave(context.Background(), store, ckpt.Name(run, 0, 0), opts); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := CompactCheckpoint(store, ckpt.Name(run, 0, 0), opts); err != nil {
+		if _, _, err := CompactCheckpoint(context.Background(), store, ckpt.Name(run, 0, 0), opts); err != nil {
 			t.Fatal(err)
 		}
 	}
-	res, err := CompareTreesOnly(store, ckpt.Name("idA", 0, 0), ckpt.Name("idB", 0, 0), opts)
+	res, err := CompareTreesOnly(context.Background(), store, ckpt.Name("idA", 0, 0), ckpt.Name("idB", 0, 0), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestCompactCheckpointBuildsMissingMetadata(t *testing.T) {
 		t.Fatal(err)
 	}
 	name := ckpt.Name("nb", 0, 0)
-	built, freed, err := CompactCheckpoint(store, name, opts)
+	built, freed, err := CompactCheckpoint(context.Background(), store, name, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestCompactCheckpointBuildsMissingMetadata(t *testing.T) {
 		t.Error("not compacted")
 	}
 	// Compacting again fails (no data file).
-	if _, _, err := CompactCheckpoint(store, name, opts); err == nil {
+	if _, _, err := CompactCheckpoint(context.Background(), store, name, opts); err == nil {
 		t.Error("double compaction succeeded")
 	}
 }
@@ -187,12 +188,12 @@ func TestCompactHistoryValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := CompactHistory(store, "ghost", 1, opts); err == nil {
+	if _, err := CompactHistory(context.Background(), store, "ghost", 1, opts); err == nil {
 		t.Error("empty run accepted")
 	}
 	// keepLatest covering everything is a no-op.
 	store2, _ := compactEnv(t, opts)
-	report, err := CompactHistory(store2, "cA", 99, opts)
+	report, err := CompactHistory(context.Background(), store2, "cA", 99, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestCompactHistoryValidation(t *testing.T) {
 		t.Errorf("keepLatest=99 removed %v", report.Removed)
 	}
 	// Negative keepLatest clamps to 0 (compact everything).
-	report, err = CompactHistory(store2, "cA", -1, opts)
+	report, err = CompactHistory(context.Background(), store2, "cA", -1, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,12 +225,12 @@ func TestCompareTreesOnlyEpsilonMismatch(t *testing.T) {
 	store, _ := compactEnv(t, opts)
 	other := opts
 	other.Epsilon = 1e-3
-	_, err := CompareTreesOnly(store, ckpt.Name("cA", 10, 0), ckpt.Name("cB", 10, 0), other)
+	_, err := CompareTreesOnly(context.Background(), store, ckpt.Name("cA", 10, 0), ckpt.Name("cB", 10, 0), other)
 	if err == nil {
 		t.Error("epsilon mismatch accepted")
 	}
 	var zero Options
-	if _, err := CompareTreesOnly(store, "x", "y", zero); err == nil {
+	if _, err := CompareTreesOnly(context.Background(), store, "x", "y", zero); err == nil {
 		t.Error("zero options accepted")
 	}
 }

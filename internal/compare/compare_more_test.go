@@ -1,6 +1,7 @@
 package compare
 
 import (
+	"context"
 	"bytes"
 	"encoding/binary"
 	"math"
@@ -64,11 +65,11 @@ func TestMixedDTypeCheckpoint(t *testing.T) {
 	store.EvictAll()
 
 	nameA, nameB := ckpt.Name("mA", 0, 0), ckpt.Name("mB", 0, 0)
-	rm, err := CompareMerkle(store, nameA, nameB, opts)
+	rm, err := CompareMerkle(context.Background(), store, nameA, nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rd, err := CompareDirect(store, nameA, nameB, opts)
+	rd, err := CompareDirect(context.Background(), store, nameA, nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestMixedDTypeCheckpoint(t *testing.T) {
 			}
 		}
 	}
-	ok, _, err := CompareAllClose(store, nameA, nameB, opts)
+	ok, _, err := CompareAllClose(context.Background(), store, nameA, nameB, opts)
 	if err != nil || ok {
 		t.Errorf("allclose = %v, %v; want false", ok, err)
 	}
@@ -132,12 +133,12 @@ func TestQuickMerkleEqualsDirect(t *testing.T) {
 				return false
 			}
 		}
-		rm, err := CompareMerkle(store, ckpt.Name(runA, iter, 0), ckpt.Name(runB, iter, 0), opts)
+		rm, err := CompareMerkle(context.Background(), store, ckpt.Name(runA, iter, 0), ckpt.Name(runB, iter, 0), opts)
 		if err != nil {
 			t.Log(err)
 			return false
 		}
-		rd, err := CompareDirect(store, ckpt.Name(runA, iter, 0), ckpt.Name(runB, iter, 0), opts)
+		rd, err := CompareDirect(context.Background(), store, ckpt.Name(runA, iter, 0), ckpt.Name(runB, iter, 0), opts)
 		if err != nil {
 			t.Log(err)
 			return false
@@ -170,14 +171,14 @@ func TestQuickMerkleEqualsDirect(t *testing.T) {
 func TestMmapBackendComparison(t *testing.T) {
 	opts := baseOpts(1e-5, 8<<10)
 	env := newEnv(t, 64<<10, opts, synth.DefaultPerturb(77))
-	uringRes, err := CompareMerkle(env.store, env.nameA, env.nameB, opts)
+	uringRes, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	env.store.EvictAll()
 	mopts := opts
 	mopts.Backend = aio.Mmap{}
-	mmapRes, err := CompareMerkle(env.store, env.nameA, env.nameB, mopts)
+	mmapRes, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, mopts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestStartLevelEquivalence(t *testing.T) {
 		o := opts
 		o.StartLevel = level
 		env.store.EvictAll()
-		res, err := CompareMerkle(env.store, env.nameA, env.nameB, o)
+		res, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, o)
 		if err != nil {
 			t.Fatalf("level %d: %v", level, err)
 		}
@@ -232,7 +233,7 @@ func TestMissingMetadataError(t *testing.T) {
 		}
 	}
 	opts := Options{Epsilon: 1e-5}
-	if _, err := CompareMerkle(store, ckpt.Name("nmA", 0, 0), ckpt.Name("nmB", 0, 0), opts); err == nil {
+	if _, err := CompareMerkle(context.Background(), store, ckpt.Name("nmA", 0, 0), ckpt.Name("nmB", 0, 0), opts); err == nil {
 		t.Error("missing metadata accepted")
 	}
 }
@@ -242,14 +243,14 @@ func TestMissingMetadataError(t *testing.T) {
 func TestChunkLargerThanField(t *testing.T) {
 	opts := baseOpts(1e-5, 1<<20) // 1 MiB chunks over 16 KiB fields
 	env := newEnv(t, 4<<10, opts, synth.DefaultPerturb(99))
-	res, err := CompareMerkle(env.store, env.nameA, env.nameB, opts)
+	res, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.TotalChunks != 3 { // one chunk per field
 		t.Errorf("TotalChunks = %d, want 3", res.TotalChunks)
 	}
-	rd, err := CompareDirect(env.store, env.nameA, env.nameB, opts)
+	rd, err := CompareDirect(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestHistoriesValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := Options{Epsilon: 1e-5}
-	if _, err := CompareHistories(store, "ghost1", "ghost2", MethodDirect, opts); err == nil {
+	if _, err := CompareHistories(context.Background(), store, "ghost1", "ghost2", MethodDirect, opts); err == nil {
 		t.Error("empty histories accepted")
 	}
 	// Mismatched history lengths.
@@ -280,17 +281,17 @@ func TestHistoriesValidation(t *testing.T) {
 	}
 	mk("h1", 10, 20)
 	mk("h2", 10)
-	if _, err := CompareHistories(store, "h1", "h2", MethodDirect, opts); err == nil {
+	if _, err := CompareHistories(context.Background(), store, "h1", "h2", MethodDirect, opts); err == nil {
 		t.Error("length mismatch accepted")
 	}
 	// Misaligned iterations.
 	mk("h3", 10, 30)
-	if _, err := CompareHistories(store, "h1", "h3", MethodDirect, opts); err == nil {
+	if _, err := CompareHistories(context.Background(), store, "h1", "h3", MethodDirect, opts); err == nil {
 		t.Error("iteration misalignment accepted")
 	}
 	// Aligned, identical: reproducible.
 	mk("h4", 10, 20)
-	rep, err := CompareHistories(store, "h1", "h4", MethodDirect, opts)
+	rep, err := CompareHistories(context.Background(), store, "h1", "h4", MethodDirect, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestAllCloseViaMethodRun(t *testing.T) {
 	pert.BlockElems = 256
 	pert.ChangedFrac = 1
 	env := newEnv(t, 8<<10, opts, pert)
-	res, err := MethodAllClose.Run(env.store, env.nameA, env.nameB, opts)
+	res, err := MethodAllClose.Run(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

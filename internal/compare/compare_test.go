@@ -1,6 +1,7 @@
 package compare
 
 import (
+	"context"
 	"bytes"
 	"math"
 	"testing"
@@ -132,7 +133,7 @@ func TestMerkleMatchesGroundTruth(t *testing.T) {
 			opts := baseOpts(eps, chunk)
 			env := newEnv(t, 64<<10, opts, synth.DefaultPerturb(7))
 			want := groundTruth(t, env, eps)
-			res, err := CompareMerkle(env.store, env.nameA, env.nameB, opts)
+			res, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts)
 			if err != nil {
 				t.Fatalf("eps=%g chunk=%d: %v", eps, chunk, err)
 			}
@@ -155,7 +156,7 @@ func TestDirectMatchesGroundTruth(t *testing.T) {
 	opts := baseOpts(1e-5, 16<<10)
 	env := newEnv(t, 64<<10, opts, synth.DefaultPerturb(8))
 	want := groundTruth(t, env, 1e-5)
-	res, err := CompareDirect(env.store, env.nameA, env.nameB, opts)
+	res, err := CompareDirect(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,12 +169,12 @@ func TestDirectMatchesGroundTruth(t *testing.T) {
 func TestMerkleAgreesWithDirect(t *testing.T) {
 	opts := baseOpts(1e-6, 8<<10)
 	env := newEnv(t, 32<<10, opts, synth.DefaultPerturb(9))
-	rm, err := CompareMerkle(env.store, env.nameA, env.nameB, opts)
+	rm, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	env.store.EvictAll()
-	rd, err := CompareDirect(env.store, env.nameA, env.nameB, opts)
+	rd, err := CompareDirect(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestAllCloseAgrees(t *testing.T) {
 	opts := baseOpts(1e-5, 16<<10)
 	env := newEnv(t, 32<<10, opts, synth.DefaultPerturb(10))
 	want := groundTruth(t, env, 1e-5)
-	ok, res, err := CompareAllClose(env.store, env.nameA, env.nameB, opts)
+	ok, res, err := CompareAllClose(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestAllCloseIdenticalRuns(t *testing.T) {
 	pert := synth.DefaultPerturb(11)
 	pert.UntouchedFrac = 1.0 // identical runs
 	env := newEnv(t, 16<<10, opts, pert)
-	ok, res, err := CompareAllClose(env.store, env.nameA, env.nameB, opts)
+	ok, res, err := CompareAllClose(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestMerkleIdenticalRunsReadNoData(t *testing.T) {
 	pert := synth.DefaultPerturb(12)
 	pert.UntouchedFrac = 1.0
 	env := newEnv(t, 64<<10, opts, pert)
-	res, err := CompareMerkle(env.store, env.nameA, env.nameB, opts)
+	res, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestConservativeNoFalseNegatives(t *testing.T) {
 	// chunk accounting here.
 	opts := baseOpts(1e-4, 4<<10)
 	env := newEnv(t, 128<<10, opts, synth.DefaultPerturb(13))
-	res, err := CompareMerkle(env.store, env.nameA, env.nameB, opts)
+	res, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,12 +269,12 @@ func TestMerkleReadsLessThanDirect(t *testing.T) {
 	pert := synth.DefaultPerturb(14)
 	pert.UntouchedFrac = 0.98
 	env := newEnv(t, 4<<20, opts, pert)
-	rm, err := CompareMerkle(env.store, env.nameA, env.nameB, opts)
+	rm, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	env.store.EvictAll()
-	rd, err := CompareDirect(env.store, env.nameA, env.nameB, opts)
+	rd, err := CompareDirect(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestMerkleReadsLessThanDirect(t *testing.T) {
 func TestBreakdownPhasesPopulated(t *testing.T) {
 	opts := baseOpts(1e-5, 8<<10)
 	env := newEnv(t, 64<<10, opts, synth.DefaultPerturb(15))
-	res, err := CompareMerkle(env.store, env.nameA, env.nameB, opts)
+	res, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +311,7 @@ func TestEpsilonMismatchRejected(t *testing.T) {
 	env := newEnv(t, 16<<10, opts, synth.DefaultPerturb(16))
 	other := opts
 	other.Epsilon = 1e-3 // metadata was built at 1e-5
-	if _, err := CompareMerkle(env.store, env.nameA, env.nameB, other); err == nil {
+	if _, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, other); err == nil {
 		t.Error("ε mismatch between metadata and options accepted")
 	}
 }
@@ -325,13 +326,13 @@ func TestSchemaMismatchRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	otherName := ckpt.Name("other", 10, 0)
-	if _, err := CompareMerkle(env.store, env.nameA, otherName, opts); err == nil {
+	if _, err := CompareMerkle(context.Background(), env.store, env.nameA, otherName, opts); err == nil {
 		t.Error("schema mismatch accepted by merkle")
 	}
-	if _, err := CompareDirect(env.store, env.nameA, otherName, opts); err == nil {
+	if _, err := CompareDirect(context.Background(), env.store, env.nameA, otherName, opts); err == nil {
 		t.Error("schema mismatch accepted by direct")
 	}
-	if _, _, err := CompareAllClose(env.store, env.nameA, otherName, opts); err == nil {
+	if _, _, err := CompareAllClose(context.Background(), env.store, env.nameA, otherName, opts); err == nil {
 		t.Error("schema mismatch accepted by allclose")
 	}
 }
@@ -339,7 +340,7 @@ func TestSchemaMismatchRejected(t *testing.T) {
 func TestOptionsValidation(t *testing.T) {
 	env := newEnv(t, 1024, baseOpts(1e-5, 4096), synth.DefaultPerturb(18))
 	for _, eps := range []float64{0, -1, math.Inf(1), math.NaN()} {
-		if _, err := CompareMerkle(env.store, env.nameA, env.nameB, Options{Epsilon: eps}); err == nil {
+		if _, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, Options{Epsilon: eps}); err == nil {
 			t.Errorf("epsilon %v accepted", eps)
 		}
 	}
@@ -402,14 +403,14 @@ func TestReadMetadataRejectsGarbage(t *testing.T) {
 func TestBuildAndSave(t *testing.T) {
 	opts := baseOpts(1e-5, 8<<10)
 	env := newEnv(t, 8<<10, opts, synth.DefaultPerturb(19))
-	m, stats, err := BuildAndSave(env.store, env.nameA, opts)
+	m, stats, err := BuildAndSave(context.Background(), env.store, env.nameA, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(m.Fields) != 3 || stats.Bytes == 0 {
 		t.Error("BuildAndSave returned incomplete results")
 	}
-	loaded, _, _, err := LoadMetadata(env.store, env.nameA)
+	loaded, _, _, err := LoadMetadata(context.Background(), env.store, env.nameA)
 	if err != nil {
 		t.Fatal(err)
 	}

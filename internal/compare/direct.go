@@ -1,13 +1,10 @@
 package compare
 
 import (
-	"fmt"
-	"sort"
-	"sync"
-	"time"
+	"context"
 
-	"repro/internal/ckpt"
 	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/errbound"
 	"repro/internal/metrics"
 	"repro/internal/pfs"
@@ -30,67 +27,50 @@ func hostCompareModel() device.Model {
 // byte of both checkpoints is streamed from the PFS through the async I/O
 // pipeline and compared within ε on the device, reporting the indices of
 // all divergent elements. Unlike the Merkle method it needs no metadata
-// but must always read everything, regardless of the error bound.
-func CompareDirect(store *pfs.Store, nameA, nameB string, opts Options) (*Result, error) {
+// but must always read everything, regardless of the error bound. Its
+// engine plan is the Merkle plan minus stage 1:
+// open → plan-sweep → stream-verify → report.
+func CompareDirect(ctx context.Context, store *pfs.Store, nameA, nameB string, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{Method: "direct"}
-	sw := metrics.NewStopwatch()
+	st := newPairState(store, nameA, nameB, opts, "direct")
+	st.verifyWrap = "direct"
+	var p engine.Plan
+	open := p.Add(engine.StepSetup, "open-checkpoints", st.stepOpenPair)
+	plan := p.Add(engine.StepCoalesce, "plan-sweep", st.stepPlanSweep, open)
+	verify := p.Add(engine.StepStreamVerify, "stream-verify", st.stepStreamVerify, plan)
+	p.Add(engine.StepReport, "report", st.stepReportDirect, verify)
+	return st.runPlan(ctx, &p)
+}
 
-	ra, _, err := ckpt.OpenReader(store, nameA)
-	if err != nil {
-		return nil, err
-	}
-	defer ra.Close()
-	rb, _, err := ckpt.OpenReader(store, nameB)
-	if err != nil {
-		return nil, err
-	}
-	defer rb.Close()
-	if !ckpt.SameSchema(ra.Meta(), rb.Meta()) {
-		return nil, fmt.Errorf("compare: %s and %s have different schemas", nameA, nameB)
-	}
-	res.CheckpointBytes = ra.Meta().TotalBytes()
-	res.Breakdown.AddVirtual(metrics.PhaseSetup, opts.SetupVirtual)
-	res.Breakdown.AddWall(metrics.PhaseSetup, sw.Lap())
-
-	// Build one whole-checkpoint stream of contiguous slice-sized chunk
-	// pairs spanning every field, so the sequential sweep pays the batch
-	// latency once.
-	type chunkRef struct {
-		field    int
-		baseElem int64
-		hasher   *hasherRef
-	}
-	type job struct {
-		pairs []stream.ChunkPair
-		refs  []chunkRef
-	}
+// stepPlanSweep builds one whole-checkpoint stream of contiguous
+// slice-sized chunk pairs spanning every selected field, so the sequential
+// sweep pays the batch latency once.
+func (st *pairState) stepPlanSweep(ctx context.Context, x *engine.Exec) error {
+	ra, rb := st.ra, st.rb
 	names := make([]string, ra.NumFields())
 	for i := range names {
 		names[i] = ra.Field(i).Name
 	}
-	selected, err := opts.fieldFilter(names)
+	selected, err := st.opts.fieldFilter(names)
 	if err != nil {
-		return nil, err
+		return err
 	}
-
-	var jb job
-	hashers := make(map[int]*hasherRef, ra.NumFields())
+	st.selected = selected
 	for fi := 0; fi < ra.NumFields(); fi++ {
 		f := ra.Field(fi)
 		if !selected(f.Name) {
 			continue
 		}
-		h, err := opts.hasherFor(f.DType)
+		h, err := st.opts.hasherFor(f.DType)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		hashers[fi] = &hasherRef{h: h, eltSize: int64(f.DType.Size())}
+		eltSize := int64(f.DType.Size())
 		fb := f.Bytes()
-		chunkSize := int64(opts.SliceBytes)
+		chunkSize := int64(st.opts.SliceBytes)
 		baseA := ra.FieldFileOffset(fi)
 		baseB := rb.FieldFileOffset(fi)
 		for off := int64(0); off < fb; off += chunkSize {
@@ -98,153 +78,128 @@ func CompareDirect(store *pfs.Store, nameA, nameB string, opts Options) (*Result
 			if off+n > fb {
 				n = fb - off
 			}
-			jb.pairs = append(jb.pairs, stream.ChunkPair{
-				Index: len(jb.refs), OffA: baseA + off, OffB: baseB + off, Len: int(n),
+			st.pairs = append(st.pairs, stream.ChunkPair{
+				Index: len(st.refs), OffA: baseA + off, OffB: baseB + off, Len: int(n),
 			})
-			jb.refs = append(jb.refs, chunkRef{
+			st.refs = append(st.refs, chunkRef{
 				field:    fi,
-				baseElem: off / hashers[fi].eltSize,
-				hasher:   hashers[fi],
+				chunk:    -1, // the sweep has no Merkle chunk notion
+				baseElem: off / eltSize,
+				hasher:   h,
 			})
 		}
-		res.TotalElements += f.Count
+		st.res.TotalElements += f.Count
 	}
-
-	var mu sync.Mutex
-	fieldDiffs := make(map[int][]int64)
-	stats, err := stream.Run(ra.File(), rb.File(), jb.pairs, stream.Config{
-		Backend:    opts.Backend,
-		Device:     opts.Device,
-		SliceBytes: opts.SliceBytes,
-		Depth:      opts.Depth,
-	}, func(p stream.ChunkPair, a, b []byte) (time.Duration, error) {
-		ref := jb.refs[p.Index]
-		idx, _, err := ref.hasher.h.CompareSlices(nil, a, b)
-		if err != nil {
-			return 0, err
-		}
-		if len(idx) > 0 {
-			mu.Lock()
-			for _, e := range idx {
-				fieldDiffs[ref.field] = append(fieldDiffs[ref.field], ref.baseElem+e)
-			}
-			mu.Unlock()
-		}
-		return opts.Device.CompareRateTime(int64(len(a))), nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("compare: direct: %w", err)
-	}
-	res.BytesRead += stats.BytesRead
-	addPipeline(&res.Breakdown, stats)
-
-	for fi := 0; fi < ra.NumFields(); fi++ {
-		if idx := fieldDiffs[fi]; len(idx) > 0 {
-			sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
-			res.Diffs = append(res.Diffs, FieldDiff{Field: ra.Field(fi).Name, Indices: idx})
-			res.DiffCount += int64(len(idx))
-		}
-	}
-	res.Breakdown.AddWall(metrics.PhaseCompareDirect, sw.Lap())
-	return res, nil
+	return nil
 }
 
-// hasherRef pairs a hasher with its element size for index arithmetic.
-type hasherRef struct {
-	h       *errbound.Hasher
-	eltSize int64
+// stepReportDirect drains the divergence lists into the result.
+func (st *pairState) stepReportDirect(ctx context.Context, x *engine.Exec) error {
+	st.sortedFieldDiffs(func(fi int) string { return st.ra.Field(fi).Name }, st.ra.NumFields())
+	return nil
 }
 
 // CompareAllClose is the naive baseline of §3.2.1 (numpy.allclose with
 // atol=ε, rtol=0): both checkpoints are read in full with plain blocking
 // sequential I/O (no async overlap) and compared element-wise on the host.
 // It answers only whether ANY element exceeds the bound — it cannot say
-// where — which is why Result.Diffs stays empty.
-func CompareAllClose(store *pfs.Store, nameA, nameB string, opts Options) (bool, *Result, error) {
+// where — which is why Result.Diffs stays empty. Its plan is
+// open → read-compare → report, with the context checked between fields.
+func CompareAllClose(ctx context.Context, store *pfs.Store, nameA, nameB string, opts Options) (bool, *Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return false, nil, err
 	}
-	res := &Result{Method: "allclose"}
+	st := newPairState(store, nameA, nameB, opts, "allclose")
+	allWithin := true
+	var p engine.Plan
+	open := p.Add(engine.StepSetup, "open-checkpoints", st.stepOpenPair)
+	p.Add(engine.StepReadFull, "read-compare", func(ctx context.Context, x *engine.Exec) error {
+		ok, err := st.allCloseFields(ctx, x)
+		if err != nil {
+			return err
+		}
+		allWithin = ok
+		return nil
+	}, open)
+	res, err := st.runPlan(ctx, &p)
+	if err != nil {
+		return false, nil, err
+	}
+	return allWithin, res, nil
+}
+
+// allCloseFields runs the blocking per-field read + host compare loop of
+// the AllClose baseline.
+func (st *pairState) allCloseFields(ctx context.Context, x *engine.Exec) (bool, error) {
 	sw := metrics.NewStopwatch()
-
-	ra, _, err := ckpt.OpenReader(store, nameA)
-	if err != nil {
-		return false, nil, err
-	}
-	defer ra.Close()
-	rb, _, err := ckpt.OpenReader(store, nameB)
-	if err != nil {
-		return false, nil, err
-	}
-	defer rb.Close()
-	if !ckpt.SameSchema(ra.Meta(), rb.Meta()) {
-		return false, nil, fmt.Errorf("compare: %s and %s have different schemas", nameA, nameB)
-	}
-	res.CheckpointBytes = ra.Meta().TotalBytes()
-	res.Breakdown.AddVirtual(metrics.PhaseSetup, opts.SetupVirtual)
-	res.Breakdown.AddWall(metrics.PhaseSetup, sw.Lap())
-
-	model := store.Model()
-	sharers := store.Sharers()
+	ra, rb := st.ra, st.rb
+	model := st.store.Model()
+	sharers := st.store.Sharers()
 	hostModel := hostCompareModel()
 
 	names := make([]string, ra.NumFields())
 	for i := range names {
 		names[i] = ra.Field(i).Name
 	}
-	selected, err := opts.fieldFilter(names)
+	selected, err := st.opts.fieldFilter(names)
 	if err != nil {
-		return false, nil, err
+		return false, err
 	}
 
 	allWithin := true
 	for fi := 0; fi < ra.NumFields(); fi++ {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		f := ra.Field(fi)
 		if !selected(f.Name) {
 			continue
 		}
-		hasher, err := opts.hasherFor(f.DType)
+		hasher, err := st.opts.hasherFor(f.DType)
 		if err != nil {
-			return false, nil, err
+			return false, err
 		}
 		// Blocking sequential reads of both fields, no overlap: the read
 		// cost of A and B stack (numpy reads an array at a time).
 		da, costA, err := ra.ReadField(fi)
 		if err != nil {
-			return false, nil, err
+			return false, err
 		}
 		db, costB, err := rb.ReadField(fi)
 		if err != nil {
-			return false, nil, err
+			return false, err
 		}
 		var cost pfs.Cost
 		cost.Add(costA)
 		cost.Add(costB)
-		res.BytesRead += cost.TotalBytes()
-		res.Breakdown.AddVirtual(metrics.PhaseRead, model.SerialReadTime(cost, sharers))
-		res.Breakdown.AddWall(metrics.PhaseRead, sw.Lap())
+		st.res.BytesRead += cost.TotalBytes()
+		readV := model.SerialReadTime(cost, sharers)
+		st.res.Breakdown.AddVirtual(metrics.PhaseRead, readV)
+		st.res.Breakdown.AddWall(metrics.PhaseRead, sw.Lap())
 
 		// Vectorized full-array comparison on the host (numpy computes
 		// the whole boolean array; there is no early exit).
 		var ok bool
-		if opts.RelEpsilon > 0 {
-			ok, err = errbound.AllCloseRel(da, db, f.DType, opts.Epsilon, opts.RelEpsilon)
+		if st.opts.RelEpsilon > 0 {
+			ok, err = errbound.AllCloseRel(da, db, f.DType, st.opts.Epsilon, st.opts.RelEpsilon)
 		} else {
 			ok, err = hasher.AllClose(da, db)
 		}
 		if err != nil {
-			return false, nil, err
+			return false, err
 		}
 		if !ok {
 			allWithin = false
 		}
-		res.TotalElements += f.Count
-		res.Breakdown.AddVirtual(metrics.PhaseCompareDirect, hostModel.CompareTime(f.Bytes()))
-		res.Breakdown.AddWall(metrics.PhaseCompareDirect, sw.Lap())
+		st.res.TotalElements += f.Count
+		compV := hostModel.CompareTime(f.Bytes())
+		st.res.Breakdown.AddVirtual(metrics.PhaseCompareDirect, compV)
+		st.res.Breakdown.AddWall(metrics.PhaseCompareDirect, sw.Lap())
+		x.AddVirtual(readV + compV)
 	}
 	if !allWithin {
-		res.DiffCount = -1 // unknown count: allclose only answers the boolean
+		st.res.DiffCount = -1 // unknown count: allclose only answers the boolean
 	}
-	return allWithin, res, nil
+	return allWithin, nil
 }

@@ -1,9 +1,11 @@
 package compare
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ckpt"
+	"repro/internal/engine"
 	"repro/internal/pfs"
 )
 
@@ -43,8 +45,10 @@ type EvolutionReport struct {
 
 // Evolution builds the report from saved metadata only (it works on
 // compacted history). Every checkpoint of the run must have metadata at
-// the options' ε and chunk size.
-func Evolution(store *pfs.Store, runID string, opts Options) (*EvolutionReport, error) {
+// the options' ε and chunk size. The planner lists the history up front
+// and emits one tree-diff step per consecutive pair, so cancellation
+// lands on a pair boundary.
+func Evolution(ctx context.Context, store *pfs.Store, runID string, opts Options) (*EvolutionReport, error) {
 	names, err := MetadataHistory(store, runID)
 	if err != nil {
 		return nil, err
@@ -64,23 +68,33 @@ func Evolution(store *pfs.Store, runID string, opts Options) (*EvolutionReport, 
 		byRank[rank] = append(byRank[rank], n)
 	}
 	report := &EvolutionReport{RunID: runID}
+	var p engine.Plan
 	for _, rank := range ranks {
+		rank := rank
 		seq := byRank[rank]
 		for i := 1; i < len(seq); i++ {
-			res, err := CompareTreesOnly(store, seq[i-1], seq[i], opts)
-			if err != nil {
-				return nil, fmt.Errorf("compare: evolution %s -> %s: %w", seq[i-1], seq[i], err)
-			}
-			_, fromIter, _, _ := ckpt.ParseName(seq[i-1])
-			_, toIter, _, _ := ckpt.ParseName(seq[i])
-			report.Points = append(report.Points, EvolutionPoint{
-				FromIter:        fromIter,
-				ToIter:          toIter,
-				Rank:            rank,
-				CandidateChunks: res.CandidateChunks,
-				TotalChunks:     res.TotalChunks,
-			})
+			from, to := seq[i-1], seq[i]
+			p.Add(engine.StepTreeDiff, fmt.Sprintf("pair:%s->%s", from, to),
+				func(ctx context.Context, x *engine.Exec) error {
+					res, err := CompareTreesOnly(ctx, store, from, to, opts)
+					if err != nil {
+						return fmt.Errorf("compare: evolution %s -> %s: %w", from, to, err)
+					}
+					_, fromIter, _, _ := ckpt.ParseName(from)
+					_, toIter, _, _ := ckpt.ParseName(to)
+					report.Points = append(report.Points, EvolutionPoint{
+						FromIter:        fromIter,
+						ToIter:          toIter,
+						Rank:            rank,
+						CandidateChunks: res.CandidateChunks,
+						TotalChunks:     res.TotalChunks,
+					})
+					return nil
+				})
 		}
+	}
+	if _, err := engine.Execute(ctx, &p); err != nil {
+		return nil, err
 	}
 	return report, nil
 }

@@ -1,6 +1,7 @@
 package compare
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ckpt"
@@ -35,7 +36,7 @@ func evolutionEnv(t *testing.T, opts Options) *pfs.Store {
 		if _, err := ckpt.WriteCheckpoint(store, meta, [][]byte{state}); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := BuildAndSave(store, ckpt.Name("evo", step.iter, 0), opts); err != nil {
+		if _, _, err := BuildAndSave(context.Background(), store, ckpt.Name("evo", step.iter, 0), opts); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -45,7 +46,7 @@ func evolutionEnv(t *testing.T, opts Options) *pfs.Store {
 func TestEvolutionTracksChangeRate(t *testing.T) {
 	opts := baseOpts(1e-5, 4<<10)
 	store := evolutionEnv(t, opts)
-	report, err := Evolution(store, "evo", opts)
+	report, err := Evolution(context.Background(), store, "evo", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,10 +79,10 @@ func TestEvolutionTracksChangeRate(t *testing.T) {
 func TestEvolutionWorksOnCompactedHistory(t *testing.T) {
 	opts := baseOpts(1e-5, 4<<10)
 	store := evolutionEnv(t, opts)
-	if _, err := CompactHistory(store, "evo", 0, opts); err != nil {
+	if _, err := CompactHistory(context.Background(), store, "evo", 0, opts); err != nil {
 		t.Fatal(err)
 	}
-	report, err := Evolution(store, "evo", opts)
+	report, err := Evolution(context.Background(), store, "evo", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,10 +97,10 @@ func TestEvolutionValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Evolution(store, "none", opts); err == nil {
+	if _, err := Evolution(context.Background(), store, "none", opts); err == nil {
 		t.Error("empty run accepted")
 	}
-	if _, err := Evolution(store, "none", Options{}); err == nil {
+	if _, err := Evolution(context.Background(), store, "none", Options{}); err == nil {
 		t.Error("zero options accepted")
 	}
 }
@@ -119,12 +120,12 @@ func TestEvolutionMultiRank(t *testing.T) {
 			if _, err := ckpt.WriteCheckpoint(store, meta, [][]byte{data}); err != nil {
 				t.Fatal(err)
 			}
-			if _, _, err := BuildAndSave(store, ckpt.Name("mr", iter, rank), opts); err != nil {
+			if _, _, err := BuildAndSave(context.Background(), store, ckpt.Name("mr", iter, rank), opts); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	report, err := Evolution(store, "mr", opts)
+	report, err := Evolution(context.Background(), store, "mr", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,14 +147,14 @@ func TestEvolutionMultiRank(t *testing.T) {
 func TestFieldFilteredComparison(t *testing.T) {
 	opts := baseOpts(1e-5, 8<<10)
 	env := newEnv(t, 32<<10, opts, synth.DefaultPerturb(123))
-	full, err := CompareMerkle(env.store, env.nameA, env.nameB, opts)
+	full, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Restrict to one field: counts shrink to that field only.
 	opts.Fields = []string{"phi"}
 	env.store.EvictAll()
-	res, err := CompareMerkle(env.store, env.nameA, env.nameB, opts)
+	res, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestFieldFilteredComparison(t *testing.T) {
 	}
 	// Direct agrees under the same filter.
 	env.store.EvictAll()
-	rd, err := CompareDirect(env.store, env.nameA, env.nameB, opts)
+	rd, err := CompareDirect(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,18 +176,18 @@ func TestFieldFilteredComparison(t *testing.T) {
 		t.Errorf("filtered: merkle %d diffs, direct %d", res.DiffCount, rd.DiffCount)
 	}
 	// AllClose accepts the filter too.
-	if _, _, err := CompareAllClose(env.store, env.nameA, env.nameB, opts); err != nil {
+	if _, _, err := CompareAllClose(context.Background(), env.store, env.nameA, env.nameB, opts); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown field rejected everywhere.
 	opts.Fields = []string{"nope"}
-	if _, err := CompareMerkle(env.store, env.nameA, env.nameB, opts); err == nil {
+	if _, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts); err == nil {
 		t.Error("merkle accepted unknown field")
 	}
-	if _, err := CompareDirect(env.store, env.nameA, env.nameB, opts); err == nil {
+	if _, err := CompareDirect(context.Background(), env.store, env.nameA, env.nameB, opts); err == nil {
 		t.Error("direct accepted unknown field")
 	}
-	if _, _, err := CompareAllClose(env.store, env.nameA, env.nameB, opts); err == nil {
+	if _, _, err := CompareAllClose(context.Background(), env.store, env.nameA, env.nameB, opts); err == nil {
 		t.Error("allclose accepted unknown field")
 	}
 }

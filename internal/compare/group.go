@@ -1,0 +1,570 @@
+package compare
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/aio"
+	"repro/internal/ckpt"
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/errbound"
+	"repro/internal/merkle"
+	"repro/internal/metrics"
+	"repro/internal/pfs"
+	"repro/internal/simclock"
+	"repro/internal/stream"
+)
+
+// Topology selects which checkpoint pairs an N-run group comparison
+// covers.
+type Topology int
+
+// Group-comparison topologies.
+const (
+	// TopologyStar compares every run against the baseline (N-1 pairs):
+	// the reproducibility question "which runs diverge from the
+	// reference?".
+	TopologyStar Topology = iota + 1
+	// TopologyAllPairs compares every run against every other
+	// (N·(N-1)/2 pairs): the ensemble question "which runs diverge from
+	// each other?".
+	TopologyAllPairs
+)
+
+// String returns the topology's report name.
+func (t Topology) String() string {
+	switch t {
+	case TopologyStar:
+		return "star"
+	case TopologyAllPairs:
+		return "all-pairs"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// pairList enumerates the member-index pairs of a topology over n members
+// (member 0 is the baseline).
+func (t Topology) pairList(n int) ([][2]int, error) {
+	var out [][2]int
+	switch t {
+	case TopologyStar:
+		for i := 1; i < n; i++ {
+			out = append(out, [2]int{0, i})
+		}
+	case TopologyAllPairs:
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	default:
+		return nil, fmt.Errorf("compare: unknown topology %d", int(t))
+	}
+	return out, nil
+}
+
+// GroupPairReport is one pair's outcome within a group comparison.
+type GroupPairReport struct {
+	// A and B index GroupReport.Members.
+	A, B int
+	// NameA and NameB are the compared checkpoint names.
+	NameA, NameB string
+	// Result is the pair's comparison outcome (method "merkle-group").
+	Result *Result
+}
+
+// GroupReport is the outcome of one N-run group comparison.
+type GroupReport struct {
+	// Members lists the compared checkpoints; index 0 is the baseline.
+	Members []string
+	// Topology is the pair coverage.
+	Topology Topology
+	// Pairs holds one report per compared pair, in topology order.
+	Pairs []GroupPairReport
+	// ReadOps and ReadBytes are the store-level PFS read operations and
+	// bytes the whole group comparison issued (metadata + shared candidate
+	// reads, after coalescing) — the quantity GroupCompare minimizes
+	// versus sequential pairwise comparison.
+	ReadOps, ReadBytes int64
+	// BytesRead counts data + metadata bytes delivered to the comparator.
+	BytesRead int64
+	// MetadataBytes is the serialized metadata size per member.
+	MetadataBytes int64
+	// CheckpointBytes is the raw data size of ONE member's checkpoint.
+	CheckpointBytes int64
+	// PipelineVirtual is the overlapped virtual time of the shared
+	// stage-2 read+verify pipeline.
+	PipelineVirtual time.Duration
+	// Breakdown is the group-level per-phase cost split.
+	Breakdown metrics.Breakdown
+	// Steps is the engine's per-step timing table.
+	Steps metrics.StepSpans
+}
+
+// Reproducible reports whether no compared pair diverged beyond ε.
+func (g *GroupReport) Reproducible() bool {
+	for i := range g.Pairs {
+		if g.Pairs[i].Result.DiffCount != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// unionChunk is one (field, chunk) a member must be read at, with its
+// file-offset range.
+type unionChunk struct {
+	field, chunk int
+	off          int64 // chunk offset within the field
+	n            int
+}
+
+// memberUnion is one member's deduplicated stage-2 read plan: the union of
+// candidate chunks over every pair the member participates in, read once.
+type memberUnion struct {
+	entries []unionChunk
+	pos     map[[2]int]int64 // (field, chunk) -> offset into buf
+	buf     []byte
+	reqs    []aio.ReadReq
+}
+
+// groupState carries one group comparison through its plan steps.
+type groupState struct {
+	store   *pfs.Store
+	members []string
+	topo    Topology
+	opts    Options
+	rep     *GroupReport
+
+	readers  []*ckpt.Reader
+	metas    []*Metadata
+	selected func(string) bool
+	pairIdx  [][2]int
+	// pairCands[p][f] holds pair p's candidate chunks in field f
+	// (nil when the field's trees match).
+	pairCands [][][]int
+	unions    []memberUnion
+
+	startOps, startBytes int64
+	totalElements        int64
+}
+
+// GroupCompare compares N runs' checkpoints as one group: each member's
+// metadata is loaded once, the tree diffs of every pair (by topology) run
+// from those in-memory trees, the candidate-chunk sets of pairs sharing a
+// member are merged, and each member's union is fetched with ONE
+// deduplicated batched read — so an N-run comparison issues strictly fewer
+// PFS read operations and bytes than N-1 (star) or N·(N-1)/2 (all-pairs)
+// sequential pairwise comparisons, which re-read shared members per pair.
+// Member 0 of the group is the baseline; topology selects star (baseline
+// vs each run) or all-pairs coverage. Every member must have Merkle
+// metadata at the options' ε and chunk size.
+func GroupCompare(ctx context.Context, store *pfs.Store, baseline string, runs []string, topology Topology, opts Options) (*GroupReport, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("compare: group needs at least one run besides the baseline")
+	}
+	members := append([]string{baseline}, runs...)
+	pairIdx, err := topology.pairList(len(members))
+	if err != nil {
+		return nil, err
+	}
+	st := &groupState{
+		store:   store,
+		members: members,
+		topo:    topology,
+		opts:    opts,
+		pairIdx: pairIdx,
+		rep:     &GroupReport{Members: members, Topology: topology},
+	}
+	var p engine.Plan
+	open := p.Add(engine.StepSetup, "open-members", st.stepOpenMembers)
+	load := p.Add(engine.StepLoadMetadata, "load-metadata", st.stepLoadMembers, open)
+	diff := p.Add(engine.StepTreeDiff, "tree-diff", st.stepPairDiffs, load)
+	merge := p.Add(engine.StepCoalesce, "merge-unions", st.stepMergeUnions, diff)
+	verify := p.Add(engine.StepStreamVerify, "shared-read-verify", st.stepSharedVerify, merge)
+	p.Add(engine.StepReport, "report", st.stepGroupReport, verify)
+	erep, err := engine.Execute(ctx, &p)
+	st.rep.Steps = erep.Steps
+	if err != nil {
+		return nil, err
+	}
+	return st.rep, nil
+}
+
+// stepOpenMembers opens every member once and validates schema parity.
+func (st *groupState) stepOpenMembers(ctx context.Context, x *engine.Exec) error {
+	sw := metrics.NewStopwatch()
+	st.startOps, st.startBytes = st.store.ReadStats()
+	st.readers = make([]*ckpt.Reader, len(st.members))
+	for i, name := range st.members {
+		r, _, err := ckpt.OpenReader(st.store, name)
+		if err != nil {
+			return err
+		}
+		x.CloseOnExit(r)
+		st.readers[i] = r
+		if i > 0 && !ckpt.SameSchema(st.readers[0].Meta(), r.Meta()) {
+			return fmt.Errorf("compare: %s and %s have different schemas", st.members[0], name)
+		}
+	}
+	st.rep.CheckpointBytes = st.readers[0].Meta().TotalBytes()
+	st.rep.Breakdown.AddVirtual(metrics.PhaseSetup, st.opts.SetupVirtual)
+	st.rep.Breakdown.AddWall(metrics.PhaseSetup, sw.Lap())
+	x.AddVirtual(st.opts.SetupVirtual)
+	return nil
+}
+
+// stepLoadMembers loads each member's metadata exactly once — the first
+// saving versus sequential pairwise comparison, which loads a shared
+// member's metadata once per pair.
+func (st *groupState) stepLoadMembers(ctx context.Context, x *engine.Exec) error {
+	sw := metrics.NewStopwatch()
+	model := st.store.Model()
+	sharers := st.store.Sharers()
+	st.metas = make([]*Metadata, len(st.members))
+	var metaCost pfs.Cost
+	var deserWall time.Duration
+	for i, name := range st.members {
+		m, cost, dwall, err := LoadMetadata(ctx, st.store, name)
+		if err != nil {
+			return err
+		}
+		metaCost.Add(cost)
+		deserWall += dwall
+		st.metas[i] = m
+		if i > 0 {
+			if err := checkMetaPair(st.metas[0], m, st.opts.Epsilon); err != nil {
+				return err
+			}
+		}
+	}
+	if st.metas[0].Epsilon != st.opts.Epsilon {
+		return fmt.Errorf("compare: metadata ε %g does not match requested ε %g",
+			st.metas[0].Epsilon, st.opts.Epsilon)
+	}
+	st.rep.MetadataBytes = st.metas[0].Bytes()
+	st.rep.BytesRead += metaCost.TotalBytes()
+	readV := model.SerialReadTime(metaCost, sharers)
+	deserV := simclock.BandwidthTime(metaCost.TotalBytes(), deserializeBytesPerSec)
+	st.rep.Breakdown.AddVirtual(metrics.PhaseRead, readV)
+	st.rep.Breakdown.AddWall(metrics.PhaseRead, sw.Lap())
+	st.rep.Breakdown.AddVirtual(metrics.PhaseDeserialize, deserV)
+	st.rep.Breakdown.AddWall(metrics.PhaseDeserialize, deserWall)
+	x.AddVirtual(readV + deserV)
+
+	fieldNames := make([]string, len(st.metas[0].Fields))
+	for i := range fieldNames {
+		fieldNames[i] = st.metas[0].Fields[i].Name
+	}
+	selected, err := st.opts.fieldFilter(fieldNames)
+	if err != nil {
+		return err
+	}
+	st.selected = selected
+	for _, fm := range st.metas[0].Fields {
+		if selected(fm.Name) {
+			st.totalElements += fm.Tree.DataLen() / int64(fm.DType.Size())
+		}
+	}
+	return nil
+}
+
+// stepPairDiffs runs stage 1 for every pair from the in-memory trees: no
+// additional I/O regardless of pair count.
+func (st *groupState) stepPairDiffs(ctx context.Context, x *engine.Exec) error {
+	sw := metrics.NewStopwatch()
+	exec := device.Cancelable{Done: ctx.Done(), Inner: st.opts.Exec}
+	nFields := len(st.metas[0].Fields)
+	st.pairCands = make([][][]int, len(st.pairIdx))
+	st.rep.Pairs = make([]GroupPairReport, len(st.pairIdx))
+	var treeVirtual time.Duration
+	for pi, pr := range st.pairIdx {
+		a, b := pr[0], pr[1]
+		res := &Result{
+			Method:          "merkle-group",
+			CheckpointBytes: st.rep.CheckpointBytes,
+			MetadataBytes:   st.rep.MetadataBytes,
+			TotalElements:   st.totalElements,
+		}
+		st.rep.Pairs[pi] = GroupPairReport{
+			A: a, B: b, NameA: st.members[a], NameB: st.members[b], Result: res,
+		}
+		st.pairCands[pi] = make([][]int, nFields)
+		for fi := 0; fi < nFields; fi++ {
+			fm := st.metas[a].Fields[fi]
+			if !st.selected(fm.Name) {
+				continue
+			}
+			ta, tb := fm.Tree, st.metas[b].Fields[fi].Tree
+			start := st.opts.StartLevel
+			if start < 0 {
+				start = ta.DefaultStartLevel(exec.Workers())
+			}
+			chunks, nodes, err := merkle.Diff(ta, tb, start, exec)
+			if err != nil {
+				return fmt.Errorf("compare: pair %s vs %s field %q: %w",
+					st.members[a], st.members[b], fm.Name, err)
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			res.TotalChunks += ta.NumChunks()
+			res.CandidateChunks += len(chunks)
+			if len(chunks) > 0 {
+				st.pairCands[pi][fi] = chunks
+			}
+			levels := ta.Depth() - start + 1
+			treeVirtual += time.Duration(levels)*st.opts.Device.KernelLaunch +
+				simclock.BandwidthTime(nodes*16, float64(st.opts.Device.NodeHashesPerSec)*16)
+		}
+	}
+	st.rep.Breakdown.AddVirtual(metrics.PhaseCompareTree, treeVirtual)
+	st.rep.Breakdown.AddWall(metrics.PhaseCompareTree, sw.Lap())
+	x.AddVirtual(treeVirtual)
+	return nil
+}
+
+// stepMergeUnions merges the candidate-chunk sets of every pair sharing a
+// member into one deduplicated, offset-sorted read plan per member — the
+// second saving: a chunk two pairs both need from the same member is read
+// once, not twice.
+func (st *groupState) stepMergeUnions(ctx context.Context, x *engine.Exec) error {
+	need := make([]map[[2]int]bool, len(st.members))
+	for pi, pr := range st.pairIdx {
+		for fi, chunks := range st.pairCands[pi] {
+			for _, ci := range chunks {
+				key := [2]int{fi, ci}
+				for _, m := range []int{pr[0], pr[1]} {
+					if need[m] == nil {
+						need[m] = make(map[[2]int]bool)
+					}
+					need[m][key] = true
+				}
+			}
+		}
+	}
+	st.unions = make([]memberUnion, len(st.members))
+	for m := range st.members {
+		if len(need[m]) == 0 {
+			continue
+		}
+		u := &st.unions[m]
+		u.entries = make([]unionChunk, 0, len(need[m]))
+		for key := range need[m] {
+			fi, ci := key[0], key[1]
+			tree := st.metas[m].Fields[fi].Tree
+			off, n := tree.ChunkRange(ci)
+			u.entries = append(u.entries, unionChunk{field: fi, chunk: ci, off: off, n: n})
+		}
+		sort.Slice(u.entries, func(i, j int) bool {
+			if u.entries[i].field != u.entries[j].field {
+				return u.entries[i].field < u.entries[j].field
+			}
+			return u.entries[i].chunk < u.entries[j].chunk
+		})
+		var total int64
+		for _, e := range u.entries {
+			total += int64(e.n)
+		}
+		u.buf = make([]byte, total)
+		u.pos = make(map[[2]int]int64, len(u.entries))
+		u.reqs = make([]aio.ReadReq, 0, len(u.entries))
+		var pos int64
+		for _, e := range u.entries {
+			base := st.readers[m].FieldFileOffset(e.field)
+			u.pos[[2]int{e.field, e.chunk}] = pos
+			u.reqs = append(u.reqs, aio.ReadReq{
+				Off: base + e.off, Len: e.n, Buf: u.buf[pos : pos+int64(e.n)], Tag: len(u.reqs),
+			})
+			pos += int64(e.n)
+		}
+	}
+	return nil
+}
+
+// stepSharedVerify runs the shared stage 2: each member's union is fetched
+// with one batched read (consecutive members paired through the backend's
+// overlapped pair path), and each pair is verified element-wise from the
+// cached union buffers as soon as both of its members have landed.
+func (st *groupState) stepSharedVerify(ctx context.Context, x *engine.Exec) error {
+	sw := metrics.NewStopwatch()
+	backend := st.opts.Backend
+	pairRd, _ := backend.(aio.PairReader)
+
+	// Members that need reading, in index order.
+	var toRead []int
+	for m := range st.unions {
+		if len(st.unions[m].reqs) > 0 {
+			toRead = append(toRead, m)
+		}
+	}
+
+	hashers := make(map[errbound.DType]*errbound.Hasher)
+	loaded := make([]bool, len(st.members))
+	comparedPair := make([]bool, len(st.pairIdx))
+	vp := stream.NewVirtualPipeline(st.opts.Depth)
+
+	// compareReady verifies every not-yet-compared pair whose members are
+	// both loaded, returning the compute virtual time of the batch.
+	compareReady := func() (time.Duration, error) {
+		var comp time.Duration
+		for pi, pr := range st.pairIdx {
+			if comparedPair[pi] || !st.pairHasCands(pi) {
+				continue
+			}
+			a, b := pr[0], pr[1]
+			if !loaded[a] || !loaded[b] {
+				continue
+			}
+			comparedPair[pi] = true
+			c, err := st.verifyPair(ctx, pi, hashers)
+			if err != nil {
+				return comp, err
+			}
+			comp += c
+		}
+		return comp, nil
+	}
+
+	for bi := 0; bi < len(toRead); bi += 2 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var cost pfs.Cost
+		var io time.Duration
+		var err error
+		ma := toRead[bi]
+		ua := &st.unions[ma]
+		if bi+1 < len(toRead) && pairRd != nil {
+			mb := toRead[bi+1]
+			ub := &st.unions[mb]
+			cost, io, err = pairRd.ReadBatchPair(ctx,
+				st.readers[ma].File(), st.readers[mb].File(), ua.reqs, ub.reqs)
+			if err == nil {
+				loaded[ma], loaded[mb] = true, true
+				st.rep.BytesRead += int64(len(ua.buf)) + int64(len(ub.buf))
+			}
+		} else {
+			cost, io, err = backend.ReadBatch(ctx, st.readers[ma].File(), ua.reqs)
+			if err == nil {
+				loaded[ma] = true
+				st.rep.BytesRead += int64(len(ua.buf))
+				if bi+1 < len(toRead) { // no pair path: second member reads solo
+					mb := toRead[bi+1]
+					ub := &st.unions[mb]
+					var cb pfs.Cost
+					var tb time.Duration
+					cb, tb, err = backend.ReadBatch(ctx, st.readers[mb].File(), ub.reqs)
+					cost.Add(cb)
+					io += tb
+					if err == nil {
+						loaded[mb] = true
+						st.rep.BytesRead += int64(len(ub.buf))
+					}
+				}
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("compare: group verification: %w", err)
+		}
+		comp, err := compareReady()
+		if err != nil {
+			return err
+		}
+		vp.Advance(io, comp)
+	}
+	st.rep.PipelineVirtual = vp.Total()
+	st.rep.Breakdown.AddVirtual(metrics.PhaseCompareDirect, vp.Total())
+	st.rep.Breakdown.AddWall(metrics.PhaseCompareDirect, sw.Lap())
+	x.AddVirtual(vp.Total())
+	return nil
+}
+
+// pairHasCands reports whether pair pi has any candidate chunks.
+func (st *groupState) pairHasCands(pi int) bool {
+	for _, chunks := range st.pairCands[pi] {
+		if len(chunks) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// verifyPair compares one pair's candidate chunks from the two members'
+// cached union buffers, filling the pair's Result, and returns the priced
+// compute time of its verification batch.
+func (st *groupState) verifyPair(ctx context.Context, pi int, hashers map[errbound.DType]*errbound.Hasher) (time.Duration, error) {
+	pr := st.pairIdx[pi]
+	a, b := pr[0], pr[1]
+	res := st.rep.Pairs[pi].Result
+	ua, ub := &st.unions[a], &st.unions[b]
+	var pairBytes int64
+	comp := st.opts.Device.KernelLaunch
+	for fi, chunks := range st.pairCands[pi] {
+		if len(chunks) == 0 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return comp, err
+		}
+		fm := st.metas[a].Fields[fi]
+		hasher := hashers[fm.DType]
+		if hasher == nil {
+			h, err := st.opts.hasherFor(fm.DType)
+			if err != nil {
+				return comp, err
+			}
+			hashers[fm.DType] = h
+			hasher = h
+		}
+		tree := fm.Tree
+		eltSize := int64(fm.DType.Size())
+		chunkElems := int64(tree.ChunkSize()) / eltSize
+		var indices []int64
+		changed := 0
+		for _, ci := range chunks {
+			key := [2]int{fi, ci}
+			_, n := tree.ChunkRange(ci)
+			pa := ua.pos[key]
+			pb := ub.pos[key]
+			da := ua.buf[pa : pa+int64(n)]
+			db := ub.buf[pb : pb+int64(n)]
+			idx, _, err := hasher.CompareSlices(nil, da, db)
+			if err != nil {
+				return comp, err
+			}
+			if len(idx) > 0 {
+				changed++
+				base := int64(ci) * chunkElems
+				for _, e := range idx {
+					indices = append(indices, base+e)
+				}
+			}
+			pairBytes += int64(n)
+		}
+		res.ChangedChunks += changed
+		if len(indices) > 0 {
+			sort.Slice(indices, func(i, j int) bool { return indices[i] < indices[j] })
+			res.Diffs = append(res.Diffs, FieldDiff{Field: fm.Name, Indices: indices})
+			res.DiffCount += int64(len(indices))
+		}
+	}
+	comp += st.opts.Device.TransferTime(2*pairBytes) + st.opts.Device.CompareRateTime(pairBytes)
+	return comp, nil
+}
+
+// stepGroupReport finalizes store-level I/O accounting.
+func (st *groupState) stepGroupReport(ctx context.Context, x *engine.Exec) error {
+	ops, bytes := st.store.ReadStats()
+	st.rep.ReadOps = ops - st.startOps
+	st.rep.ReadBytes = bytes - st.startBytes
+	return nil
+}

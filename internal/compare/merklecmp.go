@@ -1,17 +1,12 @@
 package compare
 
 import (
-	"fmt"
-	"sort"
-	"sync"
-	"time"
+	"context"
 
 	"repro/internal/ckpt"
-	"repro/internal/errbound"
-	"repro/internal/merkle"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/pfs"
-	"repro/internal/simclock"
 	"repro/internal/stream"
 )
 
@@ -28,208 +23,41 @@ const deserializeBytesPerSec = 5e9
 //	         and verify them element-wise within ε.
 //
 // Both checkpoints (and their metadata) live on the given store under
-// their canonical names.
-func CompareMerkle(store *pfs.Store, nameA, nameB string, opts Options) (*Result, error) {
+// their canonical names. The comparison is an engine plan
+// (open → load-metadata → tree-diff → coalesce → stream-verify → report):
+// cancellation is observed before every step and inside the diff kernels
+// and the streaming pipeline, and the cleanup chain closes both readers on
+// every exit path.
+func CompareMerkle(ctx context.Context, store *pfs.Store, nameA, nameB string, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{Method: "merkle"}
-	sw := metrics.NewStopwatch()
+	st := newPairState(store, nameA, nameB, opts, "merkle")
+	var p engine.Plan
+	open := p.Add(engine.StepSetup, "open-checkpoints", st.stepOpenPair)
+	load := p.Add(engine.StepLoadMetadata, "load-metadata", st.stepLoadMetadata, open)
+	diff := p.Add(engine.StepTreeDiff, "tree-diff", st.stepTreeDiff, load)
+	coal := p.Add(engine.StepCoalesce, "assemble-batches", st.stepAssemblePairs, diff)
+	verify := p.Add(engine.StepStreamVerify, "stream-verify", st.stepStreamVerify, coal)
+	p.Add(engine.StepReport, "report", st.stepReportMerkle, verify)
+	return st.runPlan(ctx, &p)
+}
 
-	// --- Setup: open both checkpoints.
-	ra, _, err := ckpt.OpenReader(store, nameA)
-	if err != nil {
-		return nil, err
+// stepReportMerkle assembles the Merkle result: changed-chunk counts,
+// per-field divergence lists, and element totals over selected fields.
+func (st *pairState) stepReportMerkle(ctx context.Context, x *engine.Exec) error {
+	for _, fc := range st.candidates {
+		st.res.ChangedChunks += len(st.changed[fc.field])
 	}
-	defer ra.Close()
-	rb, _, err := ckpt.OpenReader(store, nameB)
-	if err != nil {
-		return nil, err
-	}
-	defer rb.Close()
-	if !ckpt.SameSchema(ra.Meta(), rb.Meta()) {
-		return nil, fmt.Errorf("compare: %s and %s have different schemas", nameA, nameB)
-	}
-	res.CheckpointBytes = ra.Meta().TotalBytes()
-	res.Breakdown.AddVirtual(metrics.PhaseSetup, opts.SetupVirtual)
-	res.Breakdown.AddWall(metrics.PhaseSetup, sw.Lap())
-
-	// --- Stage 1a: read metadata (Read phase) and deserialize.
-	model := store.Model()
-	sharers := store.Sharers()
-	ma, costA, dwallA, err := LoadMetadata(store, nameA)
-	if err != nil {
-		return nil, err
-	}
-	mb, costB, dwallB, err := LoadMetadata(store, nameB)
-	if err != nil {
-		return nil, err
-	}
-	var metaCost pfs.Cost
-	metaCost.Add(costA)
-	metaCost.Add(costB)
-	res.MetadataBytes = ma.Bytes()
-	res.BytesRead += metaCost.TotalBytes()
-	res.Breakdown.AddVirtual(metrics.PhaseRead, model.SerialReadTime(metaCost, sharers))
-	res.Breakdown.AddWall(metrics.PhaseRead, sw.Lap())
-	res.Breakdown.AddVirtual(metrics.PhaseDeserialize,
-		simclock.BandwidthTime(metaCost.TotalBytes(), deserializeBytesPerSec))
-	res.Breakdown.AddWall(metrics.PhaseDeserialize, dwallA+dwallB)
-
-	if ma.Epsilon != opts.Epsilon || mb.Epsilon != opts.Epsilon {
-		return nil, fmt.Errorf("compare: metadata ε (%g, %g) does not match requested ε %g",
-			ma.Epsilon, mb.Epsilon, opts.Epsilon)
-	}
-	if len(ma.Fields) != len(mb.Fields) {
-		return nil, fmt.Errorf("compare: metadata field counts differ: %d vs %d",
-			len(ma.Fields), len(mb.Fields))
-	}
-
-	fieldNames := make([]string, len(ma.Fields))
-	for i := range ma.Fields {
-		fieldNames[i] = ma.Fields[i].Name
-	}
-	selected, err := opts.fieldFilter(fieldNames)
-	if err != nil {
-		return nil, err
-	}
-
-	// --- Stage 1b: pruned BFS tree diff per field (CompareTree phase).
-	type fieldCandidates struct {
-		field  int
-		chunks []int
-	}
-	candidates := make([]fieldCandidates, 0, len(ma.Fields))
-	var treeVirtual time.Duration
-	for fi := range ma.Fields {
-		if !selected(ma.Fields[fi].Name) {
+	for _, fm := range st.ma.Fields {
+		if !st.selected(fm.Name) {
 			continue
 		}
-		ta, tb := ma.Fields[fi].Tree, mb.Fields[fi].Tree
-		start := opts.StartLevel
-		if start < 0 {
-			start = ta.DefaultStartLevel(opts.Exec.Workers())
-		}
-		chunks, nodes, err := merkle.Diff(ta, tb, start, opts.Exec)
-		if err != nil {
-			return nil, fmt.Errorf("compare: field %q: %w", ma.Fields[fi].Name, err)
-		}
-		res.TotalChunks += ta.NumChunks()
-		res.CandidateChunks += len(chunks)
-		if len(chunks) > 0 {
-			candidates = append(candidates, fieldCandidates{field: fi, chunks: chunks})
-		}
-		// One kernel per visited level (bounded by depth), nodes at the
-		// node-hash comparison rate.
-		levels := ta.Depth() - start + 1
-		treeVirtual += time.Duration(levels)*opts.Device.KernelLaunch +
-			simclock.BandwidthTime(nodes*16, float64(opts.Device.NodeHashesPerSec)*16)
+		st.res.TotalElements += fm.Tree.DataLen() / int64(fm.DType.Size())
 	}
-	res.Breakdown.AddVirtual(metrics.PhaseCompareTree, treeVirtual)
-	res.Breakdown.AddWall(metrics.PhaseCompareTree, sw.Lap())
-
-	// --- Stage 2: stream ALL candidate chunks (across fields) in one
-	// batched pipeline per checkpoint pair, so scattered reads amortize
-	// the queue latency once instead of once per field.
-	type chunkRef struct {
-		field      int
-		chunk      int
-		hasher     *errbound.Hasher
-		chunkElems int64
-	}
-	var (
-		pairs []stream.ChunkPair
-		refs  []chunkRef
-	)
-	hashers := make(map[errbound.DType]*errbound.Hasher)
-	for _, fc := range candidates {
-		fi := fc.field
-		fm := ma.Fields[fi]
-		hasher := hashers[fm.DType]
-		if hasher == nil {
-			h, err := opts.hasherFor(fm.DType)
-			if err != nil {
-				return nil, err
-			}
-			hashers[fm.DType] = h
-			hasher = h
-		}
-		tree := fm.Tree
-		baseA := ra.FieldFileOffset(fi)
-		baseB := rb.FieldFileOffset(fi)
-		eltSize := int64(fm.DType.Size())
-		for _, ci := range fc.chunks {
-			off, n := tree.ChunkRange(ci)
-			pairs = append(pairs, stream.ChunkPair{
-				Index: len(refs),
-				OffA:  baseA + off,
-				OffB:  baseB + off,
-				Len:   n,
-			})
-			refs = append(refs, chunkRef{
-				field:      fi,
-				chunk:      ci,
-				hasher:     hasher,
-				chunkElems: int64(tree.ChunkSize()) / eltSize,
-			})
-		}
-	}
-	var (
-		mu         sync.Mutex
-		fieldDiffs = make(map[int][]int64)
-		changed    = make(map[int]map[int]bool) // field -> chunk -> really changed
-	)
-	if len(pairs) > 0 {
-		stats, err := stream.Run(ra.File(), rb.File(), pairs, stream.Config{
-			Backend:    opts.Backend,
-			Device:     opts.Device,
-			SliceBytes: opts.SliceBytes,
-			Depth:      opts.Depth,
-		}, func(p stream.ChunkPair, a, b []byte) (time.Duration, error) {
-			ref := refs[p.Index]
-			idx, _, err := ref.hasher.CompareSlices(nil, a, b)
-			if err != nil {
-				return 0, err
-			}
-			if len(idx) > 0 {
-				base := int64(ref.chunk) * ref.chunkElems
-				mu.Lock()
-				for _, e := range idx {
-					fieldDiffs[ref.field] = append(fieldDiffs[ref.field], base+e)
-				}
-				if changed[ref.field] == nil {
-					changed[ref.field] = make(map[int]bool)
-				}
-				changed[ref.field][ref.chunk] = true
-				mu.Unlock()
-			}
-			return opts.Device.CompareRateTime(int64(len(a))), nil
-		})
-		if err != nil {
-			return nil, fmt.Errorf("compare: verification: %w", err)
-		}
-		res.BytesRead += stats.BytesRead
-		addPipeline(&res.Breakdown, stats)
-	}
-	res.Breakdown.AddWall(metrics.PhaseCompareDirect, sw.Lap())
-
-	// --- Assemble the report.
-	for _, fc := range candidates {
-		res.ChangedChunks += len(changed[fc.field])
-	}
-	for fi, fm := range ma.Fields {
-		if !selected(fm.Name) {
-			continue
-		}
-		res.TotalElements += fm.Tree.DataLen() / int64(fm.DType.Size())
-		if idx := fieldDiffs[fi]; len(idx) > 0 {
-			sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
-			res.Diffs = append(res.Diffs, FieldDiff{Field: fm.Name, Indices: idx})
-			res.DiffCount += int64(len(idx))
-		}
-	}
-	return res, nil
+	st.sortedFieldDiffs(func(fi int) string { return st.ma.Fields[fi].Name }, len(st.ma.Fields))
+	return nil
 }
 
 // addPipeline folds a stage-2 pipeline's virtual cost into the breakdown.
@@ -244,13 +72,13 @@ func addPipeline(b *metrics.Breakdown, stats stream.Stats) {
 
 // BuildAndSave builds metadata for a checkpoint already on the store and
 // saves it alongside (the offline-tool flow of cmd/reprocmp).
-func BuildAndSave(store *pfs.Store, name string, opts Options) (*Metadata, BuildStats, error) {
+func BuildAndSave(ctx context.Context, store *pfs.Store, name string, opts Options) (*Metadata, BuildStats, error) {
 	r, _, err := ckpt.OpenReader(store, name)
 	if err != nil {
 		return nil, BuildStats{}, err
 	}
 	defer r.Close()
-	m, stats, _, err := BuildFromReader(r, opts)
+	m, stats, _, err := BuildFromReader(ctx, r, opts)
 	if err != nil {
 		return nil, stats, err
 	}

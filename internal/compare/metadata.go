@@ -3,6 +3,7 @@ package compare
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -195,12 +196,15 @@ func (k *kernelError) err() error {
 
 // BuildFromReader reads every field of a checkpoint and builds its
 // metadata, returning the storage cost of the reads (the offline-tool
-// path).
-func BuildFromReader(r *ckpt.Reader, opts Options) (*Metadata, BuildStats, pfs.Cost, error) {
+// path). Cancellation is observed between field reads.
+func BuildFromReader(ctx context.Context, r *ckpt.Reader, opts Options) (*Metadata, BuildStats, pfs.Cost, error) {
 	meta := r.Meta()
 	data := make([][]byte, len(meta.Fields))
 	var total pfs.Cost
 	for i := range meta.Fields {
+		if err := ctx.Err(); err != nil {
+			return nil, BuildStats{}, total, err
+		}
 		d, cost, err := r.ReadField(i)
 		total.Add(cost)
 		if err != nil {
@@ -344,9 +348,10 @@ func SaveMetadata(store *pfs.Store, checkpointName string, m *Metadata) (pfs.Cos
 }
 
 // LoadMetadata reads the metadata for a checkpoint from a store, returning
-// the read cost and the wall time spent deserializing.
-func LoadMetadata(store *pfs.Store, checkpointName string) (*Metadata, pfs.Cost, time.Duration, error) {
-	data, cost, err := store.ReadFileFull(MetadataName(checkpointName), 4<<20)
+// the read cost and the wall time spent deserializing. The read observes
+// the context block by block.
+func LoadMetadata(ctx context.Context, store *pfs.Store, checkpointName string) (*Metadata, pfs.Cost, time.Duration, error) {
+	data, cost, err := store.ReadFileFull(ctx, MetadataName(checkpointName), 4<<20)
 	if err != nil {
 		return nil, cost, 0, err
 	}

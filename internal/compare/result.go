@@ -47,6 +47,9 @@ type Result struct {
 
 	// Breakdown is the per-phase cost split of Fig. 6.
 	Breakdown metrics.Breakdown
+	// Steps is the engine's per-step timing table for this comparison's
+	// plan, in execution order.
+	Steps metrics.StepSpans
 }
 
 // FalsePositiveChunks returns candidates that contained no real

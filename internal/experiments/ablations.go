@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/aio"
@@ -11,7 +12,7 @@ import (
 // table: each row disables or replaces one design decision of the method
 // and reports the impact on the end-to-end comparison (virtual runtime and
 // bytes read) or on the relevant sub-metric.
-func (e *Env) Ablations() (*Table, error) {
+func (e *Env) Ablations(ctx context.Context) (*Table, error) {
 	p, err := e.MakePair("500M", 77)
 	if err != nil {
 		return nil, err
@@ -20,7 +21,7 @@ func (e *Env) Ablations() (*Table, error) {
 		eps   = 1e-5
 		chunk = 4 << 10
 	)
-	if err := e.BuildMetadataFor(p, eps, chunk); err != nil {
+	if err := e.BuildMetadataFor(ctx, p, eps, chunk); err != nil {
 		return nil, err
 	}
 
@@ -40,7 +41,7 @@ func (e *Env) Ablations() (*Table, error) {
 			mutate(&opts)
 		}
 		e.Store.EvictAll()
-		res, err := compare.CompareMerkle(e.Store, p.NameA, p.NameB, opts)
+		res, err := compare.CompareMerkle(ctx, e.Store, p.NameA, p.NameB, opts)
 		if err != nil {
 			return fmt.Errorf("ablation %s: %w", label, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"time"
@@ -155,10 +156,10 @@ func (e *Env) MakePair(size string, seed int64) (Pair, error) {
 
 // BuildMetadataFor (re)builds and saves both runs' metadata for a sweep
 // point. Metadata depends on (ε, chunk size), so sweeps rebuild it.
-func (e *Env) BuildMetadataFor(p Pair, eps float64, chunkSize int) error {
+func (e *Env) BuildMetadataFor(ctx context.Context, p Pair, eps float64, chunkSize int) error {
 	opts := e.opts(eps, chunkSize)
 	for _, name := range []string{p.NameA, p.NameB} {
-		if _, _, err := compare.BuildAndSave(e.Store, name, opts); err != nil {
+		if _, _, err := compare.BuildAndSave(ctx, e.Store, name, opts); err != nil {
 			return err
 		}
 	}

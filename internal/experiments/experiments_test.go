@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"bytes"
 	"strconv"
 	"strings"
@@ -109,7 +110,7 @@ func TestMakePairIsReusable(t *testing.T) {
 // size: ours >= direct >= allclose, and throughput rising with ε.
 func TestFig5Shape(t *testing.T) {
 	env := testEnv(t)
-	tab, err := env.Fig5("500M")
+	tab, err := env.Fig5(context.Background(), "500M")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestFig5Shape(t *testing.T) {
 
 func TestFig6Breakdown(t *testing.T) {
 	env := testEnv(t)
-	tab, err := env.Fig6(1e-3)
+	tab, err := env.Fig6(context.Background(), 1e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestFig6Breakdown(t *testing.T) {
 
 func TestFig7Effectiveness(t *testing.T) {
 	env := testEnv(t)
-	marked, fpr, err := env.Fig7()
+	marked, fpr, err := env.Fig7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestFig8GPUFarFasterAndFlat(t *testing.T) {
 
 func TestFig9UringBeatsMmap(t *testing.T) {
 	env := testEnv(t)
-	tab, err := env.Fig9()
+	tab, err := env.Fig9(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestFig9UringBeatsMmap(t *testing.T) {
 
 func TestFig10ScalingShape(t *testing.T) {
 	env := testEnv(t)
-	tab, err := env.Fig10(1e-3, 8, []int{2, 4, 8})
+	tab, err := env.Fig10(context.Background(), 1e-3, 8, []int{2, 4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -12,7 +13,7 @@ import (
 // node), comparing a fixed workload of checkpoint pairs from the
 // 17-billion-particle run. Reported: mean per-process throughput (GB/s,
 // higher is better) and makespan (virtual s, lower is better).
-func (e *Env) Fig10(eps float64, pairsCount int, processCounts []int) (*Table, error) {
+func (e *Env) Fig10(ctx context.Context, eps float64, pairsCount int, processCounts []int) (*Table, error) {
 	if pairsCount <= 0 {
 		pairsCount = 128
 	}
@@ -33,7 +34,7 @@ func (e *Env) Fig10(eps float64, pairsCount int, processCounts []int) (*Table, e
 		if err != nil {
 			return nil, err
 		}
-		if err := e.BuildMetadataFor(p, eps, chunk); err != nil {
+		if err := e.BuildMetadataFor(ctx, p, eps, chunk); err != nil {
 			return nil, err
 		}
 		pairs = append(pairs, cluster.Pair{NameA: p.NameA, NameB: p.NameB})
@@ -54,7 +55,7 @@ func (e *Env) Fig10(eps float64, pairsCount int, processCounts []int) (*Table, e
 		var makespans []float64
 		var ths []float64
 		for _, m := range []compare.Method{compare.MethodDirect, compare.MethodMerkle} {
-			res, err := cluster.Run(e.Store, pairs, cluster.Config{
+			res, err := cluster.Run(ctx, e.Store, pairs, cluster.Config{
 				Processes: procs,
 				PerNode:   4,
 				Method:    m,

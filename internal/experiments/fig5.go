@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/compare"
@@ -10,7 +11,7 @@ import (
 // throughput of AllClose, Direct and the Merkle method across the error
 // bound × chunk size sweep. Throughput is checkpoint data (both runs)
 // over virtual runtime, in GB/s, higher is better.
-func (e *Env) Fig5(size string) (*Table, error) {
+func (e *Env) Fig5(ctx context.Context, size string) (*Table, error) {
 	p, err := e.MakePair(size, 5)
 	if err != nil {
 		return nil, err
@@ -33,7 +34,7 @@ func (e *Env) Fig5(size string) (*Table, error) {
 
 		// AllClose baseline.
 		e.Store.EvictAll()
-		_, resA, err := compare.CompareAllClose(e.Store, p.NameA, p.NameB, opts)
+		_, resA, err := compare.CompareAllClose(ctx, e.Store, p.NameA, p.NameB, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fig5 allclose eps=%g: %w", eps, err)
 		}
@@ -41,7 +42,7 @@ func (e *Env) Fig5(size string) (*Table, error) {
 
 		// Direct baseline.
 		e.Store.EvictAll()
-		resD, err := compare.CompareDirect(e.Store, p.NameA, p.NameB, opts)
+		resD, err := compare.CompareDirect(ctx, e.Store, p.NameA, p.NameB, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fig5 direct eps=%g: %w", eps, err)
 		}
@@ -49,11 +50,11 @@ func (e *Env) Fig5(size string) (*Table, error) {
 
 		// Our method across chunk sizes.
 		for _, chunk := range ChunkSizes {
-			if err := e.BuildMetadataFor(p, eps, chunk); err != nil {
+			if err := e.BuildMetadataFor(ctx, p, eps, chunk); err != nil {
 				return nil, err
 			}
 			e.Store.EvictAll()
-			res, err := compare.CompareMerkle(e.Store, p.NameA, p.NameB, e.opts(eps, chunk))
+			res, err := compare.CompareMerkle(ctx, e.Store, p.NameA, p.NameB, e.opts(eps, chunk))
 			if err != nil {
 				return nil, fmt.Errorf("fig5 merkle eps=%g chunk=%d: %w", eps, chunk, err)
 			}

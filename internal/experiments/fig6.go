@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/compare"
@@ -10,7 +11,7 @@ import (
 // Fig6 reproduces Figure 6 (a: ε=1e-7, b: ε=1e-3): the comparison runtime
 // broken into the five phase timers, across chunk sizes, in virtual
 // seconds.
-func (e *Env) Fig6(eps float64) (*Table, error) {
+func (e *Env) Fig6(ctx context.Context, eps float64) (*Table, error) {
 	p, err := e.MakePair("2B", 6)
 	if err != nil {
 		return nil, err
@@ -30,11 +31,11 @@ func (e *Env) Fig6(eps float64) (*Table, error) {
 		},
 	}
 	for _, chunk := range ChunkSizes {
-		if err := e.BuildMetadataFor(p, eps, chunk); err != nil {
+		if err := e.BuildMetadataFor(ctx, p, eps, chunk); err != nil {
 			return nil, err
 		}
 		e.Store.EvictAll()
-		res, err := compare.CompareMerkle(e.Store, p.NameA, p.NameB, e.opts(eps, chunk))
+		res, err := compare.CompareMerkle(ctx, e.Store, p.NameA, p.NameB, e.opts(eps, chunk))
 		if err != nil {
 			return nil, fmt.Errorf("fig6 eps=%g chunk=%d: %w", eps, chunk, err)
 		}

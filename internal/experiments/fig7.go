@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/compare"
@@ -11,7 +12,7 @@ import (
 // checkpoint data marked as potentially changed; part (b) is the false
 // positive rate (chunks marked despite containing no out-of-bound
 // difference). Both as a function of chunk size, one curve per ε.
-func (e *Env) Fig7() (*Table, *Table, error) {
+func (e *Env) Fig7(ctx context.Context) (*Table, *Table, error) {
 	p, err := e.MakePair("2B", 7)
 	if err != nil {
 		return nil, nil, err
@@ -33,11 +34,11 @@ func (e *Env) Fig7() (*Table, *Table, error) {
 		rowM := []string{fmt.Sprintf("%.0e", eps)}
 		rowF := []string{fmt.Sprintf("%.0e", eps)}
 		for _, chunk := range ChunkSizes {
-			if err := e.BuildMetadataFor(p, eps, chunk); err != nil {
+			if err := e.BuildMetadataFor(ctx, p, eps, chunk); err != nil {
 				return nil, nil, err
 			}
 			e.Store.EvictAll()
-			res, err := compare.CompareMerkle(e.Store, p.NameA, p.NameB, e.opts(eps, chunk))
+			res, err := compare.CompareMerkle(ctx, e.Store, p.NameA, p.NameB, e.opts(eps, chunk))
 			if err != nil {
 				return nil, nil, fmt.Errorf("fig7 eps=%g chunk=%d: %w", eps, chunk, err)
 			}

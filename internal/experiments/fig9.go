@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/aio"
@@ -12,7 +13,7 @@ import (
 // (500-million-particle checkpoints, ε=1e-7, several repetitions to show
 // spread). Lower is better; the paper reports io_uring >3× faster with
 // less variance.
-func (e *Env) Fig9() (*Table, error) {
+func (e *Env) Fig9(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "Figure 9",
 		Title:  "Scattered-I/O backend completion time (virtual s), ε=1e-7",
@@ -33,14 +34,14 @@ func (e *Env) Fig9() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := e.BuildMetadataFor(p, 1e-7, chunk); err != nil {
+			if err := e.BuildMetadataFor(ctx, p, 1e-7, chunk); err != nil {
 				return nil, err
 			}
 			for _, backend := range []aio.Backend{aio.Mmap{}, uring} {
 				opts := e.opts(1e-7, chunk)
 				opts.Backend = backend
 				e.Store.EvictAll()
-				res, err := compare.CompareMerkle(e.Store, p.NameA, p.NameB, opts)
+				res, err := compare.CompareMerkle(ctx, e.Store, p.NameA, p.NameB, opts)
 				if err != nil {
 					return nil, fmt.Errorf("fig9 %s chunk=%d: %w", backend.Name(), chunk, err)
 				}

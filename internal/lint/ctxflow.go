@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Ctxflow enforces the codebase's cancellation discipline, the contract
+// the engine executor relies on: a context reaches every step by explicit
+// parameter passing, so canceling the caller's context is guaranteed to
+// reach the ring submission loop, the streaming pipeline, and the diff
+// kernels. Three shapes break that chain and are flagged:
+//
+//  1. a context.Context parameter that is not the first parameter — the
+//     standard position; mixed orders hide the context from callers that
+//     grep for `ctx context.Context` signatures;
+//  2. a context.Context struct field — a stored context outlives the call
+//     that supplied it, silently decoupling cancellation from the caller
+//     (the sanctioned pattern is a `done <-chan struct{}` field wired
+//     from ctx.Done() at the call boundary, as aio's sqe does);
+//  3. context.Background() or context.TODO() outside package main, test
+//     files, and init/main/Default* setup functions — a fresh root
+//     context inside a library function severs the caller's cancellation.
+//
+// Worker pools whose lifetime genuinely exceeds any caller (for example
+// the checkpointer's background flusher, whose cancellation point is its
+// jobs channel closing) annotate the call with //lint:ignore ctxflow.
+var Ctxflow = &Analyzer{
+	Name:     "ctxflow",
+	Doc:      "context.Context must be the first parameter, never a struct field; Background/TODO only in main, tests, and setup",
+	Severity: SeverityError,
+	Run:      runCtxflow,
+}
+
+func runCtxflow(p *Pass) {
+	for _, f := range p.Files {
+		if !importsPkg(f, "context") {
+			continue
+		}
+		fname := p.Fset.Position(f.Pos()).Filename
+		isTest := strings.HasSuffix(fname, "_test.go")
+		isMain := f.Name.Name == "main"
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxParamPosition(p, n.Type)
+			case *ast.FuncLit:
+				checkCtxParamPosition(p, n.Type)
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if isContextType(field.Type) {
+						p.Reportf(field.Pos(), "context.Context stored in a struct field; pass it as a parameter (or store a done channel wired from ctx.Done() at the call boundary)")
+					}
+				}
+			}
+			return true
+		})
+		if isTest || isMain {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || ctxRootAllowed(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				x, ok := sel.X.(*ast.Ident)
+				if !ok || x.Name != "context" {
+					return true
+				}
+				if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+					p.Reportf(call.Pos(), "context.%s creates a root context in a library function; accept a ctx parameter instead", sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkCtxParamPosition flags context.Context parameters that are not in
+// the leading position of the signature (the receiver does not count).
+func checkCtxParamPosition(p *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0 // running parameter index, counting grouped names
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(field.Type) && pos != 0 {
+			p.Reportf(field.Pos(), "context.Context is parameter %d; make it the first parameter", pos+1)
+		}
+		pos += n
+	}
+}
+
+// ctxRootAllowed reports whether the named function may mint a root
+// context: package setup and Default-style constructors of long-lived
+// process-wide state.
+func ctxRootAllowed(name string) bool {
+	return name == "init" || name == "main" || strings.HasPrefix(name, "Default")
+}
+
+// isContextType matches the syntactic type context.Context.
+func isContextType(t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && x.Name == "context" && sel.Sel.Name == "Context"
+}
+
+// importsPkg reports whether the file imports the given standard-library
+// path without renaming it away from its default identifier.
+func importsPkg(f *ast.File, path string) bool {
+	for _, imp := range f.Imports {
+		if imp.Path.Value != `"`+path+`"` {
+			continue
+		}
+		return imp.Name == nil || imp.Name.Name == path
+	}
+	return false
+}

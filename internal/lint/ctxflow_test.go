@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// runSourceNamed is runSource with a controllable fixture filename, so the
+// _test.go exemption of ctxflow is testable.
+func runSourceNamed(t *testing.T, a *Analyzer, pkg, filename, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	diags := AnalyzeFiles(fset, []*ast.File{f}, pkg, []*Analyzer{a})
+	var out []string
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%d:%s", d.Line, d.Rule))
+	}
+	return out
+}
+
+func TestCtxflow(t *testing.T) {
+	cases := []struct {
+		name string
+		pkg  string
+		file string
+		src  string
+		want []string
+	}{
+		{
+			name: "ctx first parameter is clean",
+			pkg:  "internal/compare",
+			src: `package compare
+import "context"
+func Compare(ctx context.Context, a, b string) error { return ctx.Err() }
+`,
+		},
+		{
+			name: "ctx in second position flagged",
+			pkg:  "internal/compare",
+			src: `package compare
+import "context"
+func Compare(name string, ctx context.Context) error { return ctx.Err() }
+`,
+			want: []string{"3:ctxflow"},
+		},
+		{
+			name: "ctx late in a grouped parameter list flagged",
+			pkg:  "internal/compare",
+			src: `package compare
+import "context"
+func Compare(a, b string, ctx context.Context, n int) error { return ctx.Err() }
+`,
+			want: []string{"3:ctxflow"},
+		},
+		{
+			name: "ctx misplaced in a function literal flagged",
+			pkg:  "internal/stream",
+			src: `package stream
+import "context"
+var hook = func(n int, ctx context.Context) error { return ctx.Err() }
+`,
+			want: []string{"3:ctxflow"},
+		},
+		{
+			name: "context struct field flagged",
+			pkg:  "internal/stream",
+			src: `package stream
+import "context"
+type job struct {
+	name string
+	ctx  context.Context
+}
+
+func use(ctx context.Context) job { return job{ctx: ctx} }
+`,
+			want: []string{"5:ctxflow"},
+		},
+		{
+			name: "done channel field is the sanctioned alternative",
+			pkg:  "internal/aio",
+			src: `package aio
+import "context"
+type sqe struct {
+	cancel <-chan struct{}
+}
+
+func submit(ctx context.Context) sqe { return sqe{cancel: ctx.Done()} }
+`,
+		},
+		{
+			name: "Background in a library function flagged",
+			pkg:  "internal/compare",
+			src: `package compare
+import "context"
+func load(name string) error {
+	ctx := context.Background()
+	return ctx.Err()
+}
+`,
+			want: []string{"4:ctxflow"},
+		},
+		{
+			name: "TODO in a library function flagged",
+			pkg:  "internal/compare",
+			src: `package compare
+import "context"
+func load(name string) error { return context.TODO().Err() }
+`,
+			want: []string{"3:ctxflow"},
+		},
+		{
+			name: "Background allowed in package main",
+			pkg:  "cmd/reprocmp",
+			src: `package main
+import "context"
+func run() error { return context.Background().Err() }
+`,
+		},
+		{
+			name: "Background allowed in test files",
+			pkg:  "internal/compare",
+			file: "compare_test.go",
+			src: `package compare
+import "context"
+func helper() error { return context.Background().Err() }
+`,
+		},
+		{
+			name: "Background allowed in Default-style setup",
+			pkg:  "internal/device",
+			src: `package device
+import "context"
+func DefaultPool() error { return context.Background().Err() }
+`,
+		},
+		{
+			name: "Background allowed in init",
+			pkg:  "internal/device",
+			src: `package device
+import "context"
+var rootErr error
+func init() { rootErr = context.Background().Err() }
+`,
+		},
+		{
+			name: "suppression comment clears the finding",
+			pkg:  "internal/ckpt",
+			src: `package ckpt
+import "context"
+func flushOne(name string) error {
+	//lint:ignore ctxflow the flusher outlives any caller
+	ctx := context.Background()
+	return ctx.Err()
+}
+`,
+		},
+		{
+			name: "renamed import is out of scope",
+			pkg:  "internal/compare",
+			src: `package compare
+import stdctx "context"
+func load(name string, ctx stdctx.Context) error { return ctx.Err() }
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			file := tc.file
+			if file == "" {
+				file = "fixture.go"
+			}
+			expectDiags(t, runSourceNamed(t, Ctxflow, tc.pkg, file, tc.src), tc.want...)
+		})
+	}
+}

@@ -175,6 +175,7 @@ func All() []*Analyzer {
 		WallTime,
 		KernelAlloc,
 		RingLife,
+		Ctxflow,
 	}
 }
 

@@ -16,6 +16,7 @@
 package pfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -178,6 +179,15 @@ type Store struct {
 	cache   map[string]map[int64]struct{} // name -> resident page indices
 	sharers int
 
+	// openHandles counts files opened and not yet closed; leak tests
+	// assert it returns to zero after error paths.
+	openHandles int
+
+	// Cumulative read-operation counters (cached + uncached), the
+	// ground truth benchmarks diff to show I/O dedup wins.
+	statReadOps   int64
+	statReadBytes int64
+
 	// fault injection (tests): countdown until the next injected failure.
 	readFaultAfter  int
 	readFaultErr    error
@@ -223,6 +233,24 @@ func (s *Store) Sharers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sharers
+}
+
+// OpenHandles returns the number of files currently open for reading on
+// the store. Leak tests assert this returns to zero after every
+// comparison, including failed ones.
+func (s *Store) OpenHandles() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.openHandles
+}
+
+// ReadStats returns the cumulative read-operation count (cached plus
+// uncached) and bytes moved since the store was created. Benchmarks diff
+// two snapshots to measure how many PFS operations an approach issued.
+func (s *Store) ReadStats() (ops, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statReadOps, s.statReadBytes
 }
 
 // path maps a store-relative name to the backing path, rejecting escapes.
@@ -387,6 +415,8 @@ func (s *Store) touch(name string, off int64, n int) Cost {
 	} else {
 		c.CachedOps = 1
 	}
+	s.statReadOps++
+	s.statReadBytes += total
 	return c
 }
 
@@ -433,6 +463,9 @@ func (s *Store) Open(name string) (*File, error) {
 		_ = f.Close() // the stat error takes precedence
 		return nil, fmt.Errorf("pfs: stat %s: %w", name, err)
 	}
+	s.mu.Lock()
+	s.openHandles++
+	s.mu.Unlock()
 	return &File{store: s, name: name, f: f, size: st.Size()}, nil
 }
 
@@ -462,6 +495,17 @@ func (f *File) ReadAt(p []byte, off int64) (int, Cost, error) {
 	return n, cost, err
 }
 
+// ReadAtCtx is ReadAt with a cancellation point: a read against an
+// already-canceled context fails with ctx.Err() before touching storage.
+// The asynchronous backends route their per-operation reads through this
+// so a canceled comparison stops issuing I/O promptly.
+func (f *File) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, Cost, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, Cost{}, err
+	}
+	return f.ReadAt(p, off)
+}
+
 // Close releases the handle.
 func (f *File) Close() error {
 	if f.f == nil {
@@ -469,6 +513,9 @@ func (f *File) Close() error {
 	}
 	err := f.f.Close()
 	f.f = nil
+	f.store.mu.Lock()
+	f.store.openHandles--
+	f.store.mu.Unlock()
 	return err
 }
 
@@ -535,8 +582,8 @@ func (w *Writer) Close() error {
 
 // ReadFileFull reads an entire file sequentially in large blocks and
 // returns its content with the aggregate cost — the access pattern of the
-// AllClose baseline.
-func (s *Store) ReadFileFull(name string, blockSize int) ([]byte, Cost, error) {
+// AllClose baseline. Each block read is a cancellation point.
+func (s *Store) ReadFileFull(ctx context.Context, name string, blockSize int) ([]byte, Cost, error) {
 	if blockSize <= 0 {
 		blockSize = 1 << 20
 	}
@@ -553,7 +600,7 @@ func (s *Store) ReadFileFull(name string, blockSize int) ([]byte, Cost, error) {
 		if end > f.Size() {
 			end = f.Size()
 		}
-		_, c, err := f.ReadAt(data[off:end], off)
+		_, c, err := f.ReadAtCtx(ctx, data[off:end], off)
 		total.Add(c)
 		if err != nil && !errors.Is(err, io.EOF) {
 			return nil, total, err

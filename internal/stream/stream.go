@@ -28,6 +28,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -118,10 +119,17 @@ func (s *slice) reset() {
 	s.err = nil
 }
 
-// Run streams all chunk pairs through the pipeline.
-func Run(fA, fB *pfs.File, pairs []ChunkPair, cfg Config, compute Compute) (stats Stats, err error) {
+// Run streams all chunk pairs through the pipeline. Cancellation is
+// observed at three points: the producer aborts between slices (and its
+// backend reads observe the context themselves), the consumer aborts
+// between slices, and a canceled run drains the producer before
+// returning, so no goroutine or pooled buffer leaks.
+func Run(ctx context.Context, fA, fB *pfs.File, pairs []ChunkPair, cfg Config, compute Compute) (stats Stats, err error) {
 	if len(pairs) == 0 {
 		return stats, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, err
 	}
 	if cfg.Backend == nil {
 		cfg.Backend = aio.Default()
@@ -161,6 +169,8 @@ func Run(fA, fB *pfs.File, pairs []ChunkPair, cfg Config, compute Compute) (stat
 			case s = <-pool:
 			case <-done:
 				return
+			case <-ctx.Done():
+				return
 			}
 			s.reset()
 			for next < len(pairs) {
@@ -172,7 +182,7 @@ func Run(fA, fB *pfs.File, pairs []ChunkPair, cfg Config, compute Compute) (stat
 					break
 				}
 			}
-			s.fill(fA, fB, cfg.Backend, pair)
+			s.fill(ctx, fA, fB, cfg.Backend, pair)
 			select {
 			case filled <- s:
 			case <-done:
@@ -190,6 +200,9 @@ func Run(fA, fB *pfs.File, pairs []ChunkPair, cfg Config, compute Compute) (stat
 	// the depth-N recurrence.
 	vp := NewVirtualPipeline(cfg.Depth)
 	for s := range filled {
+		if cerr := ctx.Err(); cerr != nil {
+			return stats, cerr
+		}
 		if s.err != nil {
 			return stats, s.err
 		}
@@ -218,12 +231,12 @@ func Run(fA, fB *pfs.File, pairs []ChunkPair, cfg Config, compute Compute) (stat
 		stats.PipelineVirtual = vp.Total()
 		pool <- s // recycle the buffer set
 	}
-	return stats, nil
+	return stats, ctx.Err()
 }
 
 // fill reads the slice's chunks from both files through the backend,
 // reusing the slice's buffers and request batches.
-func (s *slice) fill(fA, fB *pfs.File, backend aio.Backend, pair aio.PairReader) {
+func (s *slice) fill(ctx context.Context, fA, fB *pfs.File, backend aio.Backend, pair aio.PairReader) {
 	n := s.byteSize
 	if int64(cap(s.bufA)) < n {
 		s.bufA = make([]byte, n)
@@ -238,7 +251,7 @@ func (s *slice) fill(fA, fB *pfs.File, backend aio.Backend, pair aio.PairReader)
 		pos += int64(p.Len)
 	}
 	if pair != nil {
-		cost, t, err := pair.ReadBatchPair(fA, fB, s.reqsA, s.reqsB)
+		cost, t, err := pair.ReadBatchPair(ctx, fA, fB, s.reqsA, s.reqsB)
 		if err != nil {
 			s.err = fmt.Errorf("stream: read runs A+B: %w", err)
 			return
@@ -247,12 +260,12 @@ func (s *slice) fill(fA, fB *pfs.File, backend aio.Backend, pair aio.PairReader)
 		s.io = t
 		return
 	}
-	costA, tA, err := backend.ReadBatch(fA, s.reqsA)
+	costA, tA, err := backend.ReadBatch(ctx, fA, s.reqsA)
 	if err != nil {
 		s.err = fmt.Errorf("stream: read run A: %w", err)
 		return
 	}
-	costB, tB, err := backend.ReadBatch(fB, s.reqsB)
+	costB, tB, err := backend.ReadBatch(ctx, fB, s.reqsB)
 	if err != nil {
 		s.err = fmt.Errorf("stream: read run B: %w", err)
 		return

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro"
@@ -76,11 +77,11 @@ func TestFullLifecycle(t *testing.T) {
 			t.Fatalf("%s history = %v", runID, names)
 		}
 		for _, n := range names {
-			if _, _, err := repro.BuildAndSave(pfsTier, n, opts); err != nil {
+			if _, _, err := repro.BuildAndSave(context.Background(), pfsTier, n, opts); err != nil {
 				t.Fatal(err)
 			}
 		}
-		m, err := catalog.Scan(pfsTier, runID, nil)
+		m, err := catalog.Scan(context.Background(), pfsTier, runID, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,11 +89,11 @@ func TestFullLifecycle(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	m1, err := catalog.Load(pfsTier, "lc1")
+	m1, err := catalog.Load(context.Background(), pfsTier, "lc1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := catalog.Load(pfsTier, "lc2")
+	m2, err := catalog.Load(context.Background(), pfsTier, "lc2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestFullLifecycle(t *testing.T) {
 	}
 
 	// --- Stage 3: history comparison (paired per rank automatically).
-	report, err := repro.CompareHistories(pfsTier, "lc1", "lc2", repro.MethodMerkle, opts)
+	report, err := repro.CompareHistories(context.Background(), pfsTier, "lc1", "lc2", repro.MethodMerkle, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestFullLifecycle(t *testing.T) {
 
 	// --- Stage 4: divergence analysis on the first divergent pair.
 	fd := report.FirstDivergence
-	an, err := repro.Analyze(pfsTier, fd.NameA, fd.NameB)
+	an, err := repro.Analyze(context.Background(), pfsTier, fd.NameA, fd.NameB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestFullLifecycle(t *testing.T) {
 	}
 
 	// --- Stage 5: per-run evolution profile from metadata only.
-	evo, err := repro.Evolution(pfsTier, "lc1", opts)
+	evo, err := repro.Evolution(context.Background(), pfsTier, "lc1", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestFullLifecycle(t *testing.T) {
 
 	// --- Stage 6: compact old history; tree-level comparison survives.
 	for _, runID := range []string{"lc1", "lc2"} {
-		rep, err := repro.CompactHistory(pfsTier, runID, 1, opts)
+		rep, err := repro.CompactHistory(context.Background(), pfsTier, runID, 1, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,7 +156,7 @@ func TestFullLifecycle(t *testing.T) {
 	if !repro.IsCompacted(pfsTier, oldA) {
 		t.Error("old checkpoint not compacted")
 	}
-	treeRes, err := repro.CompareTreesOnly(pfsTier, oldA, oldB, opts)
+	treeRes, err := repro.CompareTreesOnly(context.Background(), pfsTier, oldA, oldB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestFullLifecycle(t *testing.T) {
 	// The latest iteration still supports full data-level comparison.
 	lastA := repro.CheckpointName("lc1", steps, 0)
 	lastB := repro.CheckpointName("lc2", steps, 0)
-	if _, err := repro.Compare(pfsTier, lastA, lastB, opts); err != nil {
+	if _, err := repro.Compare(context.Background(), pfsTier, lastA, lastB, opts); err != nil {
 		t.Fatalf("full comparison on retained history failed: %v", err)
 	}
 }
@@ -208,12 +209,12 @@ func TestJacobiLifecycle(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, n := range names {
-			if _, _, err := repro.BuildAndSave(pfsTier, n, opts); err != nil {
+			if _, _, err := repro.BuildAndSave(context.Background(), pfsTier, n, opts); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	report, err := repro.CompareHistories(pfsTier, "j1", "j2", repro.MethodMerkle, opts)
+	report, err := repro.CompareHistories(context.Background(), pfsTier, "j1", "j2", repro.MethodMerkle, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro"
@@ -44,7 +45,7 @@ func TestOnlineModeBuildingBlocks(t *testing.T) {
 	if err := repro.SaveMetadata(store, name, refMeta); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := repro.LoadMetadata(store, name)
+	loaded, err := repro.LoadMetadata(context.Background(), store, name)
 	if err != nil {
 		t.Fatal(err)
 	}

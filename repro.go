@@ -24,10 +24,10 @@
 //
 //	// At checkpoint time (both runs):
 //	repro.WriteCheckpoint(store, meta, fields)
-//	m, _, _ := repro.BuildAndSave(store, repro.CheckpointName("run1", 10, 0), opts)
+//	m, _, _ := repro.BuildAndSave(ctx, store, repro.CheckpointName("run1", 10, 0), opts)
 //
 //	// At analysis time:
-//	res, _ := repro.Compare(store, nameRun1, nameRun2, opts)
+//	res, _ := repro.Compare(ctx, store, nameRun1, nameRun2, opts)
 //	for _, d := range res.Diffs {
 //	    fmt.Println(d.Field, len(d.Indices), "elements diverged")
 //	}
@@ -47,6 +47,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/aio"
 	"repro/internal/ckpt"
 	"repro/internal/compare"
@@ -78,6 +80,20 @@ type (
 	HistoryReport = compare.HistoryReport
 	// PairReport is one aligned checkpoint pair within a history.
 	PairReport = compare.PairReport
+	// Topology selects the pair coverage of a group comparison.
+	Topology = compare.Topology
+	// GroupReport is an N-run group comparison's outcome.
+	GroupReport = compare.GroupReport
+	// GroupPairReport is one pair within a group comparison.
+	GroupPairReport = compare.GroupPairReport
+)
+
+// Group-comparison topologies.
+const (
+	// TopologyStar compares every run against the baseline.
+	TopologyStar = compare.TopologyStar
+	// TopologyAllPairs compares every run against every other.
+	TopologyAllPairs = compare.TopologyAllPairs
 )
 
 // Comparison methods.
@@ -228,8 +244,8 @@ func BuildMetadata(fields []FieldSpec, data [][]byte, opts Options) (*Metadata, 
 
 // BuildAndSave builds metadata for a checkpoint already on the store and
 // saves it alongside under MetadataName(name).
-func BuildAndSave(store *Store, name string, opts Options) (*Metadata, BuildStats, error) {
-	return compare.BuildAndSave(store, name, opts)
+func BuildAndSave(ctx context.Context, store *Store, name string, opts Options) (*Metadata, BuildStats, error) {
+	return compare.BuildAndSave(ctx, store, name, opts)
 }
 
 // SaveMetadata writes metadata next to its checkpoint on a store.
@@ -239,8 +255,8 @@ func SaveMetadata(store *Store, checkpointName string, m *Metadata) error {
 }
 
 // LoadMetadata reads a checkpoint's saved metadata from a store.
-func LoadMetadata(store *Store, checkpointName string) (*Metadata, error) {
-	m, _, _, err := compare.LoadMetadata(store, checkpointName)
+func LoadMetadata(ctx context.Context, store *Store, checkpointName string) (*Metadata, error) {
+	m, _, _, err := compare.LoadMetadata(ctx, store, checkpointName)
 	return m, err
 }
 
@@ -252,27 +268,43 @@ func MetadataName(checkpointName string) string {
 
 // Compare runs the paper's two-stage Merkle comparison of one checkpoint
 // pair. Both checkpoints and their metadata (see BuildAndSave) must exist
-// on the store.
-func Compare(store *Store, nameA, nameB string, opts Options) (*Result, error) {
-	return compare.CompareMerkle(store, nameA, nameB, opts)
+// on the store. Canceling the context stops the comparison at the next
+// plan-step, kernel-poll, or pipeline boundary with ctx.Err(); the engine
+// closes everything it opened on the way out.
+func Compare(ctx context.Context, store *Store, nameA, nameB string, opts Options) (*Result, error) {
+	return compare.CompareMerkle(ctx, store, nameA, nameB, opts)
 }
 
 // CompareDirect runs the optimized element-wise baseline.
-func CompareDirect(store *Store, nameA, nameB string, opts Options) (*Result, error) {
-	return compare.CompareDirect(store, nameA, nameB, opts)
+func CompareDirect(ctx context.Context, store *Store, nameA, nameB string, opts Options) (*Result, error) {
+	return compare.CompareDirect(ctx, store, nameA, nameB, opts)
 }
 
 // AllClose runs the naive boolean baseline (numpy.allclose with atol=ε,
 // rtol=0): true means every element pair is within ε.
-func AllClose(store *Store, nameA, nameB string, opts Options) (bool, error) {
-	ok, _, err := compare.CompareAllClose(store, nameA, nameB, opts)
+func AllClose(ctx context.Context, store *Store, nameA, nameB string, opts Options) (bool, error) {
+	ok, _, err := compare.CompareAllClose(ctx, store, nameA, nameB, opts)
 	return ok, err
 }
 
 // CompareHistories aligns two runs' checkpoint histories on a store and
-// compares every pair, reporting the earliest divergence.
-func CompareHistories(store *Store, runA, runB string, method Method, opts Options) (*HistoryReport, error) {
-	return compare.CompareHistories(store, runA, runB, method, opts)
+// compares every pair, reporting the earliest divergence. Histories align
+// on the union of data checkpoints and compacted (metadata-only)
+// survivors; a pair with a compacted side degrades to the metadata-only
+// tree diff. On error or cancellation the returned report holds the pairs
+// completed so far.
+func CompareHistories(ctx context.Context, store *Store, runA, runB string, method Method, opts Options) (*HistoryReport, error) {
+	return compare.CompareHistories(ctx, store, runA, runB, method, opts)
+}
+
+// GroupCompare compares N runs' checkpoints as one group: every member's
+// metadata is loaded once and the candidate chunks of pairs sharing a
+// member are fetched with one deduplicated batched read per member, so an
+// N-run comparison does strictly less PFS I/O than the equivalent
+// sequential pairwise comparisons. Member 0 is the baseline; topology
+// selects star (baseline vs each run) or all-pairs coverage.
+func GroupCompare(ctx context.Context, store *Store, baseline string, runs []string, topology Topology, opts Options) (*GroupReport, error) {
+	return compare.GroupCompare(ctx, store, baseline, runs, topology, opts)
 }
 
 // Analysis characterizes how two checkpoints differ: per-field divergence
@@ -284,8 +316,8 @@ type FieldHistogram = compare.FieldHistogram
 
 // Analyze reads both checkpoints fully and profiles their divergence
 // magnitudes per field — the tool for picking ε before committing to it.
-func Analyze(store *Store, nameA, nameB string) (*Analysis, error) {
-	return compare.Analyze(store, nameA, nameB)
+func Analyze(ctx context.Context, store *Store, nameA, nameB string) (*Analysis, error) {
+	return compare.Analyze(ctx, store, nameA, nameB)
 }
 
 // EvolutionReport profiles how fast one run's state changes relative to ε
@@ -293,8 +325,8 @@ func Analyze(store *Store, nameA, nameB string) (*Analysis, error) {
 type EvolutionReport = compare.EvolutionReport
 
 // Evolution builds a run's state-evolution profile from saved metadata.
-func Evolution(store *Store, runID string, opts Options) (*EvolutionReport, error) {
-	return compare.Evolution(store, runID, opts)
+func Evolution(ctx context.Context, store *Store, runID string, opts Options) (*EvolutionReport, error) {
+	return compare.Evolution(ctx, store, runID, opts)
 }
 
 // CompactReport summarizes one history-compaction pass.
@@ -305,16 +337,16 @@ type CompactReport = compare.CompactReport
 // compaction): the data files are removed, the compact Merkle trees stay,
 // and CompareTreesOnly keeps every compacted iteration comparable at chunk
 // granularity. Metadata is built first where missing.
-func CompactHistory(store *Store, runID string, keepLatest int, opts Options) (*CompactReport, error) {
-	return compare.CompactHistory(store, runID, keepLatest, opts)
+func CompactHistory(ctx context.Context, store *Store, runID string, keepLatest int, opts Options) (*CompactReport, error) {
+	return compare.CompactHistory(ctx, store, runID, keepLatest, opts)
 }
 
 // CompareTreesOnly answers the reproducibility question from metadata
 // alone — no checkpoint data is touched, so it works on compacted history.
 // Result.DiffCount is 0 for a within-bound pair and -1 (unknown count)
 // when candidate chunks differ.
-func CompareTreesOnly(store *Store, nameA, nameB string, opts Options) (*Result, error) {
-	return compare.CompareTreesOnly(store, nameA, nameB, opts)
+func CompareTreesOnly(ctx context.Context, store *Store, nameA, nameB string, opts Options) (*Result, error) {
+	return compare.CompareTreesOnly(ctx, store, nameA, nameB, opts)
 }
 
 // IsCompacted reports whether a checkpoint survives only as metadata.

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro"
@@ -44,7 +45,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 				t.Fatal(err)
 			}
 			name := repro.CheckpointName(rd.run, iter, 0)
-			if _, _, err := repro.BuildAndSave(store, name, opts); err != nil {
+			if _, _, err := repro.BuildAndSave(context.Background(), store, name, opts); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -63,14 +64,14 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	// Pairwise comparison at the first iteration: identical.
 	nameA := repro.CheckpointName("runA", 10, 0)
 	nameB := repro.CheckpointName("runB", 10, 0)
-	res, err := repro.Compare(store, nameA, nameB, opts)
+	res, err := repro.Compare(context.Background(), store, nameA, nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Identical() {
 		t.Error("iteration 10 should be identical")
 	}
-	ok, err := repro.AllClose(store, nameA, nameB, opts)
+	ok, err := repro.AllClose(context.Background(), store, nameA, nameB, opts)
 	if err != nil || !ok {
 		t.Errorf("AllClose(iter 10) = %v, %v", ok, err)
 	}
@@ -78,11 +79,11 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	// Divergent iteration: merkle and direct must agree.
 	nameA = repro.CheckpointName("runA", 20, 0)
 	nameB = repro.CheckpointName("runB", 20, 0)
-	rm, err := repro.Compare(store, nameA, nameB, opts)
+	rm, err := repro.Compare(context.Background(), store, nameA, nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rd, err := repro.CompareDirect(store, nameA, nameB, opts)
+	rd, err := repro.CompareDirect(context.Background(), store, nameA, nameB, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,13 +93,13 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if rm.DiffCount != rd.DiffCount {
 		t.Errorf("merkle %d diffs, direct %d", rm.DiffCount, rd.DiffCount)
 	}
-	ok, err = repro.AllClose(store, nameA, nameB, opts)
+	ok, err = repro.AllClose(context.Background(), store, nameA, nameB, opts)
 	if err != nil || ok {
 		t.Errorf("AllClose(iter 20) = %v, %v; want false", ok, err)
 	}
 
 	// Whole-history comparison pinpoints the first divergence.
-	report, err := repro.CompareHistories(store, "runA", "runB", repro.MethodMerkle, opts)
+	report, err := repro.CompareHistories(context.Background(), store, "runA", "runB", repro.MethodMerkle, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	// Metadata round trip through the store.
-	m, err := repro.LoadMetadata(store, nameA)
+	m, err := repro.LoadMetadata(context.Background(), store, nameA)
 	if err != nil {
 		t.Fatal(err)
 	}
