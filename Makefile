@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check bench bench-smoke bench-json experiments examples clean
+.PHONY: all build vet lint test race check chaos chaos-smoke bench bench-smoke bench-json experiments examples clean
 
 all: build vet test
 
 # check is the pre-PR gate: everything that must be green before merging.
-check: build vet lint test race bench-smoke
+check: build vet lint test race chaos-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,15 @@ test:
 # per-package timeout is raised above Go's 10m default.
 race:
 	$(GO) test -race -timeout 30m ./...
+
+# chaos soaks the degradation ladder at full scale: seeded fault
+# schedules × topologies under the race detector (see internal/chaos).
+chaos:
+	CHAOS_FULL=1 $(GO) test -race -count=1 -timeout 30m -v -run 'TestChaos' ./internal/chaos/
+
+# chaos-smoke is the small-scale soak that gates `make check`.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/chaos/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -24,6 +24,10 @@ type jsonResult struct {
 	WallMicros      int64           `json:"wallMicros"`
 	VirtualMicros   int64           `json:"virtualMicros"`
 	ModelGBps       float64         `json:"modelGBps"`
+	Degraded        bool            `json:"degraded,omitempty"`
+	Unverified      int             `json:"unverifiedChunks,omitempty"`
+	ReadRetries     int             `json:"readRetries,omitempty"`
+	RingFallbacks   int             `json:"ringFallbacks,omitempty"`
 	Fields          []jsonFieldDiff `json:"fields,omitempty"`
 }
 
@@ -42,6 +46,7 @@ type jsonHistory struct {
 	Method          string     `json:"method"`
 	Epsilon         float64    `json:"epsilon"`
 	Reproducible    bool       `json:"reproducible"`
+	Degraded        bool       `json:"degraded,omitempty"`
 	FirstDivergence *jsonPair  `json:"firstDivergence,omitempty"`
 	Pairs           []jsonPair `json:"pairs"`
 }
@@ -50,6 +55,7 @@ type jsonPair struct {
 	Iteration int   `json:"iteration"`
 	Rank      int   `json:"rank"`
 	DiffCount int64 `json:"diffCount"`
+	Degraded  bool  `json:"degraded,omitempty"`
 }
 
 func toJSONResult(res *repro.Result, verbose bool) jsonResult {
@@ -68,6 +74,10 @@ func toJSONResult(res *repro.Result, verbose bool) jsonResult {
 		WallMicros:      res.WallElapsed().Microseconds(),
 		VirtualMicros:   res.VirtualElapsed().Microseconds(),
 		ModelGBps:       res.ThroughputGBps(),
+		Degraded:        res.Degraded,
+		Unverified:      res.UnverifiedChunks,
+		ReadRetries:     res.ReadRetries,
+		RingFallbacks:   res.RingFallbacks,
 	}
 	for _, d := range res.Diffs {
 		fd := jsonFieldDiff{
@@ -91,12 +101,14 @@ func toJSONHistory(report *repro.HistoryReport, method repro.Method, eps float64
 		Method:       method.String(),
 		Epsilon:      eps,
 		Reproducible: report.Reproducible(),
+		Degraded:     report.Degraded(),
 	}
 	for _, p := range report.Pairs {
 		out.Pairs = append(out.Pairs, jsonPair{
 			Iteration: p.Iteration,
 			Rank:      p.Rank,
 			DiffCount: p.Result.DiffCount,
+			Degraded:  p.Result.Degraded,
 		})
 	}
 	if fd := report.FirstDivergence; fd != nil {

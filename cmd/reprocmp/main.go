@@ -11,6 +11,12 @@
 //	reprocmp history -store DIR -runa RUN1 -runb RUN2 -eps 1e-6 [-method merkle] [-hash]
 //	reprocmp inspect -store DIR -ckpt NAME
 //
+// Exit codes: 0 clean match, 1 operational error, 2 proven divergence,
+// 3 degraded-but-inconclusive (only with -degrade: the comparison
+// completed on a degraded path, found no out-of-bound element, but could
+// not verify every candidate chunk). Proven divergence wins over
+// degradation.
+//
 // Every subcommand honours SIGINT/SIGTERM: an interrupted comparison
 // cancels its engine plan and exits with the context error.
 //
@@ -37,6 +43,14 @@ import (
 // differences; main maps it to exit code 2 so scripts can branch on it.
 var errDivergent = errors.New("runs diverge beyond the error bound")
 
+// errDegraded signals a comparison that completed on a degraded path with
+// NO proven divergence: some chunks were unread or unverifiable, so the
+// clean verdict is inconclusive. main maps it to exit code 3 — distinct
+// from both a clean match (0) and proven divergence (2). Proven
+// divergence always wins: a degraded run that still found out-of-bound
+// elements exits 2.
+var errDegraded = errors.New("comparison degraded: result is inconclusive")
+
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -44,9 +58,24 @@ func main() {
 		if errors.Is(err, errDivergent) {
 			os.Exit(2)
 		}
+		if errors.Is(err, errDegraded) {
+			fmt.Fprintln(os.Stderr, "reprocmp:", err)
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "reprocmp:", err)
 		os.Exit(1)
 	}
+}
+
+// verdict maps a completed comparison onto the exit-code contract.
+func verdict(diverged, degraded bool) error {
+	switch {
+	case diverged:
+		return errDivergent
+	case degraded:
+		return errDegraded
+	}
+	return nil
 }
 
 func run(ctx context.Context, args []string, out io.Writer) error {
@@ -287,6 +316,7 @@ func cmdCompare(ctx context.Context, args []string, out io.Writer) error {
 	methodName := fs.String("method", "merkle", "merkle | direct | allclose")
 	verbose := fs.Bool("v", false, "list divergent indices")
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON report")
+	degrade := fs.Bool("degrade", false, "degrade on storage failures instead of aborting (exit 3 when inconclusive)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -301,7 +331,7 @@ func cmdCompare(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := repro.Options{Epsilon: *eps, ChunkSize: *chunk}
+	opts := repro.Options{Epsilon: *eps, ChunkSize: *chunk, Degrade: *degrade}
 
 	if method == repro.MethodAllClose && !*asJSON {
 		ok, err := repro.AllClose(ctx, store, *a, *b, opts)
@@ -325,14 +355,15 @@ func cmdCompare(ctx context.Context, args []string, out io.Writer) error {
 	} else {
 		printResult(out, res, *verbose)
 	}
-	if res.DiffCount != 0 {
-		return errDivergent
-	}
-	return nil
+	return verdict(res.DiffCount != 0, res.Degraded || res.UnverifiedChunks > 0)
 }
 
 func printResult(out io.Writer, res *repro.Result, verbose bool) {
 	fmt.Fprintf(out, "method=%s diffs=%d elements=%d\n", res.Method, res.DiffCount, res.TotalElements)
+	if res.Degraded || res.UnverifiedChunks > 0 {
+		fmt.Fprintf(out, "DEGRADED: %d candidate chunks unverified (retries=%d, ring fallbacks=%d); absence of diffs is inconclusive\n",
+			res.UnverifiedChunks, res.ReadRetries, res.RingFallbacks)
+	}
 	if res.Method == "merkle" {
 		fmt.Fprintf(out, "chunks: %d candidates of %d total, %d really changed (%d false positives)\n",
 			res.CandidateChunks, res.TotalChunks, res.ChangedChunks, res.FalsePositiveChunks())
@@ -362,6 +393,7 @@ func cmdGroup(ctx context.Context, args []string, out io.Writer) error {
 	chunk := fs.Int("chunk", 64<<10, "chunk size in bytes")
 	topoName := fs.String("topology", "star", "star | all-pairs")
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON report")
+	degrade := fs.Bool("degrade", false, "degrade on storage failures instead of aborting (exit 3 when inconclusive)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -382,32 +414,38 @@ func cmdGroup(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("unknown topology %q", *topoName)
 	}
 	names := strings.Split(*runs, ",")
-	rep, err := repro.GroupCompare(ctx, store, *baseline, names, topo, repro.Options{Epsilon: *eps, ChunkSize: *chunk})
+	rep, err := repro.GroupCompare(ctx, store, *baseline, names, topo, repro.Options{Epsilon: *eps, ChunkSize: *chunk, Degrade: *degrade})
 	if err != nil {
 		return err
+	}
+	diverged := false
+	for _, p := range rep.Pairs {
+		if p.Result.DiffCount != 0 {
+			diverged = true
+		}
 	}
 	if *asJSON {
 		if err := emitJSON(out, rep); err != nil {
 			return err
 		}
-		if !rep.Reproducible() {
-			return errDivergent
-		}
-		return nil
+		return verdict(diverged, rep.Degraded())
 	}
 	fmt.Fprintf(out, "group comparison of %d members (%s): %d pairs, %d read ops, %d bytes read\n",
 		len(rep.Members), topo, len(rep.Pairs), rep.ReadOps, rep.ReadBytes)
 	for _, p := range rep.Pairs {
 		status := "match"
-		if p.Result.DiffCount != 0 {
+		switch {
+		case p.Result.DiffCount != 0:
 			status = fmt.Sprintf("%d divergent elements", p.Result.DiffCount)
+			if p.Result.Degraded {
+				status += fmt.Sprintf(" (DEGRADED: %d chunks unverified)", p.Result.UnverifiedChunks)
+			}
+		case p.Result.Degraded:
+			status = fmt.Sprintf("DEGRADED: %d chunks unverified, no proven divergence", p.Result.UnverifiedChunks)
 		}
 		fmt.Fprintf(out, "  %s vs %s: %s\n", p.NameA, p.NameB, status)
 	}
-	if !rep.Reproducible() {
-		return errDivergent
-	}
-	return nil
+	return verdict(diverged, rep.Degraded())
 }
 
 func cmdHistory(ctx context.Context, args []string, out io.Writer) error {
@@ -420,6 +458,7 @@ func cmdHistory(ctx context.Context, args []string, out io.Writer) error {
 	methodName := fs.String("method", "merkle", "merkle | direct | allclose")
 	hash := fs.Bool("hash", false, "build any missing metadata first")
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON report")
+	degrade := fs.Bool("degrade", false, "degrade on storage failures instead of aborting (exit 3 when inconclusive)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -434,7 +473,7 @@ func cmdHistory(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := repro.Options{Epsilon: *eps, ChunkSize: *chunk}
+	opts := repro.Options{Epsilon: *eps, ChunkSize: *chunk, Degrade: *degrade}
 
 	if *hash && method == repro.MethodMerkle {
 		for _, run := range []string{*runA, *runB} {
@@ -458,10 +497,7 @@ func cmdHistory(ctx context.Context, args []string, out io.Writer) error {
 		if err := emitJSON(out, toJSONHistory(report, method, *eps)); err != nil {
 			return err
 		}
-		if !report.Reproducible() {
-			return errDivergent
-		}
-		return nil
+		return verdict(!report.Reproducible(), report.Degraded())
 	}
 	fmt.Fprintf(out, "compared %d checkpoint pairs of %s vs %s (eps=%g, method=%s)\n",
 		len(report.Pairs), *runA, *runB, *eps, method)
@@ -472,11 +508,18 @@ func cmdHistory(ctx context.Context, args []string, out io.Writer) error {
 		} else if p.Result.DiffCount < 0 {
 			status = "diverged (allclose)"
 		}
+		if p.Result.Degraded {
+			status += fmt.Sprintf(" (DEGRADED: %d chunks unverified)", p.Result.UnverifiedChunks)
+		}
 		fmt.Fprintf(out, "  iter %4d rank %3d: %s\n", p.Iteration, p.Rank, status)
 	}
 	if report.Reproducible() {
-		fmt.Fprintln(out, "runs are reproducible within the error bound")
-		return nil
+		if report.Degraded() {
+			fmt.Fprintln(out, "no proven divergence, but the comparison degraded: inconclusive")
+		} else {
+			fmt.Fprintln(out, "runs are reproducible within the error bound")
+		}
+		return verdict(false, report.Degraded())
 	}
 	fmt.Fprintf(out, "first divergence: iteration %d, rank %d\n",
 		report.FirstDivergence.Iteration, report.FirstDivergence.Rank)

@@ -407,6 +407,13 @@ type sqe struct {
 	cancel <-chan struct{}
 }
 
+// ErrRingClosed is returned by Submit on a closed ring. Callers holding a
+// batch when the shared ring shuts down (a torn-down engine, an exiting
+// process) can fall back to a fresh-ring Legacy read of the same requests
+// — the first rung of the degradation ladder — instead of failing the
+// comparison.
+var ErrRingClosed = errors.New("aio: ring closed")
+
 // errCanceled is the completion error of operations skipped because their
 // batch's context was canceled. Callers surface ctx.Err() instead.
 var errCanceled = errors.New("aio: batch canceled")
@@ -487,7 +494,7 @@ func (r *Ring) Submit(ctx context.Context, f *pfs.File, reqs []ReadReq) (int, er
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		return 0, errors.New("aio: ring closed")
+		return 0, ErrRingClosed
 	}
 	r.submits.Add(1)
 	r.mu.Unlock()

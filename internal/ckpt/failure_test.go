@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/pfs"
 )
 
@@ -19,7 +20,7 @@ func TestCheckpointerSurfacesFlushFailure(t *testing.T) {
 	defer c.Close()
 
 	meta := testMeta("flushfail", 0, 0, 64)
-	remote.FailWrites(0, errInjected)
+	faults.FailWrites(remote, 0, errInjected)
 	if err := c.Capture(meta, testData(meta, 1)); err != nil {
 		t.Fatalf("capture itself must succeed (local tier is healthy): %v", err)
 	}
@@ -36,7 +37,7 @@ func TestCheckpointerLocalWriteFailureIsSynchronous(t *testing.T) {
 	}
 	c := NewCheckpointer(local, remote, 1)
 	defer c.Close()
-	local.FailWrites(0, errInjected)
+	faults.FailWrites(local, 0, errInjected)
 	meta := testMeta("localfail", 0, 0, 64)
 	if err := c.Capture(meta, testData(meta, 2)); !errors.Is(err, errInjected) {
 		t.Errorf("capture error = %v, want injected fault", err)
@@ -62,7 +63,7 @@ func TestReaderFaultDuringField(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	s.FailReads(0, errInjected)
+	faults.FailReads(s, 0, errInjected)
 	if _, _, err := r.ReadField(0); !errors.Is(err, errInjected) {
 		t.Errorf("ReadField error = %v", err)
 	}

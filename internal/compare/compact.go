@@ -107,6 +107,7 @@ func CompactHistory(ctx context.Context, store *pfs.Store, runID string, keepLat
 
 	report := &CompactReport{}
 	var p engine.Plan
+	p.Retry = opts.retryPolicy()
 	for _, n := range names {
 		_, it, _, _ := ckpt.ParseName(n)
 		if keep[it] {
@@ -175,6 +176,7 @@ func CompareTreesOnly(ctx context.Context, store *pfs.Store, nameA, nameB string
 	st := newPairState(store, nameA, nameB, opts, "merkle-meta")
 	st.dataless = true
 	var p engine.Plan
+	p.Retry = opts.Retry
 	setup := p.Add(engine.StepSetup, "setup", st.stepSetupVirtual)
 	load := p.Add(engine.StepLoadMetadata, "load-metadata", st.stepLoadMetadata, setup)
 	diff := p.Add(engine.StepTreeDiff, "tree-diff", st.stepTreeDiff, load)

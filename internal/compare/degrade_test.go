@@ -1,0 +1,305 @@
+package compare
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/aio"
+	"repro/internal/ckpt"
+	"repro/internal/pfs"
+	"repro/internal/retry"
+	"repro/internal/synth"
+)
+
+// nameFailBackend fails every batch read against files whose name contains
+// match, scoping injected stage-2 failures to one run's data file (metadata
+// loads bypass the backend, so they stay healthy).
+type nameFailBackend struct {
+	inner aio.Backend
+	match string
+	err   error
+}
+
+func (b nameFailBackend) Name() string { return "namefail" }
+
+func (b nameFailBackend) ReadBatch(ctx context.Context, f *pfs.File, reqs []aio.ReadReq) (pfs.Cost, time.Duration, error) {
+	if strings.Contains(f.Name(), b.match) {
+		return pfs.Cost{}, 0, b.err
+	}
+	return b.inner.ReadBatch(ctx, f, reqs)
+}
+
+// corruptBackend simulates in-flight corruption: every batch read against
+// the matching file lands, then gets one high exponent bit flipped per
+// request buffer. Direct pfs re-reads bypass it, so the integrity re-read
+// sees the clean on-disk bytes.
+type corruptBackend struct {
+	inner aio.Backend
+	match string
+}
+
+func (b corruptBackend) Name() string { return "corrupt" }
+
+func (b corruptBackend) ReadBatch(ctx context.Context, f *pfs.File, reqs []aio.ReadReq) (pfs.Cost, time.Duration, error) {
+	cost, io, err := b.inner.ReadBatch(ctx, f, reqs)
+	if err == nil && strings.Contains(f.Name(), b.match) {
+		for _, r := range reqs {
+			if len(r.Buf) >= 4 {
+				r.Buf[3] ^= 0x40
+			}
+		}
+	}
+	return cost, io, err
+}
+
+// flakyCountBackend fails its first `fails` batch reads with a Transient
+// error, then delegates.
+type flakyCountBackend struct {
+	inner aio.Backend
+	fails int
+	calls int
+}
+
+func (b *flakyCountBackend) Name() string { return "flakycount" }
+
+func (b *flakyCountBackend) ReadBatch(ctx context.Context, f *pfs.File, reqs []aio.ReadReq) (pfs.Cost, time.Duration, error) {
+	b.calls++
+	if b.calls <= b.fails {
+		return pfs.Cost{}, 0, retry.Mark(errors.New("transient blip"), retry.Transient)
+	}
+	return b.inner.ReadBatch(ctx, f, reqs)
+}
+
+// corruptOnDisk flips one high exponent bit every stride bytes of the
+// checkpoint's data region on the backing file, so every chunk of every
+// field re-reads corrupt (media damage, not an in-flight glitch).
+func corruptOnDisk(t *testing.T, store *pfs.Store, name string) {
+	t.Helper()
+	r, _, err := ckpt.OpenReader(store, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataStart := r.FieldFileOffset(0)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(store.Root(), filepath.FromSlash(name))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte 3 of every 64th float32 is its sign/exponent byte: flipping
+	// 0x40 moves the value far beyond any test ε in every chunk.
+	for off := dataStart + 3; off < int64(len(raw)); off += 256 {
+		raw[off] ^= 0x40
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store.EvictAll()
+}
+
+// TestDegradeStreamFailureMetadataOnlyVerdict: a stage-2 read failure that
+// survives retries degrades the pair to a metadata-only verdict instead of
+// failing, and the degraded result is never a clean match.
+func TestDegradeStreamFailureMetadataOnlyVerdict(t *testing.T) {
+	opts := baseOpts(1e-5, 4<<10)
+	env := newEnv(t, 64<<10, opts, synth.DefaultPerturb(70))
+	opts.Backend = nameFailBackend{inner: aio.Mmap{}, match: "runB", err: errStorage}
+	opts.Degrade = true
+	res, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts)
+	if err != nil {
+		t.Fatalf("degrade mode must absorb the stream failure: %v", err)
+	}
+	if !res.Degraded {
+		t.Error("result not marked Degraded")
+	}
+	if res.UnverifiedChunks != res.CandidateChunks || res.CandidateChunks == 0 {
+		t.Errorf("UnverifiedChunks = %d, want all %d candidates", res.UnverifiedChunks, res.CandidateChunks)
+	}
+	if res.Identical() {
+		t.Error("degraded result must never be a clean match")
+	}
+
+	// Strict mode: same failure is fatal.
+	opts.Degrade = false
+	env.store.EvictAll()
+	if _, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts); !errors.Is(err, errStorage) {
+		t.Errorf("strict mode error = %v, want injected fault", err)
+	}
+}
+
+// TestDegradeInFlightCorruptionRecovers: corruption between disk and the
+// comparator fails the leaf-hash integrity check; the single direct
+// re-read sees the clean bytes and the comparison completes undegraded
+// with exactly the ground-truth diffs.
+func TestDegradeInFlightCorruptionRecovers(t *testing.T) {
+	opts := baseOpts(1e-5, 4<<10)
+	env := newEnv(t, 64<<10, opts, synth.DefaultPerturb(71))
+	opts.Backend = corruptBackend{inner: aio.Mmap{}, match: "runB"}
+	opts.Degrade = true
+	res, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded || res.UnverifiedChunks != 0 {
+		t.Errorf("recovered comparison marked degraded: Degraded=%v Unverified=%d",
+			res.Degraded, res.UnverifiedChunks)
+	}
+	assertSameDiffs(t, groundTruth(t, env, 1e-5), diffsToMap(res.Diffs), "recovered")
+}
+
+// TestDegradeOnDiskCorruptionUnverified: media corruption repeats on the
+// re-read, so every damaged candidate chunk is counted Unverified rather
+// than diffed from untrusted bytes — and the result is never Identical
+// even with zero recorded diffs.
+func TestDegradeOnDiskCorruptionUnverified(t *testing.T) {
+	opts := baseOpts(1e-5, 4<<10)
+	env := newEnv(t, 64<<10, opts, synth.DefaultPerturb(72))
+	corruptOnDisk(t, env.store, env.nameB)
+	opts.Degrade = true
+	res, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.UnverifiedChunks != res.CandidateChunks || res.CandidateChunks == 0 {
+		t.Errorf("Degraded=%v Unverified=%d Candidates=%d, want all candidates unverified",
+			res.Degraded, res.UnverifiedChunks, res.CandidateChunks)
+	}
+	if res.DiffCount != 0 {
+		t.Errorf("untrusted chunks produced %d diffs, want none recorded", res.DiffCount)
+	}
+	if res.Identical() {
+		t.Error("unverified result must never be a clean match")
+	}
+}
+
+// TestDegradeRetriesTransientAtCompareLevel: transient stage-2 blips are
+// retried away and accounted, leaving an undegraded, exact result.
+func TestDegradeRetriesTransientAtCompareLevel(t *testing.T) {
+	opts := baseOpts(1e-5, 4<<10)
+	env := newEnv(t, 64<<10, opts, synth.DefaultPerturb(73))
+	opts.Backend = &flakyCountBackend{inner: aio.Mmap{}, fails: 2}
+	opts.Retry = retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Multiplier: 2}
+	res, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts)
+	if err != nil {
+		t.Fatalf("transient blips should be retried away: %v", err)
+	}
+	if res.ReadRetries != 2 {
+		t.Errorf("ReadRetries = %d, want 2", res.ReadRetries)
+	}
+	if res.Degraded {
+		t.Error("retried comparison must not be degraded")
+	}
+	assertSameDiffs(t, groundTruth(t, env, 1e-5), diffsToMap(res.Diffs), "retried")
+}
+
+// ringClosedBackend always reports the shared ring as closed, the way a
+// raw Ring does after Close (the Uring wrapper self-heals, so the error
+// must be forced to exercise the fallback rung).
+type ringClosedBackend struct{}
+
+func (ringClosedBackend) Name() string { return "closed" }
+
+func (ringClosedBackend) ReadBatch(context.Context, *pfs.File, []aio.ReadReq) (pfs.Cost, time.Duration, error) {
+	return pfs.Cost{}, 0, aio.ErrRingClosed
+}
+
+// TestDegradeRingClosedFallsBack: a closed shared ring falls back to a
+// fresh ring per slice — the first ladder rung — without degrading.
+func TestDegradeRingClosedFallsBack(t *testing.T) {
+	opts := baseOpts(1e-5, 4<<10)
+	env := newEnv(t, 64<<10, opts, synth.DefaultPerturb(74))
+	opts.Backend = ringClosedBackend{}
+	res, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts)
+	if err != nil {
+		t.Fatalf("closed ring should fall back, not fail: %v", err)
+	}
+	if res.RingFallbacks == 0 {
+		t.Error("fallback not accounted in RingFallbacks")
+	}
+	if res.Degraded {
+		t.Error("ring fallback must not degrade the result")
+	}
+	assertSameDiffs(t, groundTruth(t, env, 1e-5), diffsToMap(res.Diffs), "fallback")
+}
+
+// TestGroupRingClosedFallsBack: group member unions served by the
+// fresh-ring fallback complete undegraded and are accounted.
+func TestGroupRingClosedFallsBack(t *testing.T) {
+	opts := baseOpts(1e-5, 4<<10)
+	env := newEnv(t, 64<<10, opts, synth.DefaultPerturb(77))
+	opts.Backend = ringClosedBackend{}
+	rep, err := GroupCompare(context.Background(), env.store, env.nameA, []string{env.nameB}, TopologyStar, opts)
+	if err != nil {
+		t.Fatalf("closed ring should fall back, not fail: %v", err)
+	}
+	if rep.RingFallbacks == 0 {
+		t.Error("fallback not accounted in GroupReport.RingFallbacks")
+	}
+	if rep.Degraded() {
+		t.Error("ring fallback must not degrade the group")
+	}
+	if rep.Pairs[0].Result.DiffCount == 0 {
+		t.Error("divergent pair lost its diffs through the fallback")
+	}
+}
+
+// TestGroupDegradeMemberReadFailure: a member whose union read fails after
+// retries degrades every pair it touches to the metadata-only verdict; the
+// group is never reported reproducible.
+func TestGroupDegradeMemberReadFailure(t *testing.T) {
+	opts := baseOpts(1e-5, 4<<10)
+	env := newEnv(t, 64<<10, opts, synth.DefaultPerturb(75))
+	opts.Backend = nameFailBackend{inner: aio.Mmap{}, match: "runB", err: errStorage}
+	opts.Degrade = true
+	rep, err := GroupCompare(context.Background(), env.store, env.nameA, []string{env.nameB}, TopologyStar, opts)
+	if err != nil {
+		t.Fatalf("degrade mode must absorb the member failure: %v", err)
+	}
+	pr := rep.Pairs[0].Result
+	if !pr.Degraded || pr.UnverifiedChunks != pr.CandidateChunks || pr.CandidateChunks == 0 {
+		t.Errorf("pair Degraded=%v Unverified=%d Candidates=%d", pr.Degraded, pr.UnverifiedChunks, pr.CandidateChunks)
+	}
+	if !rep.Degraded() || rep.UnverifiedChunks() == 0 {
+		t.Error("group report must surface the degradation")
+	}
+	if rep.Reproducible() {
+		t.Error("degraded group must never be reproducible")
+	}
+
+	// Strict mode: same failure is fatal.
+	opts.Degrade = false
+	env.store.EvictAll()
+	if _, err := GroupCompare(context.Background(), env.store, env.nameA, []string{env.nameB}, TopologyStar, opts); !errors.Is(err, errStorage) {
+		t.Errorf("strict group error = %v, want injected fault", err)
+	}
+}
+
+// TestGroupDegradeOnDiskCorruptionUnverified: the group integrity rung
+// counts media-damaged chunks Unverified instead of diffing them.
+func TestGroupDegradeOnDiskCorruptionUnverified(t *testing.T) {
+	opts := baseOpts(1e-5, 4<<10)
+	env := newEnv(t, 64<<10, opts, synth.DefaultPerturb(76))
+	corruptOnDisk(t, env.store, env.nameB)
+	opts.Degrade = true
+	rep, err := GroupCompare(context.Background(), env.store, env.nameA, []string{env.nameB}, TopologyStar, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := rep.Pairs[0].Result
+	if !pr.Degraded || pr.UnverifiedChunks != pr.CandidateChunks || pr.CandidateChunks == 0 {
+		t.Errorf("pair Degraded=%v Unverified=%d Candidates=%d", pr.Degraded, pr.UnverifiedChunks, pr.CandidateChunks)
+	}
+	if pr.DiffCount != 0 {
+		t.Errorf("untrusted chunks produced %d diffs", pr.DiffCount)
+	}
+	if rep.Reproducible() {
+		t.Error("unverified group must never be reproducible")
+	}
+}

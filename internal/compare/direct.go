@@ -38,6 +38,7 @@ func CompareDirect(ctx context.Context, store *pfs.Store, nameA, nameB string, o
 	st := newPairState(store, nameA, nameB, opts, "direct")
 	st.verifyWrap = "direct"
 	var p engine.Plan
+	p.Retry = opts.Retry
 	open := p.Add(engine.StepSetup, "open-checkpoints", st.stepOpenPair)
 	plan := p.Add(engine.StepCoalesce, "plan-sweep", st.stepPlanSweep, open)
 	verify := p.Add(engine.StepStreamVerify, "stream-verify", st.stepStreamVerify, plan)
@@ -113,6 +114,7 @@ func CompareAllClose(ctx context.Context, store *pfs.Store, nameA, nameB string,
 	st := newPairState(store, nameA, nameB, opts, "allclose")
 	allWithin := true
 	var p engine.Plan
+	p.Retry = opts.Retry
 	open := p.Add(engine.StepSetup, "open-checkpoints", st.stepOpenPair)
 	p.Add(engine.StepReadFull, "read-compare", func(ctx context.Context, x *engine.Exec) error {
 		ok, err := st.allCloseFields(ctx, x)

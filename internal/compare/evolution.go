@@ -69,6 +69,7 @@ func Evolution(ctx context.Context, store *pfs.Store, runID string, opts Options
 	}
 	report := &EvolutionReport{RunID: runID}
 	var p engine.Plan
+	p.Retry = opts.retryPolicy()
 	for _, rank := range ranks {
 		rank := rank
 		seq := byRank[rank]

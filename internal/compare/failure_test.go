@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/aio"
+	"repro/internal/faults"
 	"repro/internal/synth"
 )
 
@@ -18,7 +19,7 @@ func TestMerkleReadFaultPropagates(t *testing.T) {
 	opts := baseOpts(1e-5, 4<<10)
 	env := newEnv(t, 64<<10, opts, synth.DefaultPerturb(55))
 	// Fault during metadata read (first reads of the comparison).
-	env.store.FailReads(0, errStorage)
+	faults.FailReads(env.store, 0, errStorage)
 	if _, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts); !errors.Is(err, errStorage) {
 		t.Errorf("metadata-read fault error = %v", err)
 	}
@@ -26,12 +27,12 @@ func TestMerkleReadFaultPropagates(t *testing.T) {
 	// (ops 1-3 are the metadata reads; coalescing merges the candidate
 	// chunks into a handful of runs, so op 6 lands mid-verification).
 	env.store.EvictAll()
-	env.store.FailReads(6, errStorage)
+	faults.FailReads(env.store, 6, errStorage)
 	if _, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts); !errors.Is(err, errStorage) {
 		t.Errorf("verification-read fault error = %v", err)
 	}
 	// Disarmed: succeeds again.
-	env.store.FailReads(0, nil)
+	faults.FailReads(env.store, 0, nil)
 	env.store.EvictAll()
 	if _, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts); err != nil {
 		t.Errorf("post-fault comparison failed: %v", err)
@@ -41,7 +42,7 @@ func TestMerkleReadFaultPropagates(t *testing.T) {
 func TestDirectReadFaultPropagates(t *testing.T) {
 	opts := baseOpts(1e-5, 4<<10)
 	env := newEnv(t, 32<<10, opts, synth.DefaultPerturb(56))
-	env.store.FailReads(3, errStorage)
+	faults.FailReads(env.store, 3, errStorage)
 	if _, err := CompareDirect(context.Background(), env.store, env.nameA, env.nameB, opts); !errors.Is(err, errStorage) {
 		t.Errorf("direct fault error = %v", err)
 	}
@@ -50,7 +51,7 @@ func TestDirectReadFaultPropagates(t *testing.T) {
 func TestAllCloseReadFaultPropagates(t *testing.T) {
 	opts := baseOpts(1e-5, 4<<10)
 	env := newEnv(t, 32<<10, opts, synth.DefaultPerturb(57))
-	env.store.FailReads(2, errStorage)
+	faults.FailReads(env.store, 2, errStorage)
 	if _, _, err := CompareAllClose(context.Background(), env.store, env.nameA, env.nameB, opts); !errors.Is(err, errStorage) {
 		t.Errorf("allclose fault error = %v", err)
 	}
@@ -60,7 +61,7 @@ func TestMerkleFaultWithMmapBackend(t *testing.T) {
 	opts := baseOpts(1e-5, 4<<10)
 	opts.Backend = aio.Mmap{}
 	env := newEnv(t, 32<<10, opts, synth.DefaultPerturb(58))
-	env.store.FailReads(10, errStorage)
+	faults.FailReads(env.store, 10, errStorage)
 	if _, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts); !errors.Is(err, errStorage) {
 		t.Errorf("mmap fault error = %v", err)
 	}
@@ -69,7 +70,7 @@ func TestMerkleFaultWithMmapBackend(t *testing.T) {
 func TestBuildAndSaveWriteFault(t *testing.T) {
 	opts := baseOpts(1e-5, 4<<10)
 	env := newEnv(t, 16<<10, opts, synth.DefaultPerturb(59))
-	env.store.FailWrites(0, errStorage)
+	faults.FailWrites(env.store, 0, errStorage)
 	if _, _, err := BuildAndSave(context.Background(), env.store, env.nameA, opts); !errors.Is(err, errStorage) {
 		t.Errorf("metadata write fault error = %v", err)
 	}

@@ -2,6 +2,7 @@ package compare
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -103,16 +104,42 @@ type GroupReport struct {
 	Breakdown metrics.Breakdown
 	// Steps is the engine's per-step timing table.
 	Steps metrics.StepSpans
+	// ReadRetries counts stage-2 batch reads re-issued under the retry
+	// policy; RingFallbacks counts member unions served by the fresh-ring
+	// fallback after the shared ring reported closed.
+	ReadRetries   int
+	RingFallbacks int
 }
 
-// Reproducible reports whether no compared pair diverged beyond ε.
+// Reproducible reports whether every compared pair cleanly matched within
+// ε. A degraded pair (unread or unverifiable chunks) is never a clean
+// match, so a degraded group is never reproducible.
 func (g *GroupReport) Reproducible() bool {
 	for i := range g.Pairs {
-		if g.Pairs[i].Result.DiffCount != 0 {
+		if !g.Pairs[i].Result.Identical() {
 			return false
 		}
 	}
 	return true
+}
+
+// Degraded reports whether any pair completed on a degraded path.
+func (g *GroupReport) Degraded() bool {
+	for i := range g.Pairs {
+		if g.Pairs[i].Result.Degraded {
+			return true
+		}
+	}
+	return false
+}
+
+// UnverifiedChunks totals the unverified candidate chunks across pairs.
+func (g *GroupReport) UnverifiedChunks() int {
+	total := 0
+	for i := range g.Pairs {
+		total += g.Pairs[i].Result.UnverifiedChunks
+	}
+	return total
 }
 
 // unionChunk is one (field, chunk) a member must be read at, with its
@@ -151,6 +178,12 @@ type groupState struct {
 
 	startOps, startBytes int64
 	totalElements        int64
+
+	// chunkOK caches per-member (field, chunk) integrity verdicts under
+	// Options.Degrade: 0 unchecked, 1 verified, 2 unverifiable.
+	chunkOK    []map[[2]int]int8
+	rereads    int
+	rereadCost pfs.Cost
 }
 
 // GroupCompare compares N runs' checkpoints as one group: each member's
@@ -185,6 +218,7 @@ func GroupCompare(ctx context.Context, store *pfs.Store, baseline string, runs [
 		rep:     &GroupReport{Members: members, Topology: topology},
 	}
 	var p engine.Plan
+	p.Retry = opts.Retry
 	open := p.Add(engine.StepSetup, "open-members", st.stepOpenMembers)
 	load := p.Add(engine.StepLoadMetadata, "load-metadata", st.stepLoadMembers, open)
 	diff := p.Add(engine.StepTreeDiff, "tree-diff", st.stepPairDiffs, load)
@@ -390,14 +424,48 @@ func (st *groupState) stepMergeUnions(ctx context.Context, x *engine.Exec) error
 	return nil
 }
 
+// readMember fetches one member's union solo, retrying Transient errors
+// under the options' policy and falling back to a fresh ring when the
+// shared ring reports closed. It returns the I/O virtual time including
+// backoff.
+func (st *groupState) readMember(ctx context.Context, m int) (time.Duration, error) {
+	u := &st.unions[m]
+	file := st.readers[m].File()
+	var io time.Duration
+	attempts := 0
+	backoff, err := st.opts.Retry.Do(ctx, func(attempt int) error {
+		attempts = attempt + 1
+		var rerr error
+		_, io, rerr = st.opts.Backend.ReadBatch(ctx, file, u.reqs)
+		return rerr
+	})
+	st.rep.ReadRetries += attempts - 1
+	io += backoff
+	if err != nil && errors.Is(err, aio.ErrRingClosed) {
+		leg := aio.Legacy{}
+		var lio time.Duration
+		_, lio, err = leg.ReadBatch(ctx, file, u.reqs)
+		io += lio
+		if err == nil {
+			st.rep.RingFallbacks++
+		}
+	}
+	return io, err
+}
+
 // stepSharedVerify runs the shared stage 2: each member's union is fetched
 // with one batched read (consecutive members paired through the backend's
 // overlapped pair path), and each pair is verified element-wise from the
 // cached union buffers as soon as both of its members have landed.
+//
+// Reads climb the degradation ladder: Transient errors retry with backoff
+// on the virtual clock, a failed paired read retries each member solo, a
+// closed shared ring falls back to a fresh ring, and — with Options.Degrade
+// set — a member whose union still cannot be read drops to a metadata-only
+// verdict for every pair it touches instead of failing the plan.
 func (st *groupState) stepSharedVerify(ctx context.Context, x *engine.Exec) error {
 	sw := metrics.NewStopwatch()
-	backend := st.opts.Backend
-	pairRd, _ := backend.(aio.PairReader)
+	pairRd, _ := st.opts.Backend.(aio.PairReader)
 
 	// Members that need reading, in index order.
 	var toRead []int
@@ -409,6 +477,7 @@ func (st *groupState) stepSharedVerify(ctx context.Context, x *engine.Exec) erro
 
 	hashers := make(map[errbound.DType]*errbound.Hasher)
 	loaded := make([]bool, len(st.members))
+	failed := make([]bool, len(st.members))
 	comparedPair := make([]bool, len(st.pairIdx))
 	vp := stream.NewVirtualPipeline(st.opts.Depth)
 
@@ -438,42 +507,46 @@ func (st *groupState) stepSharedVerify(ctx context.Context, x *engine.Exec) erro
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		var cost pfs.Cost
 		var io time.Duration
-		var err error
 		ma := toRead[bi]
-		ua := &st.unions[ma]
-		if bi+1 < len(toRead) && pairRd != nil {
-			mb := toRead[bi+1]
-			ub := &st.unions[mb]
-			cost, io, err = pairRd.ReadBatchPair(ctx,
-				st.readers[ma].File(), st.readers[mb].File(), ua.reqs, ub.reqs)
+		mb := -1
+		if bi+1 < len(toRead) {
+			mb = toRead[bi+1]
+		}
+		if mb >= 0 && pairRd != nil {
+			ua, ub := &st.unions[ma], &st.unions[mb]
+			attempts := 0
+			backoff, err := st.opts.Retry.Do(ctx, func(attempt int) error {
+				attempts = attempt + 1
+				var rerr error
+				_, io, rerr = pairRd.ReadBatchPair(ctx,
+					st.readers[ma].File(), st.readers[mb].File(), ua.reqs, ub.reqs)
+				return rerr
+			})
+			st.rep.ReadRetries += attempts - 1
+			io += backoff
 			if err == nil {
 				loaded[ma], loaded[mb] = true, true
 				st.rep.BytesRead += int64(len(ua.buf)) + int64(len(ub.buf))
 			}
-		} else {
-			cost, io, err = backend.ReadBatch(ctx, st.readers[ma].File(), ua.reqs)
-			if err == nil {
-				loaded[ma] = true
-				st.rep.BytesRead += int64(len(ua.buf))
-				if bi+1 < len(toRead) { // no pair path: second member reads solo
-					mb := toRead[bi+1]
-					ub := &st.unions[mb]
-					var cb pfs.Cost
-					var tb time.Duration
-					cb, tb, err = backend.ReadBatch(ctx, st.readers[mb].File(), ub.reqs)
-					cost.Add(cb)
-					io += tb
-					if err == nil {
-						loaded[mb] = true
-						st.rep.BytesRead += int64(len(ub.buf))
-					}
-				}
-			}
+			// A failed paired read falls through to the solo rung below:
+			// one bad member must not take down both.
 		}
-		if err != nil {
-			return fmt.Errorf("compare: group verification: %w", err)
+		for _, m := range []int{ma, mb} {
+			if m < 0 || loaded[m] {
+				continue
+			}
+			mio, err := st.readMember(ctx, m)
+			io += mio
+			switch {
+			case err == nil:
+				loaded[m] = true
+				st.rep.BytesRead += int64(len(st.unions[m].buf))
+			case st.opts.Degrade && ctx.Err() == nil:
+				failed[m] = true
+			default:
+				return fmt.Errorf("compare: group verification: %w", err)
+			}
 		}
 		comp, err := compareReady()
 		if err != nil {
@@ -481,11 +554,38 @@ func (st *groupState) stepSharedVerify(ctx context.Context, x *engine.Exec) erro
 		}
 		vp.Advance(io, comp)
 	}
+	// Pairs touching a member whose union never landed degrade to the
+	// metadata-only verdict: stage 1 proved which chunks could diverge;
+	// none of them were verified.
+	for pi, pr := range st.pairIdx {
+		if comparedPair[pi] || !st.pairHasCands(pi) {
+			continue
+		}
+		if failed[pr[0]] || failed[pr[1]] {
+			res := st.rep.Pairs[pi].Result
+			res.Degraded = true
+			res.UnverifiedChunks += res.CandidateChunks
+		}
+	}
+	st.foldGroupRereads(x)
 	st.rep.PipelineVirtual = vp.Total()
 	st.rep.Breakdown.AddVirtual(metrics.PhaseCompareDirect, vp.Total())
 	st.rep.Breakdown.AddWall(metrics.PhaseCompareDirect, sw.Lap())
 	x.AddVirtual(vp.Total())
 	return nil
+}
+
+// foldGroupRereads prices the integrity re-reads issued by verifyPair into
+// the report and the plan clock.
+func (st *groupState) foldGroupRereads(x *engine.Exec) {
+	if st.rereadCost == (pfs.Cost{}) {
+		return
+	}
+	st.rep.BytesRead += st.rereadCost.TotalBytes()
+	v := st.store.Model().SerialReadTime(st.rereadCost, st.store.Sharers())
+	st.rep.Breakdown.AddVirtual(metrics.PhaseRead, v)
+	x.AddVirtual(v)
+	st.rereadCost = pfs.Cost{}
 }
 
 // pairHasCands reports whether pair pi has any candidate chunks.
@@ -537,6 +637,18 @@ func (st *groupState) verifyPair(ctx context.Context, pi int, hashers map[errbou
 			pb := ub.pos[key]
 			da := ua.buf[pa : pa+int64(n)]
 			db := ub.buf[pb : pb+int64(n)]
+			if st.opts.Degrade {
+				// Integrity rung: each side's union bytes must re-hash to
+				// that member's stored leaf. An unverifiable side excludes
+				// the chunk from diffing — untrusted bytes must produce
+				// neither a false divergence nor a false match.
+				if !st.chunkGood(a, fi, ci, hasher) || !st.chunkGood(b, fi, ci, hasher) {
+					res.Degraded = true
+					res.UnverifiedChunks++
+					pairBytes += int64(n)
+					continue
+				}
+			}
 			idx, _, err := hasher.CompareSlices(nil, da, db)
 			if err != nil {
 				return comp, err
@@ -559,6 +671,49 @@ func (st *groupState) verifyPair(ctx context.Context, pi int, hashers map[errbou
 	}
 	comp += st.opts.Device.TransferTime(2*pairBytes) + st.opts.Device.CompareRateTime(pairBytes)
 	return comp, nil
+}
+
+// chunkGood verifies one member's cached union bytes for a (field, chunk)
+// against that member's leaf hash, re-reading the chunk once into the
+// union buffer on mismatch (an in-flight flip re-reads clean and every
+// pair sharing the chunk sees the recovered bytes; media corruption
+// repeats). Verdicts are cached so shared chunks are checked once.
+func (st *groupState) chunkGood(m, fi, ci int, hasher *errbound.Hasher) bool {
+	if st.chunkOK == nil {
+		st.chunkOK = make([]map[[2]int]int8, len(st.members))
+	}
+	if st.chunkOK[m] == nil {
+		st.chunkOK[m] = make(map[[2]int]int8)
+	}
+	key := [2]int{fi, ci}
+	if v := st.chunkOK[m][key]; v != 0 {
+		return v == 1
+	}
+	tree := st.metas[m].Fields[fi].Tree
+	want := tree.Leaf(ci)
+	off, n := tree.ChunkRange(ci)
+	u := &st.unions[m]
+	pos := u.pos[key]
+	data := u.buf[pos : pos+int64(n)]
+	ok := false
+	if got, err := hasher.HashChunk(data); err == nil && got == want {
+		ok = true
+	} else {
+		nr, cost, rerr := st.readers[m].File().ReadAt(data, st.readers[m].FieldFileOffset(fi)+off)
+		st.rereads++
+		st.rereadCost.Add(cost)
+		if rerr == nil && nr == n {
+			if got, herr := hasher.HashChunk(data); herr == nil && got == want {
+				ok = true
+			}
+		}
+	}
+	if ok {
+		st.chunkOK[m][key] = 1
+	} else {
+		st.chunkOK[m][key] = 2
+	}
+	return ok
 }
 
 // stepGroupReport finalizes store-level I/O accounting.

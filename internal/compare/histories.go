@@ -96,6 +96,19 @@ func (h *HistoryReport) TotalDiffs() int64 {
 // Reproducible reports whether no checkpoint pair diverged beyond ε.
 func (h *HistoryReport) Reproducible() bool { return h.FirstDivergence == nil }
 
+// Degraded reports whether any pair completed on a degraded path
+// (unverified chunks or a metadata-only verdict): absence of divergence is
+// then inconclusive even when Reproducible returns true.
+func (h *HistoryReport) Degraded() bool {
+	for i := range h.Pairs {
+		r := h.Pairs[i].Result
+		if r.Degraded || r.UnverifiedChunks > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // unionHistory lists a run's comparable checkpoints: the union of its data
 // files (ckpt.History) and its metadata-only survivors (MetadataHistory),
 // so compacted history still aligns. Sorted by iteration then rank.
@@ -158,6 +171,7 @@ func CompareHistories(ctx context.Context, store *pfs.Store, runA, runB string, 
 	}
 	report := &HistoryReport{RunA: runA, RunB: runB, Pairs: make([]PairReport, 0, len(histA))}
 	var p engine.Plan
+	p.Retry = opts.retryPolicy()
 	for i := range histA {
 		nameA, nameB := histA[i], histB[i]
 		_, itA, rkA, _ := ckpt.ParseName(nameA)

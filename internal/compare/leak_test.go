@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/synth"
 )
 
@@ -91,7 +92,7 @@ func TestStage2FailureClosesReaders(t *testing.T) {
 
 	injected := errors.New("injected stage-2 read failure")
 	env.store.EvictAll()
-	env.store.FailReads(int(total)-1, injected)
+	faults.FailReads(env.store, int(total)-1, injected)
 	_, err := CompareMerkle(context.Background(), env.store, env.nameA, env.nameB, opts)
 	if !errors.Is(err, injected) {
 		t.Fatalf("err = %v, want injected fault", err)
@@ -106,7 +107,7 @@ func TestStage2FailureClosesReaders(t *testing.T) {
 func TestDirectFailureClosesReaders(t *testing.T) {
 	env, opts := leakEnv(t)
 	injected := errors.New("injected direct read failure")
-	env.store.FailReads(2, injected)
+	faults.FailReads(env.store, 2, injected)
 	if _, err := CompareDirect(context.Background(), env.store, env.nameA, env.nameB, opts); !errors.Is(err, injected) {
 		t.Fatalf("err = %v, want injected fault", err)
 	}

@@ -35,6 +35,7 @@ func CompareMerkle(ctx context.Context, store *pfs.Store, nameA, nameB string, o
 	}
 	st := newPairState(store, nameA, nameB, opts, "merkle")
 	var p engine.Plan
+	p.Retry = opts.Retry
 	open := p.Add(engine.StepSetup, "open-checkpoints", st.stepOpenPair)
 	load := p.Add(engine.StepLoadMetadata, "load-metadata", st.stepLoadMetadata, open)
 	diff := p.Add(engine.StepTreeDiff, "tree-diff", st.stepTreeDiff, load)

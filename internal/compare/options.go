@@ -15,6 +15,7 @@ import (
 	"repro/internal/aio"
 	"repro/internal/device"
 	"repro/internal/errbound"
+	"repro/internal/retry"
 )
 
 // Options parameterizes metadata construction and comparison.
@@ -65,6 +66,21 @@ type Options struct {
 	// evaluates with rtol=0 and the Merkle/Direct methods ignore it —
 	// relative bounds cannot be grid-quantized globally.
 	RelEpsilon float64
+	// Retry is the storage retry policy: engine steps and stage-2 batch
+	// reads re-issue on Transient-classified errors with capped
+	// exponential backoff (deterministic jitter, priced on the virtual
+	// clock — never slept). The zero value selects retry.Default()
+	// (3 attempts); a negative MaxAttempts disables retries.
+	Retry retry.Policy
+	// Degrade enables the degradation ladder for Merkle-path comparisons:
+	// a stage-2 read that exhausts its retries degrades the affected pair
+	// to a metadata-only verdict instead of failing the plan, and a chunk
+	// whose bytes fail leaf-hash integrity verification gets one re-read
+	// before being counted Unverified. Degraded results are never
+	// reported as clean matches — Result.Identical and
+	// GroupReport.Reproducible return false. Default false: any storage
+	// error (after retries) fails the comparison.
+	Degrade bool
 }
 
 // fieldFilter resolves the Fields option against the available field
@@ -122,7 +138,22 @@ func (o Options) withDefaults() Options {
 	if o.SetupVirtual == 0 {
 		o.SetupVirtual = 50 * time.Millisecond
 	}
+	o.Retry = o.retryPolicy()
 	return o
+}
+
+// retryPolicy resolves the Retry knob on its documented semantics — zero
+// value selects retry.Default(), negative MaxAttempts disables retries —
+// without defaulting the rest of the options (planners that delegate
+// per-pair defaulting still need the policy for their own engine plan).
+func (o Options) retryPolicy() retry.Policy {
+	switch {
+	case o.Retry.MaxAttempts == 0:
+		return retry.Default()
+	case o.Retry.MaxAttempts < 0:
+		return retry.Policy{}
+	}
+	return o.Retry
 }
 
 // validate checks the required fields after defaulting.

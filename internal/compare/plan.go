@@ -70,6 +70,13 @@ type pairState struct {
 	mu         sync.Mutex
 	fieldDiffs map[int][]int64
 	changed    map[int]map[int]bool // field -> chunk -> really changed
+
+	// Degradation-ladder bookkeeping (Options.Degrade).
+	verified   int      // chunk pairs cleanly verified by stage 2
+	unverified int      // chunk pairs that failed integrity verification
+	rereads    int      // integrity re-reads issued
+	rereadCost pfs.Cost // cost of those re-reads
+	computeErr bool     // a compute-callback error: never degraded away
 }
 
 func newPairState(store *pfs.Store, nameA, nameB string, opts Options, method string) *pairState {
@@ -290,28 +297,78 @@ func (st *pairState) stepAssemblePairs(ctx context.Context, x *engine.Exec) erro
 // divergent indices (and, for Merkle chunks, changed-chunk accounting).
 func (st *pairState) verifyCompute(p stream.ChunkPair, a, b []byte) (time.Duration, error) {
 	ref := st.refs[p.Index]
+	if st.opts.Degrade && ref.chunk >= 0 {
+		// Integrity rung of the degradation ladder: the streamed bytes
+		// must re-hash to the leaves their metadata was built from —
+		// corruption beyond ε quantization (bit rot, a torn transfer)
+		// cannot masquerade as a clean chunk.
+		va := st.integrityCheck(ref, a, st.ma, st.ra)
+		vb := st.integrityCheck(ref, b, st.mb, st.rb)
+		if va == nil || vb == nil {
+			st.mu.Lock()
+			st.unverified++
+			st.mu.Unlock()
+			// The chunk is excluded from diffing: untrusted bytes must
+			// produce neither a false divergence nor a false match.
+			return st.opts.Device.CompareRateTime(int64(len(a))), nil
+		}
+		a, b = va, vb
+	}
 	idx, _, err := ref.hasher.CompareSlices(nil, a, b)
 	if err != nil {
+		st.mu.Lock()
+		st.computeErr = true
+		st.mu.Unlock()
 		return 0, err
 	}
-	if len(idx) > 0 {
-		st.mu.Lock()
-		for _, e := range idx {
-			st.fieldDiffs[ref.field] = append(st.fieldDiffs[ref.field], ref.baseElem+e)
-		}
-		if ref.chunk >= 0 {
-			if st.changed[ref.field] == nil {
-				st.changed[ref.field] = make(map[int]bool)
-			}
-			st.changed[ref.field][ref.chunk] = true
-		}
-		st.mu.Unlock()
+	st.mu.Lock()
+	st.verified++
+	for _, e := range idx {
+		st.fieldDiffs[ref.field] = append(st.fieldDiffs[ref.field], ref.baseElem+e)
 	}
+	if len(idx) > 0 && ref.chunk >= 0 {
+		if st.changed[ref.field] == nil {
+			st.changed[ref.field] = make(map[int]bool)
+		}
+		st.changed[ref.field][ref.chunk] = true
+	}
+	st.mu.Unlock()
 	return st.opts.Device.CompareRateTime(int64(len(a))), nil
 }
 
+// integrityCheck verifies one side's streamed chunk against the leaf hash
+// its metadata was built from, re-reading the chunk once on mismatch (an
+// in-flight flip re-reads clean; media corruption repeats). It returns the
+// verified bytes — data itself or the re-read copy — or nil when the
+// chunk remains unverifiable.
+func (st *pairState) integrityCheck(ref chunkRef, data []byte, m *Metadata, r *ckpt.Reader) []byte {
+	tree := m.Fields[ref.field].Tree
+	want := tree.Leaf(ref.chunk)
+	if got, err := ref.hasher.HashChunk(data); err == nil && got == want {
+		return data
+	}
+	off, n := tree.ChunkRange(ref.chunk)
+	buf := make([]byte, n)
+	nr, cost, err := r.File().ReadAt(buf, r.FieldFileOffset(ref.field)+off)
+	st.mu.Lock()
+	st.rereads++
+	st.rereadCost.Add(cost)
+	st.mu.Unlock()
+	if err != nil || nr != n {
+		return nil
+	}
+	if got, herr := ref.hasher.HashChunk(buf); herr == nil && got == want {
+		return buf
+	}
+	return nil
+}
+
 // stepStreamVerify runs stage 2: the overlapped read+compare pipeline over
-// the assembled chunk pairs.
+// the assembled chunk pairs. With Options.Degrade set, a Merkle-path pair
+// whose stream fails (after retries and the ring fallback) degrades to a
+// metadata-only verdict: diffs already proven stay, the remaining pairs
+// are counted Unverified, and the result is marked Degraded rather than
+// failing the plan.
 func (st *pairState) stepStreamVerify(ctx context.Context, x *engine.Exec) error {
 	sw := metrics.NewStopwatch()
 	if len(st.pairs) > 0 {
@@ -320,16 +377,50 @@ func (st *pairState) stepStreamVerify(ctx context.Context, x *engine.Exec) error
 			Device:     st.opts.Device,
 			SliceBytes: st.opts.SliceBytes,
 			Depth:      st.opts.Depth,
+			Retry:      st.opts.Retry,
 		}, st.verifyCompute)
-		if err != nil {
-			return fmt.Errorf("compare: %s: %w", st.verifyWrap, err)
-		}
 		st.res.BytesRead += stats.BytesRead
+		st.res.ReadRetries += stats.ReadRetries
+		st.res.RingFallbacks += stats.RingFallbacks
 		addPipeline(&st.res.Breakdown, stats)
 		x.AddVirtual(stats.PipelineVirtual)
+		st.foldRereads(x)
+		if err != nil {
+			// Degradation applies only to the Merkle path: stage 1 already
+			// bounded what the missing chunks could hide. The direct sweep
+			// has no such net, and compute or cancellation errors are never
+			// degraded away.
+			if !st.opts.Degrade || st.verifyWrap != "verification" ||
+				st.computeErr || ctx.Err() != nil {
+				return fmt.Errorf("compare: %s: %w", st.verifyWrap, err)
+			}
+			if missing := len(st.pairs) - st.verified - st.unverified; missing > 0 {
+				st.unverified += missing
+			}
+		}
+		if st.unverified > 0 {
+			st.res.Degraded = true
+			st.res.UnverifiedChunks += st.unverified
+		}
 	}
 	st.res.Breakdown.AddWall(metrics.PhaseCompareDirect, sw.Lap())
 	return nil
+}
+
+// foldRereads prices the integrity re-reads issued by verifyCompute into
+// the result and the plan clock.
+func (st *pairState) foldRereads(x *engine.Exec) {
+	st.mu.Lock()
+	cost := st.rereadCost
+	st.rereadCost = pfs.Cost{}
+	st.mu.Unlock()
+	if cost == (pfs.Cost{}) {
+		return
+	}
+	st.res.BytesRead += cost.TotalBytes()
+	v := st.store.Model().SerialReadTime(cost, st.store.Sharers())
+	st.res.Breakdown.AddVirtual(metrics.PhaseRead, v)
+	x.AddVirtual(v)
 }
 
 // sortedFieldDiffs drains the accumulated per-field divergence indices

@@ -50,6 +50,22 @@ type Result struct {
 	// Steps is the engine's per-step timing table for this comparison's
 	// plan, in execution order.
 	Steps metrics.StepSpans
+
+	// Degraded reports that the comparison completed on a degraded path:
+	// some candidate chunks could not be read (metadata-only verdict) or
+	// could not be integrity-verified. Any diffs recorded are real, but
+	// absence of diffs is inconclusive — Identical() returns false.
+	Degraded bool
+	// UnverifiedChunks counts candidate chunks whose content was never
+	// cleanly verified: reads that exhausted their retries, or bytes that
+	// failed leaf-hash integrity verification even after one re-read.
+	// Always 0 unless Options.Degrade is set (strict mode fails instead).
+	UnverifiedChunks int
+	// ReadRetries counts stage-2 batch reads re-issued under the retry
+	// policy; RingFallbacks counts slices served by the fresh-ring
+	// fallback after the shared ring reported closed.
+	ReadRetries   int
+	RingFallbacks int
 }
 
 // FalsePositiveChunks returns candidates that contained no real
@@ -92,5 +108,9 @@ func (r *Result) ThroughputGBps() float64 {
 	return metrics.Throughput(2*r.CheckpointBytes, r.VirtualElapsed())
 }
 
-// Identical reports whether no element exceeded the bound.
-func (r *Result) Identical() bool { return r.DiffCount == 0 }
+// Identical reports whether no element exceeded the bound. A degraded
+// comparison is never identical: chunks that were unread or unverifiable
+// could hide divergence, so the clean verdict requires a clean run.
+func (r *Result) Identical() bool {
+	return r.DiffCount == 0 && !r.Degraded && r.UnverifiedChunks == 0
+}

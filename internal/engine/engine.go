@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/retry"
 )
 
 // StepKind names the type of a plan node. Kinds are the shared vocabulary
@@ -68,6 +69,14 @@ type step struct {
 // Plan is an ordered DAG of typed steps. The zero value is an empty plan.
 type Plan struct {
 	steps []step
+
+	// Retry is the per-step retry policy. A step whose error classifies
+	// retry.Transient is re-run after a deterministic virtual backoff,
+	// charged to the step's virtual time. The zero policy disables
+	// retries. Inner layers that retry themselves (stream reads, group
+	// unions) wrap their exhausted errors as Permanent, so step-level and
+	// read-level budgets never multiply.
+	Retry retry.Policy
 }
 
 // Add appends a step and returns its ID. Dependencies must reference
@@ -148,6 +157,8 @@ type Report struct {
 	// Failed is the label of the step that returned an error or was
 	// preempted by cancellation ("" on success).
 	Failed string
+	// Retries counts step re-runs taken under the plan's retry policy.
+	Retries int
 }
 
 // Total returns the summed wall/virtual span of all executed steps.
@@ -170,7 +181,25 @@ func Execute(ctx context.Context, p *Plan) (Report, error) {
 		}
 		sw := metrics.NewStopwatch()
 		x.virtual = 0
-		err := st.run(ctx, x)
+		var err error
+		for attempt := 0; ; attempt++ {
+			err = st.run(ctx, x)
+			if err == nil || !retry.IsTransient(err) {
+				break
+			}
+			d, ok := p.Retry.Next(attempt + 1)
+			if !ok {
+				err = retry.Exhausted(err, attempt+1)
+				break
+			}
+			// Backoff is virtual: priced onto the step, never slept.
+			x.AddVirtual(d)
+			rep.Retries++
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+				break
+			}
+		}
 		rep.Steps.Add(string(st.kind), st.label, metrics.Span{Wall: sw.Lap(), Virtual: x.virtual})
 		if err != nil {
 			rep.Failed = st.label

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/retry"
+)
+
+func stepRetryPolicy() retry.Policy {
+	return retry.Policy{MaxAttempts: 3, BaseDelay: 2 * time.Millisecond, Multiplier: 2}
+}
+
+func TestExecuteRetriesTransientStep(t *testing.T) {
+	var p Plan
+	p.Retry = stepRetryPolicy()
+	runs := 0
+	p.Add(StepLoadMetadata, "load", func(ctx context.Context, x *Exec) error {
+		runs++
+		if runs < 3 {
+			return retry.Mark(errors.New("blip"), retry.Transient)
+		}
+		x.AddVirtual(time.Millisecond)
+		return nil
+	})
+	rep, err := Execute(context.Background(), &p)
+	if err != nil {
+		t.Fatalf("transient step should succeed after retries: %v", err)
+	}
+	if runs != 3 || rep.Retries != 2 {
+		t.Fatalf("runs=%d Retries=%d, want 3 runs / 2 retries", runs, rep.Retries)
+	}
+	sp, ok := rep.Steps.Get("load")
+	if !ok {
+		t.Fatal("missing step span")
+	}
+	// The span carries the successful attempt's work plus both backoffs.
+	if sp.Virtual <= time.Millisecond {
+		t.Fatalf("step virtual %v should include backoff beyond the 1ms of work", sp.Virtual)
+	}
+}
+
+func TestExecuteDoesNotRetryPermanent(t *testing.T) {
+	var p Plan
+	p.Retry = stepRetryPolicy()
+	sentinel := errors.New("logic bug")
+	runs := 0
+	p.Add(StepSetup, "open", func(ctx context.Context, x *Exec) error { runs++; return sentinel })
+	rep, err := Execute(context.Background(), &p)
+	if !errors.Is(err, sentinel) || runs != 1 {
+		t.Fatalf("permanent error retried: runs=%d err=%v", runs, err)
+	}
+	if rep.Retries != 0 || rep.Failed != "open" {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestExecuteExhaustedRetryDemotes(t *testing.T) {
+	var p Plan
+	p.Retry = stepRetryPolicy()
+	base := retry.Mark(errors.New("always flaky"), retry.Transient)
+	runs := 0
+	p.Add(StepStreamVerify, "verify", func(ctx context.Context, x *Exec) error { runs++; return base })
+	_, err := Execute(context.Background(), &p)
+	if runs != 3 {
+		t.Fatalf("runs = %d, want MaxAttempts=3", runs)
+	}
+	if retry.Classify(err) != retry.Permanent || !errors.Is(err, base) {
+		t.Fatalf("exhausted step error should be Permanent and keep the chain: %v", err)
+	}
+}
+
+func TestExecuteZeroPolicySingleAttempt(t *testing.T) {
+	var p Plan
+	runs := 0
+	p.Add(StepSetup, "open", func(ctx context.Context, x *Exec) error {
+		runs++
+		return retry.Mark(errors.New("blip"), retry.Transient)
+	})
+	if _, err := Execute(context.Background(), &p); err == nil {
+		t.Fatal("want error")
+	}
+	if runs != 1 {
+		t.Fatalf("zero policy ran step %d times, want 1", runs)
+	}
+}

@@ -176,6 +176,7 @@ func All() []*Analyzer {
 		KernelAlloc,
 		RingLife,
 		Ctxflow,
+		Retryloop,
 	}
 }
 

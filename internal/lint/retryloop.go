@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Retryloop flags hand-rolled retry loops in internal packages. Retries
+// must go through internal/retry: its Policy classifies errors, caps the
+// attempt budget, and prices backoff on the virtual clock. A bare loop
+// that spins on attempt counters — or worse, sleeps on the wall clock —
+// bypasses all three and skews the cost model.
+//
+// Two shapes are flagged:
+//
+//  1. time.Sleep anywhere inside a loop body. Backoff is virtual time in
+//     this codebase (engine.Exec.AddVirtual); a sleeping loop stalls real
+//     workers and is invisible to the cost model.
+//  2. A for-loop whose control clause names an attempt/retry/backoff
+//     variable but whose body never calls a policy method (.Do or .Next).
+//     Such a loop re-implements retry scheduling by hand.
+//
+// internal/retry itself is exempt: it is the one place allowed to own
+// the scheduling math.
+var Retryloop = &Analyzer{
+	Name:     "retryloop",
+	Doc:      "hand-rolled retry loops: attempt-counting for-loops must consult retry.Policy (Do/Next), and loops must never time.Sleep",
+	Severity: SeverityError,
+	Run:      runRetryloop,
+}
+
+// retryloopExempt lists packages allowed to hand-roll retry scheduling.
+var retryloopExempt = []string{
+	"internal/retry", // owns the backoff math the rule enforces elsewhere
+}
+
+func runRetryloop(p *Pass) {
+	if !strings.HasPrefix(p.Pkg, "internal/") || pkgIn(p.Pkg, retryloopExempt...) {
+		return
+	}
+	for _, f := range p.Files {
+		reported := make(map[token.Pos]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var ctrl []ast.Node
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				body = l.Body
+				for _, c := range []ast.Node{l.Init, l.Cond, l.Post} {
+					if c != nil {
+						ctrl = append(ctrl, c)
+					}
+				}
+			case *ast.RangeStmt:
+				body = l.Body
+			default:
+				return true
+			}
+			for _, pos := range sleepCalls(body) {
+				if !reported[pos] {
+					reported[pos] = true
+					p.Reportf(pos, "time.Sleep inside a loop: price backoff on virtual time via retry.Policy instead")
+				}
+			}
+			if hasRetryIdent(ctrl) && !callsPolicy(body) && !reported[n.Pos()] {
+				reported[n.Pos()] = true
+				p.Reportf(n.Pos(), "hand-rolled retry loop: drive attempts through retry.Policy (Do or Next)")
+			}
+			return true
+		})
+	}
+}
+
+// sleepCalls collects the positions of time.Sleep calls under n.
+func sleepCalls(n ast.Node) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Sleep" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+// hasRetryIdent reports whether any identifier in the loop's control
+// clause is named after retry bookkeeping.
+func hasRetryIdent(ctrl []ast.Node) bool {
+	found := false
+	for _, c := range ctrl {
+		ast.Inspect(c, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || found {
+				return !found
+			}
+			name := strings.ToLower(id.Name)
+			for _, k := range []string{"attempt", "retry", "retries", "backoff"} {
+				if strings.Contains(name, k) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// callsPolicy reports whether the loop body calls a retry-policy method
+// (.Do or .Next) — the sanctioned way to schedule another attempt.
+func callsPolicy(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Do" || sel.Sel.Name == "Next" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,173 @@
+package lint
+
+import "testing"
+
+func TestRetryloop(t *testing.T) {
+	cases := []struct {
+		name string
+		pkg  string
+		src  string
+		want []string
+	}{
+		{
+			name: "sleep inside a loop flagged",
+			pkg:  "internal/stream",
+			src: `package stream
+import "time"
+func poll() {
+	for {
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+`,
+			want: []string{"5:retryloop"},
+		},
+		{
+			name: "sleep inside a range loop flagged",
+			pkg:  "internal/compare",
+			src: `package compare
+import "time"
+func drain(ch chan int) {
+	for range ch {
+		time.Sleep(time.Second)
+	}
+}
+`,
+			want: []string{"5:retryloop"},
+		},
+		{
+			name: "sleep outside any loop allowed",
+			pkg:  "internal/stream",
+			src: `package stream
+import "time"
+func settle() {
+	time.Sleep(time.Millisecond)
+}
+`,
+			want: nil,
+		},
+		{
+			name: "hand-rolled attempt loop flagged",
+			pkg:  "internal/pfs",
+			src: `package pfs
+func open(f func() error) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = f(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+`,
+			want: []string{"4:retryloop"},
+		},
+		{
+			name: "retries condition variable flagged",
+			pkg:  "internal/aio",
+			src: `package aio
+func submit(f func() bool, maxRetries int) {
+	for i := 0; i < maxRetries; i++ {
+		if f() {
+			return
+		}
+	}
+}
+`,
+			want: []string{"3:retryloop"},
+		},
+		{
+			name: "attempt loop consulting Policy.Next allowed",
+			pkg:  "internal/engine",
+			src: `package engine
+func step(p Policy, f func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := f()
+		if err == nil {
+			return nil
+		}
+		if _, ok := p.Retry.Next(attempt + 1); !ok {
+			return err
+		}
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "attempt bookkeeping via Policy.Do allowed",
+			pkg:  "internal/compare",
+			src: `package compare
+func read(pol Policy, f func(int) error) {
+	for attempts := 0; attempts == 0; attempts++ {
+		pol.Do(nil, f)
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "plain index loop allowed",
+			pkg:  "internal/compare",
+			src: `package compare
+func sum(xs []int) int {
+	t := 0
+	for i := 0; i < len(xs); i++ {
+		t += xs[i]
+	}
+	return t
+}
+`,
+			want: nil,
+		},
+		{
+			name: "internal/retry may own the math",
+			pkg:  "internal/retry",
+			src: `package retry
+import "time"
+func spin(f func() error) {
+	for attempt := 0; attempt < 3; attempt++ {
+		time.Sleep(time.Millisecond)
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "non-internal packages out of scope",
+			pkg:  "cmd/reprocmp",
+			src: `package main
+func wait(f func() bool) {
+	for retries := 0; retries < 5; retries++ {
+		if f() {
+			return
+		}
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "suppression comment honored",
+			pkg:  "internal/pfs",
+			src: `package pfs
+func open(f func() error) error {
+	var err error
+	//lint:ignore retryloop bounded bootstrap probe, not a retry
+	for attempt := 0; attempt < 2; attempt++ {
+		if err = f(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, runSource(t, Retryloop, tc.pkg, tc.src), tc.want...)
+		})
+	}
+}

@@ -188,11 +188,26 @@ type Store struct {
 	statReadOps   int64
 	statReadBytes int64
 
-	// fault injection (tests): countdown until the next injected failure.
-	readFaultAfter  int
-	readFaultErr    error
-	writeFaultAfter int
-	writeFaultErr   error
+	// fault is the installed fault-injection hook (nil on the clean path).
+	fault FaultHook
+}
+
+// FaultHook intercepts storage operations for deterministic fault
+// injection; implementations live in internal/faults. A hook must be safe
+// for concurrent use — the store calls it without holding its own lock.
+type FaultHook interface {
+	// BeforeRead may fail a read before it touches storage. A returned
+	// error is wrapped with the usual "pfs: read name@off" context, so
+	// retry classification survives via errors.As.
+	BeforeRead(name string, off int64, n int) error
+	// AfterRead observes a successful read and may corrupt p in place
+	// (bit flips). The returned extra Cost is added to the read's cost —
+	// a latency spike priced on the virtual clock.
+	AfterRead(name string, off int64, p []byte) Cost
+	// BeforeWrite may fail a write. When it returns err != nil, the
+	// first keep bytes (clamped to [0, n]) are still persisted — a torn
+	// write. keep is ignored when err is nil.
+	BeforeWrite(name string, off int64, n int) (keep int, err error)
 }
 
 // NewStore creates (if needed) the root directory and returns a store.
@@ -262,54 +277,20 @@ func (s *Store) path(name string) (string, error) {
 	return filepath.Join(s.root, clean), nil
 }
 
-// FailReads arms fault injection: the (after+1)-th subsequent read
-// operation fails with err (once). Used by failure-path tests; a nil err
-// disarms.
-func (s *Store) FailReads(after int, err error) {
+// SetFaultHook installs (or, with nil, removes) the store's fault-injection
+// hook. Exactly one hook is active at a time; internal/faults provides the
+// implementations and the schedule language.
+func (s *Store) SetFaultHook(h FaultHook) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.readFaultAfter = after
-	s.readFaultErr = err
+	s.fault = h
 }
 
-// FailWrites arms fault injection for writes, like FailReads.
-func (s *Store) FailWrites(after int, err error) {
+// hook snapshots the installed fault hook.
+func (s *Store) hook() FaultHook {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.writeFaultAfter = after
-	s.writeFaultErr = err
-}
-
-// takeReadFault consumes one armed read fault if due.
-func (s *Store) takeReadFault() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.readFaultErr == nil {
-		return nil
-	}
-	if s.readFaultAfter > 0 {
-		s.readFaultAfter--
-		return nil
-	}
-	err := s.readFaultErr
-	s.readFaultErr = nil
-	return err
-}
-
-// takeWriteFault consumes one armed write fault if due.
-func (s *Store) takeWriteFault() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.writeFaultErr == nil {
-		return nil
-	}
-	if s.writeFaultAfter > 0 {
-		s.writeFaultAfter--
-		return nil
-	}
-	err := s.writeFaultErr
-	s.writeFaultErr = nil
-	return err
+	return s.fault
 }
 
 // Evict drops all of the file's pages from the simulated page cache — the
@@ -484,13 +465,19 @@ func (f *File) ReadAt(p []byte, off int64) (int, Cost, error) {
 	if f.f == nil {
 		return 0, Cost{}, ErrClosed
 	}
-	if err := f.store.takeReadFault(); err != nil {
-		return 0, Cost{}, fmt.Errorf("pfs: read %s@%d: %w", f.name, off, err)
+	h := f.store.hook()
+	if h != nil {
+		if err := h.BeforeRead(f.name, off, len(p)); err != nil {
+			return 0, Cost{}, fmt.Errorf("pfs: read %s@%d: %w", f.name, off, err)
+		}
 	}
 	n, err := f.f.ReadAt(p, off)
 	cost := f.store.touch(f.name, off, n)
 	if err != nil && !errors.Is(err, io.EOF) {
 		return n, cost, fmt.Errorf("pfs: read %s@%d: %w", f.name, off, err)
+	}
+	if h != nil && n > 0 {
+		cost.Add(h.AfterRead(f.name, off, p[:n]))
 	}
 	return n, cost, err
 }
@@ -552,8 +539,25 @@ func (w *Writer) Write(p []byte) (int, error) {
 	if w.f == nil {
 		return 0, ErrClosed
 	}
-	if err := w.store.takeWriteFault(); err != nil {
-		return 0, fmt.Errorf("pfs: write %s: %w", w.name, err)
+	if h := w.store.hook(); h != nil {
+		keep, ferr := h.BeforeWrite(w.name, w.off, len(p))
+		if ferr != nil {
+			if keep < 0 {
+				keep = 0
+			}
+			if keep > len(p) {
+				keep = len(p)
+			}
+			// A torn write persists a prefix before failing, so the
+			// file genuinely holds partial content for readers to trip
+			// over.
+			if keep > 0 {
+				n, _ := w.f.Write(p[:keep])
+				w.cost.Add(w.store.markWritten(w.name, w.off, n))
+				w.off += int64(n)
+			}
+			return keep, fmt.Errorf("pfs: write %s: %w", w.name, ferr)
+		}
 	}
 	n, err := w.f.Write(p)
 	w.cost.Add(w.store.markWritten(w.name, w.off, n))

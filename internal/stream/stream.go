@@ -29,6 +29,7 @@ package stream
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/metrics"
 	"repro/internal/pfs"
+	"repro/internal/retry"
 )
 
 // ChunkPair is one unit of verification work: the same logical chunk in
@@ -65,6 +67,11 @@ type Config struct {
 	// from the free list, so the wall-clock pipeline and the virtual-time
 	// recurrence share the same bound.
 	Depth int
+	// Retry governs re-issue of a slice's batch reads on Transient
+	// errors. Backoff is charged to the slice's I/O virtual time; an
+	// exhausted budget surfaces the error wrapped Permanent. The zero
+	// policy disables retries.
+	Retry retry.Policy
 }
 
 // Stats reports the pipeline's resource consumption. On error the
@@ -87,6 +94,11 @@ type Stats struct {
 	// Wall is the measured wall-clock time of the pipeline, set on both
 	// success and error returns.
 	Wall time.Duration
+	// ReadRetries counts batch reads re-issued under Config.Retry.
+	ReadRetries int
+	// RingFallbacks counts slices that fell back to a fresh-ring
+	// aio.Legacy read after the shared ring reported ErrRingClosed.
+	RingFallbacks int
 }
 
 // Compute is the consumer callback: it receives one chunk pair with both
@@ -106,6 +118,8 @@ type slice struct {
 	reqsA    []aio.ReadReq
 	reqsB    []aio.ReadReq
 	byteSize int64
+	retries  int // batch reads re-issued under the retry policy
+	fellBack bool // slice was read via the Legacy fallback
 }
 
 // reset clears the slice for reuse, keeping every backing array.
@@ -117,6 +131,8 @@ func (s *slice) reset() {
 	s.io = 0
 	s.cost = pfs.Cost{}
 	s.err = nil
+	s.retries = 0
+	s.fellBack = false
 }
 
 // Run streams all chunk pairs through the pipeline. Cancellation is
@@ -182,7 +198,7 @@ func Run(ctx context.Context, fA, fB *pfs.File, pairs []ChunkPair, cfg Config, c
 					break
 				}
 			}
-			s.fill(ctx, fA, fB, cfg.Backend, pair)
+			s.fill(ctx, fA, fB, cfg, pair)
 			select {
 			case filled <- s:
 			case <-done:
@@ -210,6 +226,10 @@ func Run(ctx context.Context, fA, fB *pfs.File, pairs []ChunkPair, cfg Config, c
 		stats.ReadCost.Add(s.cost)
 		stats.BytesRead += 2 * s.byteSize
 		stats.IOVirtual += s.io
+		stats.ReadRetries += s.retries
+		if s.fellBack {
+			stats.RingFallbacks++
+		}
 
 		// One batched kernel per slice: launch charged here, the
 		// callbacks contribute only their bandwidth terms.
@@ -235,8 +255,11 @@ func Run(ctx context.Context, fA, fB *pfs.File, pairs []ChunkPair, cfg Config, c
 }
 
 // fill reads the slice's chunks from both files through the backend,
-// reusing the slice's buffers and request batches.
-func (s *slice) fill(ctx context.Context, fA, fB *pfs.File, backend aio.Backend, pair aio.PairReader) {
+// reusing the slice's buffers and request batches. Reads are governed by
+// cfg.Retry (batch re-issue on Transient errors, backoff charged to the
+// slice's I/O time), and a closed shared ring degrades to a one-off
+// fresh-ring aio.Legacy read of the same requests.
+func (s *slice) fill(ctx context.Context, fA, fB *pfs.File, cfg Config, pair aio.PairReader) {
 	n := s.byteSize
 	if int64(cap(s.bufA)) < n {
 		s.bufA = make([]byte, n)
@@ -250,29 +273,56 @@ func (s *slice) fill(ctx context.Context, fA, fB *pfs.File, backend aio.Backend,
 		s.reqsB = append(s.reqsB, aio.ReadReq{Off: p.OffB, Len: p.Len, Buf: s.bufB[pos : pos+int64(p.Len)], Tag: p.Index})
 		pos += int64(p.Len)
 	}
-	if pair != nil {
-		cost, t, err := pair.ReadBatchPair(ctx, fA, fB, s.reqsA, s.reqsB)
-		if err != nil {
-			s.err = fmt.Errorf("stream: read runs A+B: %w", err)
-			return
+	read := func() error {
+		if pair != nil {
+			cost, t, err := pair.ReadBatchPair(ctx, fA, fB, s.reqsA, s.reqsB)
+			if err != nil {
+				return fmt.Errorf("stream: read runs A+B: %w", err)
+			}
+			s.cost = cost
+			s.io = t
+			return nil
 		}
-		s.cost = cost
-		s.io = t
-		return
+		costA, tA, err := cfg.Backend.ReadBatch(ctx, fA, s.reqsA)
+		if err != nil {
+			return fmt.Errorf("stream: read run A: %w", err)
+		}
+		costB, tB, err := cfg.Backend.ReadBatch(ctx, fB, s.reqsB)
+		if err != nil {
+			return fmt.Errorf("stream: read run B: %w", err)
+		}
+		s.cost = costA
+		s.cost.Add(costB)
+		s.io = tA + tB
+		return nil
 	}
-	costA, tA, err := backend.ReadBatch(ctx, fA, s.reqsA)
-	if err != nil {
-		s.err = fmt.Errorf("stream: read run A: %w", err)
-		return
+	var attempts int
+	backoff, err := cfg.Retry.Do(ctx, func(attempt int) error {
+		attempts = attempt + 1
+		return read()
+	})
+	s.retries = attempts - 1
+	s.io += backoff
+	if err != nil && errors.Is(err, aio.ErrRingClosed) {
+		// First rung of the degradation ladder: the shared ring is gone,
+		// so pay the fresh-ring price for this slice instead of failing
+		// the comparison. Run-A and run-B batches serialize here.
+		leg := aio.Legacy{}
+		costA, tA, errA := leg.ReadBatch(ctx, fA, s.reqsA)
+		if errA == nil {
+			var costB pfs.Cost
+			var tB time.Duration
+			costB, tB, errA = leg.ReadBatch(ctx, fB, s.reqsB)
+			if errA == nil {
+				s.cost = costA
+				s.cost.Add(costB)
+				s.io += tA + tB
+				s.fellBack = true
+				err = nil
+			}
+		}
 	}
-	costB, tB, err := backend.ReadBatch(ctx, fB, s.reqsB)
-	if err != nil {
-		s.err = fmt.Errorf("stream: read run B: %w", err)
-		return
-	}
-	s.cost = costA
-	s.cost.Add(costB)
-	s.io = tA + tB
+	s.err = err
 }
 
 // VirtualPipeline accumulates the virtual-clock completion time of a

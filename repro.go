@@ -56,6 +56,7 @@ import (
 	"repro/internal/errbound"
 	"repro/internal/merkle"
 	"repro/internal/pfs"
+	"repro/internal/retry"
 )
 
 // Core comparison API.
@@ -86,7 +87,14 @@ type (
 	GroupReport = compare.GroupReport
 	// GroupPairReport is one pair within a group comparison.
 	GroupPairReport = compare.GroupPairReport
+	// RetryPolicy caps and paces storage retries (Options.Retry).
+	RetryPolicy = retry.Policy
 )
+
+// DefaultRetryPolicy returns the storage retry policy used when
+// Options.Retry is the zero value: three attempts with capped exponential
+// backoff, priced on the virtual clock.
+func DefaultRetryPolicy() RetryPolicy { return retry.Default() }
 
 // Group-comparison topologies.
 const (
