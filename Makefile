@@ -1,10 +1,13 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check chaos chaos-smoke bench bench-smoke bench-json experiments examples clean
+.PHONY: all build vet lint lint-fast test race check chaos chaos-smoke bench bench-smoke bench-json experiments examples clean
 
 all: build vet test
 
 # check is the pre-PR gate: everything that must be green before merging.
+# lint runs at tier 2 (type-aware dataflow) and audits the tree's
+# suppression directives; the tier-2 smoke budget (<10s on the whole
+# tree) is asserted by TestTierTwoBudget in internal/lint.
 check: build vet lint test race chaos-smoke bench-smoke
 
 build:
@@ -13,10 +16,18 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the project-specific static-analysis suite (see internal/lint
-# and `go run ./cmd/reprovet -list`).
+# lint runs the full project static-analysis suite — tier 1 (syntactic)
+# plus tier 2 (go/types-backed dataflow: detflow, epsflow) — and then
+# audits //lint:ignore directives for staleness. See internal/lint and
+# `go run ./cmd/reprovet -list`.
 lint:
 	$(GO) run ./cmd/reprovet ./...
+	$(GO) run ./cmd/reprovet -audit-ignores ./...
+
+# lint-fast is the syntactic tier only: no type checking, sub-second,
+# suited to editor save hooks and quick pre-commit loops.
+lint-fast:
+	$(GO) run ./cmd/reprovet -tier 1 ./...
 
 test:
 	$(GO) test ./...

@@ -10,14 +10,25 @@
 //
 // Flags:
 //
-//	-json     emit findings as a JSON array instead of text
-//	-tests    include _test.go files
-//	-rules    comma-separated rule subset (default: all)
-//	-list     print the rule set and exit
-//	-C dir    run as if invoked from dir
+//	-json           emit findings as a JSON array instead of text
+//	-sarif          emit findings as SARIF 2.1.0 instead of text
+//	-tier N         analysis depth: 1 = syntactic rules only,
+//	                2 = also type-check and run the dataflow rules
+//	                (default 2; packages that fail to type-check
+//	                silently degrade to tier 1)
+//	-tests          include _test.go files
+//	-rules          comma-separated rule subset (default: all)
+//	-list           print the rule set and exit
+//	-fix            rewrite fixable findings in place (errclose
+//	                dropped-Close → safeclose.Do, walltime time.Now
+//	                → simclock.Epoch) and report what changed
+//	-audit-ignores  report //lint:ignore directives that suppress
+//	                nothing (runs the full suite at tier 2)
+//	-C dir          run as if invoked from dir
 //
-// Exit status: 0 when no error-severity finding survives suppression,
-// 1 when at least one does, 2 on usage or parse errors.
+// Exit status: 0 when no error-severity finding survives suppression
+// (for -audit-ignores: no stale directive; for -fix: nothing left
+// unfixable), 1 otherwise, 2 on usage or parse errors.
 package main
 
 import (
@@ -42,11 +53,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("reprovet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit findings as JSON")
-		tests   = fs.Bool("tests", false, "include _test.go files")
-		rules   = fs.String("rules", "", "comma-separated subset of rules to run")
-		list    = fs.Bool("list", false, "list available rules and exit")
-		chdir   = fs.String("C", ".", "run as if invoked from this directory")
+		jsonOut  = fs.Bool("json", false, "emit findings as JSON")
+		sarifOut = fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+		tier     = fs.Int("tier", 2, "analysis depth: 1 syntactic, 2 adds type-aware dataflow rules")
+		tests    = fs.Bool("tests", false, "include _test.go files")
+		rules    = fs.String("rules", "", "comma-separated subset of rules to run")
+		list     = fs.Bool("list", false, "list available rules and exit")
+		fix      = fs.Bool("fix", false, "rewrite fixable findings in place")
+		audit    = fs.Bool("audit-ignores", false, "report lint:ignore directives that suppress nothing")
+		chdir    = fs.String("C", ".", "run as if invoked from this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -54,12 +69,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-10s tier %d  %s\n", a.Name, displayTier(a), a.Doc)
 		}
 		return 0
 	}
+	if *tier != 1 && *tier != 2 {
+		fmt.Fprintf(stderr, "reprovet: -tier must be 1 or 2, got %d\n", *tier)
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "reprovet: -json and -sarif are mutually exclusive")
+		return 2
+	}
 
 	analyzers := lint.All()
+	if *tier == 1 {
+		analyzers = tierSubset(analyzers, 1)
+	}
 	if *rules != "" {
 		analyzers = analyzers[:0:0]
 		for _, name := range strings.Split(*rules, ",") {
@@ -93,17 +119,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "reprovet: %v\n", err)
 		return 2
 	}
-	diags, err := lint.Run(lint.Config{
+	cfg := lint.Config{
 		Root:         root,
 		Analyzers:    analyzers,
 		IncludeTests: *tests,
-	}, patterns...)
+		Tier:         *tier,
+	}
+
+	if *fix {
+		return runFix(cfg, patterns, stdout, stderr)
+	}
+	if *audit {
+		// Auditing against a rule subset or the shallow tier would call
+		// directives for the excluded rules stale; always use the full
+		// suite at full depth.
+		cfg.Analyzers = lint.All()
+		cfg.Tier = 2
+		return runAudit(cfg, patterns, stdout, stderr)
+	}
+
+	diags, err := lint.Run(cfg, patterns...)
 	if err != nil {
 		fmt.Fprintf(stderr, "reprovet: %v\n", err)
 		return 2
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -113,9 +155,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "reprovet: %v\n", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		out, err := lint.ToSARIF(diags, root)
+		if err != nil {
+			fmt.Fprintf(stderr, "reprovet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s\n", out)
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d.String())
+			// Tier-2 findings carry their source→sink trail; print it
+			// indented so the finding reads as a story, not a position.
+			for _, step := range d.Path {
+				fmt.Fprintf(stdout, "\t%s\n", step.String())
+			}
 		}
 		if len(diags) > 0 {
 			fmt.Fprintf(stdout, "reprovet: %d finding(s)\n", len(diags))
@@ -126,6 +180,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runFix applies the mechanical fixes and reports per-file counts. Exit
+// 1 when flagged sites remain that the fixer could not rewrite.
+func runFix(cfg lint.Config, patterns []string, stdout, stderr io.Writer) int {
+	results, err := lint.Fix(cfg, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "reprovet: %v\n", err)
+		return 2
+	}
+	applied, skipped := 0, 0
+	for _, r := range results {
+		fmt.Fprintf(stdout, "%s: %d fixed, %d skipped\n", r.File, r.Applied, r.Skipped)
+		applied += r.Applied
+		skipped += r.Skipped
+	}
+	fmt.Fprintf(stdout, "reprovet: fixed %d site(s), %d unfixable\n", applied, skipped)
+	if skipped > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runAudit reports stale suppression directives. Exit 1 when any exist.
+func runAudit(cfg lint.Config, patterns []string, stdout, stderr io.Writer) int {
+	_, stale, err := lint.RunAudit(cfg, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "reprovet: %v\n", err)
+		return 2
+	}
+	for _, s := range stale {
+		reason := s.Reason
+		if reason == "" {
+			reason = "(no reason given)"
+		}
+		fmt.Fprintf(stdout, "%s:%d: stale //lint:ignore %s — %s\n", s.File, s.Line, strings.Join(s.Rules, ","), reason)
+	}
+	if len(stale) > 0 {
+		fmt.Fprintf(stdout, "reprovet: %d stale ignore directive(s)\n", len(stale))
+		return 1
+	}
+	return 0
+}
+
+// displayTier mirrors the analyzer's normalized tier for -list output.
+func displayTier(a *lint.Analyzer) int {
+	if a.Tier < 2 {
+		return 1
+	}
+	return a.Tier
+}
+
+// tierSubset filters analyzers to those at or below the given tier.
+func tierSubset(analyzers []*lint.Analyzer, tier int) []*lint.Analyzer {
+	var out []*lint.Analyzer
+	for _, a := range analyzers {
+		if displayTier(a) <= tier {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // rebasePatterns rewrites patterns given relative to dir so they resolve

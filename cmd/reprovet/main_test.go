@@ -185,3 +185,133 @@ func TestParseErrorExitsTwo(t *testing.T) {
 		t.Fatalf("parse error: exit %d stderr=%q", code, stderr)
 	}
 }
+
+// typedEscapeSource compares floats behind a struct field, which the
+// syntactic floatcmp rule cannot see: only the tier-2 epsflow rule
+// (with type information) flags it.
+const typedEscapeSource = `package sub
+
+type pt struct{ x float64 }
+
+func eq(a, b pt) bool { return a.x == b.x }
+`
+
+func TestTierFlag(t *testing.T) {
+	root := writeModule(t, map[string]string{"internal/sub/esc.go": typedEscapeSource})
+	code, stdout, _ := runCLI(t, "-C", root, "./...")
+	if code != 1 || !strings.Contains(stdout, "epsflow") {
+		t.Fatalf("default tier 2 must flag the typed escape: exit %d stdout=%q", code, stdout)
+	}
+	code, stdout, _ = runCLI(t, "-C", root, "-tier", "1", "./...")
+	if code != 0 {
+		t.Fatalf("-tier 1 must not run dataflow rules: exit %d stdout=%q", code, stdout)
+	}
+	code, _, stderr := runCLI(t, "-C", root, "-tier", "3", "./...")
+	if code != 2 || !strings.Contains(stderr, "-tier") {
+		t.Fatalf("bad tier: exit %d stderr=%q", code, stderr)
+	}
+}
+
+// detFlowSource routes wall-clock time into an encoded record; lives in
+// cmd/ so the tier-1 walltime rule (scoped to internal/) stays quiet and
+// the only finding is detflow's, complete with its source→sink path.
+const detFlowSource = `package main
+
+import (
+	"encoding/json"
+	"time"
+)
+
+func stamp() ([]byte, error) {
+	t := time.Now()
+	return json.Marshal(t)
+}
+
+func main() {}
+`
+
+func TestTextOutputPrintsPath(t *testing.T) {
+	root := writeModule(t, map[string]string{"cmd/tool/main.go": detFlowSource})
+	code, stdout, _ := runCLI(t, "-C", root, "./...")
+	if code != 1 || !strings.Contains(stdout, "detflow") {
+		t.Fatalf("detflow finding missing: exit %d stdout=%q", code, stdout)
+	}
+	if !strings.Contains(stdout, "\t") || !strings.Contains(stdout, "reads the wall clock") {
+		t.Fatalf("path steps should print indented under the finding:\n%s", stdout)
+	}
+}
+
+func TestSarifOutput(t *testing.T) {
+	root := writeModule(t, map[string]string{"cmd/tool/main.go": detFlowSource})
+	code, stdout, _ := runCLI(t, "-C", root, "-sarif", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID           string `json:"ruleId"`
+				RelatedLocations []any  `json:"relatedLocations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("-sarif output is not JSON: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) != 1 {
+		t.Fatalf("unexpected SARIF shape: %s", stdout)
+	}
+	res := log.Runs[0].Results[0]
+	if res.RuleID != "detflow" || len(res.RelatedLocations) == 0 {
+		t.Fatalf("detflow result should carry its path as relatedLocations: %s", stdout)
+	}
+
+	code, _, stderr := runCLI(t, "-C", root, "-sarif", "-json", "./...")
+	if code != 2 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("-sarif -json: exit %d stderr=%q", code, stderr)
+	}
+}
+
+func TestFixFlag(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/sub/clock.go":         "package sub\n\nimport \"time\"\n\nfunc when() time.Time { return time.Now() }\n",
+		"internal/simclock/simclock.go": "package simclock\n\nimport \"time\"\n\nfunc Epoch() time.Time { return time.Unix(0, 0).UTC() }\n",
+	})
+	code, stdout, stderr := runCLI(t, "-C", root, "-fix", "./...")
+	if code != 0 {
+		t.Fatalf("-fix exit %d stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "clock.go: 1 fixed, 0 skipped") {
+		t.Fatalf("fix report missing: %q", stdout)
+	}
+	fixed, err := os.ReadFile(filepath.Join(root, "internal", "sub", "clock.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "simclock.Epoch()") || strings.Contains(string(fixed), "time.Now") {
+		t.Fatalf("file not rewritten:\n%s", fixed)
+	}
+	// The rewritten tree lints clean.
+	if code, stdout, _ := runCLI(t, "-C", root, "./..."); code != 0 {
+		t.Fatalf("tree still dirty after -fix: exit %d stdout=%q", code, stdout)
+	}
+}
+
+func TestAuditIgnoresFlag(t *testing.T) {
+	root := writeModule(t, map[string]string{"internal/sub/ok.go": suppressedSource})
+	if code, stdout, _ := runCLI(t, "-C", root, "-audit-ignores", "./..."); code != 0 {
+		t.Fatalf("live directive reported stale: exit %d stdout=%q", code, stdout)
+	}
+
+	root = writeModule(t, map[string]string{
+		"internal/sub/ok.go": "package sub\n\nfunc f(a, b int) bool {\n\t//lint:ignore floatcmp these are ints now\n\treturn a == b\n}\n",
+	})
+	code, stdout, _ := runCLI(t, "-C", root, "-audit-ignores", "./...")
+	if code != 1 {
+		t.Fatalf("stale directive must exit 1: exit %d stdout=%q", code, stdout)
+	}
+	if !strings.Contains(stdout, "ok.go:4: stale //lint:ignore floatcmp") || !strings.Contains(stdout, "these are ints now") {
+		t.Fatalf("stale report: %q", stdout)
+	}
+}

@@ -80,6 +80,7 @@ func run() error {
 					return err
 				}
 			}
+			//lint:ignore epsflow convergence test against an explicit tolerance
 			if sim.Residual() < tol {
 				break
 			}

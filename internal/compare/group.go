@@ -280,6 +280,7 @@ func (st *groupState) stepLoadMembers(ctx context.Context, x *engine.Exec) error
 			}
 		}
 	}
+	//lint:ignore epsflow ε settings are configuration, not computed values; they must match exactly
 	if st.metas[0].Epsilon != st.opts.Epsilon {
 		return fmt.Errorf("compare: metadata ε %g does not match requested ε %g",
 			st.metas[0].Epsilon, st.opts.Epsilon)

@@ -134,7 +134,6 @@ func (x *Exec) CloseOnExit(c io.Closer) {
 	if c == nil {
 		return
 	}
-	//lint:ignore errclose cleanup-path close; the step's own error wins
 	x.Defer(func() { _ = c.Close() })
 }
 

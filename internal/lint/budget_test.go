@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"testing"
+	"time"
+)
+
+// tierTwoBudget is the wall-clock ceiling for a full tier-2 run over the
+// repository: the gate must stay cheap enough to run on every check, or
+// it will be skipped and rot. Measured at ~3s on the whole tree; 10s
+// leaves 3x headroom for slower machines.
+const tierTwoBudget = 10 * time.Second
+
+// TestTierTwoBudget runs the complete suite at tier 2 over the real
+// repository and asserts both that the tree is clean (no error-severity
+// finding survives its suppression) and that the run fits the budget.
+// This is the `make check` smoke: if either half regresses — a finding
+// sneaks in, or type-checking the tree gets slow enough to be skipped in
+// practice — this fails before the gate does.
+func TestTierTwoBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree type check; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock budget is meaningless under the race detector")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	start := time.Now()
+	diags, err := Run(Config{Root: root, Tier: 2}, "./...")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	elapsed := time.Since(start)
+	if HasErrors(diags) {
+		t.Errorf("tree is not clean at tier 2: %d finding(s), first: %s", len(diags), diags[0])
+	}
+	if elapsed > tierTwoBudget {
+		t.Errorf("tier-2 run took %v, budget is %v: the gate must stay cheap enough to always run", elapsed, tierTwoBudget)
+	}
+	t.Logf("tier-2 full-tree run: %v, %d finding(s)", elapsed, len(diags))
+}

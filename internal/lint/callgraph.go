@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// callGraph is the lightweight intra-package call graph the taint engine
+// propagates summaries over. Only statically resolvable calls appear:
+// direct function calls, method calls on concrete receivers, and generic
+// instantiations. Interface dispatch, function values passed around, and
+// reflection are deliberate blind spots (documented in DESIGN.md §8) —
+// a missing edge can only lose a finding, never invent one.
+type callGraph struct {
+	// decls maps each package-level function object to its declaration,
+	// in deterministic source order via order.
+	decls map[*types.Func]*ast.FuncDecl
+	// order lists the functions in file/declaration order so fixpoint
+	// iteration and reporting are reproducible run to run.
+	order []*types.Func
+}
+
+// buildCallGraph indexes the package's function declarations.
+func buildCallGraph(files []*ast.File, info *types.Info) *callGraph {
+	g := &callGraph{decls: map[*types.Func]*ast.FuncDecl{}}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.decls[fn] = fd
+			g.order = append(g.order, fn)
+		}
+	}
+	return g
+}
+
+// staticCallee resolves a call expression to the *types.Func it
+// statically invokes, or nil when the callee is dynamic (interface
+// method, function-typed variable, builtin) or untyped.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		// Interface method calls dispatch dynamically: no static edge.
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+		}
+		id = fun.Sel
+	case *ast.IndexExpr:
+		// Generic instantiation f[T](...) of a named function.
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	case *ast.IndexListExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	default:
+		return nil
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isConversion reports whether the call expression is actually a type
+// conversion like []byte(k) or float64(n).
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// builtinName returns the name of the builtin a call invokes ("len",
+// "append", ...), or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// funcFullName renders a function's fully qualified name with the module
+// prefix stripped, so rule tables can match "internal/murmur3.SumDigest"
+// or "(*internal/murmur3.Chain).Block" regardless of the module path the
+// tree was loaded under. Standard-library functions keep their full path
+// ("time.Now", "(*encoding/json.Encoder).Encode").
+func funcFullName(fn *types.Func, module string) string {
+	name := fn.FullName()
+	if module == "" {
+		return name
+	}
+	name = strings.ReplaceAll(name, module+"/", "")
+	// The root package itself ("module.F") becomes a bare "F" marker
+	// prefixed with "./" to stay distinguishable from builtins.
+	name = strings.ReplaceAll(name, module+".", "./")
+	return name
+}

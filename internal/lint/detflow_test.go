@@ -1,0 +1,450 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runTier2 builds a temp module from files (path → content) and runs the
+// given analyzers at tier 2, returning findings as "file:line:rule".
+func runTier2(t *testing.T, analyzers []*Analyzer, files map[string]string) []string {
+	t.Helper()
+	root := t.TempDir()
+	mustWrite(t, root, "go.mod", "module fixture\n\ngo 1.22\n")
+	for rel, content := range files {
+		mustWrite(t, root, rel, content)
+	}
+	diags, err := Run(Config{Root: root, Analyzers: analyzers, Tier: 2}, "./...")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var out []string
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%s:%d:%s", filepath.Base(d.File), d.Line, d.Rule))
+	}
+	return out
+}
+
+// stubMurmur3 is a module-local stand-in for internal/murmur3: the
+// module-stripped qualified names match the real sink table, so fixtures
+// exercise the same matching path the real tree does.
+const stubMurmur3 = `package murmur3
+
+type Digest [2]uint64
+
+func SumDigest(data []byte, seed Digest) Digest { return seed }
+
+type Chain struct{ d Digest }
+
+func (c *Chain) Block(k1, k2 uint64) {}
+`
+
+// TestDetFlowInlineVsHelper is the acceptance fixture pair: the same
+// map-order-into-digest bug written inline (tier 1 catches it) and
+// laundered through an indexed copy plus a helper call (tier 1 provably
+// cannot see it; tier 2 follows the value).
+func TestDetFlowInlineVsHelper(t *testing.T) {
+	files := map[string]string{
+		"internal/murmur3/murmur3.go": stubMurmur3,
+		"internal/app/app.go": `package app
+
+import "fixture/internal/murmur3"
+
+func inline(m map[string][]byte) murmur3.Digest {
+	var d murmur3.Digest
+	for _, v := range m {
+		d = murmur3.SumDigest(v, d)
+	}
+	return d
+}
+
+func viaHelper(m map[string][]byte) murmur3.Digest {
+	out := make([][]byte, len(m))
+	i := 0
+	for _, v := range m {
+		out[i] = v
+		i++
+	}
+	return digestAll(out)
+}
+
+func digestAll(chunks [][]byte) murmur3.Digest {
+	var d murmur3.Digest
+	for _, c := range chunks {
+		d = murmur3.SumDigest(c, d)
+	}
+	return d
+}
+`,
+	}
+
+	// Tier 1 alone: only the inline loop (line 7) is visible.
+	tier1 := runTier2(t, []*Analyzer{MapHash}, files)
+	expectDiags(t, tier1, "app.go:7:maphash")
+
+	// Tier 2: the inline sink (line 8) and the laundered helper call
+	// (line 20) are both flagged.
+	tier2 := runTier2(t, []*Analyzer{DetFlow}, files)
+	expectDiags(t, tier2, "app.go:8:detflow", "app.go:20:detflow")
+}
+
+// TestDetFlowTwoHops pushes a map-ordered value through two call edges:
+// returned from one helper, passed into another that sinks it.
+func TestDetFlowTwoHops(t *testing.T) {
+	files := map[string]string{
+		"internal/murmur3/murmur3.go": stubMurmur3,
+		"internal/app/app.go": `package app
+
+import "fixture/internal/murmur3"
+
+func firstKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+func record(s string) murmur3.Digest {
+	return murmur3.SumDigest([]byte(s), murmur3.Digest{})
+}
+
+func twoHops(m map[string]int) murmur3.Digest {
+	return record(firstKey(m))
+}
+`,
+	}
+	got := runTier2(t, []*Analyzer{DetFlow}, files)
+	expectDiags(t, got, "app.go:17:detflow")
+}
+
+// TestDetFlowPathContents checks the reported source→sink trail: the
+// first step must sit at the nondeterminism source, the last at the
+// sink, so suppression-at-source and SARIF relatedLocations have real
+// positions to anchor to.
+func TestDetFlowPathContents(t *testing.T) {
+	root := t.TempDir()
+	mustWrite(t, root, "go.mod", "module fixture\n\ngo 1.22\n")
+	mustWrite(t, root, "internal/murmur3/murmur3.go", stubMurmur3)
+	mustWrite(t, root, "internal/app/app.go", `package app
+
+import "fixture/internal/murmur3"
+
+func firstKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+func digest(m map[string]int) murmur3.Digest {
+	return murmur3.SumDigest([]byte(firstKey(m)), murmur3.Digest{})
+}
+`)
+	diags, err := Run(Config{Root: root, Analyzers: []*Analyzer{DetFlow}, Tier: 2}, "./...")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want 1 finding, got %v", diags)
+	}
+	path := diags[0].Path
+	if len(path) < 2 {
+		t.Fatalf("want a multi-step path, got %v", path)
+	}
+	if path[0].Line != 6 || !strings.Contains(path[0].Note, "map") {
+		t.Fatalf("path[0] should be the map-range source at line 6, got %+v", path[0])
+	}
+	last := path[len(path)-1]
+	if last.Line != 13 {
+		t.Fatalf("last step should be at the sink line 13, got %+v", last)
+	}
+}
+
+// TestDetFlowSuppression checks both suppression points: a directive at
+// the sink line and a directive at the source line (which must silence
+// every sink the source reaches, via Path[0]).
+func TestDetFlowSuppression(t *testing.T) {
+	atSink := map[string]string{
+		"internal/murmur3/murmur3.go": stubMurmur3,
+		"internal/app/app.go": `package app
+
+import "fixture/internal/murmur3"
+
+func f(m map[string][]byte) murmur3.Digest {
+	var d murmur3.Digest
+	for _, v := range m {
+		//lint:ignore detflow commutative by construction
+		d = murmur3.SumDigest(v, d)
+	}
+	return d
+}
+`,
+	}
+	expectDiags(t, runTier2(t, []*Analyzer{DetFlow}, atSink))
+
+	atSource := map[string]string{
+		"internal/murmur3/murmur3.go": stubMurmur3,
+		"internal/app/app.go": `package app
+
+import "fixture/internal/murmur3"
+
+func firstKey(m map[string]int) string {
+	//lint:ignore detflow any key is acceptable here
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+func digestA(m map[string]int) murmur3.Digest {
+	return murmur3.SumDigest([]byte(firstKey(m)), murmur3.Digest{})
+}
+
+func digestB(m map[string]int) murmur3.Digest {
+	return murmur3.SumDigest([]byte(firstKey(m)), murmur3.Digest{})
+}
+`,
+	}
+	// One directive at the source silences both downstream sinks.
+	expectDiags(t, runTier2(t, []*Analyzer{DetFlow}, atSource))
+}
+
+// TestDetFlowNoTypeInfoFallback: a package that fails to type-check gets
+// a silent tier-2 skip while tier-1 rules still run on it.
+func TestDetFlowNoTypeInfoFallback(t *testing.T) {
+	files := map[string]string{
+		"internal/app/app.go": `package app
+
+var broken undefinedType
+
+func f(a, b float64) bool { return a != b }
+
+func g(m map[string][]byte, sink interface{ Write([]byte) (int, error) }) {
+	for _, v := range m {
+		sink.Write(v)
+	}
+	_ = broken
+}
+`,
+	}
+	// Tier 2 requested, type-check fails: detflow must stay silent...
+	expectDiags(t, runTier2(t, []*Analyzer{DetFlow}, files))
+	// ...while tier 1 still reports on the same package.
+	got := runTier2(t, []*Analyzer{FloatCmp, MapHash}, files)
+	expectDiags(t, got, "app.go:5:floatcmp", "app.go:8:maphash")
+}
+
+// TestDetFlowSortSanitizer: sorting launders order taints, both locally
+// and when the callee sorts before sinking (summary carries the sorted
+// flag); wall-clock taint survives sorting.
+func TestDetFlowSortSanitizer(t *testing.T) {
+	sortedLocal := map[string]string{
+		"internal/murmur3/murmur3.go": stubMurmur3,
+		"internal/app/app.go": `package app
+
+import (
+	"sort"
+
+	"fixture/internal/murmur3"
+)
+
+func f(m map[string]int) murmur3.Digest {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var d murmur3.Digest
+	for _, k := range keys {
+		d = murmur3.SumDigest([]byte(k), d)
+	}
+	return d
+}
+`,
+	}
+	expectDiags(t, runTier2(t, []*Analyzer{DetFlow}, sortedLocal))
+
+	sortedInHelper := map[string]string{
+		"internal/murmur3/murmur3.go": stubMurmur3,
+		"internal/app/app.go": `package app
+
+import (
+	"sort"
+
+	"fixture/internal/murmur3"
+)
+
+func digestSorted(keys []string) murmur3.Digest {
+	sort.Strings(keys)
+	var d murmur3.Digest
+	for _, k := range keys {
+		d = murmur3.SumDigest([]byte(k), d)
+	}
+	return d
+}
+
+func f(m map[string]int) murmur3.Digest {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return digestSorted(out)
+}
+`,
+	}
+	expectDiags(t, runTier2(t, []*Analyzer{DetFlow}, sortedInHelper))
+
+	// Sorting does not launder value nondeterminism: a sorted slice of
+	// wall-clock samples is still wall-clock data.
+	sortedClock := map[string]string{
+		"internal/murmur3/murmur3.go": stubMurmur3,
+		"internal/app/app.go": `package app
+
+import (
+	"sort"
+	"time"
+
+	"fixture/internal/murmur3"
+)
+
+func f() murmur3.Digest {
+	stamps := []string{time.Now().String()}
+	sort.Strings(stamps)
+	return murmur3.SumDigest([]byte(stamps[0]), murmur3.Digest{})
+}
+`,
+	}
+	got := runTier2(t, []*Analyzer{DetFlow}, sortedClock)
+	expectDiags(t, got, "app.go:13:detflow")
+}
+
+// TestDetFlowValueSources covers the call-based sources: wall clock,
+// unseeded math/rand (seeded rand must stay clean), and os.ReadDir.
+func TestDetFlowValueSources(t *testing.T) {
+	files := map[string]string{
+		"internal/murmur3/murmur3.go": stubMurmur3,
+		"internal/app/app.go": `package app
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"fixture/internal/murmur3"
+)
+
+func clock() murmur3.Digest {
+	n := time.Now().UnixNano()
+	return murmur3.SumDigest([]byte{byte(n)}, murmur3.Digest{})
+}
+
+func unseeded() murmur3.Digest {
+	return murmur3.SumDigest([]byte{byte(rand.Int())}, murmur3.Digest{})
+}
+
+func seeded(seed int64) murmur3.Digest {
+	r := rand.New(rand.NewSource(seed))
+	return murmur3.SumDigest([]byte{byte(r.Int())}, murmur3.Digest{})
+}
+
+func listing(dir string) murmur3.Digest {
+	entries, _ := os.ReadDir(dir)
+	name := ""
+	if len(entries) > 0 {
+		name = entries[0].Name()
+	}
+	return murmur3.SumDigest([]byte(name), murmur3.Digest{})
+}
+`,
+	}
+	got := runTier2(t, []*Analyzer{DetFlow}, files)
+	expectDiags(t, got, "app.go:13:detflow", "app.go:17:detflow", "app.go:31:detflow")
+}
+
+// TestDetFlowGoroutineFanIn: results received from loop-launched
+// goroutines arrive in completion order; a single background goroutine
+// with one send is deterministic enough to stay clean.
+func TestDetFlowGoroutineFanIn(t *testing.T) {
+	files := map[string]string{
+		"internal/murmur3/murmur3.go": stubMurmur3,
+		"internal/app/app.go": `package app
+
+import "fixture/internal/murmur3"
+
+func fanIn(parts [][]byte) murmur3.Digest {
+	ch := make(chan []byte)
+	for _, p := range parts {
+		p := p
+		go func() { ch <- p }()
+	}
+	var d murmur3.Digest
+	for range parts {
+		d = murmur3.SumDigest(<-ch, d)
+	}
+	return d
+}
+
+func single(part []byte) murmur3.Digest {
+	ch := make(chan []byte)
+	go func() { ch <- part }()
+	return murmur3.SumDigest(<-ch, murmur3.Digest{})
+}
+`,
+	}
+	got := runTier2(t, []*Analyzer{DetFlow}, files)
+	expectDiags(t, got, "app.go:13:detflow")
+}
+
+// TestDetFlowCommutativeFold: an integer += fold over a map is
+// order-insensitive and exact, so it must not taint; the same fold over
+// floats rounds differently per order and must.
+func TestDetFlowCommutativeFold(t *testing.T) {
+	files := map[string]string{
+		"internal/murmur3/murmur3.go": stubMurmur3,
+		"internal/app/app.go": `package app
+
+import "fixture/internal/murmur3"
+
+func intFold(m map[string]int) murmur3.Digest {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return murmur3.SumDigest([]byte{byte(total)}, murmur3.Digest{})
+}
+
+func floatFold(m map[string]float64) murmur3.Digest {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return murmur3.SumDigest([]byte{byte(total)}, murmur3.Digest{})
+}
+`,
+	}
+	got := runTier2(t, []*Analyzer{DetFlow}, files)
+	expectDiags(t, got, "app.go:18:detflow")
+}
+
+// TestDetFlowHashHashSink: a Write on any hash.Hash implementation is a
+// sink even without an entry in the static table.
+func TestDetFlowHashHashSink(t *testing.T) {
+	files := map[string]string{
+		"internal/app/app.go": `package app
+
+import "hash/fnv"
+
+func f(m map[string][]byte) uint64 {
+	h := fnv.New64a()
+	for _, v := range m {
+		h.Write(v)
+	}
+	return h.Sum64()
+}
+`,
+	}
+	got := runTier2(t, []*Analyzer{DetFlow}, files)
+	expectDiags(t, got, "app.go:8:detflow")
+}

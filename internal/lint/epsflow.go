@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// EpsFlow is the tier-2 ε-flow rule: a type-aware complement to the
+// syntactic floatcmp. Tier 1 can only flag a raw float comparison when
+// the float-ness is visible in the function's own syntax (a declared
+// float variable, a float literal, a math call). EpsFlow uses go/types
+// to catch the escapes:
+//
+//   - comparisons whose operands are float-typed through a struct field,
+//     a named type (type Temp float64), a cross-package call result, or
+//     any other channel the syntactic scope cannot see;
+//   - float-typed switch tags, whose case dispatch is a chain of exact
+//     == comparisons;
+//   - generic helpers (func eq[T comparable](a, b T) bool { return
+//     a == b }) instantiated with a float type argument — reported at
+//     the call site, with a path step pointing into the helper's
+//     comparison, since the helper itself is fine for non-float T.
+//
+// Findings tier-1 floatcmp already reports are skipped here, so each
+// raw comparison is flagged exactly once. Comparisons of two constants
+// are exempt (compile-time, exact by definition), and the literal-zero
+// exemption for ordered operators mirrors floatcmp. Suppress with
+// //lint:ignore epsflow <reason>; for generic helpers, one directive on
+// the helper's comparison line covers every instantiation site.
+var EpsFlow = &Analyzer{
+	Name:     "epsflow",
+	Doc:      "float-typed value reaches a comparison without passing through internal/errbound (type-aware; catches wrapper and generic escapes)",
+	Severity: SeverityError,
+	Tier:     2,
+	Run:      runEpsFlow,
+}
+
+// tpCompare records one comparison on a type parameter inside a generic
+// function: flagged only at call sites that instantiate the parameter
+// with a float type.
+type tpCompare struct {
+	index int // type-parameter index in the function's signature
+	pos   token.Pos
+	op    token.Token
+}
+
+func runEpsFlow(p *Pass) {
+	if pkgIn(p.Pkg, floatCmpExempt...) {
+		return
+	}
+	info := p.TypesInfo
+
+	generic := map[*types.Func][]tpCompare{}
+	for _, f := range p.Files {
+		forEachFunc(f, func(node ast.Node, body *ast.BlockStmt, sc *funcScope) {
+			var fnObj *types.Func
+			if fd, ok := node.(*ast.FuncDecl); ok {
+				fnObj, _ = info.Defs[fd.Name].(*types.Func)
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					epsCheckCompare(p, sc, fnObj, generic, n)
+				case *ast.SwitchStmt:
+					epsCheckSwitch(p, n)
+				}
+				return true
+			})
+		})
+	}
+
+	epsCheckInstantiations(p, generic)
+}
+
+// epsCheckCompare handles one binary comparison: direct report when an
+// operand is float-typed (and tier 1 missed it), deferred record when an
+// operand is a type parameter.
+func epsCheckCompare(p *Pass, sc *funcScope, fnObj *types.Func, generic map[*types.Func][]tpCompare, be *ast.BinaryExpr) {
+	if !isCompareOp(be.Op) {
+		return
+	}
+	info := p.TypesInfo
+	tX := typeOf(info, be.X)
+	tY := typeOf(info, be.Y)
+
+	// Type-parameter comparison inside a generic function: benign until
+	// instantiated with a float argument, so record and defer.
+	if fnObj != nil {
+		if idx := typeParamIndex(fnObj, tX); idx < 0 {
+			idx = typeParamIndex(fnObj, tY)
+			if idx >= 0 {
+				generic[fnObj] = append(generic[fnObj], tpCompare{index: idx, pos: be.OpPos, op: be.Op})
+				return
+			}
+		} else {
+			generic[fnObj] = append(generic[fnObj], tpCompare{index: idx, pos: be.OpPos, op: be.Op})
+			return
+		}
+	}
+
+	if !isFloatTyped(tX) && !isFloatTyped(tY) {
+		return
+	}
+	// Tier-1 floatcmp already owns syntactically evident float
+	// comparisons; reporting them here would double every finding.
+	if sc.isFloatExpr(be.X) || sc.isFloatExpr(be.Y) {
+		return
+	}
+	// Mirror floatcmp's exemptions: ordered comparison against literal
+	// zero is an exact sign/emptiness test, and a comparison of two
+	// constants is evaluated at compile time.
+	if be.Op != token.EQL && be.Op != token.NEQ && (isZeroLit(be.X) || isZeroLit(be.Y)) {
+		return
+	}
+	if isConstExpr(info, be.X) && isConstExpr(info, be.Y) {
+		return
+	}
+	p.Reportf(be.OpPos, "raw float comparison %q on a value typed %s: route through errbound.Equal or an explicit ε", be.Op, describeFloatSide(tX, tY))
+}
+
+// epsCheckSwitch flags a float-typed switch tag with value cases: case
+// dispatch is a chain of exact == comparisons.
+func epsCheckSwitch(p *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isFloatTyped(typeOf(p.TypesInfo, sw.Tag)) {
+		return
+	}
+	for _, clause := range sw.Body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok && len(cc.List) > 0 {
+			p.Reportf(sw.Switch, "switch on a float-typed value dispatches by exact ==: compare through errbound or restructure")
+			return
+		}
+	}
+}
+
+// epsCheckInstantiations reports generic type-parameter comparisons at
+// every call site whose type argument is a float. Instances is a map, so
+// sites are collected and sorted before reporting to keep output
+// deterministic (the framework re-sorts diagnostics, but path contents
+// must not depend on iteration order either).
+func epsCheckInstantiations(p *Pass, generic map[*types.Func][]tpCompare) {
+	if len(generic) == 0 {
+		return
+	}
+	info := p.TypesInfo
+	type site struct {
+		id   *ast.Ident
+		inst types.Instance
+	}
+	var sites []site
+	for id, inst := range info.Instances {
+		sites = append(sites, site{id: id, inst: inst})
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].id.Pos() < sites[j].id.Pos() })
+
+	for _, s := range sites {
+		fn, ok := info.Uses[s.id].(*types.Func)
+		if !ok {
+			continue
+		}
+		cmps := generic[fn]
+		if len(cmps) == 0 || s.inst.TypeArgs == nil {
+			continue
+		}
+		for _, cmp := range cmps {
+			if cmp.index >= s.inst.TypeArgs.Len() {
+				continue
+			}
+			arg := s.inst.TypeArgs.At(cmp.index)
+			if !isFloatTyped(arg) {
+				continue
+			}
+			path := []PathStep{
+				p.Step(cmp.pos, "comparison %q on type parameter inside %s()", cmp.op, fn.Name()),
+				p.Step(s.id.Pos(), "instantiated with %s", types.TypeString(arg, nil)),
+			}
+			p.ReportPath(s.id.Pos(), path, "generic %s() compares its type parameter with %q and is instantiated with %s here: raw float comparison", fn.Name(), cmp.op, types.TypeString(arg, nil))
+		}
+	}
+}
+
+// typeOf returns the static type of an expression, or nil.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	tv, ok := info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// isFloatTyped reports whether t's underlying type is float32/float64.
+func isFloatTyped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// typeParamIndex returns the index of t among fn's type parameters, or
+// -1 when t is not one of them.
+func typeParamIndex(fn *types.Func, t types.Type) int {
+	tp, ok := t.(*types.TypeParam)
+	if !ok {
+		return -1
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.TypeParams() == nil {
+		return -1
+	}
+	for i := 0; i < sig.TypeParams().Len(); i++ {
+		if sig.TypeParams().At(i) == tp {
+			return i
+		}
+	}
+	return -1
+}
+
+// isConstExpr reports whether the expression is a compile-time constant.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// describeFloatSide names the float-typed operand's type for the
+// message, preferring the left operand.
+func describeFloatSide(tX, tY types.Type) string {
+	if isFloatTyped(tX) {
+		return types.TypeString(tX, nil)
+	}
+	return types.TypeString(tY, nil)
+}

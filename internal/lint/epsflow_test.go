@@ -1,0 +1,131 @@
+package lint
+
+import "testing"
+
+// epsFiles wraps one app source file into the fixture layout.
+func epsFiles(src string) map[string]string {
+	return map[string]string{"internal/app/app.go": src}
+}
+
+// TestEpsFlowTypedEscapes covers the comparisons tier-1 floatcmp cannot
+// see: struct fields, named float types, and cross-function call
+// results.
+func TestEpsFlowTypedEscapes(t *testing.T) {
+	files := epsFiles(`package app
+
+type sample struct{ v float64 }
+
+type temp float64
+
+func load() float64 { return 1 }
+
+func field(a, b sample) bool { return a.v == b.v }
+
+func named(a, b temp) bool { return a < b }
+
+func viaCall() bool { return load() == load() }
+`)
+	// Tier 1 sees none of these.
+	expectDiags(t, runTier2(t, []*Analyzer{FloatCmp}, files))
+	// Tier 2 sees all three.
+	got := runTier2(t, []*Analyzer{EpsFlow}, files)
+	expectDiags(t, got, "app.go:9:epsflow", "app.go:11:epsflow", "app.go:13:epsflow")
+}
+
+// TestEpsFlowDedupeAgainstFloatCmp: a comparison tier-1 floatcmp already
+// reports must not be double-reported by epsflow.
+func TestEpsFlowDedupeAgainstFloatCmp(t *testing.T) {
+	files := epsFiles(`package app
+
+func f(a, b float64) bool { return a == b }
+`)
+	expectDiags(t, runTier2(t, []*Analyzer{FloatCmp}, files), "app.go:3:floatcmp")
+	expectDiags(t, runTier2(t, []*Analyzer{EpsFlow}, files))
+	// Running both at tier 2 yields exactly one finding.
+	both := runTier2(t, []*Analyzer{FloatCmp, EpsFlow}, files)
+	expectDiags(t, both, "app.go:3:floatcmp")
+}
+
+// TestEpsFlowExemptions mirrors floatcmp's carve-outs at the type level:
+// ordered comparison against literal zero, constant-only comparisons,
+// and the errbound/murmur3 packages themselves.
+func TestEpsFlowExemptions(t *testing.T) {
+	files := epsFiles(`package app
+
+type sample struct{ v float64 }
+
+const eps = 1e-9
+const tol = 1e-6
+
+func signTest(s sample) bool { return s.v > 0 }
+
+func constOnly() bool { return eps < tol }
+`)
+	expectDiags(t, runTier2(t, []*Analyzer{EpsFlow}, files))
+
+	exempt := map[string]string{"internal/errbound/eb.go": `package errbound
+
+type sample struct{ v float64 }
+
+func eq(a, b sample) bool { return a.v == b.v }
+`}
+	expectDiags(t, runTier2(t, []*Analyzer{EpsFlow}, exempt))
+}
+
+// TestEpsFlowGenericInstantiation is the acceptance pair for epsflow: an
+// equality helper behind a type parameter is fine for ints, flagged at
+// every float call site, with a path step into the helper.
+func TestEpsFlowGenericInstantiation(t *testing.T) {
+	files := epsFiles(`package app
+
+func eq[T comparable](a, b T) bool { return a == b }
+
+func ints(a, b int) bool { return eq(a, b) }
+
+func floats(a, b float64) bool { return eq(a, b) }
+`)
+	// Tier 1 cannot flag any of this: inside eq the operands are typed T.
+	expectDiags(t, runTier2(t, []*Analyzer{FloatCmp}, files))
+	got := runTier2(t, []*Analyzer{EpsFlow}, files)
+	expectDiags(t, got, "app.go:7:epsflow")
+}
+
+// TestEpsFlowGenericSuppressionAtHelper: one directive on the helper's
+// comparison line (the path source) silences all float call sites.
+func TestEpsFlowGenericSuppressionAtHelper(t *testing.T) {
+	files := epsFiles(`package app
+
+//lint:ignore epsflow exact dispatch on quantized grid values
+func eq[T comparable](a, b T) bool { return a == b }
+
+func floatsA(a, b float64) bool { return eq(a, b) }
+
+func floatsB(a, b float32) bool { return eq(a, b) }
+`)
+	expectDiags(t, runTier2(t, []*Analyzer{EpsFlow}, files))
+}
+
+// TestEpsFlowSwitchTag: switch on a float-typed value dispatches by
+// exact ==.
+func TestEpsFlowSwitchTag(t *testing.T) {
+	files := epsFiles(`package app
+
+func classify(v float64) string {
+	switch v {
+	case 1.5:
+		return "x"
+	default:
+		return "y"
+	}
+}
+
+func defaultOnly(v float64) string {
+	switch v {
+	default:
+		return "y"
+	}
+}
+`)
+	got := runTier2(t, []*Analyzer{EpsFlow}, files)
+	expectDiags(t, got, "app.go:4:epsflow")
+}

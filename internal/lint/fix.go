@@ -1,0 +1,376 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// This file implements `reprovet -fix`: mechanical, idempotent rewrites
+// for the two rules whose canonical fix is a one-statement substitution.
+//
+//   - errclose: a dropped `x.Close()` (bare statement or defer) inside a
+//     function with a named error result becomes
+//     `safeclose.Do(x, &err)` — the checked-close helper that records
+//     the error unless an earlier one already claimed the return.
+//     Close only: Flush/Sync/Write failures usually need real handling,
+//     not a deferred capture, so they stay manual.
+//   - walltime: `time.Now()` becomes `simclock.Epoch()`, the fixed
+//     deterministic stand-in. Since/Until imply interval arithmetic the
+//     fix cannot guess at, so they stay manual too.
+//
+// Only diagnostics that survive suppression are fixed (an annotated site
+// is a reviewed decision), and the fixer is driven by the analyzers
+// themselves: a site is rewritten only if the rule actually flagged it.
+// Rewrites are plain text edits at token offsets followed by import
+// bookkeeping and gofmt, so the rest of the file keeps its exact shape.
+// Running -fix twice is a no-op by construction: the rewritten forms no
+// longer match either rule.
+
+// FixResult reports the rewrites applied to one file.
+type FixResult struct {
+	File    string
+	Applied int
+	// Skipped counts flagged sites the fixer declined (e.g. a dropped
+	// Close in a function without a named error result to capture into).
+	Skipped int
+}
+
+// fixRules are the analyzers -fix knows how to rewrite.
+var fixRules = []*Analyzer{ErrClose, WallTime}
+
+// Fix runs the fixable analyzers over the tree and rewrites every
+// surviving finding it has a mechanical fix for, in place. It returns
+// per-file results for files with at least one applied or skipped site.
+func Fix(cfg Config, patterns ...string) ([]FixResult, error) {
+	if cfg.Root == "" {
+		cfg.Root = "."
+	}
+	cfg.Analyzers = fixRules
+	cfg.Tier = 1
+	diags, err := Run(cfg, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	byFile := map[string][]Diagnostic{}
+	for _, d := range diags {
+		byFile[d.File] = append(byFile[d.File], d)
+	}
+	paths := make([]string, 0, len(byFile))
+	for p := range byFile {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	var out []FixResult
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		fixed, applied, skipped, err := FixSource(src, byFile[path], module)
+		if err != nil {
+			return nil, fmt.Errorf("lint: fix %s: %w", path, err)
+		}
+		if applied > 0 {
+			info, err := os.Stat(path)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			if err := os.WriteFile(path, fixed, info.Mode().Perm()); err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+		}
+		if applied > 0 || skipped > 0 {
+			out = append(out, FixResult{File: path, Applied: applied, Skipped: skipped})
+		}
+	}
+	return out, nil
+}
+
+// edit is one pending text replacement at byte offsets into the source.
+type edit struct {
+	start, end int
+	text       string
+}
+
+// FixSource rewrites one file's source given the diagnostics reported
+// against it. It returns the new source and the applied/skipped counts;
+// src is returned unchanged when nothing applies. Exported (rather than
+// only reachable through Fix) so fixtures can exercise the rewrite logic
+// on synthetic sources without a module tree.
+func FixSource(src []byte, diags []Diagnostic, module string) ([]byte, int, int, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+
+	// Index the diagnostic anchors by position so the walk below fixes
+	// exactly the flagged sites and nothing else.
+	type anchor struct{ line, col int }
+	flagged := map[string]map[anchor]bool{}
+	for _, d := range diags {
+		if flagged[d.Rule] == nil {
+			flagged[d.Rule] = map[anchor]bool{}
+		}
+		flagged[d.Rule][anchor{d.Line, d.Col}] = true
+	}
+	at := func(rule string, pos token.Pos) bool {
+		p := fset.Position(pos)
+		return flagged[rule][anchor{p.Line, p.Column}]
+	}
+	offset := func(pos token.Pos) int { return fset.Position(pos).Offset }
+	text := func(n ast.Node) string { return string(src[offset(n.Pos()):offset(n.End())]) }
+
+	var edits []edit
+	applied, skipped := 0, 0
+	needSafeclose, needSimclock := false, false
+
+	// closeRewrite builds the replacement for a flagged x.Close() inside
+	// a function whose named error result is errName.
+	closeRewrite := func(call *ast.CallExpr, errName string) string {
+		sel := call.Fun.(*ast.SelectorExpr)
+		return fmt.Sprintf("safeclose.Do(%s, &%s)", text(sel.X), errName)
+	}
+
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call := fixableClose(n.X); call != nil && at("errclose", n.Pos()) {
+				if errName := namedErrResult(stack); errName != "" {
+					edits = append(edits, edit{offset(n.Pos()), offset(n.End()), closeRewrite(call, errName)})
+					needSafeclose = true
+					applied++
+				} else {
+					skipped++
+				}
+			}
+		case *ast.DeferStmt:
+			if call := fixableClose(n.Call); call != nil && at("errclose", n.Pos()) {
+				if errName := namedErrResult(stack); errName != "" {
+					edits = append(edits, edit{offset(n.Call.Pos()), offset(n.Call.End()), closeRewrite(call, errName)})
+					needSafeclose = true
+					applied++
+				} else {
+					skipped++
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && len(n.Args) == 0 {
+				if x, ok := sel.X.(*ast.Ident); ok && x.Name == "time" && sel.Sel.Name == "Now" && at("walltime", sel.Pos()) {
+					edits = append(edits, edit{offset(n.Pos()), offset(n.End()), "simclock.Epoch()"})
+					needSimclock = true
+					applied++
+				}
+			}
+		}
+		return true
+	})
+
+	if applied == 0 {
+		return src, 0, skipped, nil
+	}
+	fixed := applyEdits(src, edits)
+	fixed, err = fixImports(fixed, module, needSafeclose, needSimclock)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return fixed, applied, skipped, nil
+}
+
+// fixableClose returns the call when e is `x.Close()` with no arguments
+// — the only errclose shape with a mechanical fix.
+func fixableClose(e ast.Expr) *ast.CallExpr {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return nil
+	}
+	return call
+}
+
+// namedErrResult scans the node stack for the innermost enclosing
+// function and returns the name of its named error result, or "".
+func namedErrResult(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch n := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = n.Type
+		case *ast.FuncLit:
+			ft = n.Type
+		default:
+			continue
+		}
+		if ft.Results == nil {
+			return ""
+		}
+		for _, field := range ft.Results.List {
+			id, ok := field.Type.(*ast.Ident)
+			if !ok || id.Name != "error" {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					return name.Name
+				}
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+// applyEdits replaces the edit ranges, applying from the end of the file
+// backward so earlier offsets stay valid.
+func applyEdits(src []byte, edits []edit) []byte {
+	sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+	out := src
+	for _, e := range edits {
+		var buf []byte
+		buf = append(buf, out[:e.start]...)
+		buf = append(buf, e.text...)
+		buf = append(buf, out[e.end:]...)
+		out = buf
+	}
+	return out
+}
+
+// fixImports adds the helper imports the rewrites introduced, removes a
+// now-unused "time" import, and formats the result.
+func fixImports(src []byte, module string, needSafeclose, needSimclock bool) ([]byte, error) {
+	var want []string
+	if needSafeclose {
+		want = append(want, module+"/internal/safeclose")
+	}
+	if needSimclock {
+		want = append(want, module+"/internal/simclock")
+	}
+	for _, path := range want {
+		var err error
+		src, err = addImport(src, path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	src, err := dropUnusedTimeImport(src)
+	if err != nil {
+		return nil, err
+	}
+	return format.Source(src)
+}
+
+// addImport inserts an import of path unless already present.
+func addImport(src []byte, path string) ([]byte, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	for _, imp := range f.Imports {
+		if imp.Path.Value == strconv.Quote(path) {
+			return src, nil
+		}
+	}
+	offset := func(pos token.Pos) int { return fset.Position(pos).Offset }
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			// Parenthesized block: append as its own group (module
+			// imports sit below the standard library, per the tree's
+			// style) so gofmt sorts within groups rather than mixing.
+			ins := offset(gd.Rparen)
+			return spliceBytes(src, ins, ins, fmt.Sprintf("\n\t%q\n", path)), nil
+		}
+		// Single import: wrap it into a block.
+		spec := gd.Specs[0].(*ast.ImportSpec)
+		repl := fmt.Sprintf("import (\n\t%s\n\n\t%q\n)", string(src[offset(spec.Pos()):offset(spec.End())]), path)
+		return spliceBytes(src, offset(gd.Pos()), offset(gd.End()), repl), nil
+	}
+	// No import declaration: add one after the package clause.
+	ins := offset(f.Name.End())
+	return spliceBytes(src, ins, ins, fmt.Sprintf("\n\nimport %q", path)), nil
+}
+
+// dropUnusedTimeImport removes the "time" import when no time.X
+// reference remains (the walltime rewrite often strips the last one).
+func dropUnusedTimeImport(src []byte) ([]byte, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	used := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" {
+				used = true
+				return false
+			}
+		}
+		return true
+	})
+	if used {
+		return src, nil
+	}
+	offset := func(pos token.Pos) int { return fset.Position(pos).Offset }
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			imp := spec.(*ast.ImportSpec)
+			if imp.Path.Value != `"time"` || imp.Name != nil {
+				continue
+			}
+			if len(gd.Specs) == 1 && !gd.Lparen.IsValid() {
+				// Sole unparenthesized import: drop the whole decl.
+				return spliceBytes(src, offset(gd.Pos()), offset(gd.End()), ""), nil
+			}
+			// Drop the spec's line inside the block; gofmt cleans up an
+			// empty block if this was the last spec.
+			start := offset(imp.Pos())
+			end := offset(imp.End())
+			for end < len(src) && src[end] != '\n' {
+				end++
+			}
+			if end < len(src) {
+				end++
+			}
+			return spliceBytes(src, start, end, ""), nil
+		}
+	}
+	return src, nil
+}
+
+// spliceBytes replaces src[start:end] with text.
+func spliceBytes(src []byte, start, end int, text string) []byte {
+	var out []byte
+	out = append(out, src[:start]...)
+	out = append(out, text...)
+	out = append(out, src[end:]...)
+	return out
+}

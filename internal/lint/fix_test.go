@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixTree builds a fixture module, runs Fix over it, and returns the
+// resulting content of the named file plus the fix results.
+func fixTree(t *testing.T, files map[string]string, read string) (string, []FixResult) {
+	t.Helper()
+	root := t.TempDir()
+	mustWrite(t, root, "go.mod", "module fixture\n\ngo 1.22\n")
+	// The helper packages must exist for the rewritten tree to build.
+	mustWrite(t, root, "internal/safeclose/safeclose.go", `package safeclose
+
+import "io"
+
+func Do(c io.Closer, errp *error) {
+	if err := c.Close(); err != nil && *errp == nil {
+		*errp = err
+	}
+}
+`)
+	mustWrite(t, root, "internal/simclock/simclock.go", `package simclock
+
+import "time"
+
+func Epoch() time.Time { return time.Unix(0, 0).UTC() }
+`)
+	for rel, content := range files {
+		mustWrite(t, root, rel, content)
+	}
+	results, err := Fix(Config{Root: root}, "./...")
+	if err != nil {
+		t.Fatalf("Fix: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(root, read))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Idempotence: a second run must find nothing left to fix.
+	again, err := Fix(Config{Root: root}, "./...")
+	if err != nil {
+		t.Fatalf("second Fix: %v", err)
+	}
+	for _, r := range again {
+		if r.Applied != 0 {
+			t.Fatalf("fix is not idempotent: second run applied %d in %s", r.Applied, r.File)
+		}
+	}
+	return string(data), results
+}
+
+// TestFixErrClose rewrites dropped Close statements (bare and deferred)
+// into safeclose.Do and adds the import.
+func TestFixErrClose(t *testing.T) {
+	before := `package ckpt
+
+import "os"
+
+func write(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+func also(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return nil
+}
+`
+	after := `package ckpt
+
+import (
+	"os"
+
+	"fixture/internal/safeclose"
+)
+
+func write(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer safeclose.Do(f, &err)
+	_, err = f.Write(data)
+	return err
+}
+
+func also(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	safeclose.Do(f, &err)
+	return nil
+}
+`
+	got, results := fixTree(t, map[string]string{"internal/ckpt/w.go": before}, "internal/ckpt/w.go")
+	if got != after {
+		t.Fatalf("fixed source mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, after)
+	}
+	if len(results) != 1 || results[0].Applied != 2 || results[0].Skipped != 0 {
+		t.Fatalf("results: %+v", results)
+	}
+}
+
+// TestFixErrCloseSkipsWithoutNamedError: no named error result means no
+// place to capture the Close error; the site is skipped, not mangled.
+func TestFixErrCloseSkipsWithoutNamedError(t *testing.T) {
+	before := `package ckpt
+
+import "os"
+
+func fire(path string) {
+	f, _ := os.Create(path)
+	f.Close()
+}
+`
+	got, results := fixTree(t, map[string]string{"internal/ckpt/w.go": before}, "internal/ckpt/w.go")
+	if got != before {
+		t.Fatalf("source must be untouched, got:\n%s", got)
+	}
+	if len(results) != 1 || results[0].Applied != 0 || results[0].Skipped != 1 {
+		t.Fatalf("results: %+v", results)
+	}
+}
+
+// TestFixWallTime rewrites time.Now() to simclock.Epoch(), swaps the
+// imports, and leaves time.Since (no mechanical fix) alone.
+func TestFixWallTime(t *testing.T) {
+	before := `package pipe
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now()
+}
+`
+	after := `package pipe
+
+import (
+	"time"
+
+	"fixture/internal/simclock"
+)
+
+func stamp() time.Time {
+	return simclock.Epoch()
+}
+`
+	got, results := fixTree(t, map[string]string{"internal/pipe/p.go": before}, "internal/pipe/p.go")
+	if got != after {
+		t.Fatalf("fixed source mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, after)
+	}
+	if len(results) != 1 || results[0].Applied != 1 {
+		t.Fatalf("results: %+v", results)
+	}
+}
+
+// TestFixWallTimeDropsUnusedTimeImport: when the rewrite removes the
+// last time.X reference the import goes with it.
+func TestFixWallTimeDropsUnusedTimeImport(t *testing.T) {
+	before := `package pipe
+
+import "time"
+
+func stampNanos() int64 {
+	return time.Now().UnixNano()
+}
+`
+	after := `package pipe
+
+import (
+	"fixture/internal/simclock"
+)
+
+func stampNanos() int64 {
+	return simclock.Epoch().UnixNano()
+}
+`
+	got, _ := fixTree(t, map[string]string{"internal/pipe/p.go": before}, "internal/pipe/p.go")
+	if got != after {
+		t.Fatalf("fixed source mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, after)
+	}
+}
+
+// TestFixHonorsSuppressions: an annotated site is a reviewed decision
+// and must not be rewritten.
+func TestFixHonorsSuppressions(t *testing.T) {
+	before := `package pipe
+
+import "time"
+
+func stamp() time.Time {
+	//lint:ignore walltime provenance timestamp, reviewed
+	return time.Now()
+}
+`
+	got, results := fixTree(t, map[string]string{"internal/pipe/p.go": before}, "internal/pipe/p.go")
+	if got != before {
+		t.Fatalf("suppressed site must be untouched, got:\n%s", got)
+	}
+	if len(results) != 0 {
+		t.Fatalf("results should be empty: %+v", results)
+	}
+}
+
+// TestFixSourceNoDiags: FixSource with no diagnostics returns the input
+// unchanged.
+func TestFixSourceNoDiags(t *testing.T) {
+	src := []byte("package p\n")
+	out, applied, skipped, err := FixSource(src, nil, "fixture")
+	if err != nil || applied != 0 || skipped != 0 || string(out) != string(src) {
+		t.Fatalf("got %q applied=%d skipped=%d err=%v", out, applied, skipped, err)
+	}
+}

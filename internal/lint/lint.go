@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 )
 
@@ -62,7 +63,8 @@ func (s Severity) String() string {
 }
 
 // Diagnostic is one finding: a position, the rule that produced it, its
-// severity, and a human-readable message.
+// severity, and a human-readable message. Tier-2 dataflow rules also
+// attach the source→sink path that justifies the finding.
 type Diagnostic struct {
 	Pos      token.Position `json:"-"`
 	File     string         `json:"file"`
@@ -71,6 +73,24 @@ type Diagnostic struct {
 	Rule     string         `json:"rule"`
 	Severity string         `json:"severity"`
 	Message  string         `json:"message"`
+	// Path, when present, is the dataflow trail from the nondeterminism
+	// source (first step) to the sink the diagnostic is anchored at.
+	Path []PathStep `json:"path,omitempty"`
+}
+
+// PathStep is one hop of a dataflow path: a position and what happened
+// there ("map iteration order", "returned from keys", "reaches digest
+// write").
+type PathStep struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Note string `json:"note"`
+}
+
+// String renders the step in file:line:col form.
+func (s PathStep) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s", s.File, s.Line, s.Col, s.Note)
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -87,8 +107,21 @@ type Analyzer struct {
 	Doc string
 	// Severity is attached to every diagnostic the analyzer reports.
 	Severity Severity
+	// Tier classifies the rule: tier 1 (the zero value) is purely
+	// syntactic and always available; tier 2 requires go/types facts and
+	// silently skips any package whose type information could not be
+	// loaded (never a false positive from partial types).
+	Tier int
 	// Run performs the analysis on one package.
 	Run func(*Pass)
+}
+
+// tier normalizes the zero value to tier 1.
+func (a *Analyzer) tier() int {
+	if a.Tier < 2 {
+		return 1
+	}
+	return a.Tier
 }
 
 // Pass carries one package's parsed files through one analyzer and
@@ -103,12 +136,29 @@ type Pass struct {
 	// ".".
 	Pkg string
 
+	// TypesInfo and TypesPkg carry the go/types facts for tier-2
+	// analyzers; both are nil on tier-1 passes and on packages whose
+	// type-check failed. Module is the module path ("" when untyped),
+	// letting rules match fully-qualified names without hardcoding the
+	// module name.
+	TypesInfo *types.Info
+	TypesPkg  *types.Package
+	Module    string
+
 	analyzer *Analyzer
 	diags    []Diagnostic
 }
 
 // Reportf records a diagnostic at pos under the pass's current analyzer.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportPath(pos, nil, format, args...)
+}
+
+// ReportPath records a diagnostic carrying a dataflow path. The path's
+// first step is the source; suppression directives on the source line
+// silence the finding just like directives on the sink line, so a
+// reviewed nondeterminism source does not need one annotation per sink.
+func (p *Pass) ReportPath(pos token.Pos, path []PathStep, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	p.diags = append(p.diags, Diagnostic{
 		Pos:      position,
@@ -118,17 +168,67 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Rule:     p.analyzer.Name,
 		Severity: p.analyzer.Severity.String(),
 		Message:  fmt.Sprintf(format, args...),
+		Path:     path,
 	})
+}
+
+// Step converts a token position into a PathStep.
+func (p *Pass) Step(pos token.Pos, format string, args ...any) PathStep {
+	position := p.Fset.Position(pos)
+	return PathStep{
+		File: position.Filename,
+		Line: position.Line,
+		Col:  position.Column,
+		Note: fmt.Sprintf(format, args...),
+	}
 }
 
 // AnalyzeFiles runs the given analyzers over one package's files and
 // returns the surviving diagnostics: suppression comments are honored,
-// and results are sorted by file, line, column, then rule.
+// and results are sorted by file, line, column, then rule. Tier-2
+// analyzers in the list are skipped (no type information here); use
+// AnalyzeTypedFiles for them.
 func AnalyzeFiles(fset *token.FileSet, files []*ast.File, pkg string, analyzers []*Analyzer) []Diagnostic {
-	sup := collectSuppressions(fset, files)
+	return analyzeFiles(fset, files, pkg, analyzers, nil, nil)
+}
+
+// AnalyzeTypedFiles runs analyzers over one type-checked package. Both
+// tiers run: tier-1 rules see the same files, tier-2 rules additionally
+// see the go/types facts. lp.Err != nil reduces the pass to tier 1.
+func AnalyzeTypedFiles(lp *Loaded, module string, analyzers []*Analyzer) []Diagnostic {
+	var typed *typedContext
+	if lp.Err == nil && lp.Info != nil {
+		typed = &typedContext{info: lp.Info, pkg: lp.Pkg, module: module}
+	}
+	return analyzeFiles(lp.Fset, lp.Files, lp.Dir, analyzers, typed, nil)
+}
+
+// typedContext bundles the optional go/types facts for one package.
+type typedContext struct {
+	info   *types.Info
+	pkg    *types.Package
+	module string
+}
+
+// analyzeFiles is the shared core of AnalyzeFiles/AnalyzeTypedFiles.
+// When sup is nil a fresh suppression index is collected from the files;
+// passing a non-nil index lets callers (the stale-ignore audit) observe
+// which directives actually suppressed something.
+func analyzeFiles(fset *token.FileSet, files []*ast.File, pkg string, analyzers []*Analyzer, typed *typedContext, sup *suppressions) []Diagnostic {
+	if sup == nil {
+		sup = collectSuppressions(fset, files)
+	}
 	var out []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{Fset: fset, Files: files, Pkg: pkg, analyzer: a}
+		if a.tier() >= 2 {
+			if typed == nil {
+				continue // degrade to silent skip without type facts
+			}
+			pass.TypesInfo = typed.info
+			pass.TypesPkg = typed.pkg
+			pass.Module = typed.module
+		}
 		a.Run(pass)
 		for _, d := range pass.diags {
 			if sup.suppressed(d) {
@@ -177,6 +277,8 @@ func All() []*Analyzer {
 		RingLife,
 		Ctxflow,
 		Retryloop,
+		DetFlow,
+		EpsFlow,
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package lint
+
+// raceEnabled reports whether the race detector is compiled in; the
+// tier-2 budget test skips under race, where the ~10x slowdown makes
+// wall-clock assertions meaningless.
+const raceEnabled = true

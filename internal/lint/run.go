@@ -21,8 +21,42 @@ type Config struct {
 	// IncludeTests includes _test.go files in the analysis. Off by
 	// default: the determinism and ε-safety guarantees are about
 	// production paths, and test files compare floats and leak nothing
-	// past the test binary.
+	// past the test binary. Tier-2 analyzers always exclude test files:
+	// external-test packages and test-only dependencies would drag the
+	// type-check surface far past what the dataflow rules police.
 	IncludeTests bool
+	// Tier selects the analysis depth: 1 (or 0, the default being
+	// normalized to the full suite's maximum) runs the syntactic rules
+	// only; 2 additionally type-checks each package and runs the
+	// go/types-backed dataflow rules. Packages whose type-check fails
+	// degrade to tier 1 silently — tier 2 adds findings, never removes
+	// or invents them.
+	Tier int
+}
+
+// effectiveTier normalizes the config's tier: unset means "as deep as
+// the selected analyzers require".
+func (cfg Config) effectiveTier() int {
+	if cfg.Tier != 0 {
+		return cfg.Tier
+	}
+	tier := 1
+	for _, a := range cfg.Analyzers {
+		if a.tier() > tier {
+			tier = a.tier()
+		}
+	}
+	return tier
+}
+
+// StaleIgnore is a //lint:ignore directive that suppressed nothing
+// during a full run: dead weight at best, a masked regression at worst.
+// `reprovet -audit-ignores` reports these.
+type StaleIgnore struct {
+	File   string   `json:"file"`
+	Line   int      `json:"line"`
+	Rules  []string `json:"rules"`
+	Reason string   `json:"reason,omitempty"`
 }
 
 // Run expands the given package patterns relative to cfg.Root, parses
@@ -30,6 +64,20 @@ type Config struct {
 // diagnostics sorted by position. Patterns follow go-tool conventions:
 // "./..." walks recursively, "./internal/ckpt" names one directory.
 func Run(cfg Config, patterns ...string) ([]Diagnostic, error) {
+	diags, _, err := run(cfg, false, patterns...)
+	return diags, err
+}
+
+// RunAudit is Run plus directive liveness tracking: it returns the
+// surviving diagnostics and every suppression directive that did not
+// suppress a single finding across the whole run. Auditing is only
+// meaningful over the full rule set at the deepest tier — a directive
+// for a tier-2 rule looks dead to a tier-1 run.
+func RunAudit(cfg Config, patterns ...string) ([]Diagnostic, []StaleIgnore, error) {
+	return run(cfg, true, patterns...)
+}
+
+func run(cfg Config, audit bool, patterns ...string) ([]Diagnostic, []StaleIgnore, error) {
 	if cfg.Root == "" {
 		cfg.Root = "."
 	}
@@ -41,20 +89,51 @@ func Run(cfg Config, patterns ...string) ([]Diagnostic, error) {
 	}
 	dirs, err := expandPatterns(cfg.Root, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+
+	// Tier 2 brings its own loader (and FileSet): the loader's parse is
+	// also what gets type-checked. Suppression directives are collected
+	// once per package from the tier-1 parse and shared with the tier-2
+	// pass — matching is by (file, line), and both parses see the same
+	// paths — so directive liveness is observed across both tiers.
+	var loader *Loader
+	tier1, tier2 := splitByTier(cfg.Analyzers)
+	if cfg.effectiveTier() >= 2 && len(tier2) > 0 {
+		loader, err = NewLoader(cfg.Root)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
 	fset := token.NewFileSet()
 	var out []Diagnostic
+	var stale []StaleIgnore
 	for _, dir := range dirs {
 		files, err := parseDir(fset, filepath.Join(cfg.Root, dir), cfg.IncludeTests)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if len(files) == 0 {
 			continue
 		}
 		pkg := filepath.ToSlash(dir)
-		out = append(out, AnalyzeFiles(fset, files, pkg, cfg.Analyzers)...)
+		sup := collectSuppressions(fset, files)
+		out = append(out, analyzeFiles(fset, files, pkg, tier1, nil, sup)...)
+		if loader != nil {
+			if lp := loader.Load(pkg); lp.Err == nil {
+				var typed *typedContext
+				if lp.Info != nil {
+					typed = &typedContext{info: lp.Info, pkg: lp.Pkg, module: loader.Module()}
+				}
+				out = append(out, analyzeFiles(lp.Fset, lp.Files, lp.Dir, tier2, typed, sup)...)
+			}
+		}
+		if audit {
+			for _, d := range sup.stale() {
+				stale = append(stale, StaleIgnore{File: d.file, Line: d.line, Rules: d.rules, Reason: d.reason})
+			}
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -66,7 +145,26 @@ func Run(cfg Config, patterns ...string) ([]Diagnostic, error) {
 		}
 		return a.Col < b.Col
 	})
-	return out, nil
+	sort.Slice(stale, func(i, j int) bool {
+		if stale[i].File != stale[j].File {
+			return stale[i].File < stale[j].File
+		}
+		return stale[i].Line < stale[j].Line
+	})
+	return out, stale, nil
+}
+
+// splitByTier partitions the analyzer list into syntactic (tier-1) and
+// type-backed (tier-2) rules.
+func splitByTier(analyzers []*Analyzer) (tier1, tier2 []*Analyzer) {
+	for _, a := range analyzers {
+		if a.tier() >= 2 {
+			tier2 = append(tier2, a)
+		} else {
+			tier1 = append(tier1, a)
+		}
+	}
+	return tier1, tier2
 }
 
 // expandPatterns resolves package patterns to a sorted, de-duplicated

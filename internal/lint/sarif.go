@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 export (`reprovet -sarif`), the interchange format CI
+// annotators and editors ingest. The subset emitted here is the stable
+// core: one run, the driver's rule catalog, one result per diagnostic
+// with its physical location, and — for path-carrying tier-2 findings —
+// the source→sink trail as relatedLocations, which viewers render as
+// linked steps under the finding.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID           string          `json:"ruleId"`
+	Level            string          `json:"level"`
+	Message          sarifMessage    `json:"message"`
+	Locations        []sarifLocation `json:"locations"`
+	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifMessage `json:"message,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// ToSARIF renders diagnostics as a SARIF 2.1.0 log. File paths are
+// emitted relative to root (slash separated) so the log is portable
+// across checkouts; severities map warning→warning, error→error.
+func ToSARIF(diags []Diagnostic, root string) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(All()))
+	for _, a := range All() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		res := sarifResult{
+			RuleID:  d.Rule,
+			Level:   d.Severity,
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: sarifURI(d.File, root)},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		}
+		for _, step := range d.Path {
+			note := step.Note
+			res.RelatedLocations = append(res.RelatedLocations, sarifLocation{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: sarifURI(step.File, root)},
+					Region:           sarifRegion{StartLine: step.Line, StartColumn: step.Col},
+				},
+				Message: &sarifMessage{Text: note},
+			})
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "reprovet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(&log, "", "  ")
+}
+
+// sarifURI renders a diagnostic file path relative to root with forward
+// slashes; paths that cannot be made relative pass through slashified.
+func sarifURI(file, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}

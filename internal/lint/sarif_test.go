@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestToSARIFGolden locks the SARIF shape against a golden file: the
+// format is an interchange contract, so any drift must be a reviewed
+// diff, not an accident. Regenerate with `go test -run SARIFGolden
+// -update ./internal/lint/`.
+func TestToSARIFGolden(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			File: "/repo/internal/compare/cmp.go", Line: 42, Col: 7,
+			Rule: "floatcmp", Severity: "error",
+			Message: `raw float comparison "==": route through errbound.Equal or an explicit ε`,
+		},
+		{
+			File: "/repo/internal/catalog/save.go", Line: 10, Col: 3,
+			Rule: "detflow", Severity: "error",
+			Message: "map iteration order flows into run-catalog record; the recorded result depends on runtime state, not run inputs",
+			Path: []PathStep{
+				{File: "/repo/internal/catalog/save.go", Line: 5, Col: 2, Note: "map iterated in randomized order"},
+				{File: "/repo/internal/catalog/save.go", Line: 10, Col: 3, Note: "reaches run-catalog record"},
+			},
+		},
+		{
+			File: "/repo/cmd/tool/main.go", Line: 3, Col: 1,
+			Rule: "gocheck", Severity: "warning",
+			Message: "goroutine launched without a join",
+		},
+	}
+	got, err := ToSARIF(diags, "/repo")
+	if err != nil {
+		t.Fatalf("ToSARIF: %v", err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "sarif.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("SARIF output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestToSARIFIsValidJSONAndRelativizes sanity-checks structure beyond
+// the golden bytes: parseable, correct version, relative URIs, related
+// locations only where a path exists.
+func TestToSARIFIsValidJSONAndRelativizes(t *testing.T) {
+	diags := []Diagnostic{{
+		File: "/r/a.go", Line: 1, Col: 1, Rule: "floatcmp", Severity: "error", Message: "m",
+	}}
+	out, err := ToSARIF(diags, "/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				RelatedLocations []any `json:"relatedLocations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Fatalf("version: %s", log.Version)
+	}
+	res := log.Runs[0].Results[0]
+	if uri := res.Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "a.go" {
+		t.Fatalf("uri not relativized: %q", uri)
+	}
+	if len(res.RelatedLocations) != 0 {
+		t.Fatalf("pathless diagnostic must have no relatedLocations")
+	}
+	// A file outside root keeps its absolute (slashified) path.
+	out2, err := ToSARIF([]Diagnostic{{File: "/elsewhere/b.go", Line: 1, Col: 1, Rule: "x", Severity: "error", Message: "m"}}, "/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(out2, &log); err != nil {
+		t.Fatal(err)
+	}
+	if uri := log.Runs[0].Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "/elsewhere/b.go" {
+		t.Fatalf("outside-root uri: %q", uri)
+	}
+}

@@ -9,11 +9,27 @@ import (
 // ignoreDirective is the comment prefix that suppresses findings.
 const ignoreDirective = "lint:ignore"
 
-// suppressions indexes //lint:ignore directives by file and line.
+// directive is one parsed //lint:ignore comment: its position, the rules
+// it names, and the free-form reason. A single comment naming several
+// rules produces one directive (usage is tracked per comment, so a
+// comma-list is live as long as any named rule still fires there).
+type directive struct {
+	file   string
+	line   int
+	rules  []string
+	reason string
+}
+
+// suppressions indexes //lint:ignore directives by file and line and
+// tracks which directives actually suppressed a finding.
 type suppressions struct {
-	// byLine maps "file\x00line" to the set of rule IDs ignored there.
-	// The wildcard rule "*" ignores every rule.
-	byLine map[suppressKey]map[string]bool
+	// byLine maps a (file, line) key to the directives whose coverage
+	// window (their own line and the line below) includes it.
+	byLine map[suppressKey][]int
+	// directives are the parsed comments, in file order.
+	directives []directive
+	// used[i] records that directive i suppressed at least one finding.
+	used map[int]bool
 }
 
 type suppressKey struct {
@@ -22,7 +38,7 @@ type suppressKey struct {
 }
 
 // collectSuppressions scans the comment lists of the package's files for
-// lint:ignore directives. A directive written as
+// suppression directives. A directive written as
 //
 //	//lint:ignore rule1[,rule2] reason
 //
@@ -31,13 +47,16 @@ type suppressKey struct {
 // statement). A missing reason keeps the directive valid but is
 // discouraged; the reason exists for reviewers, not the tool.
 func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
-	s := &suppressions{byLine: map[suppressKey]map[string]bool{}}
+	s := &suppressions{byLine: map[suppressKey][]int{}, used: map[int]bool{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				// The directive must sit flush against the comment marker
+				// (//lint:ignore, no space): prose that merely mentions the
+				// directive syntax is not a directive.
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimPrefix(text, "/*")
-				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				text = strings.TrimSuffix(text, "*/")
 				if !strings.HasPrefix(text, ignoreDirective) {
 					continue
 				}
@@ -46,14 +65,26 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 				if len(fields) == 0 {
 					continue
 				}
-				pos := fset.Position(c.Pos())
+				var rules []string
 				for _, rule := range strings.Split(fields[0], ",") {
-					rule = strings.TrimSpace(rule)
-					if rule == "" {
-						continue
+					if rule = strings.TrimSpace(rule); rule != "" {
+						rules = append(rules, rule)
 					}
-					s.add(pos.Filename, pos.Line, rule)
-					s.add(pos.Filename, pos.Line+1, rule)
+				}
+				if len(rules) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				idx := len(s.directives)
+				s.directives = append(s.directives, directive{
+					file:   pos.Filename,
+					line:   pos.Line,
+					rules:  rules,
+					reason: strings.TrimSpace(strings.TrimPrefix(rest, fields[0])),
+				})
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := suppressKey{file: pos.Filename, line: line}
+					s.byLine[k] = append(s.byLine[k], idx)
 				}
 			}
 		}
@@ -61,19 +92,52 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 	return s
 }
 
-func (s *suppressions) add(file string, line int, rule string) {
-	k := suppressKey{file: file, line: line}
-	m := s.byLine[k]
-	if m == nil {
-		m = map[string]bool{}
-		s.byLine[k] = m
+// covers reports whether directive d names the rule (or the wildcard).
+func (d *directive) covers(rule string) bool {
+	for _, r := range d.rules {
+		if r == rule || r == "*" {
+			return true
+		}
 	}
-	m[rule] = true
+	return false
+}
+
+// matchAt marks and reports any directive covering rule at (file, line).
+func (s *suppressions) matchAt(file string, line int, rule string) bool {
+	hit := false
+	for _, idx := range s.byLine[suppressKey{file: file, line: line}] {
+		if s.directives[idx].covers(rule) {
+			s.used[idx] = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 // suppressed reports whether the diagnostic is covered by a directive on
-// its own line or the line above it.
+// its own line or the line above it. For path-carrying diagnostics a
+// directive at the path's source (its first step) also suppresses: one
+// reviewed annotation at a nondeterminism source covers every sink it
+// reaches.
 func (s *suppressions) suppressed(d Diagnostic) bool {
-	m := s.byLine[suppressKey{file: d.File, line: d.Line}]
-	return m != nil && (m[d.Rule] || m["*"])
+	hit := s.matchAt(d.File, d.Line, d.Rule)
+	if len(d.Path) > 0 {
+		src := d.Path[0]
+		if s.matchAt(src.File, src.Line, d.Rule) {
+			hit = true
+		}
+	}
+	return hit
+}
+
+// stale returns the directives that never suppressed a finding during
+// the runs this index was threaded through.
+func (s *suppressions) stale() []directive {
+	var out []directive
+	for i, d := range s.directives {
+		if !s.used[i] {
+			out = append(out, d)
+		}
+	}
+	return out
 }

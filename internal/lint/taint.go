@@ -1,0 +1,937 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the tier-2 taint engine: a type-aware dataflow analysis
+// that propagates "this value is nondeterministic" facts through
+// assignments, composite data, channels, returns, and intra-package call
+// edges, and reports when a tainted value reaches a rule-defined sink.
+//
+// The fact lattice is deliberately small. A variable's abstract value is
+// a set of taint facts (each tagged with the kind of nondeterminism and
+// the source-first path that produced it) plus a set of parameter
+// lineages ("this value derives from parameter #i"). Lineages are what
+// make the analysis interprocedural: they become per-function summaries
+// (param → sink, param → return, source → return) that callers join
+// against at call sites, so a map-ordered key laundered through two
+// helper hops still arrives at the digest write with its full
+// source→sink path intact.
+//
+// Conservatism rules, in priority order:
+//  1. Never report without a positive source→sink chain (no finding from
+//     partial type info; dynamic dispatch and cross-package flows are
+//     dropped edges, not guesses).
+//  2. Never remove a fact except at an explicit sanitizer (a sort call
+//     clears order-sensitivity; nothing clears value nondeterminism).
+//  3. Assignment accumulates (union) rather than overwrites: an `if`
+//     branch that taints a variable taints every later use.
+
+// taintKind classifies the nondeterminism a fact records.
+type taintKind uint8
+
+const (
+	// taintMapOrder: value's position in an emission sequence depends on
+	// Go's randomized map iteration order.
+	taintMapOrder taintKind = iota
+	// taintWallClock: value derives from time.Now/Since/Until.
+	taintWallClock
+	// taintRand: value derives from the auto-seeded global math/rand
+	// source.
+	taintRand
+	// taintGoroutine: value arrives in goroutine completion order.
+	taintGoroutine
+	// taintReadDir: value reflects directory contents, which vary with
+	// the host filesystem rather than the run inputs.
+	taintReadDir
+)
+
+// String names the kind for diagnostics.
+func (k taintKind) String() string {
+	switch k {
+	case taintMapOrder:
+		return "map iteration order"
+	case taintWallClock:
+		return "wall-clock time"
+	case taintRand:
+		return "unseeded math/rand output"
+	case taintGoroutine:
+		return "goroutine completion order"
+	case taintReadDir:
+		return "directory listing contents"
+	default:
+		return fmt.Sprintf("taintKind(%d)", int(k))
+	}
+}
+
+// orderSensitive reports whether sorting launders the taint: an order
+// taint names nondeterministic *sequence position*, which a sort
+// restores; a value taint (clock, rand) survives any reordering.
+func (k taintKind) orderSensitive() bool {
+	return k == taintMapOrder || k == taintGoroutine || k == taintReadDir
+}
+
+// flowStep is one hop of a source→sink trail, engine-internal (converted
+// to PathStep at report time).
+type flowStep struct {
+	pos  token.Pos
+	note string
+}
+
+// maxPathSteps bounds trail growth through recursion and long chains.
+const maxPathSteps = 16
+
+func extendPath(path []flowStep, steps ...flowStep) []flowStep {
+	out := make([]flowStep, 0, len(path)+len(steps))
+	out = append(out, path...)
+	for _, s := range steps {
+		if len(out) >= maxPathSteps {
+			break
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// fact is one taint with its provenance trail.
+type fact struct {
+	kind taintKind
+	path []flowStep
+}
+
+// lineage records that a value derives from a function parameter, with
+// the in-function trail and whether the data passed through a sort (so
+// order-sensitive taints joined by a caller are dropped).
+type lineage struct {
+	path   []flowStep
+	sorted bool
+}
+
+// absVal is the abstract value of an expression or variable.
+type absVal struct {
+	facts  []fact
+	params map[int]lineage
+}
+
+func (v *absVal) empty() bool {
+	return v == nil || (len(v.facts) == 0 && len(v.params) == 0)
+}
+
+// union merges other into v, deduplicating facts by kind (first trail
+// wins — it is the shortest seen) and lineages by parameter index.
+func (v *absVal) union(other *absVal) bool {
+	if other.empty() {
+		return false
+	}
+	changed := false
+	for _, f := range other.facts {
+		if !v.hasKind(f.kind) {
+			v.facts = append(v.facts, f)
+			changed = true
+		}
+	}
+	for i, lin := range other.params {
+		if v.params == nil {
+			v.params = map[int]lineage{}
+		}
+		if _, ok := v.params[i]; !ok {
+			v.params[i] = lin
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (v *absVal) hasKind(k taintKind) bool {
+	for _, f := range v.facts {
+		if f.kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// sinkArg names a call argument that feeds a sink.
+type sinkArg struct {
+	arg  int // argument index; the last index of a variadic sink covers the tail
+	desc string
+}
+
+// sinkHit is a summary entry: "parameter #i of this function reaches the
+// named sink" with the in-function trail.
+type sinkHit struct {
+	desc   string
+	path   []flowStep
+	sorted bool
+}
+
+// funcSummary is the interprocedural abstract of one function.
+type funcSummary struct {
+	retFacts   []fact            // taints sourced inside that reach a return value
+	retParams  map[int]bool      // parameters that flow to a return value
+	sinkParams map[int][]sinkHit // parameters that reach a sink inside
+}
+
+func newFuncSummary() *funcSummary {
+	return &funcSummary{retParams: map[int]bool{}, sinkParams: map[int][]sinkHit{}}
+}
+
+// signature renders the summary's convergence-relevant shape: trails are
+// excluded so path churn cannot keep the fixpoint spinning.
+func (s *funcSummary) signature() string {
+	if s == nil {
+		return ""
+	}
+	kinds := make([]int, 0, len(s.retFacts))
+	for _, f := range s.retFacts {
+		kinds = append(kinds, int(f.kind))
+	}
+	sort.Ints(kinds)
+	rets := make([]int, 0, len(s.retParams))
+	for i := range s.retParams {
+		rets = append(rets, i)
+	}
+	sort.Ints(rets)
+	var sinks []string
+	for i, hits := range s.sinkParams {
+		for _, h := range hits {
+			sinks = append(sinks, fmt.Sprintf("%d:%s:%v", i, h.desc, h.sorted))
+		}
+	}
+	sort.Strings(sinks)
+	return fmt.Sprintf("%v|%v|%v", kinds, rets, sinks)
+}
+
+// taintSpec parameterizes the engine for one rule: which structural
+// sources are live, how calls map to sources and sinks, and whether sort
+// calls sanitize order taints.
+type taintSpec struct {
+	// mapRange taints map-range key/value variables with taintMapOrder.
+	mapRange bool
+	// goroutineRecv taints receives from fan-in channels (a channel sent
+	// to from goroutines launched in a loop, or from two or more
+	// goroutines) with taintGoroutine.
+	goroutineRecv bool
+	// callSources maps a call to the taints it introduces; callee may be
+	// nil for dynamic calls.
+	callSources func(e *taintEngine, call *ast.CallExpr, callee *types.Func) []fact
+	// sinks maps a call to the sink arguments it exposes.
+	sinks func(e *taintEngine, call *ast.CallExpr, callee *types.Func) []sinkArg
+	// sortSanitizes enables the sort.*/slices.Sort* sanitizer.
+	sortSanitizes bool
+}
+
+// violation is one source→sink chain awaiting report.
+type violation struct {
+	pos  token.Pos
+	kind taintKind
+	desc string
+	path []flowStep
+}
+
+// taintEngine drives the analysis of one package under one spec.
+type taintEngine struct {
+	pass  *Pass
+	info  *types.Info
+	spec  *taintSpec
+	graph *callGraph
+	sums  map[*types.Func]*funcSummary
+}
+
+// runTaint executes the engine: summary fixpoint, then a reporting pass.
+func runTaint(p *Pass, spec *taintSpec) {
+	if p.TypesInfo == nil {
+		return
+	}
+	e := &taintEngine{
+		pass:  p,
+		info:  p.TypesInfo,
+		spec:  spec,
+		graph: buildCallGraph(p.Files, p.TypesInfo),
+		sums:  map[*types.Func]*funcSummary{},
+	}
+	// Fixpoint over intra-package summaries. Each round propagates facts
+	// across one more call hop; the tree's helper chains are shallow, so
+	// the loop converges in two or three rounds, with a hard cap as a
+	// recursion backstop.
+	for round := 0; round < 6; round++ {
+		changed := false
+		for _, fn := range e.graph.order {
+			sum, _ := e.analyzeFunc(fn, false)
+			if sum.signature() != e.sums[fn].signature() {
+				changed = true
+			}
+			e.sums[fn] = sum
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, fn := range e.graph.order {
+		_, viols := e.analyzeFunc(fn, true)
+		for _, v := range viols {
+			path := make([]PathStep, 0, len(v.path))
+			for _, s := range v.path {
+				path = append(path, p.Step(s.pos, "%s", s.note))
+			}
+			p.ReportPath(v.pos, path, "%s flows into %s; the recorded result depends on runtime state, not run inputs", v.kind, v.desc)
+		}
+	}
+}
+
+// funcState is the per-function walk state.
+type funcState struct {
+	e            *taintEngine
+	env          map[types.Object]*absVal
+	sum          *funcSummary
+	namedResults []types.Object
+	goChans      map[types.Object]bool
+	viols        map[string]violation
+}
+
+// analyzeFunc walks one function body twice (the second pass picks up
+// loop-carried flows) and returns its fresh summary plus, when collect
+// is set, the violations found inside it.
+func (e *taintEngine) analyzeFunc(fn *types.Func, collect bool) (*funcSummary, []violation) {
+	decl := e.graph.decls[fn]
+	st := &funcState{
+		e:     e,
+		env:   map[types.Object]*absVal{},
+		sum:   newFuncSummary(),
+		viols: map[string]violation{},
+	}
+	// Seed parameter lineages.
+	idx := 0
+	if decl.Type.Params != nil {
+		for _, field := range decl.Type.Params.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := e.info.Defs[name]; obj != nil && name.Name != "_" {
+					st.env[obj] = &absVal{params: map[int]lineage{idx: {}}}
+				}
+				idx++
+			}
+		}
+	}
+	// Named results support bare returns.
+	if decl.Type.Results != nil {
+		for _, field := range decl.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := e.info.Defs[name]; obj != nil && name.Name != "_" {
+					st.namedResults = append(st.namedResults, obj)
+				}
+			}
+		}
+	}
+	if e.spec.goroutineRecv {
+		st.goChans = fanInChans(e.info, decl.Body)
+	}
+	st.walk(decl.Body)
+	st.walk(decl.Body)
+	if !collect {
+		return st.sum, nil
+	}
+	keys := make([]string, 0, len(st.viols))
+	for k := range st.viols {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]violation, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, st.viols[k])
+	}
+	return st.sum, out
+}
+
+// walk visits the body in source order, updating the environment and
+// checking sinks.
+func (st *funcState) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			st.assign(n)
+		case *ast.DeclStmt:
+			st.declStmt(n)
+		case *ast.RangeStmt:
+			st.rangeStmt(n)
+		case *ast.ReturnStmt:
+			st.returnStmt(n)
+		case *ast.SendStmt:
+			// ch <- v: channel contents carry v's taints to receivers.
+			if obj := rootObj(st.e.info, n.Chan); obj != nil {
+				st.envFor(obj).union(st.eval(n.Value))
+			}
+		case *ast.CallExpr:
+			st.callStmt(n)
+		}
+		return true
+	})
+}
+
+// envFor returns (allocating) the abstract value bound to obj.
+func (st *funcState) envFor(obj types.Object) *absVal {
+	v := st.env[obj]
+	if v == nil {
+		v = &absVal{}
+		st.env[obj] = v
+	}
+	return v
+}
+
+// assign handles = / := / op= statements.
+func (st *funcState) assign(n *ast.AssignStmt) {
+	switch {
+	case len(n.Lhs) == len(n.Rhs):
+		for i, lhs := range n.Lhs {
+			val := st.eval(n.Rhs[i])
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				// Compound assignment: a commutative fold over integers
+				// (sum += v) is order-insensitive and exact, so order
+				// taints do not propagate; everything else does.
+				if commutativeAssign(n.Tok) && isIntegerType(st.e.info, lhs) {
+					val = dropOrderFacts(val)
+				}
+			}
+			st.assignTo(lhs, val)
+		}
+	case len(n.Rhs) == 1:
+		// Tuple assignment from one call/map-read: every LHS gets the
+		// RHS's abstract value.
+		val := st.eval(n.Rhs[0])
+		for _, lhs := range n.Lhs {
+			st.assignTo(lhs, val)
+		}
+	}
+}
+
+// declStmt handles `var x = expr` declarations.
+func (st *funcState) declStmt(n *ast.DeclStmt) {
+	gd, ok := n.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if i < len(vs.Values) {
+				st.assignTo(name, st.eval(vs.Values[i]))
+			} else if len(vs.Values) == 1 && len(vs.Names) > 1 {
+				st.assignTo(name, st.eval(vs.Values[0]))
+			}
+		}
+	}
+}
+
+// assignTo merges val into the LHS's root object.
+func (st *funcState) assignTo(lhs ast.Expr, val *absVal) {
+	if val.empty() {
+		return
+	}
+	if obj := rootObj(st.e.info, lhs); obj != nil {
+		st.envFor(obj).union(val)
+	}
+}
+
+// rangeStmt taints loop variables for map ranges, fan-in channel ranges,
+// and ranges over order-tainted sequences.
+func (st *funcState) rangeStmt(n *ast.RangeStmt) {
+	var src absVal
+	tv, ok := st.e.info.Types[n.X]
+	if ok {
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			if st.e.spec.mapRange {
+				src.facts = append(src.facts, fact{
+					kind: taintMapOrder,
+					path: []flowStep{{pos: n.X.Pos(), note: "map iterated in randomized order"}},
+				})
+			}
+		case *types.Chan:
+			if st.goChans != nil {
+				if obj := rootObj(st.e.info, n.X); obj != nil && st.goChans[obj] {
+					src.facts = append(src.facts, fact{
+						kind: taintGoroutine,
+						path: []flowStep{{pos: n.X.Pos(), note: "receives goroutine results in completion order"}},
+					})
+				}
+			}
+		}
+	}
+	// A sequence whose order is already tainted taints its elements and
+	// indices: position depends on the nondeterministic order upstream.
+	if xv := st.eval(n.X); !xv.empty() {
+		src.union(xv)
+	}
+	if src.empty() {
+		return
+	}
+	for _, v := range []ast.Expr{n.Key, n.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+			if obj := st.objOf(id); obj != nil {
+				st.envFor(obj).union(&src)
+			}
+		}
+	}
+}
+
+// returnStmt folds returned values into the summary.
+func (st *funcState) returnStmt(n *ast.ReturnStmt) {
+	record := func(val *absVal) {
+		for _, f := range val.facts {
+			found := false
+			for _, have := range st.sum.retFacts {
+				if have.kind == f.kind {
+					found = true
+					break
+				}
+			}
+			if !found {
+				st.sum.retFacts = append(st.sum.retFacts, f)
+			}
+		}
+		for i := range val.params {
+			st.sum.retParams[i] = true
+		}
+	}
+	if len(n.Results) == 0 {
+		for _, obj := range st.namedResults {
+			if v := st.env[obj]; v != nil {
+				record(v)
+			}
+		}
+		return
+	}
+	for _, res := range n.Results {
+		record(st.eval(res))
+	}
+}
+
+// callStmt handles the statement-level effects of a call: sanitizers,
+// copy's destination taint, and sink checks (direct and via summaries).
+func (st *funcState) callStmt(call *ast.CallExpr) {
+	e := st.e
+	if e.spec.sortSanitizes && st.sanitizeIfSort(call) {
+		return
+	}
+	if builtinName(e.info, call) == "copy" && len(call.Args) == 2 {
+		if obj := rootObj(e.info, call.Args[0]); obj != nil {
+			st.envFor(obj).union(st.eval(call.Args[1]))
+		}
+		return
+	}
+	callee := staticCallee(e.info, call)
+
+	// Direct sinks from the rule table.
+	if e.spec.sinks != nil {
+		for _, s := range e.spec.sinks(e, call, callee) {
+			for _, arg := range argsForIndex(call, s.arg) {
+				st.checkSinkArg(call, arg, s.desc, nil, false)
+			}
+		}
+	}
+
+	// Summary sinks: a tainted value passed to a helper whose parameter
+	// reaches a sink inside it.
+	if callee != nil {
+		if sum := e.sums[callee]; sum != nil {
+			for paramIdx, hits := range sum.sinkParams {
+				for _, arg := range argsForIndex(call, paramIdx) {
+					for _, hit := range hits {
+						through := extendPath(
+							[]flowStep{{pos: call.Pos(), note: fmt.Sprintf("passed to %s()", callee.Name())}},
+							hit.path...)
+						st.checkSinkArg(call, arg, hit.desc, through, hit.sorted)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkSinkArg records violations and summary entries for one value
+// reaching one sink. through is the trail appended after the argument's
+// own trail (call hop + callee-internal steps); sorted marks that the
+// callee sorted the data before sinking it.
+func (st *funcState) checkSinkArg(call *ast.CallExpr, arg ast.Expr, desc string, through []flowStep, sorted bool) {
+	val := st.eval(arg)
+	if val.empty() {
+		return
+	}
+	sinkStep := flowStep{pos: call.Pos(), note: "reaches " + desc}
+	for _, f := range val.facts {
+		if sorted && f.kind.orderSensitive() {
+			continue
+		}
+		path := extendPath(f.path, through...)
+		if len(through) == 0 {
+			path = extendPath(path, sinkStep)
+		}
+		key := fmt.Sprintf("%d|%d|%s", call.Pos(), f.kind, desc)
+		if _, ok := st.viols[key]; !ok {
+			st.viols[key] = violation{pos: call.Pos(), kind: f.kind, desc: desc, path: path}
+		}
+	}
+	for i, lin := range val.params {
+		path := extendPath(lin.path, through...)
+		if len(through) == 0 {
+			path = extendPath(path, sinkStep)
+		}
+		st.sum.sinkParams[i] = appendHit(st.sum.sinkParams[i], sinkHit{
+			desc:   desc,
+			path:   path,
+			sorted: sorted || lin.sorted,
+		})
+	}
+}
+
+// appendHit adds a hit unless an equivalent one (same desc and sorted
+// flag) is already recorded.
+func appendHit(hits []sinkHit, h sinkHit) []sinkHit {
+	for _, have := range hits {
+		if have.desc == h.desc && have.sorted == h.sorted {
+			return hits
+		}
+	}
+	return append(hits, h)
+}
+
+// sanitizeIfSort clears order taints when call is sort.X(target) or
+// slices.SortX(target), returning true if it was a sort call.
+func (st *funcState) sanitizeIfSort(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := st.e.info.Uses[pkgID].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pkgName.Imported().Path() {
+	case "sort":
+	case "slices":
+		if !hasPrefix(sel.Sel.Name, "Sort") {
+			return false
+		}
+	default:
+		return false
+	}
+	obj := rootObj(st.e.info, call.Args[0])
+	if obj == nil {
+		return false
+	}
+	if v := st.env[obj]; v != nil {
+		v.facts = dropOrderFacts(&absVal{facts: v.facts}).facts
+		for i, lin := range v.params {
+			lin.sorted = true
+			lin.path = extendPath(lin.path, flowStep{pos: call.Pos(), note: "order restored by sort"})
+			v.params[i] = lin
+		}
+	}
+	return true
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// dropOrderFacts returns a copy of val without order-sensitive facts.
+func dropOrderFacts(val *absVal) *absVal {
+	out := &absVal{params: val.params}
+	for _, f := range val.facts {
+		if !f.kind.orderSensitive() {
+			out.facts = append(out.facts, f)
+		}
+	}
+	return out
+}
+
+// eval computes the abstract value of an expression. It never mutates
+// the environment.
+func (st *funcState) eval(expr ast.Expr) *absVal {
+	e := st.e
+	out := &absVal{}
+	switch x := expr.(type) {
+	case *ast.Ident:
+		if obj := st.objOf(x); obj != nil {
+			if v := st.env[obj]; v != nil {
+				out.union(v)
+			}
+		}
+	case *ast.ParenExpr:
+		return st.eval(x.X)
+	case *ast.StarExpr:
+		return st.eval(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			// Channel receive: fan-in channels introduce completion-order
+			// taint; any channel relays the taints its senders put in.
+			if obj := rootObj(e.info, x.X); obj != nil {
+				if st.goChans != nil && st.goChans[obj] {
+					out.facts = append(out.facts, fact{
+						kind: taintGoroutine,
+						path: []flowStep{{pos: x.Pos(), note: "receives goroutine results in completion order"}},
+					})
+				}
+				if v := st.env[obj]; v != nil {
+					out.union(v)
+				}
+			}
+			return out
+		}
+		return st.eval(x.X)
+	case *ast.BinaryExpr:
+		out.union(st.eval(x.X))
+		out.union(st.eval(x.Y))
+	case *ast.SelectorExpr:
+		// Field access inherits the container's taints; package
+		// qualifiers have no value to evaluate.
+		if _, ok := e.info.Uses[x.Sel].(*types.Func); !ok {
+			out.union(st.eval(x.X))
+		}
+	case *ast.IndexExpr:
+		out.union(st.eval(x.X))
+		out.union(st.eval(x.Index))
+	case *ast.SliceExpr:
+		out.union(st.eval(x.X))
+	case *ast.TypeAssertExpr:
+		out.union(st.eval(x.X))
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				out.union(st.eval(kv.Value))
+				continue
+			}
+			out.union(st.eval(elt))
+		}
+	case *ast.CallExpr:
+		return st.evalCall(x)
+	}
+	return out
+}
+
+// evalCall computes the abstract value a call returns.
+func (st *funcState) evalCall(call *ast.CallExpr) *absVal {
+	e := st.e
+	out := &absVal{}
+
+	// Conversions pass the operand through.
+	if isConversion(e.info, call) {
+		if len(call.Args) == 1 {
+			return st.eval(call.Args[0])
+		}
+		return out
+	}
+	switch builtinName(e.info, call) {
+	case "":
+		// not a builtin; fall through
+	case "append":
+		for _, a := range call.Args {
+			out.union(st.eval(a))
+		}
+		return out
+	case "len", "cap", "make", "new", "min", "max", "copy", "delete", "clear", "close", "panic", "print", "println", "recover":
+		// len(m) etc. are order-free; make/new are fresh.
+		return out
+	default:
+		return out
+	}
+
+	callee := staticCallee(e.info, call)
+
+	// Rule-defined sources.
+	if e.spec.callSources != nil {
+		if facts := e.spec.callSources(e, call, callee); len(facts) > 0 {
+			out.facts = append(out.facts, facts...)
+		}
+	}
+
+	if callee != nil {
+		if sum := e.sums[callee]; sum != nil {
+			// Intra-package callee with a summary: returned source taints
+			// and pass-through parameters.
+			for _, f := range sum.retFacts {
+				out.union(&absVal{facts: []fact{{
+					kind: f.kind,
+					path: extendPath(f.path, flowStep{pos: call.Pos(), note: fmt.Sprintf("returned from %s()", callee.Name())}),
+				}}})
+			}
+			for paramIdx := range sum.retParams {
+				for _, arg := range argsForIndex(call, paramIdx) {
+					av := st.eval(arg)
+					for _, f := range av.facts {
+						out.union(&absVal{facts: []fact{{
+							kind: f.kind,
+							path: extendPath(f.path, flowStep{pos: call.Pos(), note: fmt.Sprintf("through %s()", callee.Name())}),
+						}}})
+					}
+					for i, lin := range av.params {
+						out.union(&absVal{params: map[int]lineage{i: {
+							path:   extendPath(lin.path, flowStep{pos: call.Pos(), note: fmt.Sprintf("through %s()", callee.Name())}),
+							sorted: lin.sorted,
+						}}})
+					}
+				}
+			}
+			return out
+		}
+	}
+
+	// Unknown callee: conservative pass-through of the arguments (and
+	// the receiver for method calls) — strconv.Itoa(k) of a map-ordered
+	// key is still map-ordered.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isPkg := e.info.Uses[idOf(sel.X)].(*types.PkgName); !isPkg {
+			out.union(st.eval(sel.X))
+		}
+	}
+	for _, a := range call.Args {
+		out.union(st.eval(a))
+	}
+	return out
+}
+
+// objOf resolves an identifier to its object (definition or use).
+func (st *funcState) objOf(id *ast.Ident) types.Object {
+	if obj := st.e.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return st.e.info.Uses[id]
+}
+
+// rootObj returns the object at the base of an lvalue-ish expression
+// chain: x, x.f, x[i], *x, (x) all root at x.
+func rootObj(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch x := expr.(type) {
+		case *ast.Ident:
+			if obj := info.Defs[x]; obj != nil {
+				return obj
+			}
+			return info.Uses[x]
+		case *ast.SelectorExpr:
+			expr = x.X
+		case *ast.IndexExpr:
+			expr = x.X
+		case *ast.StarExpr:
+			expr = x.X
+		case *ast.ParenExpr:
+			expr = x.X
+		case *ast.SliceExpr:
+			expr = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// idOf unwraps an expression to an identifier, or nil.
+func idOf(expr ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(expr).(*ast.Ident)
+	return id
+}
+
+// argsForIndex returns the call arguments feeding parameter index idx,
+// expanding a trailing variadic parameter to the whole tail.
+func argsForIndex(call *ast.CallExpr, idx int) []ast.Expr {
+	if idx < 0 || idx >= len(call.Args) {
+		return nil
+	}
+	return []ast.Expr{call.Args[idx]}
+}
+
+// commutativeAssign reports whether the compound-assignment token folds
+// commutatively (+=, *=, |=, &=, ^=).
+func commutativeAssign(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// isIntegerType reports whether the expression's type is (underlying) an
+// integer — the case where commutative folds are exact.
+func isIntegerType(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// fanInChans finds channels that collect results from goroutines whose
+// completion order the scheduler controls: a channel sent to inside a
+// `go` statement that is either launched in a loop or duplicated (two or
+// more go statements sending to it).
+func fanInChans(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	sends := map[types.Object]int{}
+	var visit func(n ast.Node, loopDepth int)
+	visit = func(n ast.Node, loopDepth int) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			visitChildren(n, loopDepth+1, visit)
+			return
+		case *ast.RangeStmt:
+			visitChildren(n, loopDepth+1, visit)
+			return
+		case *ast.GoStmt:
+			weight := 1
+			if loopDepth > 0 {
+				weight = 2 // loop-launched: many goroutines
+			}
+			ast.Inspect(n.Call, func(inner ast.Node) bool {
+				if send, ok := inner.(*ast.SendStmt); ok {
+					if obj := rootObj(info, send.Chan); obj != nil {
+						sends[obj] += weight
+					}
+				}
+				return true
+			})
+			return
+		}
+		visitChildren(n, loopDepth, visit)
+	}
+	visit(body, 0)
+	out := map[types.Object]bool{}
+	for obj, n := range sends {
+		if n >= 2 {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// visitChildren applies visit to each direct child of n with the given
+// loop depth.
+func visitChildren(n ast.Node, depth int, visit func(ast.Node, int)) {
+	first := true
+	ast.Inspect(n, func(child ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if child == nil {
+			return false
+		}
+		visit(child, depth)
+		return false
+	})
+}

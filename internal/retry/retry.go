@@ -165,6 +165,7 @@ func (p Policy) Next(retry int) (time.Duration, bool) {
 	}
 	d := float64(p.BaseDelay)
 	mult := p.Multiplier
+	//lint:ignore epsflow sanity floor on a config multiplier, not an ε-sensitive comparison
 	if mult < 1 {
 		mult = 2
 	}

@@ -1,0 +1,30 @@
+// Package safeclose is the sanctioned pattern for closing writers on
+// durability-critical paths. A dropped Close error is the worst failure
+// mode this codebase has: a checkpoint that hashed clean but never
+// became durable passes every comparison and still loses the run. The
+// errclose lint rule flags `_ = w.Close()` and bare `defer w.Close()`;
+// this package is both the manual fix and the rewrite target of
+// `reprovet -fix`.
+package safeclose
+
+import "io"
+
+// Do closes c and records the error in *errp unless an earlier error is
+// already there — the first failure on a write path is the diagnostic
+// one; a later Close failure is usually its consequence.
+//
+// The intended use is with a named error result:
+//
+//	func write(path string) (err error) {
+//		f, err := os.Create(path)
+//		if err != nil {
+//			return err
+//		}
+//		defer safeclose.Do(f, &err)
+//		...
+//	}
+func Do(c io.Closer, errp *error) {
+	if err := c.Close(); err != nil && *errp == nil {
+		*errp = err
+	}
+}

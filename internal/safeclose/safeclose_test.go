@@ -1,0 +1,51 @@
+package safeclose
+
+import (
+	"errors"
+	"testing"
+)
+
+type fakeCloser struct {
+	err    error
+	closed bool
+}
+
+func (f *fakeCloser) Close() error {
+	f.closed = true
+	return f.err
+}
+
+func TestDoRecordsCloseError(t *testing.T) {
+	closeErr := errors.New("close failed")
+	c := &fakeCloser{err: closeErr}
+	var err error
+	Do(c, &err)
+	if !c.closed {
+		t.Fatal("Close not called")
+	}
+	if !errors.Is(err, closeErr) {
+		t.Fatalf("err: got %v, want %v", err, closeErr)
+	}
+}
+
+func TestDoKeepsEarlierError(t *testing.T) {
+	first := errors.New("write failed")
+	c := &fakeCloser{err: errors.New("close failed")}
+	err := first
+	Do(c, &err)
+	if !errors.Is(err, first) {
+		t.Fatalf("earlier error must win, got %v", err)
+	}
+	if !c.closed {
+		t.Fatal("Close must still be called")
+	}
+}
+
+func TestDoCleanClose(t *testing.T) {
+	c := &fakeCloser{}
+	var err error
+	Do(c, &err)
+	if err != nil {
+		t.Fatalf("clean close must leave err nil, got %v", err)
+	}
+}
