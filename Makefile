@@ -55,11 +55,13 @@ bench-smoke:
 	$(GO) run ./cmd/benchkernels -smoke > /dev/null
 	$(GO) run ./cmd/benchstream -smoke > /dev/null
 	$(GO) run ./cmd/benchgroup -smoke > /dev/null
+	$(GO) run ./cmd/benchcapture -smoke > /dev/null
 
 # bench-json regenerates the tracked baselines at the repository root:
 # kernel throughput (BENCH_kernels.json), the stage-2 streaming pipeline
-# (BENCH_stream.json), and the N-run group-comparison engine
-# (BENCH_group.json). Diff them in review to catch regressions
+# (BENCH_stream.json), the N-run group-comparison engine
+# (BENCH_group.json), and the differential-capture pipeline
+# (BENCH_capture.json). Diff them in review to catch regressions
 # (same-machine deltas are signal, cross-machine noise; the virtual and
 # read-op columns are deterministic and comparable anywhere).
 bench-json:

@@ -1,0 +1,366 @@
+// Package cas implements a content-addressed chunk store keyed by the
+// ε-quantized leaf digest of the comparator's chained Murmur3 hash.
+// Differential capture writes each checkpoint chunk through the store:
+// chunks whose digest is already present are deduplicated against the
+// stored representative, and only new content is appended to a shared
+// pack file. Because every run of an experiment captures into the same
+// store, the dedup is cross-run as well as cross-iteration — a replica
+// that agrees with the baseline within ε writes almost nothing.
+//
+// On-disk layout under the pfs store, at the fixed "cas/" prefix:
+//
+//	cas/pack.dat   — append-only chunk bytes (the representatives)
+//	cas/index.log  — append-only 32-byte records mapping digest → extent
+//
+// Both files only ever grow, which gives simple crash consistency: a pack
+// record is made durable *before* its index record, so a torn pack write
+// leaves an unreferenced hole that later appends simply skip past, and a
+// torn index tail is detected by its CRC and ignored on replay. The index
+// can never reference bytes that were not fully written.
+//
+// The digest is ε-lossy by construction: two chunks whose elements fall in
+// the same quantization cells share a digest even when their bytes differ.
+// Dedup therefore stores one representative per cell pattern; every reader
+// of a deduplicated chunk sees values within ε of what that run computed.
+// See DESIGN.md §13 for the soundness argument and its composition bounds.
+package cas
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"sort"
+	"sync"
+
+	"repro/internal/murmur3"
+	"repro/internal/pfs"
+)
+
+const (
+	// PackName is the pfs path of the shared append-only chunk pack.
+	PackName = "cas/pack.dat"
+	// IndexName is the pfs path of the append-only digest index log.
+	IndexName = "cas/index.log"
+
+	// indexRecSize is the on-disk size of one index record:
+	// digest (16) + pack offset (8) + length (4) + CRC32 (4).
+	indexRecSize = murmur3.DigestSize + 8 + 4 + 4
+
+	// slabFlush caps the coalescing arena used to batch consecutive new
+	// chunks into single pack writes (the PR-3 arena idiom applied to the
+	// scatter of dirty extents at capture time).
+	slabFlush = 4 << 20
+)
+
+// ErrCorrupt reports CAS on-disk state that fails its integrity checks:
+// an index record with a bad CRC, an extent past the end of the pack, or
+// a scrubbed chunk whose bytes no longer hash to their digest.
+var ErrCorrupt = errors.New("cas: corrupt store")
+
+// Loc is the extent of one stored chunk inside the pack file.
+type Loc struct {
+	Off int64
+	Len int32
+}
+
+// CaptureStats summarizes one differential put.
+type CaptureStats struct {
+	// Chunks is the number of chunks offered.
+	Chunks int
+	// DedupHits counts chunks whose digest was already stored (including
+	// duplicates within the same put).
+	DedupHits int
+	// ChunksWritten counts chunks appended to the pack.
+	ChunksWritten int
+	// BytesWritten is the pack bytes appended (excludes index records).
+	BytesWritten int64
+	// BytesTotal is the logical size of the offered chunks.
+	BytesTotal int64
+}
+
+// Add accumulates other into s.
+func (s *CaptureStats) Add(other CaptureStats) {
+	s.Chunks += other.Chunks
+	s.DedupHits += other.DedupHits
+	s.ChunksWritten += other.ChunksWritten
+	s.BytesWritten += other.BytesWritten
+	s.BytesTotal += other.BytesTotal
+}
+
+// Store is a content-addressed chunk store layered on a pfs.Store. It is
+// safe for concurrent use; puts are serialized (the pack is append-only).
+type Store struct {
+	fs *pfs.Store
+
+	mu       sync.Mutex
+	index    map[murmur3.Digest]Loc
+	packSize int64
+	slab     []byte // grow-only coalescing arena, reused across puts
+	recs     []byte // grow-only index-record buffer, reused across puts
+}
+
+// Open replays the index log against the current pack size and returns the
+// store. A missing pack/index (fresh store) is not an error. The returned
+// cost covers the replay read.
+func Open(ctx context.Context, fsys *pfs.Store) (*Store, pfs.Cost, error) {
+	s := &Store{fs: fsys, index: make(map[murmur3.Digest]Loc)}
+	var cost pfs.Cost
+
+	if f, err := fsys.Open(PackName); err == nil {
+		s.packSize = f.Size()
+		if cerr := f.Close(); cerr != nil {
+			return nil, cost, cerr
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, cost, err
+	}
+
+	raw, c, err := fsys.ReadFileFull(ctx, IndexName, 4<<20)
+	cost.Add(c)
+	if errors.Is(err, fs.ErrNotExist) {
+		return s, cost, nil
+	}
+	if err != nil {
+		return nil, cost, err
+	}
+	// A torn tail record (crash mid-append) is expected and ignored; a CRC
+	// failure in a complete record means bit rot and is fatal.
+	for off := 0; off+indexRecSize <= len(raw); off += indexRecSize {
+		rec := raw[off : off+indexRecSize]
+		want := binary.LittleEndian.Uint32(rec[28:])
+		if crc32.ChecksumIEEE(rec[:28]) != want {
+			return nil, cost, fmt.Errorf("%w: index record at %d fails CRC", ErrCorrupt, off)
+		}
+		var d murmur3.Digest
+		copy(d[:], rec[:murmur3.DigestSize])
+		loc := Loc{
+			Off: int64(binary.LittleEndian.Uint64(rec[16:])),
+			Len: int32(binary.LittleEndian.Uint32(rec[24:])),
+		}
+		if loc.Len <= 0 || loc.Off < 0 || loc.Off+int64(loc.Len) > s.packSize {
+			return nil, cost, fmt.Errorf("%w: index record at %d references [%d,+%d) beyond pack size %d",
+				ErrCorrupt, off, loc.Off, loc.Len, s.packSize)
+		}
+		s.index[d] = loc
+	}
+	return s, cost, nil
+}
+
+// Len returns the number of distinct digests stored.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// PackSize returns the current pack file size in bytes (including any
+// unreferenced holes left by torn writes).
+func (s *Store) PackSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.packSize
+}
+
+// Lookup returns the stored extent for a digest.
+func (s *Store) Lookup(d murmur3.Digest) (Loc, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	loc, ok := s.index[d]
+	return loc, ok
+}
+
+// PutChunks stores the chunks of data at chunkSize granularity, where
+// digests[i] is the ε-quantized leaf digest of chunk i (the last chunk may
+// be short). Chunks whose digest is already present — from an earlier put,
+// another run, or earlier in this same call — are deduplicated; new chunks
+// are appended to the pack in coalesced batches and their index records
+// made durable only after the pack write succeeds.
+//
+// The returned locations map each input chunk to its representative
+// extent. On error the returned cost and stats cover the writes that did
+// complete — partial but truthful, so bench deltas stay honest under fault
+// injection — and every chunk whose bytes fully reached the pack remains
+// usable through the in-memory index.
+func (s *Store) PutChunks(data []byte, chunkSize int, digests []murmur3.Digest) ([]Loc, CaptureStats, pfs.Cost, error) {
+	if chunkSize <= 0 {
+		return nil, CaptureStats{}, pfs.Cost{}, fmt.Errorf("cas: chunk size %d must be positive", chunkSize)
+	}
+	nChunks := (len(data) + chunkSize - 1) / chunkSize
+	if len(digests) != nChunks {
+		return nil, CaptureStats{}, pfs.Cost{}, fmt.Errorf("cas: %d digests for %d chunks", len(digests), nChunks)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	locs := make([]Loc, nChunks)
+	stats := CaptureStats{Chunks: nChunks, BytesTotal: int64(len(data))}
+
+	// Plan pass: resolve dedup hits against the index and assign pack
+	// offsets to new chunks in input order (so consecutive new chunks are
+	// adjacent in the pack and coalesce into one write).
+	type pending struct {
+		chunk int
+		loc   Loc
+	}
+	var news []pending
+	nextOff := s.packSize
+	claimed := make(map[murmur3.Digest]int) // digest → index into news, for intra-put dups
+	for i := 0; i < nChunks; i++ {
+		lo := i * chunkSize
+		hi := lo + chunkSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		n := int32(hi - lo)
+		if loc, ok := s.index[digests[i]]; ok && loc.Len == n {
+			locs[i] = loc
+			stats.DedupHits++
+			continue
+		}
+		if j, ok := claimed[digests[i]]; ok && news[j].loc.Len == n {
+			locs[i] = news[j].loc
+			stats.DedupHits++
+			continue
+		}
+		loc := Loc{Off: nextOff, Len: n}
+		claimed[digests[i]] = len(news)
+		news = append(news, pending{chunk: i, loc: loc})
+		locs[i] = loc
+		nextOff += int64(n)
+	}
+	if len(news) == 0 {
+		return locs, stats, pfs.Cost{}, nil
+	}
+
+	// Write pass: append the new chunks through the coalescing arena, then
+	// index every chunk whose bytes fully persisted. The writer's offset
+	// tracks actual durable bytes, so a torn write indexes only the prefix.
+	w, err := s.fs.Append(PackName)
+	if err != nil {
+		return locs, stats, pfs.Cost{}, err
+	}
+	base := s.packSize
+	written := int64(0)
+	slab := s.slab[:0]
+	var werr error
+	flush := func() {
+		if len(slab) == 0 || werr != nil {
+			return
+		}
+		n, err := w.Write(slab)
+		written += int64(n)
+		werr = err
+		slab = slab[:0]
+	}
+	for _, p := range news {
+		lo := p.chunk * chunkSize
+		slab = append(slab, data[lo:lo+int(p.loc.Len)]...)
+		if len(slab) >= slabFlush {
+			flush()
+		}
+		if werr != nil {
+			break
+		}
+	}
+	flush()
+	s.slab = slab[:0]
+	cost := w.Cost()
+	if cerr := w.Close(); werr == nil {
+		werr = cerr
+	}
+	s.packSize = base + written
+
+	// Index only chunks that fully landed; a chunk torn at the boundary is
+	// abandoned (its bytes become an unreferenced hole in the pack).
+	recs := s.recs[:0]
+	for _, p := range news {
+		if p.loc.Off+int64(p.loc.Len) > s.packSize {
+			break
+		}
+		s.index[digests[p.chunk]] = p.loc
+		stats.ChunksWritten++
+		stats.BytesWritten += int64(p.loc.Len)
+		var rec [indexRecSize]byte
+		copy(rec[:], digests[p.chunk][:])
+		binary.LittleEndian.PutUint64(rec[16:], uint64(p.loc.Off))
+		binary.LittleEndian.PutUint32(rec[24:], uint32(p.loc.Len))
+		binary.LittleEndian.PutUint32(rec[28:], crc32.ChecksumIEEE(rec[:28]))
+		recs = append(recs, rec[:]...)
+	}
+	s.recs = recs[:0]
+	if len(recs) > 0 {
+		iw, err := s.fs.Append(IndexName)
+		if err != nil {
+			if werr == nil {
+				werr = err
+			}
+		} else {
+			_, err = iw.Write(recs)
+			cost.Add(iw.Cost())
+			if cerr := iw.Close(); err == nil {
+				err = cerr
+			}
+			if werr == nil {
+				werr = err
+			}
+		}
+	}
+	return locs, stats, cost, werr
+}
+
+// Pack opens the pack file for reading. The caller owns the handle.
+func (s *Store) Pack() (*pfs.File, error) {
+	return s.fs.Open(PackName)
+}
+
+// Scrub re-reads every indexed extent and re-hashes it with the provided
+// hash function (injected because digests are ε-quantized: the store does
+// not know ε or the element type). It returns the number of chunks
+// verified and wraps ErrCorrupt on the first mismatch — proof that no
+// index record ever points at torn or rotted bytes.
+func (s *Store) Scrub(ctx context.Context, hash func(chunk []byte) (murmur3.Digest, error)) (int, error) {
+	s.mu.Lock()
+	type entry struct {
+		d   murmur3.Digest
+		loc Loc
+	}
+	entries := make([]entry, 0, len(s.index))
+	for d, loc := range s.index {
+		entries = append(entries, entry{d, loc})
+	}
+	s.mu.Unlock()
+	// Deterministic scan order (and sequential pack I/O).
+	sort.Slice(entries, func(i, j int) bool { return entries[i].loc.Off < entries[j].loc.Off })
+
+	f, err := s.fs.Open(PackName)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var buf []byte
+	for i, e := range entries {
+		if err := ctx.Err(); err != nil {
+			return i, err
+		}
+		if int(e.loc.Len) > len(buf) {
+			buf = make([]byte, e.loc.Len)
+		}
+		b := buf[:e.loc.Len]
+		if _, _, err := f.ReadAt(b, e.loc.Off); err != nil {
+			return i, fmt.Errorf("cas: scrub read [%d,+%d): %w", e.loc.Off, e.loc.Len, err)
+		}
+		got, err := hash(b)
+		if err != nil {
+			return i, err
+		}
+		if got != e.d {
+			return i, fmt.Errorf("%w: chunk at [%d,+%d) hashes to %x, index says %x",
+				ErrCorrupt, e.loc.Off, e.loc.Len, got, e.d)
+		}
+	}
+	return len(entries), nil
+}

@@ -1,0 +1,274 @@
+package cas
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/errbound"
+	"repro/internal/faults"
+	"repro/internal/murmur3"
+	"repro/internal/pfs"
+	"repro/internal/synth"
+)
+
+func newStore(t *testing.T) (*pfs.Store, *Store) {
+	t.Helper()
+	fsys, err := pfs.NewStore(t.TempDir(), pfs.NVMeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := Open(context.Background(), fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fsys, s
+}
+
+func hashChunks(t *testing.T, h *errbound.Hasher, data []byte, chunkSize int) []murmur3.Digest {
+	t.Helper()
+	n := (len(data) + chunkSize - 1) / chunkSize
+	out := make([]murmur3.Digest, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*chunkSize, (i+1)*chunkSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		d, err := h.HashChunk(data[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+func TestPutDedupAndRoundTrip(t *testing.T) {
+	fsys, s := newStore(t)
+	h, err := errbound.NewHasher(errbound.Float32, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 4 << 10
+	data := synth.FieldF32(8192, 1) // 32 KiB + change → 8 chunks
+	digests := hashChunks(t, h, data, chunk)
+
+	locs, stats, cost, err := s.PutChunks(data, chunk, digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DedupHits != 0 || stats.ChunksWritten != len(digests) {
+		t.Fatalf("first put: stats %+v", stats)
+	}
+	if cost.Bytes == 0 {
+		t.Fatal("first put reported zero write bytes")
+	}
+
+	// Second put of the same content: all dedup hits, zero pack growth.
+	before := s.PackSize()
+	locs2, stats2, _, err := s.PutChunks(data, chunk, digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.DedupHits != len(digests) || stats2.ChunksWritten != 0 {
+		t.Fatalf("second put: stats %+v", stats2)
+	}
+	if s.PackSize() != before {
+		t.Fatalf("pack grew on pure-dedup put: %d -> %d", before, s.PackSize())
+	}
+	for i := range locs {
+		if locs[i] != locs2[i] {
+			t.Fatalf("chunk %d: locs differ %+v vs %+v", i, locs[i], locs2[i])
+		}
+	}
+
+	// Every chunk reads back bit-identical from its extent.
+	f, err := s.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i, loc := range locs {
+		buf := make([]byte, loc.Len)
+		if _, _, err := f.ReadAt(buf, loc.Off); err != nil {
+			t.Fatal(err)
+		}
+		lo := i * chunk
+		if !bytes.Equal(buf, data[lo:lo+int(loc.Len)]) {
+			t.Fatalf("chunk %d bytes differ after round trip", i)
+		}
+	}
+
+	// Reopen: index replay reproduces the same state.
+	s2, _, err := Open(context.Background(), fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != s.Len() || s2.PackSize() != s.PackSize() {
+		t.Fatalf("replay mismatch: %d/%d vs %d/%d", s2.Len(), s2.PackSize(), s.Len(), s.PackSize())
+	}
+	for i, d := range digests {
+		loc, ok := s2.Lookup(d)
+		if !ok || loc != locs[i] {
+			t.Fatalf("replayed index lost chunk %d", i)
+		}
+	}
+	if n, err := s2.Scrub(context.Background(), h.HashChunk); err != nil || n != len(digests) {
+		t.Fatalf("scrub: n=%d err=%v", n, err)
+	}
+}
+
+func TestPutIntraCallDedup(t *testing.T) {
+	_, s := newStore(t)
+	h, _ := errbound.NewHasher(errbound.Float32, 1e-5)
+	const chunk = 4 << 10
+	half := synth.FieldF32(2048, 7) // two chunks
+	data := append(append([]byte{}, half...), half...)
+	digests := hashChunks(t, h, data, chunk)
+
+	_, stats, _, err := s.PutChunks(data, chunk, digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ChunksWritten != 2 || stats.DedupHits != 2 {
+		t.Fatalf("intra-call dedup: stats %+v", stats)
+	}
+}
+
+func TestTornPackWriteNeverIndexed(t *testing.T) {
+	fsys, s := newStore(t)
+	h, _ := errbound.NewHasher(errbound.Float32, 1e-5)
+	const chunk = 4 << 10
+	data := synth.FieldF32(8192, 3)
+	digests := hashChunks(t, h, data, chunk)
+
+	// Tear the very first pack write mid-chunk: half a chunk persists.
+	inj := faults.New(1, faults.Rule{
+		Kind: faults.TornWrite, Name: "cas/pack", Count: 1, Keep: chunk / 2,
+	})
+	fsys.SetFaultHook(inj)
+	_, stats, cost, err := s.PutChunks(data, chunk, digests)
+	fsys.SetFaultHook(nil)
+	if err == nil {
+		t.Fatal("torn pack write did not surface as an error")
+	}
+	if stats.ChunksWritten != 0 {
+		t.Fatalf("torn write indexed %d chunks", stats.ChunksWritten)
+	}
+	if cost.Bytes != int64(chunk/2) {
+		t.Fatalf("partial cost %d bytes, want %d (truthful accounting)", cost.Bytes, chunk/2)
+	}
+
+	// The torn bytes are an unreferenced hole: no digest resolves to them,
+	// and a retry appends past them and scrubs clean.
+	for _, d := range digests {
+		if _, ok := s.Lookup(d); ok {
+			t.Fatal("torn chunk became a dedup hit")
+		}
+	}
+	locs, _, _, err := s.PutChunks(data, chunk, digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if locs[0].Off != int64(chunk/2) {
+		t.Fatalf("retry did not append past the hole: off %d", locs[0].Off)
+	}
+	if _, err := s.Scrub(context.Background(), h.HashChunk); err != nil {
+		t.Fatalf("scrub after torn write: %v", err)
+	}
+	s2, _, err := Open(context.Background(), fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s2.Scrub(context.Background(), h.HashChunk); err != nil || n != len(digests) {
+		t.Fatalf("replayed scrub: n=%d err=%v", n, err)
+	}
+}
+
+func TestCorruptIndexDetected(t *testing.T) {
+	fsys, s := newStore(t)
+	h, _ := errbound.NewHasher(errbound.Float32, 1e-5)
+	const chunk = 4 << 10
+	data := synth.FieldF32(4096, 5)
+	if _, _, _, err := s.PutChunks(data, chunk, hashChunks(t, h, data, chunk)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a bit in a committed index record on the next read: replay must
+	// refuse the store rather than trust a rotted extent.
+	inj := faults.New(2, faults.Rule{Kind: faults.BitFlip, Name: "cas/index", Count: 1})
+	fsys.SetFaultHook(inj)
+	fsys.EvictAll()
+	_, _, err := Open(context.Background(), fsys)
+	fsys.SetFaultHook(nil)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt index replay: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestScrubDetectsPackRot(t *testing.T) {
+	fsys, s := newStore(t)
+	h, _ := errbound.NewHasher(errbound.Float32, 1e-5)
+	const chunk = 4 << 10
+	data := synth.FieldF32(4096, 9)
+	if _, _, _, err := s.PutChunks(data, chunk, hashChunks(t, h, data, chunk)); err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(3, faults.Rule{Kind: faults.BitFlip, Name: "cas/pack", Count: 1})
+	fsys.SetFaultHook(inj)
+	fsys.EvictAll()
+	_, err := s.Scrub(context.Background(), h.HashChunk)
+	fsys.SetFaultHook(nil)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("scrub on flipped pack byte: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	fsys, s := newStore(t)
+	h, _ := errbound.NewHasher(errbound.Float64, 1e-7)
+	const chunk = 8 << 10
+	data := synth.FieldF32(8192, 11) // bytes reinterpreted as f64 is fine for format tests
+	digests := hashChunks(t, h, data, chunk)
+	locs, _, _, err := s.PutChunks(data, chunk, digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Manifest{
+		Epsilon:   1e-7,
+		ChunkSize: chunk,
+		Fields: []FieldManifest{{
+			Name: "phi", DType: errbound.Float64, Count: int64(len(data) / 8),
+			Digests: digests, Locs: locs,
+		}},
+	}
+	if _, err := SaveManifest(fsys, "run/iter0000.rank000.ckpt", m); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadManifest(context.Background(), fsys, "run/iter0000.rank000.ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameSchema(m, got) {
+		t.Fatal("round-tripped manifest schema differs")
+	}
+	for i := range digests {
+		if got.Fields[0].Digests[i] != digests[i] || got.Fields[0].Locs[i] != locs[i] {
+			t.Fatalf("entry %d differs after round trip", i)
+		}
+	}
+	if got.TotalBytes() != m.TotalBytes() {
+		t.Fatalf("total bytes %d vs %d", got.TotalBytes(), m.TotalBytes())
+	}
+
+	// Corrupt one byte: CRC must reject.
+	inj := faults.New(4, faults.Rule{Kind: faults.BitFlip, Name: ".cman", Count: 1})
+	fsys.SetFaultHook(inj)
+	fsys.EvictAll()
+	_, _, err = LoadManifest(context.Background(), fsys, "run/iter0000.rank000.ckpt")
+	fsys.SetFaultHook(nil)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt manifest load: err=%v, want ErrCorrupt", err)
+	}
+}

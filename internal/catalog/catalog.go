@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/ckpt"
 	"repro/internal/compare"
 	"repro/internal/pfs"
@@ -42,7 +43,11 @@ type Entry struct {
 	Fields      int     `json:"fields"`
 	DataBytes   int64   `json:"dataBytes"`
 	Compacted   bool    `json:"compacted"`
-	HasMetadata bool    `json:"hasMetadata"`
+	// Differential marks a checkpoint captured through the shared CAS: it
+	// has no container file — its chunks live as extents of the store's
+	// pack, addressed by the leaf manifest next to the checkpoint name.
+	Differential bool `json:"differential,omitempty"`
+	HasMetadata  bool `json:"hasMetadata"`
 	Epsilon     float64 `json:"epsilon,omitempty"`
 	ChunkSize   int     `json:"chunkSize,omitempty"`
 	MetaBytes   int64   `json:"metaBytes,omitempty"`
@@ -91,6 +96,12 @@ func Scan(ctx context.Context, store *pfs.Store, runID string, now func() time.T
 			e.Fields = r.NumFields()
 			e.DataBytes = r.Meta().TotalBytes()
 			r.Close()
+		} else if man, _, err := cas.LoadManifest(ctx, store, name); err == nil {
+			// No container, but a leaf manifest: a differential capture —
+			// fully recoverable from the shared pack, not compacted.
+			e.Differential = true
+			e.Fields = len(man.Fields)
+			e.DataBytes = man.TotalBytes()
 		} else {
 			e.Compacted = true
 		}

@@ -1,0 +1,82 @@
+package catalog
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cas"
+	"repro/internal/ckpt"
+	"repro/internal/compare"
+	"repro/internal/device"
+	"repro/internal/errbound"
+	"repro/internal/pfs"
+	"repro/internal/synth"
+)
+
+// TestScanMarksDifferentialCheckpoints: a run captured through the shared
+// CAS has no container files, but Scan resolves each checkpoint's leaf
+// manifest and inventories it as Differential (live, not compacted) with
+// its true data footprint.
+func TestScanMarksDifferentialCheckpoints(t *testing.T) {
+	store, err := pfs.NewStore(t.TempDir(), pfs.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, _, err := cas.Open(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const elems = 4096
+	fields := []ckpt.FieldSpec{{Name: "x", DType: errbound.Float32, Count: elems}}
+	opts := compare.Options{Epsilon: 1e-5, ChunkSize: 4096, Exec: device.Serial{}}
+	cap, err := compare.NewDiffCapturer(store, cs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := [][]byte{synth.FieldF32(elems, 1)}
+	for _, it := range []int{10, 20} {
+		meta := ckpt.Meta{RunID: "runD", Iteration: it, Rank: 0, Fields: fields}
+		if _, err := cap.Capture(context.Background(), meta, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One classic checkpoint in the same run for contrast.
+	seedRun(t, store, "runD", []int{30}, true)
+
+	m, err := Scan(context.Background(), store, "runD", fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Checkpoints) != 3 {
+		t.Fatalf("checkpoints = %d, want 3", len(m.Checkpoints))
+	}
+	for i, e := range m.Checkpoints[:2] {
+		if !e.Differential || e.Compacted {
+			t.Errorf("entry %d: Differential=%v Compacted=%v, want differential and live", i, e.Differential, e.Compacted)
+		}
+		if e.Fields != 1 || e.DataBytes != 4*elems {
+			t.Errorf("entry %d footprint: %+v", i, e)
+		}
+		if !e.HasMetadata {
+			t.Errorf("entry %d: differential capture saved no metadata", i)
+		}
+	}
+	if e := m.Checkpoints[2]; e.Differential || e.Compacted {
+		t.Errorf("classic entry misclassified: %+v", e)
+	}
+	if m.LiveDataBytes() != 3*4*elems {
+		t.Errorf("LiveDataBytes = %d, differential entries must count as live", m.LiveDataBytes())
+	}
+
+	// Round-trip: the new field survives the strict decoder.
+	if err := Save(store, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(context.Background(), store, "runD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Checkpoints[0].Differential {
+		t.Error("Differential flag lost in round-trip")
+	}
+}

@@ -86,17 +86,21 @@ func (c *Checkpointer) flushOne(name string) error {
 	if err != nil {
 		return fmt.Errorf("flush %s: %w", name, err)
 	}
+	// Partial cost on every path: a failed flush still moved bytes (a torn
+	// write persists a prefix), and dropping them would skew the capture
+	// bench deltas under fault injection.
+	defer func() {
+		c.mu.Lock()
+		c.remoteCost.Add(w.Cost())
+		c.mu.Unlock()
+	}()
 	if _, err := w.Write(data); err != nil {
 		_ = w.Close() // the write error takes precedence
 		return fmt.Errorf("flush %s: %w", name, err)
 	}
-	wc := w.Cost()
 	if err := w.Close(); err != nil {
 		return fmt.Errorf("flush %s: %w", name, err)
 	}
-	c.mu.Lock()
-	c.remoteCost.Add(wc)
-	c.mu.Unlock()
 	return nil
 }
 
@@ -118,19 +122,22 @@ func (c *Checkpointer) Capture(meta Meta, data [][]byte) error {
 		c.inFlight.Done()
 		return err
 	}
+	// Accumulate the local write cost on every path, including encode and
+	// close failures — partial but truthful, mirroring WriteCheckpoint.
+	defer func() {
+		c.mu.Lock()
+		c.localCost.Add(w.Cost())
+		c.mu.Unlock()
+	}()
 	if _, err := Encode(w, meta, data); err != nil {
 		_ = w.Close() // the encode error takes precedence
 		c.inFlight.Done()
 		return err
 	}
-	wc := w.Cost()
 	if err := w.Close(); err != nil {
 		c.inFlight.Done()
 		return err
 	}
-	c.mu.Lock()
-	c.localCost.Add(wc)
-	c.mu.Unlock()
 
 	c.jobs <- flushJob{name: name}
 	return nil
@@ -169,20 +176,21 @@ func (c *Checkpointer) Close() error {
 }
 
 // WriteCheckpoint is the synchronous single-tier convenience used by tools
-// and tests: encode directly onto one store.
-func WriteCheckpoint(store *pfs.Store, meta Meta, data [][]byte) (pfs.Cost, error) {
+// and tests: encode directly onto one store. On error the returned cost
+// covers the writes that did complete before the failure (a torn write's
+// persisted prefix included) — partial but truthful, the same discipline
+// as stream.Stats.Wall — so bench deltas stay honest under fault
+// injection.
+func WriteCheckpoint(store *pfs.Store, meta Meta, data [][]byte) (cost pfs.Cost, err error) {
 	name := Name(meta.RunID, meta.Iteration, meta.Rank)
 	w, err := store.Create(name)
 	if err != nil {
 		return pfs.Cost{}, err
 	}
+	defer func() { cost = w.Cost() }()
 	if _, err := Encode(w, meta, data); err != nil {
 		_ = w.Close() // the encode error takes precedence
-		return w.Cost(), err
-	}
-	cost := w.Cost()
-	if err := w.Close(); err != nil {
 		return cost, err
 	}
-	return cost, nil
+	return cost, w.Close()
 }

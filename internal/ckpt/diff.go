@@ -1,0 +1,153 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"repro/internal/cas"
+	"repro/internal/device"
+	"repro/internal/errbound"
+	"repro/internal/murmur3"
+	"repro/internal/pfs"
+)
+
+// DiffConfig parameterizes a differential capture.
+type DiffConfig struct {
+	// Epsilon is the quantization bound the leaf digests are keyed on.
+	// Required, and must match the comparison ε the manifests will be
+	// consumed with.
+	Epsilon float64
+	// ChunkSize is the dedup/hash granularity in bytes (default 64 KiB,
+	// matching compare.Options).
+	ChunkSize int
+	// Exec parallelizes chunk hashing across workers (nil → serial).
+	Exec device.Executor
+	// Prev is the previous iteration's manifest for this rank, used to
+	// report which chunks changed (the incremental Merkle update set).
+	// Nil — or a manifest with different ε, chunking, or schema — selects
+	// the cold path: every chunk is reported changed via a nil Changed.
+	Prev *cas.Manifest
+}
+
+// DiffResult reports one differential capture.
+type DiffResult struct {
+	// Manifest maps every chunk of the checkpoint to its digest and pack
+	// extent; it has already been saved next to the checkpoint name.
+	Manifest *cas.Manifest
+	// Stats aggregates the dedup outcome across fields.
+	Stats cas.CaptureStats
+	// Cost covers pack, index, and manifest writes. On error it is
+	// partial but truthful (same discipline as WriteCheckpoint).
+	Cost pfs.Cost
+	// Changed lists, per field, the chunk indices whose digest differs
+	// from Prev — exactly the merkle.Update set. Nil when Cold.
+	Changed [][]int
+	// Cold reports that no usable previous manifest was available.
+	Cold bool
+}
+
+// WriteCheckpointDiff captures a checkpoint differentially: it hashes
+// every chunk with the ε-quantized leaf hasher, stores only chunks whose
+// digest is not already in the CAS, and writes a leaf manifest in place of
+// the full container. Consecutive iterations — and ε-close sibling runs
+// capturing into the same store — therefore write only their divergence.
+//
+// The returned result's Cost and Stats stay meaningful on error paths:
+// they cover whatever writes completed before the failure.
+func WriteCheckpointDiff(store *pfs.Store, cs *cas.Store, meta Meta, data [][]byte, cfg DiffConfig) (*DiffResult, error) {
+	res := &DiffResult{}
+	if len(data) != len(meta.Fields) {
+		return res, fmt.Errorf("ckpt: %d data buffers for %d fields", len(data), len(meta.Fields))
+	}
+	if len(meta.Fields) == 0 {
+		return res, fmt.Errorf("ckpt: checkpoint must have at least one field")
+	}
+	chunkSize := cfg.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = 64 << 10
+	}
+	exec := cfg.Exec
+	if exec == nil {
+		exec = device.Serial{}
+	}
+
+	m := &cas.Manifest{Epsilon: cfg.Epsilon, ChunkSize: chunkSize, Fields: make([]cas.FieldManifest, len(meta.Fields))}
+	for i, f := range meta.Fields {
+		if f.DType.Size() == 0 {
+			return res, fmt.Errorf("ckpt: field %q has unsupported dtype", f.Name)
+		}
+		if int64(len(data[i])) != f.Bytes() {
+			return res, fmt.Errorf("ckpt: field %q has %d bytes, want %d", f.Name, len(data[i]), f.Bytes())
+		}
+		digests, err := hashFieldChunks(f.DType, cfg.Epsilon, data[i], chunkSize, exec)
+		if err != nil {
+			return res, err
+		}
+		m.Fields[i] = cas.FieldManifest{Name: f.Name, DType: f.DType, Count: f.Count, Digests: digests}
+	}
+	res.Manifest = m
+
+	// Store new chunks field by field; dedup spans fields, iterations, and
+	// runs because the CAS index is shared.
+	for i := range m.Fields {
+		locs, stats, cost, err := cs.PutChunks(data[i], chunkSize, m.Fields[i].Digests)
+		res.Stats.Add(stats)
+		res.Cost.Add(cost)
+		if err != nil {
+			return res, fmt.Errorf("ckpt: differential capture of field %q: %w", m.Fields[i].Name, err)
+		}
+		m.Fields[i].Locs = locs
+	}
+
+	// Difference against the previous manifest for the incremental update
+	// set. A schema or parameter mismatch degrades to the cold path rather
+	// than erroring: the capture itself is complete either way.
+	if cfg.Prev != nil && cas.SameSchema(cfg.Prev, m) {
+		res.Changed = make([][]int, len(m.Fields))
+		for i := range m.Fields {
+			prev := cfg.Prev.Fields[i].Digests
+			cur := m.Fields[i].Digests
+			changed := []int{}
+			for c := range cur {
+				if c >= len(prev) || cur[c] != prev[c] {
+					changed = append(changed, c)
+				}
+			}
+			res.Changed[i] = changed
+		}
+	} else {
+		res.Cold = true
+	}
+
+	name := Name(meta.RunID, meta.Iteration, meta.Rank)
+	mcost, err := cas.SaveManifest(store, name, m)
+	res.Cost.Add(mcost)
+	if err != nil {
+		return res, fmt.Errorf("ckpt: save manifest for %s: %w", name, err)
+	}
+	return res, nil
+}
+
+// hashFieldChunks computes the ε-quantized leaf digest of every chunk in
+// parallel (each chunk hash is independent; the chaining is within-chunk).
+func hashFieldChunks(dtype errbound.DType, eps float64, data []byte, chunkSize int, exec device.Executor) ([]murmur3.Digest, error) {
+	h, err := errbound.NewHasher(dtype, eps)
+	if err != nil {
+		return nil, err
+	}
+	nChunks := (len(data) + chunkSize - 1) / chunkSize
+	digests := make([]murmur3.Digest, nChunks)
+	errs := make([]error, nChunks)
+	exec.For(nChunks, func(i int) {
+		lo, hi := i*chunkSize, (i+1)*chunkSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		digests[i], errs[i] = h.HashChunk(data[lo:hi])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return digests, nil
+}

@@ -1,0 +1,147 @@
+package compare
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/cas"
+	"repro/internal/ckpt"
+	"repro/internal/merkle"
+	"repro/internal/metrics"
+	"repro/internal/pfs"
+)
+
+// DiffCaptureReport summarizes one differential capture: the dedup
+// outcome, the total write cost, and how the Merkle metadata was brought
+// up to date.
+type DiffCaptureReport struct {
+	// Manifest is the saved leaf manifest of this checkpoint.
+	Manifest *cas.Manifest
+	// Stats aggregates the CAS dedup outcome.
+	Stats cas.CaptureStats
+	// Cost covers every write: pack, index, manifest, and metadata.
+	Cost pfs.Cost
+	// Cold reports the no-prior-manifest path: the tree was built from
+	// scratch rather than updated incrementally.
+	Cold bool
+	// UpdatedLeaves is the number of leaf digests that changed since the
+	// previous iteration (0 on the cold path).
+	UpdatedLeaves int
+	// RehashedNodes counts interior nodes recomputed by the incremental
+	// update (0 on the cold path, where every node is computed).
+	RehashedNodes int
+	// TreeWall is the wall time of metadata construction — incremental
+	// update on the warm path, full build on the cold path.
+	TreeWall time.Duration
+}
+
+// DiffCapturer captures a sequence of checkpoints differentially: chunks
+// are deduplicated through a shared CAS, and each iteration's Merkle
+// metadata is derived from the previous iteration's tree by incremental
+// update (merkle.Update over the changed leaves) instead of a full
+// rebuild. One capturer serves one run; iterations of distinct ranks are
+// tracked independently. Safe for concurrent use across ranks.
+//
+// The saved artifacts — a .cman manifest and .mrkl metadata per
+// checkpoint — are exactly what CompareDiff and GroupCompareDiff consume.
+type DiffCapturer struct {
+	store *pfs.Store
+	cs    *cas.Store
+	opts  Options
+
+	mu   sync.Mutex
+	prev map[int]*diffPrev // rank → previous iteration's artifacts
+}
+
+type diffPrev struct {
+	man  *cas.Manifest
+	meta *Metadata
+}
+
+// NewDiffCapturer validates the options and returns a capturer writing
+// through the given CAS.
+func NewDiffCapturer(store *pfs.Store, cs *cas.Store, opts Options) (*DiffCapturer, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return &DiffCapturer{store: store, cs: cs, opts: opts, prev: make(map[int]*diffPrev)}, nil
+}
+
+// Capture differentially captures one checkpoint (data in meta.Fields
+// order) and saves its manifest and Merkle metadata. The golden property
+// — asserted by TestDiffCaptureGoldenIncrementalRoot and re-checked by
+// cmd/benchcapture on every benched workload — is that the incrementally
+// updated tree is bit-identical to a full rebuild.
+func (c *DiffCapturer) Capture(ctx context.Context, meta ckpt.Meta, data [][]byte) (*DiffCaptureReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	prev := c.prev[meta.Rank]
+	c.mu.Unlock()
+
+	cfg := ckpt.DiffConfig{
+		Epsilon:   c.opts.Epsilon,
+		ChunkSize: c.opts.ChunkSize,
+		Exec:      c.opts.Exec,
+	}
+	if prev != nil {
+		cfg.Prev = prev.man
+	}
+	rep := &DiffCaptureReport{}
+	res, err := ckpt.WriteCheckpointDiff(c.store, c.cs, meta, data, cfg)
+	rep.Stats = res.Stats
+	rep.Cost = res.Cost
+	if err != nil {
+		return rep, err
+	}
+	rep.Manifest = res.Manifest
+	rep.Cold = res.Cold
+
+	// Bring the Merkle metadata up to date: clone-and-update from the
+	// previous tree on the warm path, full build from the manifest digests
+	// on the cold path.
+	sw := metrics.NewStopwatch()
+	m := &Metadata{Epsilon: c.opts.Epsilon, Fields: make([]FieldMeta, len(res.Manifest.Fields))}
+	warm := !res.Cold && prev != nil && prev.meta != nil && len(prev.meta.Fields) == len(res.Manifest.Fields)
+	for fi := range res.Manifest.Fields {
+		fm := &res.Manifest.Fields[fi]
+		var tree *merkle.Tree
+		if warm {
+			tree = prev.meta.Fields[fi].Tree.Clone()
+			updates := make([]merkle.LeafUpdate, 0, len(res.Changed[fi]))
+			for _, ci := range res.Changed[fi] {
+				updates = append(updates, merkle.LeafUpdate{Chunk: ci, Digest: fm.Digests[ci]})
+			}
+			n, err := tree.Update(updates, c.opts.Exec)
+			if err != nil {
+				return rep, err
+			}
+			rep.UpdatedLeaves += len(updates)
+			rep.RehashedNodes += n
+		} else {
+			t, err := merkle.New(fm.Bytes(), res.Manifest.ChunkSize, fm.Digests)
+			if err != nil {
+				return rep, err
+			}
+			t.Build(c.opts.Exec)
+			tree = t
+		}
+		m.Fields[fi] = FieldMeta{Name: fm.Name, DType: fm.DType, Tree: tree}
+	}
+	rep.TreeWall = sw.Lap()
+
+	name := ckpt.Name(meta.RunID, meta.Iteration, meta.Rank)
+	mcost, err := SaveMetadata(c.store, name, m)
+	rep.Cost.Add(mcost)
+	if err != nil {
+		return rep, err
+	}
+
+	c.mu.Lock()
+	c.prev[meta.Rank] = &diffPrev{man: res.Manifest, meta: m}
+	c.mu.Unlock()
+	return rep, nil
+}

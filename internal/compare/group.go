@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/aio"
+	"repro/internal/cas"
 	"repro/internal/ckpt"
 	"repro/internal/device"
 	"repro/internal/engine"
@@ -184,6 +185,18 @@ type groupState struct {
 	chunkOK    []map[[2]int]int8
 	rereads    int
 	rereadCost pfs.Cost
+
+	// Differential mode (GroupCompareDiff): members are manifests over a
+	// shared CAS pack, stage 2 is one loc-deduplicated pack read, and memo
+	// replays land per pair at report time.
+	diffMode  bool
+	cs        *cas.Store
+	mans      []*cas.Manifest
+	pack      *pfs.File
+	packUnion memberUnion
+	// replays[pi][fi][ci] holds a pair's memo-replayed absolute diff
+	// indices (possibly empty: proven identical within ε).
+	replays []map[int]map[int][]int64
 }
 
 // GroupCompare compares N runs' checkpoints as one group: each member's
@@ -321,10 +334,14 @@ func (st *groupState) stepPairDiffs(ctx context.Context, x *engine.Exec) error {
 	st.pairCands = make([][][]int, len(st.pairIdx))
 	st.rep.Pairs = make([]GroupPairReport, len(st.pairIdx))
 	var treeVirtual time.Duration
+	method := "merkle-group"
+	if st.diffMode {
+		method = "merkle-cas-group"
+	}
 	for pi, pr := range st.pairIdx {
 		a, b := pr[0], pr[1]
 		res := &Result{
-			Method:          "merkle-group",
+			Method:          method,
 			CheckpointBytes: st.rep.CheckpointBytes,
 			MetadataBytes:   st.rep.MetadataBytes,
 			TotalElements:   st.totalElements,
@@ -654,6 +671,10 @@ func (st *groupState) verifyPair(ctx context.Context, pi int, hashers map[errbou
 			if err != nil {
 				return comp, err
 			}
+			if st.diffMode && st.opts.Memo != nil {
+				st.opts.Memo.insert(st.mans[a].Fields[fi].Digests[ci],
+					st.mans[b].Fields[fi].Digests[ci], fm.DType, idx)
+			}
 			if len(idx) > 0 {
 				changed++
 				base := int64(ci) * chunkElems
@@ -700,7 +721,15 @@ func (st *groupState) chunkGood(m, fi, ci int, hasher *errbound.Hasher) bool {
 	if got, err := hasher.HashChunk(data); err == nil && got == want {
 		ok = true
 	} else {
-		nr, cost, rerr := st.readers[m].File().ReadAt(data, st.readers[m].FieldFileOffset(fi)+off)
+		// Re-read from the chunk's home: the member's container file, or
+		// its extent in the shared pack in differential mode.
+		file, base := (*pfs.File)(nil), int64(0)
+		if st.diffMode {
+			file, base = st.pack, st.mans[m].Fields[fi].Locs[ci].Off-off
+		} else {
+			file, base = st.readers[m].File(), st.readers[m].FieldFileOffset(fi)
+		}
+		nr, cost, rerr := file.ReadAt(data, base+off)
 		st.rereads++
 		st.rereadCost.Add(cost)
 		if rerr == nil && nr == n {

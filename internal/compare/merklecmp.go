@@ -48,8 +48,11 @@ func CompareMerkle(ctx context.Context, store *pfs.Store, nameA, nameB string, o
 // stepReportMerkle assembles the Merkle result: changed-chunk counts,
 // per-field divergence lists, and element totals over selected fields.
 func (st *pairState) stepReportMerkle(ctx context.Context, x *engine.Exec) error {
-	for _, fc := range st.candidates {
-		st.res.ChangedChunks += len(st.changed[fc.field])
+	// Sum over the changed map, not the surviving candidate list: in
+	// differential mode CAS pruning can replay a memoized divergence for a
+	// field whose every candidate chunk was pruned from stage 2.
+	for fi := range st.changed {
+		st.res.ChangedChunks += len(st.changed[fi])
 	}
 	for _, fm := range st.ma.Fields {
 		if !st.selected(fm.Name) {

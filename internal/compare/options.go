@@ -72,6 +72,13 @@ type Options struct {
 	// clock — never slept). The zero value selects retry.Default()
 	// (3 attempts); a negative MaxAttempts disables retries.
 	Retry retry.Policy
+	// Memo, when set, carries stage-2 verdicts across differential (CAS)
+	// comparisons: a chunk-pair verdict proven once for a digest pair is
+	// replayed on later CompareDiff/GroupCompareDiff calls instead of
+	// re-reading and re-comparing. Only the differential planners consult
+	// it (a digest names a unique byte string only inside the shared
+	// store), and its ε must match Epsilon. Safe for concurrent use.
+	Memo *CASMemo
 	// Degrade enables the degradation ladder for Merkle-path comparisons:
 	// a stage-2 read that exhausts its retries degrades the affected pair
 	// to a metadata-only verdict instead of failing the plan, and a chunk

@@ -8,6 +8,7 @@ import (
 
 	"context"
 
+	"repro/internal/cas"
 	"repro/internal/ckpt"
 	"repro/internal/device"
 	"repro/internal/engine"
@@ -36,12 +37,16 @@ type fieldCandidates struct {
 
 // chunkRef maps one streamed chunk pair back to its field and element
 // base. chunk is the Merkle chunk index for changed-chunk accounting, or
-// -1 for the direct sweep (which has no chunk notion).
+// -1 for the direct sweep (which has no chunk notion). offA and offB are
+// the absolute file offsets the chunk streams from — field-relative in
+// the checkpoint container, or pack extents in differential mode.
 type chunkRef struct {
 	field    int
 	chunk    int
 	baseElem int64
 	hasher   *errbound.Hasher
+	offA     int64
+	offB     int64
 }
 
 // pairState carries one checkpoint pair's comparison through its plan
@@ -62,6 +67,14 @@ type pairState struct {
 	ra, rb   *ckpt.Reader
 	ma, mb   *Metadata
 	selected func(string) bool
+
+	// Differential (CAS) mode: leaf manifests replace the checkpoint
+	// readers and stage 2 streams representative bytes from the shared
+	// pack file instead of the two containers.
+	diffMode   bool
+	cs         *cas.Store
+	manA, manB *cas.Manifest
+	pack       *pfs.File
 
 	candidates []fieldCandidates
 	pairs      []stream.ChunkPair
@@ -269,16 +282,31 @@ func (st *pairState) stepAssemblePairs(ctx context.Context, x *engine.Exec) erro
 			hasher = h
 		}
 		tree := fm.Tree
-		baseA := st.ra.FieldFileOffset(fi)
-		baseB := st.rb.FieldFileOffset(fi)
+		var baseA, baseB int64
+		if !st.diffMode {
+			baseA = st.ra.FieldFileOffset(fi)
+			baseB = st.rb.FieldFileOffset(fi)
+		}
 		eltSize := int64(fm.DType.Size())
 		chunkElems := int64(tree.ChunkSize()) / eltSize
 		for _, ci := range fc.chunks {
 			off, n := tree.ChunkRange(ci)
+			offA, offB := baseA+off, baseB+off
+			if st.diffMode {
+				// Stream each side's representative bytes from its pack
+				// extent; the manifest pins extent length to chunk length.
+				locA := st.manA.Fields[fi].Locs[ci]
+				locB := st.manB.Fields[fi].Locs[ci]
+				if int(locA.Len) != n || int(locB.Len) != n {
+					return fmt.Errorf("compare: field %q chunk %d: pack extents %d/%d bytes, tree says %d",
+						fm.Name, ci, locA.Len, locB.Len, n)
+				}
+				offA, offB = locA.Off, locB.Off
+			}
 			st.pairs = append(st.pairs, stream.ChunkPair{
 				Index: len(st.refs),
-				OffA:  baseA + off,
-				OffB:  baseB + off,
+				OffA:  offA,
+				OffB:  offB,
 				Len:   n,
 			})
 			st.refs = append(st.refs, chunkRef{
@@ -286,6 +314,8 @@ func (st *pairState) stepAssemblePairs(ctx context.Context, x *engine.Exec) erro
 				chunk:    ci,
 				baseElem: int64(ci) * chunkElems,
 				hasher:   hasher,
+				offA:     offA,
+				offB:     offB,
 			})
 		}
 	}
@@ -302,8 +332,8 @@ func (st *pairState) verifyCompute(p stream.ChunkPair, a, b []byte) (time.Durati
 		// must re-hash to the leaves their metadata was built from —
 		// corruption beyond ε quantization (bit rot, a torn transfer)
 		// cannot masquerade as a clean chunk.
-		va := st.integrityCheck(ref, a, st.ma, st.ra)
-		vb := st.integrityCheck(ref, b, st.mb, st.rb)
+		va := st.integrityCheck(ref, a, sideA)
+		vb := st.integrityCheck(ref, b, sideB)
 		if va == nil || vb == nil {
 			st.mu.Lock()
 			st.unverified++
@@ -321,6 +351,15 @@ func (st *pairState) verifyCompute(p stream.ChunkPair, a, b []byte) (time.Durati
 		st.mu.Unlock()
 		return 0, err
 	}
+	if st.diffMode && st.opts.Memo != nil && ref.chunk >= 0 {
+		// Memoize the verdict under the digest pair. Sound only here, in
+		// differential mode: both byte strings are CAS representatives, so
+		// one digest names exactly one stored byte string and the verdict
+		// is a pure function of the (full) digest pair.
+		fA := &st.manA.Fields[ref.field]
+		fB := &st.manB.Fields[ref.field]
+		st.opts.Memo.insert(fA.Digests[ref.chunk], fB.Digests[ref.chunk], fA.DType, idx)
+	}
 	st.mu.Lock()
 	st.verified++
 	for _, e := range idx {
@@ -336,20 +375,40 @@ func (st *pairState) verifyCompute(p stream.ChunkPair, a, b []byte) (time.Durati
 	return st.opts.Device.CompareRateTime(int64(len(a))), nil
 }
 
+// integrityCheck sides.
+const (
+	sideA = 0
+	sideB = 1
+)
+
 // integrityCheck verifies one side's streamed chunk against the leaf hash
 // its metadata was built from, re-reading the chunk once on mismatch (an
 // in-flight flip re-reads clean; media corruption repeats). It returns the
 // verified bytes — data itself or the re-read copy — or nil when the
-// chunk remains unverifiable.
-func (st *pairState) integrityCheck(ref chunkRef, data []byte, m *Metadata, r *ckpt.Reader) []byte {
+// chunk remains unverifiable. In differential mode the re-read gathers the
+// representative from its pack extent; the leaf-hash check is what turns a
+// torn or rotted CAS chunk into Corrupt instead of a silent dedup hit.
+func (st *pairState) integrityCheck(ref chunkRef, data []byte, side int) []byte {
+	m, off := st.ma, ref.offA
+	if side == sideB {
+		m, off = st.mb, ref.offB
+	}
 	tree := m.Fields[ref.field].Tree
 	want := tree.Leaf(ref.chunk)
 	if got, err := ref.hasher.HashChunk(data); err == nil && got == want {
 		return data
 	}
-	off, n := tree.ChunkRange(ref.chunk)
+	f := st.pack
+	if !st.diffMode {
+		if side == sideB {
+			f = st.rb.File()
+		} else {
+			f = st.ra.File()
+		}
+	}
+	_, n := tree.ChunkRange(ref.chunk)
 	buf := make([]byte, n)
-	nr, cost, err := r.File().ReadAt(buf, r.FieldFileOffset(ref.field)+off)
+	nr, cost, err := f.ReadAt(buf, off)
 	st.mu.Lock()
 	st.rereads++
 	st.rereadCost.Add(cost)
@@ -372,7 +431,11 @@ func (st *pairState) integrityCheck(ref chunkRef, data []byte, m *Metadata, r *c
 func (st *pairState) stepStreamVerify(ctx context.Context, x *engine.Exec) error {
 	sw := metrics.NewStopwatch()
 	if len(st.pairs) > 0 {
-		stats, err := stream.Run(ctx, st.ra.File(), st.rb.File(), st.pairs, stream.Config{
+		fA, fB := st.pack, st.pack
+		if !st.diffMode {
+			fA, fB = st.ra.File(), st.rb.File()
+		}
+		stats, err := stream.Run(ctx, fA, fB, st.pairs, stream.Config{
 			Backend:    st.opts.Backend,
 			Device:     st.opts.Device,
 			SliceBytes: st.opts.SliceBytes,

@@ -35,6 +35,14 @@ type Result struct {
 	ChangedChunks int
 	// TotalChunks counts all data chunks across fields.
 	TotalChunks int
+	// CASPrunedChunks counts candidate chunks excluded from stage-2
+	// scheduling because the content-addressed store proved their verdict
+	// without a read: both sides resolved to the same pack extent, or the
+	// digest pair's verdict was memoized from an earlier differential
+	// comparison. Pruned chunks stay counted in CandidateChunks (and in
+	// ChangedChunks when the replayed verdict contained divergence); they
+	// are never Unverified. Always 0 outside differential mode.
+	CASPrunedChunks int
 
 	// CheckpointBytes is the raw data size of ONE run's checkpoint.
 	CheckpointBytes int64

@@ -277,6 +277,7 @@ func All() []*Analyzer {
 		RingLife,
 		Ctxflow,
 		Retryloop,
+		Casprune,
 		DetFlow,
 		EpsFlow,
 	}

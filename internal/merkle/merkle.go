@@ -120,6 +120,16 @@ func (t *Tree) Build(exec device.Executor) {
 // Root returns the root digest (valid after Build).
 func (t *Tree) Root() murmur3.Digest { return t.nodes[0] }
 
+// Clone returns a deep copy of the tree. Incremental capture clones the
+// previous iteration's tree and applies Update to the changed leaves,
+// leaving the original usable for concurrent comparisons.
+func (t *Tree) Clone() *Tree {
+	c := *t
+	c.nodes = make([]murmur3.Digest, len(t.nodes))
+	copy(c.nodes, t.nodes)
+	return &c
+}
+
 // NumChunks returns the number of real data chunks (leaves).
 func (t *Tree) NumChunks() int { return t.numLeaves }
 

@@ -532,6 +532,31 @@ func (s *Store) Create(name string) (*Writer, error) {
 	return &Writer{store: s, name: name, f: f}, nil
 }
 
+// Append opens a file for appending, creating it when absent. The writer
+// continues at the current end of file, so append-only logs (the CAS pack
+// and its index) grow across sessions without rewriting earlier content.
+// Unlike Create, existing cached pages stay resident: appending adds data,
+// it does not invalidate what readers already fetched.
+func (s *Store) Append(name string) (*Writer, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, fmt.Errorf("pfs: create dirs for %s: %w", name, err)
+	}
+	f, err := os.OpenFile(p, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pfs: append %s: %w", name, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close() // the stat error takes precedence
+		return nil, fmt.Errorf("pfs: stat %s: %w", name, err)
+	}
+	return &Writer{store: s, name: name, f: f, off: st.Size()}, nil
+}
+
 var _ io.WriteCloser = (*Writer)(nil)
 
 // Write appends bytes, tracking cost per operation.

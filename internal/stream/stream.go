@@ -117,6 +117,7 @@ type slice struct {
 	err      error
 	reqsA    []aio.ReadReq
 	reqsB    []aio.ReadReq
+	reqsAB   []aio.ReadReq // merged batch for the same-file (shared pack) path
 	byteSize int64
 	retries  int // batch reads re-issued under the retry policy
 	fellBack bool // slice was read via the Legacy fallback
@@ -127,6 +128,7 @@ func (s *slice) reset() {
 	s.pairs = s.pairs[:0]
 	s.reqsA = s.reqsA[:0]
 	s.reqsB = s.reqsB[:0]
+	s.reqsAB = s.reqsAB[:0]
 	s.byteSize = 0
 	s.io = 0
 	s.cost = pfs.Cost{}
@@ -273,7 +275,25 @@ func (s *slice) fill(ctx context.Context, fA, fB *pfs.File, cfg Config, pair aio
 		s.reqsB = append(s.reqsB, aio.ReadReq{Off: p.OffB, Len: p.Len, Buf: s.bufB[pos : pos+int64(p.Len)], Tag: p.Index})
 		pos += int64(p.Len)
 	}
+	sameFile := fA == fB
+	if sameFile {
+		// Both sides live in the same file (differential comparisons read
+		// every chunk from the shared CAS pack): merge the two batches into
+		// one so a coalescing backend can bridge gaps ACROSS sides — A and
+		// B representatives captured in the same iteration sit adjacent in
+		// the pack — and the whole slice costs a single batched submission.
+		s.reqsAB = append(append(s.reqsAB, s.reqsA...), s.reqsB...)
+	}
 	read := func() error {
+		if sameFile {
+			cost, t, err := cfg.Backend.ReadBatch(ctx, fA, s.reqsAB)
+			if err != nil {
+				return fmt.Errorf("stream: read shared pack: %w", err)
+			}
+			s.cost = cost
+			s.io = t
+			return nil
+		}
 		if pair != nil {
 			cost, t, err := pair.ReadBatchPair(ctx, fA, fB, s.reqsA, s.reqsB)
 			if err != nil {
@@ -306,19 +326,30 @@ func (s *slice) fill(ctx context.Context, fA, fB *pfs.File, cfg Config, pair aio
 	if err != nil && errors.Is(err, aio.ErrRingClosed) {
 		// First rung of the degradation ladder: the shared ring is gone,
 		// so pay the fresh-ring price for this slice instead of failing
-		// the comparison. Run-A and run-B batches serialize here.
+		// the comparison. Run-A and run-B batches serialize here (one
+		// merged batch when both sides read the same file).
 		leg := aio.Legacy{}
-		costA, tA, errA := leg.ReadBatch(ctx, fA, s.reqsA)
-		if errA == nil {
-			var costB pfs.Cost
-			var tB time.Duration
-			costB, tB, errA = leg.ReadBatch(ctx, fB, s.reqsB)
-			if errA == nil {
-				s.cost = costA
-				s.cost.Add(costB)
-				s.io += tA + tB
+		if sameFile {
+			cost, t, errL := leg.ReadBatch(ctx, fA, s.reqsAB)
+			if errL == nil {
+				s.cost = cost
+				s.io += t
 				s.fellBack = true
 				err = nil
+			}
+		} else {
+			costA, tA, errA := leg.ReadBatch(ctx, fA, s.reqsA)
+			if errA == nil {
+				var costB pfs.Cost
+				var tB time.Duration
+				costB, tB, errA = leg.ReadBatch(ctx, fB, s.reqsB)
+				if errA == nil {
+					s.cost = costA
+					s.cost.Add(costB)
+					s.io += tA + tB
+					s.fellBack = true
+					err = nil
+				}
 			}
 		}
 	}

@@ -50,6 +50,7 @@ import (
 	"context"
 
 	"repro/internal/aio"
+	"repro/internal/cas"
 	"repro/internal/ckpt"
 	"repro/internal/compare"
 	"repro/internal/device"
@@ -313,6 +314,61 @@ func CompareHistories(ctx context.Context, store *Store, runA, runB string, meth
 // selects star (baseline vs each run) or all-pairs coverage.
 func GroupCompare(ctx context.Context, store *Store, baseline string, runs []string, topology Topology, opts Options) (*GroupReport, error) {
 	return compare.GroupCompare(ctx, store, baseline, runs, topology, opts)
+}
+
+// CAS is a content-addressed chunk store shared by every run capturing
+// differentially onto the same Store: chunks are keyed by their
+// ε-quantized leaf digest, so a chunk equal (within ε) to one already
+// captured — by a previous iteration or a sibling run — is never written
+// twice. The pack is append-only and torn-write safe: a capture that
+// fails mid-write leaves an unreferenced hole, never a future dedup hit.
+type CAS = cas.Store
+
+// DiffCapturer captures a run's checkpoints differentially through a CAS,
+// maintaining each checkpoint's Merkle metadata by incremental update
+// (only changed leaves rehash) instead of a full rebuild.
+type DiffCapturer = compare.DiffCapturer
+
+// DiffCaptureReport summarizes one differential capture: dedup outcome,
+// write cost, and the incremental-update accounting.
+type DiffCaptureReport = compare.DiffCaptureReport
+
+// CASMemo caches stage-2 verdicts keyed by full leaf-digest pairs, letting
+// repeated differential comparisons replay verified verdicts with zero
+// data reads. Sound only for CompareDiff/GroupCompareDiff at a matching ε.
+type CASMemo = compare.CASMemo
+
+// OpenCAS opens (or creates) the store's shared chunk pack, replaying its
+// index; a torn tail from a crashed capture is ignored, a corrupt index
+// record is an error.
+func OpenCAS(ctx context.Context, store *Store) (*CAS, error) {
+	cs, _, err := cas.Open(ctx, store)
+	return cs, err
+}
+
+// NewDiffCapturer returns a capturer writing one run's checkpoints
+// through the shared CAS. One capturer serves one run; concurrent ranks
+// are safe.
+func NewDiffCapturer(store *Store, cs *CAS, opts Options) (*DiffCapturer, error) {
+	return compare.NewDiffCapturer(store, cs, opts)
+}
+
+// NewCASMemo returns a verdict memo for Options.Memo, pinned to ε.
+func NewCASMemo(epsilon float64) *CASMemo { return compare.NewCASMemo(epsilon) }
+
+// CompareDiff compares two differentially captured checkpoints: stage 2
+// reads candidate chunks from the shared pack in one merged batch, chunks
+// sharing a pack extent are pruned as provably identical, and a warmed
+// Options.Memo replays previously verified verdicts without any reads.
+func CompareDiff(ctx context.Context, store *Store, cs *CAS, nameA, nameB string, opts Options) (*Result, error) {
+	return compare.CompareDiff(ctx, store, cs, nameA, nameB, opts)
+}
+
+// GroupCompareDiff compares N differentially captured runs as one plan:
+// group-level read dedup (each pack extent fetched once for all pairs)
+// composes with CAS pruning and the degradation ladder.
+func GroupCompareDiff(ctx context.Context, store *Store, cs *CAS, baseline string, runs []string, topology Topology, opts Options) (*GroupReport, error) {
+	return compare.GroupCompareDiff(ctx, store, cs, baseline, runs, topology, opts)
 }
 
 // Analysis characterizes how two checkpoints differ: per-field divergence

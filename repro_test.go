@@ -187,3 +187,68 @@ func TestCheckpointerFacade(t *testing.T) {
 		t.Errorf("flushed checkpoint unreadable: %v", err)
 	}
 }
+
+// TestDifferentialFacade drives the differential-capture surface through
+// the public aliases: open a CAS, capture two runs across iterations,
+// compare with CompareDiff, and replay through a warmed memo.
+func TestDifferentialFacade(t *testing.T) {
+	store, err := repro.NewStore(t.TempDir(), repro.LustreModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := repro.OpenCAS(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := repro.Options{Epsilon: 1e-5, ChunkSize: 4 << 10, Memo: repro.NewCASMemo(1e-5)}
+	const elems = 16 << 10
+	fields := []repro.FieldSpec{{Name: "x", DType: repro.Float32, Count: elems}}
+	pert := synth.DefaultPerturb(7)
+	pert.MagLo, pert.MagHi = 1e-3, 1e-2
+	base, diverged := synth.RunPair(elems, 1, 11, pert)
+	for _, rd := range []struct {
+		run  string
+		data [][]byte
+	}{{"runA", base}, {"runB", diverged}} {
+		capt, err := repro.NewDiffCapturer(store, cs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, iter := range []int{10, 20} {
+			meta := repro.Checkpoint{RunID: rd.run, Iteration: iter, Rank: 0, Fields: fields}
+			rep, err := capt.Capture(context.Background(), meta, rd.data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if iter == 20 && rep.Stats.DedupHits != rep.Stats.Chunks {
+				t.Fatalf("identical iteration wrote chunks: %+v", rep.Stats)
+			}
+		}
+	}
+	store.EvictAll()
+	nameA := repro.CheckpointName("runA", 20, 0)
+	nameB := repro.CheckpointName("runB", 20, 0)
+	res, err := repro.CompareDiff(context.Background(), store, cs, nameA, nameB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiffCount == 0 || res.Identical() {
+		t.Fatalf("perturbed pair compared clean: %+v", res)
+	}
+	// Second comparison replays the memo: every candidate pruned.
+	res2, err := repro.CompareDiff(context.Background(), store, cs, nameA, nameB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CASPrunedChunks != res2.CandidateChunks || res2.DiffCount != res.DiffCount {
+		t.Fatalf("memo replay diverged: pruned %d of %d, diffs %d vs %d",
+			res2.CASPrunedChunks, res2.CandidateChunks, res2.DiffCount, res.DiffCount)
+	}
+	gr, err := repro.GroupCompareDiff(context.Background(), store, cs, nameA, []string{nameB}, repro.TopologyStar, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Reproducible() {
+		t.Fatal("divergent group reported reproducible")
+	}
+}
