@@ -56,18 +56,21 @@ bench-smoke:
 	$(GO) run ./cmd/benchstream -smoke > /dev/null
 	$(GO) run ./cmd/benchgroup -smoke > /dev/null
 	$(GO) run ./cmd/benchcapture -smoke > /dev/null
+	$(GO) run ./cmd/benchshard -smoke > /dev/null
 
 # bench-json regenerates the tracked baselines at the repository root:
 # kernel throughput (BENCH_kernels.json), the stage-2 streaming pipeline
 # (BENCH_stream.json), the N-run group-comparison engine
-# (BENCH_group.json), and the differential-capture pipeline
-# (BENCH_capture.json). Diff them in review to catch regressions
+# (BENCH_group.json), the differential-capture pipeline
+# (BENCH_capture.json), and the subtree-sharded scale-out engine
+# (BENCH_shard.json). Diff them in review to catch regressions
 # (same-machine deltas are signal, cross-machine noise; the virtual and
 # read-op columns are deterministic and comparable anywhere).
 bench-json:
 	$(GO) run ./cmd/benchkernels -o BENCH_kernels.json
 	$(GO) run ./cmd/benchstream -o BENCH_stream.json
 	$(GO) run ./cmd/benchgroup -o BENCH_group.json
+	$(GO) run ./cmd/benchshard -o BENCH_shard.json
 
 # Regenerate every paper table and figure (see EXPERIMENTS.md).
 experiments:

@@ -7,6 +7,7 @@
 //
 //	reprocmp hash    -store DIR -ckpt NAME -eps 1e-6 [-chunk 65536]
 //	reprocmp compare -store DIR -a NAME -b NAME -eps 1e-6 [-chunk 65536] [-method merkle|direct|allclose]
+//	reprocmp shard   -store DIR -a NAME -b NAME -eps 1e-6 [-workers 4] [-assign block|placement|random] [-static] [-targets K [-stripe BYTES]]
 //	reprocmp group   -store DIR -baseline NAME -runs NAME,NAME,... -eps 1e-6 [-topology star|all-pairs]
 //	reprocmp history -store DIR -runa RUN1 -runb RUN2 -eps 1e-6 [-method merkle] [-hash]
 //	reprocmp inspect -store DIR -ckpt NAME
@@ -80,13 +81,15 @@ func verdict(diverged, degraded bool) error {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) < 1 {
-		return errors.New("usage: reprocmp <hash|compare|group|history|inspect|compact> [flags]")
+		return errors.New("usage: reprocmp <hash|compare|shard|group|history|inspect|compact> [flags]")
 	}
 	switch args[0] {
 	case "hash":
 		return cmdHash(ctx, args[1:], out)
 	case "compare":
 		return cmdCompare(ctx, args[1:], out)
+	case "shard":
+		return cmdShard(ctx, args[1:], out)
 	case "group":
 		return cmdGroup(ctx, args[1:], out)
 	case "history":
@@ -380,6 +383,91 @@ func printResult(out io.Writer, res *repro.Result, verbose bool) {
 		}
 		fmt.Fprintln(out)
 	}
+}
+
+// cmdShard runs the two-stage Merkle comparison with stage 2 sharded
+// across simulated workers (the ShardCompare API), reporting both the
+// comparison verdict and the schedule's shape.
+func cmdShard(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("shard", flag.ContinueOnError)
+	dir := fs.String("store", "", "store directory")
+	a := fs.String("a", "", "first checkpoint name")
+	b := fs.String("b", "", "second checkpoint name")
+	eps := fs.Float64("eps", 0, "absolute error bound")
+	chunk := fs.Int("chunk", 64<<10, "chunk size in bytes")
+	workers := fs.Int("workers", 4, "simulated worker count")
+	budget := fs.Int64("budget", 0, "per-worker in-flight buffer budget in bytes (0 = default)")
+	subtree := fs.Int("subtree", 0, "chunks per work-unit subtree (0 = default)")
+	assign := fs.String("assign", "block", "block | placement | random")
+	static := fs.Bool("static", false, "disable work stealing")
+	seed := fs.Uint64("seed", 0, "seed for the random assignment policy")
+	targets := fs.Int("targets", 0, "stripe the store across K simulated OSTs (0 = unstriped)")
+	stripe := fs.Int64("stripe", 1<<20, "stripe width in bytes (with -targets)")
+	verbose := fs.Bool("v", false, "list divergent indices")
+	asJSON := fs.Bool("json", false, "emit a machine-readable JSON report")
+	degrade := fs.Bool("degrade", false, "degrade on storage failures instead of aborting (exit 3 when inconclusive)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	if *a == "" || *b == "" {
+		return errors.New("-a and -b are required")
+	}
+	var policy repro.ShardAssignment
+	switch *assign {
+	case "block", "":
+		policy = repro.ShardAssignBlock
+	case "placement":
+		policy = repro.ShardAssignPlacement
+	case "random":
+		policy = repro.ShardAssignRandom
+	default:
+		return fmt.Errorf("unknown assignment policy %q", *assign)
+	}
+	if *targets > 0 {
+		if err := store.SetStriping(repro.Striping{Targets: *targets, StripeBytes: *stripe}); err != nil {
+			return err
+		}
+	}
+	cfg := repro.ShardConfig{
+		Workers:       *workers,
+		Budget:        *budget,
+		SubtreeChunks: *subtree,
+		Assignment:    policy,
+		Stealing:      !*static,
+		Seed:          *seed,
+	}
+	opts := repro.Options{Epsilon: *eps, ChunkSize: *chunk, Degrade: *degrade}
+	res, stats, err := repro.ShardCompare(ctx, store, *a, *b, cfg, opts)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		if err := emitJSON(out, struct {
+			Result jsonResult        `json:"result"`
+			Shard  *repro.ShardStats `json:"shard"`
+		}{toJSONResult(res, *verbose), stats}); err != nil {
+			return err
+		}
+	} else {
+		printResult(out, res, *verbose)
+		fmt.Fprintf(out, "shard: %d workers (%s%s), %d units", stats.Workers, stats.Assignment,
+			map[bool]string{true: ", stealing", false: ""}[stats.Stealing], stats.Units)
+		if stats.Targets > 0 {
+			fmt.Fprintf(out, " over %d OSTs", stats.Targets)
+		}
+		fmt.Fprintf(out, "; makespan %v, %d steals (%d units), peak in-flight %d of %d budget\n",
+			stats.MakespanVirtual.Round(1000), stats.Steals, stats.StolenUnits,
+			stats.PeakInFlight, stats.BudgetBytes)
+		if stats.WorkerFailures > 0 {
+			fmt.Fprintf(out, "shard: %d worker(s) died; %d units drained by the coordinator\n",
+				stats.WorkerFailures, stats.CoordinatorUnits)
+		}
+	}
+	return verdict(res.DiffCount != 0, res.Degraded || res.UnverifiedChunks > 0)
 }
 
 // cmdGroup compares N runs' checkpoints against a baseline in one engine

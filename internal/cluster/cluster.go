@@ -20,6 +20,7 @@ import (
 	"repro/internal/compare"
 	"repro/internal/metrics"
 	"repro/internal/pfs"
+	"repro/internal/shard"
 )
 
 // Pair is one unit of comparison work.
@@ -38,6 +39,10 @@ type Config struct {
 	Method compare.Method
 	// Opts are the comparison options used by every process.
 	Opts compare.Options
+	// Static pins the historical stride partition — pair i runs on process
+	// i mod Processes, no stealing. Fig. 10 uses it so the figure keeps the
+	// paper's schedule; everything else gets work stealing by default.
+	Static bool
 }
 
 // ProcessResult is one process's share of the work.
@@ -54,6 +59,8 @@ type ProcessResult struct {
 	BytesRead int64
 	// BytesCompared counts checkpoint data covered (both runs).
 	BytesCompared int64
+	// Diffs counts divergent elements found by this process's pairs.
+	Diffs int64
 }
 
 // Result is the outcome of one scaling configuration.
@@ -70,6 +77,10 @@ type Result struct {
 	MakespanVirtual time.Duration
 	// TotalDiffs sums divergent elements across all pairs.
 	TotalDiffs int64
+	// Steals and StolenPairs count work-stealing activity (zero under
+	// Config.Static).
+	Steals      int64
+	StolenPairs int64
 }
 
 // PerProcessThroughputGBps returns the mean per-process comparison
@@ -99,6 +110,12 @@ func (r *Result) AggregateThroughputGBps() float64 {
 // store; the page cache is evicted first so every process starts cold.
 // Cancellation is observed between pairs on every process and inside each
 // comparison's engine plan.
+//
+// Pairs are seeded onto per-process deques in the stride order the harness
+// has always used (pair i on process i mod Processes) so the Static
+// schedule is reproducible, but by default an idle process steals pair
+// batches from the tail of the most-loaded peer's deque, which keeps the
+// makespan tight when pair costs are skewed.
 func Run(ctx context.Context, store *pfs.Store, pairs []Pair, cfg Config) (*Result, error) {
 	if cfg.Processes < 1 {
 		return nil, fmt.Errorf("cluster: processes %d must be positive", cfg.Processes)
@@ -124,32 +141,45 @@ func Run(ctx context.Context, store *pfs.Store, pairs []Pair, cfg Config) (*Resu
 		TotalPairs: len(pairs),
 		PerProcess: make([]ProcessResult, cfg.Processes),
 	}
+	dq := shard.NewDeques[int](cfg.Processes, nil)
+	for i := range pairs {
+		dq.Push(i%cfg.Processes, i)
+	}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
 	for p := 0; p < cfg.Processes; p++ {
 		wg.Add(1)
 		go func(proc int) {
 			defer wg.Done()
-			pr := ProcessResult{Proc: proc}
-			for i := proc; i < len(pairs); i += cfg.Processes {
+			// Each process accumulates into its own slot and the result is
+			// folded once after the barrier — no per-pair lock traffic.
+			pr := &res.PerProcess[proc]
+			pr.Proc = proc
+			for {
 				if err := ctx.Err(); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+					fail(err)
+					return
+				}
+				i, ok := dq.Pop(proc)
+				if !ok && !cfg.Static {
+					i, ok = dq.Steal(proc)
+				}
+				if !ok {
 					return
 				}
 				r, err := cfg.Method.Run(ctx, store, pairs[i].NameA, pairs[i].NameB, cfg.Opts)
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("cluster: proc %d pair %d: %w", proc, i, err)
-					}
-					mu.Unlock()
+					fail(fmt.Errorf("cluster: proc %d pair %d: %w", proc, i, err))
 					return
 				}
 				pr.Pairs++
@@ -157,23 +187,21 @@ func Run(ctx context.Context, store *pfs.Store, pairs []Pair, cfg Config) (*Resu
 				pr.Wall += r.WallElapsed()
 				pr.BytesRead += r.BytesRead
 				pr.BytesCompared += 2 * r.CheckpointBytes
-				if r.DiffCount > 0 {
-					mu.Lock()
-					res.TotalDiffs += r.DiffCount
-					mu.Unlock()
-				}
+				pr.Diffs += r.DiffCount
 			}
-			mu.Lock()
-			res.PerProcess[proc] = pr
-			if pr.Virtual > res.MakespanVirtual {
-				res.MakespanVirtual = pr.Virtual
-			}
-			mu.Unlock()
 		}(p)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	for i := range res.PerProcess {
+		pr := &res.PerProcess[i]
+		res.TotalDiffs += pr.Diffs
+		if pr.Virtual > res.MakespanVirtual {
+			res.MakespanVirtual = pr.Virtual
+		}
+	}
+	res.Steals, res.StolenPairs = dq.StealStats()
 	return res, nil
 }

@@ -69,6 +69,12 @@ func (t Topology) pairList(n int) ([][2]int, error) {
 	return out, nil
 }
 
+// PairList enumerates the member-index pairs the topology covers over n
+// members (member 0 is the baseline) — exported so out-of-package
+// planners (internal/shard) cover exactly the same pairs in the same
+// order.
+func (t Topology) PairList(n int) ([][2]int, error) { return t.pairList(n) }
+
 // GroupPairReport is one pair's outcome within a group comparison.
 type GroupPairReport struct {
 	// A and B index GroupReport.Members.

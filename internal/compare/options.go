@@ -179,3 +179,29 @@ func (o Options) validate() error {
 func (o Options) hasherFor(dtype errbound.DType) (*errbound.Hasher, error) {
 	return errbound.NewHasher(dtype, o.Epsilon)
 }
+
+// Normalize validates the options and returns a copy with unset fields
+// defaulted — the same normalization every compare entry point applies.
+// Exported for planners outside this package (internal/shard) that must
+// agree bit-for-bit with the single-node paths on chunking, ε, and field
+// selection.
+func (o Options) Normalize() (Options, error) {
+	o = o.withDefaults()
+	if err := o.validate(); err != nil {
+		return Options{}, err
+	}
+	return o, nil
+}
+
+// HasherFor builds the error-bounded hasher for a field dtype using the
+// options' ε. Exported for out-of-package planners (internal/shard).
+func (o Options) HasherFor(dtype errbound.DType) (*errbound.Hasher, error) {
+	return o.hasherFor(dtype)
+}
+
+// FieldFilter resolves the Fields option against the available field
+// names: it returns a predicate and an error naming any unknown field.
+// Exported for out-of-package planners (internal/shard).
+func (o Options) FieldFilter(available []string) (func(string) bool, error) {
+	return o.fieldFilter(available)
+}

@@ -214,6 +214,13 @@ func checkMetaPair(ma, mb *Metadata, eps float64) error {
 	return nil
 }
 
+// CheckMetaPair validates that two metadata files are comparable with
+// each other at the requested ε — the same gate every pairwise planner
+// runs. Exported for out-of-package planners (internal/shard).
+func CheckMetaPair(ma, mb *Metadata, eps float64) error {
+	return checkMetaPair(ma, mb, eps)
+}
+
 // stepTreeDiff runs stage 1: the pruned BFS tree diff per selected field
 // (CompareTree phase). The executor is wrapped so a canceled context
 // stops the diff kernels between poll intervals.

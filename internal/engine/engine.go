@@ -48,6 +48,12 @@ const (
 	StepHostCompare StepKind = "host-compare"
 	// StepCompact rewrites a checkpoint into its compacted form.
 	StepCompact StepKind = "compact"
+	// StepPartition groups stage-1 candidate chunks into self-describing
+	// shard work units and assigns them to workers (internal/shard).
+	StepPartition StepKind = "partition"
+	// StepShardExecute runs the coordinator/worker scale-out: workers
+	// drain and steal work-unit deques, the coordinator folds verdicts.
+	StepShardExecute StepKind = "shard-execute"
 	// StepReport assembles the final result from accumulated state.
 	StepReport StepKind = "report"
 )

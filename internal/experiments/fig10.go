@@ -60,6 +60,9 @@ func (e *Env) Fig10(ctx context.Context, eps float64, pairsCount int, processCou
 				PerNode:   4,
 				Method:    m,
 				Opts:      e.opts(eps, chunk),
+				// The figure keeps the paper's stride schedule; the
+				// work-stealing path is studied by cmd/benchshard.
+				Static: true,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fig10 %s procs=%d: %w", m, procs, err)

@@ -278,6 +278,7 @@ func All() []*Analyzer {
 		Ctxflow,
 		Retryloop,
 		Casprune,
+		Shardmsg,
 		DetFlow,
 		EpsFlow,
 	}

@@ -28,8 +28,12 @@ func decodeF64(data []byte) ([]float64, error) {
 	return out, nil
 }
 
-// encodeParts serializes a list of byte slices with length prefixes.
-func encodeParts(parts [][]byte) []byte {
+// EncodeParts serializes a list of byte slices with length prefixes
+// (u32 part count, then u32 length + bytes per part, little-endian).
+// Exported so higher layers — the shard wire format in internal/shard —
+// can compose self-describing messages on the same framing the
+// collectives use.
+func EncodeParts(parts [][]byte) []byte {
 	total := 4
 	for _, p := range parts {
 		total += 4 + len(p)
@@ -43,8 +47,8 @@ func encodeParts(parts [][]byte) []byte {
 	return out
 }
 
-// decodeParts inverts encodeParts.
-func decodeParts(data []byte) ([][]byte, error) {
+// DecodeParts inverts EncodeParts, rejecting truncated payloads.
+func DecodeParts(data []byte) ([][]byte, error) {
 	if len(data) < 4 {
 		return nil, errors.New("mpi: truncated parts payload")
 	}

@@ -315,7 +315,7 @@ func TestQuickCodecRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 	g := func(parts [][]byte) bool {
-		dec, err := decodeParts(encodeParts(parts))
+		dec, err := DecodeParts(EncodeParts(parts))
 		if err != nil || len(dec) != len(parts) {
 			return false
 		}
@@ -335,10 +335,10 @@ func TestCodecRejectsCorrupt(t *testing.T) {
 	if _, err := decodeF64(make([]byte, 7)); err == nil {
 		t.Error("misaligned f64 payload accepted")
 	}
-	if _, err := decodeParts(nil); err == nil {
+	if _, err := DecodeParts(nil); err == nil {
 		t.Error("nil parts payload accepted")
 	}
-	if _, err := decodeParts([]byte{2, 0, 0, 0, 10, 0, 0, 0, 1}); err == nil {
+	if _, err := DecodeParts([]byte{2, 0, 0, 0, 10, 0, 0, 0, 1}); err == nil {
 		t.Error("truncated parts payload accepted")
 	}
 }

@@ -169,6 +169,46 @@ func (m CostModel) WriteTime(c Cost, sharers int) time.Duration {
 	return lat + bw
 }
 
+// Striping models a Lustre-style object layout: a file's byte range is
+// split into StripeBytes-sized stripes laid out round-robin across
+// Targets simulated object storage targets (OSTs). The metadata service
+// decides the layout (this struct); the targets serve the striped reads,
+// each with its own contention factor (Store.TargetSharers). The mapping
+// is positional only — data still lives in one real file — but it lets
+// placement-aware schedulers price reads per target instead of against
+// one store-wide sharers factor.
+type Striping struct {
+	// Targets is the number of simulated OSTs. Values below 2 disable
+	// striping (the whole store behaves as a single target 0).
+	Targets int
+	// StripeBytes is the stripe width. Must be positive when Targets > 1.
+	StripeBytes int64
+}
+
+// Enabled reports whether the layout actually splits data across more
+// than one target.
+func (st Striping) Enabled() bool { return st.Targets > 1 && st.StripeBytes > 0 }
+
+// Validate checks the layout parameters.
+func (st Striping) Validate() error {
+	if st.Targets > 1 && st.StripeBytes <= 0 {
+		return fmt.Errorf("pfs: striping over %d targets needs a positive stripe width", st.Targets)
+	}
+	return nil
+}
+
+// TargetOf returns the OST index serving the stripe containing byte
+// offset off. With striping disabled every offset maps to target 0.
+func (st Striping) TargetOf(off int64) int {
+	if !st.Enabled() {
+		return 0
+	}
+	if off < 0 {
+		off = 0
+	}
+	return int((off / st.StripeBytes) % int64(st.Targets))
+}
+
 // Store is one storage tier rooted at a real directory.
 // It is safe for concurrent use.
 type Store struct {
@@ -178,6 +218,11 @@ type Store struct {
 	mu      sync.Mutex
 	cache   map[string]map[int64]struct{} // name -> resident page indices
 	sharers int
+
+	// striping is the OST layout; targetSharers[t] overrides the
+	// store-wide sharers factor for reads served by target t.
+	striping      Striping
+	targetSharers []int
 
 	// openHandles counts files opened and not yet closed; leak tests
 	// assert it returns to zero after error paths.
@@ -247,6 +292,53 @@ func (s *Store) SetSharers(n int) {
 func (s *Store) Sharers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.sharers
+}
+
+// SetStriping installs an OST layout on the store and clears any
+// per-target sharers table. Returns the layout's validation error, if
+// any, leaving the store unchanged.
+func (s *Store) SetStriping(st Striping) error {
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.striping = st
+	s.targetSharers = nil
+	return nil
+}
+
+// Striping returns the installed OST layout (zero value when unset).
+func (s *Store) Striping() Striping {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.striping
+}
+
+// SetTargetSharers installs a per-OST contention table: sharers[t] is
+// the number of workers assumed to contend for target t's bandwidth.
+// Entries below 1 fall back to the store-wide sharers factor, as do
+// targets beyond the table. Passing nil clears the table. The slice is
+// copied.
+func (s *Store) SetTargetSharers(sharers []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(sharers) == 0 {
+		s.targetSharers = nil
+		return
+	}
+	s.targetSharers = append([]int(nil), sharers...)
+}
+
+// TargetSharers returns the contention factor for reads served by OST
+// target. Without a table entry it falls back to the store-wide factor.
+func (s *Store) TargetSharers(target int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if target >= 0 && target < len(s.targetSharers) && s.targetSharers[target] >= 1 {
+		return s.targetSharers[target]
+	}
 	return s.sharers
 }
 

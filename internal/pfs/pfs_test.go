@@ -331,3 +331,95 @@ func TestLatencyTermZeroCost(t *testing.T) {
 		t.Error("zero cost read time nonzero")
 	}
 }
+
+func TestStripingTargetOf(t *testing.T) {
+	st := Striping{Targets: 4, StripeBytes: 1 << 20}
+	if !st.Enabled() {
+		t.Fatal("4-target striping should be enabled")
+	}
+	cases := []struct {
+		off  int64
+		want int
+	}{
+		{0, 0},
+		{(1 << 20) - 1, 0},
+		{1 << 20, 1},
+		{3 << 20, 3},
+		{4 << 20, 0}, // round-robin wraps
+		{9 << 20, 1},
+		{-5, 0}, // negative offsets clamp to the first stripe
+	}
+	for _, c := range cases {
+		if got := st.TargetOf(c.off); got != c.want {
+			t.Errorf("TargetOf(%d) = %d, want %d", c.off, got, c.want)
+		}
+	}
+	// Disabled layouts map everything to target 0.
+	for _, st := range []Striping{{}, {Targets: 1, StripeBytes: 1 << 20}} {
+		if st.Enabled() {
+			t.Errorf("%+v should be disabled", st)
+		}
+		if got := st.TargetOf(42 << 20); got != 0 {
+			t.Errorf("disabled TargetOf = %d, want 0", got)
+		}
+	}
+}
+
+func TestStripingValidate(t *testing.T) {
+	if err := (Striping{Targets: 8}).Validate(); err == nil {
+		t.Fatal("multi-target striping without a stripe width should be rejected")
+	}
+	if err := (Striping{Targets: 8, StripeBytes: 4096}).Validate(); err != nil {
+		t.Fatalf("valid layout rejected: %v", err)
+	}
+	s := newTestStore(t)
+	if err := s.SetStriping(Striping{Targets: 8}); err == nil {
+		t.Fatal("SetStriping should reject an invalid layout")
+	}
+	if s.Striping().Targets != 0 {
+		t.Fatal("rejected layout must leave the store unchanged")
+	}
+	if err := s.SetStriping(Striping{Targets: 8, StripeBytes: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Striping().Targets; got != 8 {
+		t.Fatalf("Striping().Targets = %d, want 8", got)
+	}
+}
+
+func TestTargetSharersFallback(t *testing.T) {
+	s := newTestStore(t)
+	s.SetSharers(3)
+	// No table: every target falls back to the store-wide factor.
+	if got := s.TargetSharers(5); got != 3 {
+		t.Fatalf("TargetSharers without table = %d, want 3", got)
+	}
+	s.SetTargetSharers([]int{1, 4, 0})
+	if got := s.TargetSharers(0); got != 1 {
+		t.Fatalf("TargetSharers(0) = %d, want 1", got)
+	}
+	if got := s.TargetSharers(1); got != 4 {
+		t.Fatalf("TargetSharers(1) = %d, want 4", got)
+	}
+	// Zero entries and out-of-range targets fall back.
+	if got := s.TargetSharers(2); got != 3 {
+		t.Fatalf("TargetSharers(2) = %d, want 3 (fallback)", got)
+	}
+	if got := s.TargetSharers(99); got != 3 {
+		t.Fatalf("TargetSharers(99) = %d, want 3 (fallback)", got)
+	}
+	// The table is copied, not aliased.
+	tbl := []int{7}
+	s.SetTargetSharers(tbl)
+	tbl[0] = 1
+	if got := s.TargetSharers(0); got != 7 {
+		t.Fatalf("TargetSharers(0) = %d, want 7 (copied table)", got)
+	}
+	// Installing a new layout clears the table.
+	if err := s.SetStriping(Striping{Targets: 2, StripeBytes: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TargetSharers(0); got != 3 {
+		t.Fatalf("TargetSharers after SetStriping = %d, want 3 (cleared)", got)
+	}
+}

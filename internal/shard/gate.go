@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"context"
+)
+
+// vgate serializes unit execution in virtual-time order: the worker with
+// the lowest virtual clock (ties to the lowest id) holds the baton, takes
+// its next unit, executes it, and releases the baton with the unit's
+// virtual cost added to its clock. This is the discrete-event scheduler
+// that makes the whole sharded execution deterministic — which worker
+// runs which unit, every steal, every chaos death, the cache state each
+// read observes, and through them the makespan — regardless of how the
+// OS schedules the goroutines. Wall-clock parallelism is irrelevant here:
+// all reported times are model time, and the model says the next unit
+// starts on whichever worker is least loaded so far.
+type vgate struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	clock  []time.Duration
+	active []bool
+	holder int
+}
+
+func newVgate(n int) *vgate {
+	g := &vgate{
+		clock:  make([]time.Duration, n),
+		active: make([]bool, n),
+		holder: -1,
+	}
+	for i := range g.active {
+		g.active[i] = true
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// minLocked returns the active worker with the lowest (clock, id).
+func (g *vgate) minLocked() int {
+	best := -1
+	for w := range g.clock {
+		if !g.active[w] {
+			continue
+		}
+		if best == -1 || g.clock[w] < g.clock[best] {
+			best = w
+		}
+	}
+	return best
+}
+
+// enter blocks until worker w holds the baton (or the context dies). The
+// caller must follow with leave or exit on every path.
+func (g *vgate) enter(ctx context.Context, w int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if g.holder == -1 && g.minLocked() == w {
+			g.holder = w
+			return nil
+		}
+		g.cond.Wait()
+	}
+}
+
+// leave releases the baton after one unit, charging its virtual cost.
+func (g *vgate) leave(w int, cost time.Duration) {
+	g.mu.Lock()
+	g.clock[w] += cost
+	if g.holder == w {
+		g.holder = -1
+	}
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// exit permanently removes worker w from the schedule (normal drain,
+// error, or chaos death), releasing the baton if held. Idempotent.
+func (g *vgate) exit(w int) {
+	g.mu.Lock()
+	g.active[w] = false
+	if g.holder == w {
+		g.holder = -1
+	}
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// wake nudges every waiter to re-check its predicate (context death).
+func (g *vgate) wake() { g.cond.Broadcast() }

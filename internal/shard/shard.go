@@ -1,0 +1,536 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"context"
+
+	"repro/internal/compare"
+	"repro/internal/merkle"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+)
+
+// Assignment selects how the coordinator maps work units to workers
+// before execution starts (stealing then rebalances at runtime).
+type Assignment int
+
+// Assignment policies.
+const (
+	// AssignBlock is the owner-computes domain decomposition: worker w
+	// owns a contiguous block of the global chunk key space. It is the
+	// classic static partition — and the one skewed diff density
+	// punishes, since all divergent subtrees may fall into one block.
+	AssignBlock Assignment = iota
+	// AssignPlacement is placement-aware: each unit goes to the worker
+	// owning its home OST (Target % Workers), so every target is read
+	// by exactly one worker and per-target contention stays at 1. On an
+	// unstriped store it degenerates to AssignBlock.
+	AssignPlacement
+	// AssignRandom scatters units uniformly by a seeded hash: balanced
+	// counts, but every worker touches every OST, so per-target
+	// contention approaches the worker count.
+	AssignRandom
+)
+
+// String returns the policy's report name.
+func (a Assignment) String() string {
+	switch a {
+	case AssignBlock:
+		return "block"
+	case AssignPlacement:
+		return "placement"
+	case AssignRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Assignment(%d)", int(a))
+	}
+}
+
+// Chaos schedules a deterministic worker failure mid-comparison: worker
+// Worker dies after completing AfterUnits units. The dying worker
+// returns its in-flight unit to its deque (stealable, never dropped)
+// and exits cleanly; peers — or the coordinator's drain fallback —
+// finish its share.
+type Chaos struct {
+	Enabled    bool
+	Worker     int
+	AfterUnits int
+}
+
+// Config parameterizes the sharded comparison engine.
+type Config struct {
+	// Workers is the simulated worker count M (default 4).
+	Workers int
+	// Budget bounds the stage-2 chunk bytes (both sides summed) a worker
+	// may hold in flight at once — the out-of-core invariant. Default
+	// 16 MiB; must be at least twice the options' chunk size.
+	Budget int64
+	// SubtreeChunks is the work-unit grain: candidate chunks of one
+	// (pair, field) are grouped into subtrees of this many leaves
+	// (default 16).
+	SubtreeChunks int
+	// Assignment selects the initial unit→worker mapping.
+	Assignment Assignment
+	// Stealing lets idle workers steal subtree batches from the tail of
+	// the most-loaded peer's deque.
+	Stealing bool
+	// Seed drives AssignRandom (and nothing else).
+	Seed uint64
+	// Chaos optionally kills one worker mid-comparison.
+	Chaos Chaos
+}
+
+// normalized validates the configuration against the (already
+// normalized) comparison options and fills defaults.
+func (c Config) normalized(opts compare.Options) (Config, error) {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.SubtreeChunks <= 0 {
+		c.SubtreeChunks = 16
+	}
+	if c.Budget <= 0 {
+		c.Budget = 16 << 20
+	}
+	if min := 2 * int64(opts.ChunkSize); c.Budget < min {
+		return c, fmt.Errorf("shard: budget %d below one chunk pair (%d bytes)", c.Budget, min)
+	}
+	if c.Chaos.Enabled && (c.Chaos.Worker < 0 || c.Chaos.Worker >= c.Workers) {
+		return c, fmt.Errorf("shard: chaos worker %d out of range [0,%d)", c.Chaos.Worker, c.Workers)
+	}
+	return c, nil
+}
+
+// WorkerStats is one worker's share of the execution.
+type WorkerStats struct {
+	Units        int           `json:"units"`
+	Steals       int64         `json:"steals"`
+	StolenUnits  int64         `json:"stolen_units"`
+	IOVirtual    time.Duration `json:"io_virtual_ns"`
+	CompVirtual  time.Duration `json:"comp_virtual_ns"`
+	BytesRead    int64         `json:"bytes_read"`
+	PeakInFlight int64         `json:"peak_in_flight_bytes"`
+	Died         bool          `json:"died,omitempty"`
+}
+
+// Virtual is the worker's total virtual busy time.
+func (w WorkerStats) Virtual() time.Duration { return w.IOVirtual + w.CompVirtual }
+
+// Stats reports the scale-out execution itself — scheduling, stealing,
+// contention, budget — alongside the comparison Result/GroupReport,
+// which stays bit-identical to the single-node path.
+type Stats struct {
+	Workers    int    `json:"workers"`
+	Units      int    `json:"units"`
+	Targets    int    `json:"targets"`
+	Assignment string `json:"assignment"`
+	Stealing   bool   `json:"stealing"`
+	// MakespanVirtual is the slowest worker's virtual busy time (plus
+	// the coordinator's drain fallback, when it ran) — the scale-out
+	// figure of merit.
+	MakespanVirtual time.Duration `json:"makespan_virtual_ns"`
+	// ReadVirtual sums every worker's virtual read time — the quantity
+	// placement-aware assignment minimizes on a striped store.
+	ReadVirtual time.Duration `json:"read_virtual_ns"`
+	// TotalVirtual sums every worker's busy time (io + compute).
+	TotalVirtual time.Duration `json:"total_virtual_ns"`
+	Steals       int64         `json:"steals"`
+	StolenUnits  int64         `json:"stolen_units"`
+	// WorkerFailures counts chaos-killed workers; CoordinatorUnits
+	// counts orphaned units the coordinator executed itself after all
+	// workers exited.
+	WorkerFailures   int           `json:"worker_failures"`
+	CoordinatorUnits int           `json:"coordinator_units"`
+	BudgetBytes      int64         `json:"budget_bytes"`
+	PeakInFlight     int64         `json:"peak_in_flight_bytes"`
+	PerWorker        []WorkerStats `json:"per_worker"`
+}
+
+// splitmix64 is the same deterministic mixer the retry jitter uses: no
+// global RNG, no wall clock, reproducible across runs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// pairFiles is one compared pair's open file handles.
+type pairFiles struct {
+	fA, fB *pfs.File
+}
+
+// foldState accumulates one (pair, field)'s verdicts.
+type foldState struct {
+	diffs      []int64
+	changed    int64
+	unverified int64
+}
+
+// run is the shared coordinator/worker executor behind Compare and
+// GroupCompare: the planners fill units and files, execute fans them out
+// over M worker goroutines connected by an mpi communicator, and the
+// fold accessors hand the merged verdicts back to the report steps.
+type run struct {
+	store *pfs.Store
+	cfg   Config
+	opts  compare.Options
+
+	files []pairFiles
+
+	units  []*UnitMsg
+	frames [][]byte
+	// unitKeys[seq] is the unit's ordinal in the global chunk key space
+	// (chunks of prior pairs/fields plus its first chunk index);
+	// totalChunks is that space's size. AssignBlock decomposes this key
+	// space — not the candidate list — so skewed divergence really does
+	// land on few workers, as it would under owner-computes.
+	unitKeys    []int64
+	totalChunks int64
+	dq          *Deques[int64]
+	gate        *vgate
+
+	workers []workerState
+
+	// folded state, written by the coordinator's receiver goroutines
+	// (one per worker, disjoint slices) and read after the join.
+	mu        sync.Mutex
+	folds     map[[2]int64]*foldState // (pair, field) -> fold
+	readCost  pfs.Cost
+	bytesRead int64
+	retries   int64
+	rereads   int64
+
+	stats Stats
+}
+
+func newRun(store *pfs.Store, cfg Config, opts compare.Options) *run {
+	return &run{
+		store: store,
+		cfg:   cfg,
+		opts:  opts,
+		folds: make(map[[2]int64]*foldState),
+	}
+}
+
+// addUnits partitions one (pair, field)'s candidate chunks into subtree
+// work units. chunks must be ascending (merkle.Diff order). baseA/baseB
+// are the field's absolute file offsets in the two containers. The
+// caller then grows r.totalChunks by the field's full chunk count, so
+// unit key ordinals stay aligned with the global key space.
+func (r *run) addUnits(pair, field int, fm compare.FieldMeta, treeB *merkle.Tree, chunks []int, baseA, baseB int64) {
+	keyBase := r.totalChunks
+	if len(chunks) == 0 {
+		return
+	}
+	striping := r.store.Striping()
+	eltSize := int64(fm.DType.Size())
+	chunkElems := int64(fm.Tree.ChunkSize()) / eltSize
+	grain := r.cfg.SubtreeChunks
+	i := 0
+	for i < len(chunks) {
+		// One unit per grain-level subtree: all candidates whose chunk
+		// index falls in [sub*grain, (sub+1)*grain).
+		sub := chunks[i] / grain
+		j := i
+		for j < len(chunks) && chunks[j]/grain == sub {
+			j++
+		}
+		u := &UnitMsg{
+			Seq:        int64(len(r.units)),
+			Pair:       int64(pair),
+			Field:      int64(field),
+			Subtree:    int64(sub),
+			ChunkElems: chunkElems,
+			DType:      uint8(fm.DType),
+			Epsilon:    r.opts.Epsilon,
+			Chunks:     make([]ChunkRefMsg, 0, j-i),
+		}
+		for _, ci := range chunks[i:j] {
+			off, n := fm.Tree.ChunkRange(ci)
+			u.Chunks = append(u.Chunks, ChunkRefMsg{
+				Index:   int64(ci),
+				OffA:    baseA + off,
+				OffB:    baseB + off,
+				Len:     int64(n),
+				DigestA: fm.Tree.Leaf(ci),
+				DigestB: treeB.Leaf(ci),
+			})
+		}
+		u.Target = int64(striping.TargetOf(u.Chunks[0].OffA))
+		r.units = append(r.units, u)
+		r.unitKeys = append(r.unitKeys, keyBase+int64(chunks[i]))
+		i = j
+	}
+}
+
+// assign encodes every unit, maps it to its initial worker under the
+// configured policy, and freezes the per-target contention table: each
+// OST's sharers count is the number of distinct workers whose assigned
+// units live there. The table is frozen at assignment time — stealing
+// moves work but keeps the assignment-time pricing, a deliberate (and
+// documented) simplification that keeps unit read costs deterministic.
+func (r *run) assign() {
+	m := r.cfg.Workers
+	r.frames = make([][]byte, len(r.units))
+	r.dq = NewDeques[int64](m, func(seq int64) int64 { return r.units[seq].Bytes() })
+	striping := r.store.Striping()
+	targets := striping.Targets
+	if targets < 1 {
+		targets = 1
+	}
+	touched := make([]map[int]bool, targets)
+	for seq, u := range r.units {
+		r.frames[seq] = EncodeUnit(u)
+		var w int
+		switch r.cfg.Assignment {
+		case AssignPlacement:
+			if striping.Enabled() {
+				w = int(u.Target) % m
+			} else {
+				w = int(r.unitKeys[seq] * int64(m) / max64(r.totalChunks, 1))
+			}
+		case AssignRandom:
+			w = int(splitmix64(r.cfg.Seed^uint64(seq)*0x9e3779b97f4a7c15) % uint64(m))
+		default: // AssignBlock
+			w = int(r.unitKeys[seq] * int64(m) / max64(r.totalChunks, 1))
+		}
+		if w >= m {
+			w = m - 1
+		}
+		r.dq.Push(w, int64(seq))
+		t := int(u.Target)
+		if touched[t] == nil {
+			touched[t] = make(map[int]bool)
+		}
+		touched[t][w] = true
+	}
+	table := make([]int, targets)
+	for t := range table {
+		if n := len(touched[t]); n > 0 {
+			table[t] = n
+		} else {
+			table[t] = 1
+		}
+	}
+	r.store.SetTargetSharers(table)
+	r.stats.Workers = m
+	r.stats.Units = len(r.units)
+	r.stats.Targets = targets
+	r.stats.Assignment = r.cfg.Assignment.String()
+	r.stats.Stealing = r.cfg.Stealing
+	r.stats.BudgetBytes = r.cfg.Budget
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// shardTag is the single mpi tag of the worker→coordinator verdict
+// stream; using one tag preserves per-link FIFO order, so a worker's
+// done frame is always the last thing its receiver sees.
+const shardTag = 1
+
+// execute fans the assigned units out over the workers, folds the
+// verdict stream, and fills Stats. The per-target contention table
+// installed by assign is cleared on every exit path.
+func (r *run) execute(ctx context.Context) error {
+	defer r.store.SetTargetSharers(nil)
+	m := r.cfg.Workers
+	r.workers = make([]workerState, m)
+	for w := range r.workers {
+		r.workers[w].init(r, w)
+	}
+	if len(r.units) == 0 {
+		r.stats.PerWorker = make([]WorkerStats, m)
+		return nil
+	}
+	comm, err := mpi.NewComm(m + 1)
+	if err != nil {
+		return err
+	}
+	coord, err := comm.Rank(0)
+	if err != nil {
+		return err
+	}
+	r.gate = newVgate(m)
+	// Wake gate waiters when the context dies so cancellation reaches
+	// workers blocked on the baton, not just workers mid-read.
+	wake := make(chan struct{})
+	defer close(wake)
+	go func() {
+		select {
+		case <-ctx.Done():
+			r.gate.wake()
+		case <-wake:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, m)
+	recvErrs := make([]error, m)
+	dones := make([]*DoneMsg, m)
+	verdicts := make([][]*VerdictMsg, m)
+	for w := 0; w < m; w++ {
+		rank, err := comm.Rank(w + 1)
+		if err != nil {
+			return err
+		}
+		wg.Add(2)
+		go func(w int, rank *mpi.Rank) {
+			defer wg.Done()
+			workerErrs[w] = r.workerLoop(ctx, w, rank)
+		}(w, rank)
+		// One receiver per worker: concurrent Recv on the coordinator
+		// rank is safe across distinct sources (disjoint links), and the
+		// single tag makes the done frame a FIFO-ordered terminator.
+		go func(w int) {
+			defer wg.Done()
+			for {
+				frame, err := coord.Recv(w+1, shardTag)
+				if err != nil {
+					recvErrs[w] = err
+					return
+				}
+				kind, err := FrameKind(frame)
+				if err != nil {
+					recvErrs[w] = err
+					return
+				}
+				if kind == kindDone {
+					dones[w], recvErrs[w] = DecodeDone(frame)
+					return
+				}
+				v, err := DecodeVerdict(frame)
+				if err != nil {
+					recvErrs[w] = err
+					return
+				}
+				verdicts[w] = append(verdicts[w], v)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for w := 0; w < m; w++ {
+		if recvErrs[w] != nil {
+			return fmt.Errorf("shard: coordinator recv from worker %d: %w", w, recvErrs[w])
+		}
+	}
+	for w := 0; w < m; w++ {
+		if workerErrs[w] != nil {
+			return fmt.Errorf("shard: worker %d: %w", w, workerErrs[w])
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// A dying worker returns its in-flight unit to its deque. Peers
+	// usually re-steal it, but if every other worker already saw a
+	// globally-empty scheduler and exited, the coordinator executes the
+	// leftovers itself — degraded throughput, never a dropped verdict.
+	var coordVirtual time.Duration
+	var coordVerdicts []*VerdictMsg
+	if leftovers := r.dq.Drain(); len(leftovers) > 0 {
+		cs := workerState{}
+		cs.init(r, m)
+		for _, seq := range leftovers {
+			v, err := r.executeUnit(ctx, &cs, r.units[seq])
+			if err != nil {
+				return fmt.Errorf("shard: coordinator drain unit %d: %w", seq, err)
+			}
+			coordVerdicts = append(coordVerdicts, v)
+			r.stats.CoordinatorUnits++
+		}
+		coordVirtual = cs.ioVirtual + cs.compVirtual
+		r.stats.ReadVirtual += cs.ioVirtual
+	}
+
+	// Hierarchical fold: verdicts arrive per worker in FIFO order, but
+	// which worker ran a unit is schedule-dependent; sorting by unit
+	// sequence makes the fold order — and through it every accumulated
+	// slice — deterministic before the report steps sort per-field
+	// indices ascending.
+	all := coordVerdicts
+	for w := range verdicts {
+		all = append(all, verdicts[w]...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	for _, v := range all {
+		r.foldVerdict(v)
+	}
+
+	r.stats.PerWorker = make([]WorkerStats, m)
+	var makespan time.Duration
+	for w := 0; w < m; w++ {
+		ws := &r.workers[w]
+		stealOps, stealItems := r.dq.StealStatsOf(w)
+		pw := WorkerStats{
+			Units:        ws.units,
+			Steals:       stealOps,
+			StolenUnits:  stealItems,
+			IOVirtual:    ws.ioVirtual,
+			CompVirtual:  ws.compVirtual,
+			BytesRead:    ws.bytesRead,
+			PeakInFlight: ws.gauge.Peak(),
+			Died:         ws.died,
+		}
+		if dones[w] != nil && dones[w].Died != 0 {
+			pw.Died = true
+		}
+		if pw.Died {
+			r.stats.WorkerFailures++
+		}
+		r.stats.PerWorker[w] = pw
+		r.stats.ReadVirtual += pw.IOVirtual
+		r.stats.TotalVirtual += pw.Virtual()
+		if pw.Virtual() > makespan {
+			makespan = pw.Virtual()
+		}
+		if pw.PeakInFlight > r.stats.PeakInFlight {
+			r.stats.PeakInFlight = pw.PeakInFlight
+		}
+	}
+	r.stats.MakespanVirtual = makespan + coordVirtual
+	r.stats.TotalVirtual += coordVirtual
+	r.stats.Steals, r.stats.StolenUnits = r.dq.StealStats()
+	return nil
+}
+
+// foldVerdict merges one unit's verdict into the per-(pair, field)
+// accumulator and the run-level accounting.
+func (r *run) foldVerdict(v *VerdictMsg) {
+	key := [2]int64{v.Pair, v.Field}
+	f := r.folds[key]
+	if f == nil {
+		f = &foldState{}
+		r.folds[key] = f
+	}
+	f.diffs = append(f.diffs, v.Diffs...)
+	f.changed += v.Changed
+	f.unverified += v.Unverified
+	r.readCost.Add(pfs.Cost{Ops: int(v.Ops), CachedOps: int(v.CachedOps), Bytes: v.Bytes, CachedBytes: v.CachedBytes})
+	r.bytesRead += v.BytesRead
+	r.retries += v.Retries
+	r.rereads += v.Rereads
+}
+
+// fold returns the accumulated state for one (pair, field), or nil.
+func (r *run) fold(pair, field int) *foldState {
+	return r.folds[[2]int64{int64(pair), int64(field)}]
+}
+
+// sortedDiffs returns one (pair, field)'s merged divergence indices,
+// ascending — the hierarchical reduction's leaf-to-root contract.
+func (f *foldState) sortedDiffs() []int64 {
+	sort.Slice(f.diffs, func(i, j int) bool { return f.diffs[i] < f.diffs[j] })
+	return f.diffs
+}

@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func sampleUnit() *UnitMsg {
+	return &UnitMsg{
+		Seq: 7, Pair: 1, Field: 2, Subtree: 3, Target: 4, ChunkElems: 1024,
+		DType: 1, Epsilon: 1e-4,
+		Chunks: []ChunkRefMsg{
+			{Index: 5, OffA: 4096, OffB: 8192, Len: 4096,
+				DigestA: [16]byte{1, 2, 3}, DigestB: [16]byte{4, 5, 6}},
+			{Index: 6, OffA: 8192, OffB: 12288, Len: 4096,
+				DigestA: [16]byte{7}, DigestB: [16]byte{8}},
+		},
+	}
+}
+
+func sampleVerdict() *VerdictMsg {
+	return &VerdictMsg{
+		Seq: 7, Pair: 1, Field: 2, Worker: 3,
+		Changed: 1, Unverified: 2, Rereads: 3, Retries: 4,
+		Ops: 5, CachedOps: 6, Bytes: 7, CachedBytes: 8,
+		BytesRead: 9, IONanos: 10, CompNanos: 11,
+		Diffs: []int64{100, 2048, 99999},
+	}
+}
+
+func sampleDone() *DoneMsg {
+	return &DoneMsg{
+		Worker: 2, Units: 9, Steals: 3, StolenUnits: 5, Died: 1,
+		IONanos: 42, CompNanos: 43, BytesRead: 44, PeakInFlight: 45,
+	}
+}
+
+// TestWireRoundTripOverMPI sends each message kind through a real mpi
+// link — worker rank to coordinator rank — and decodes what arrives: the
+// exact path the engine uses.
+func TestWireRoundTripOverMPI(t *testing.T) {
+	comm, err := mpi.NewComm(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, _ := comm.Rank(0)
+	worker, _ := comm.Rank(1)
+
+	u, v, d := sampleUnit(), sampleVerdict(), sampleDone()
+	for _, frame := range [][]byte{EncodeUnit(u), EncodeVerdict(v), EncodeDone(d)} {
+		if err := worker.Send(0, shardTag, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f1, err := coord.Recv(1, shardTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, err := FrameKind(f1); err != nil || kind != kindUnit {
+		t.Fatalf("FrameKind = %d, %v; want unit", kind, err)
+	}
+	gu, err := DecodeUnit(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gu, u) {
+		t.Errorf("unit round trip: got %+v, want %+v", gu, u)
+	}
+
+	f2, _ := coord.Recv(1, shardTag)
+	gv, err := DecodeVerdict(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gv, v) {
+		t.Errorf("verdict round trip: got %+v, want %+v", gv, v)
+	}
+
+	f3, _ := coord.Recv(1, shardTag)
+	gd, err := DecodeDone(f3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gd, d) {
+		t.Errorf("done round trip: got %+v, want %+v", gd, d)
+	}
+}
+
+// TestWireRejectsTruncation truncates every frame kind at every length
+// and expects a decode error each time — never a silent partial message.
+func TestWireRejectsTruncation(t *testing.T) {
+	frames := map[string]struct {
+		frame  []byte
+		decode func([]byte) error
+	}{
+		"unit":    {EncodeUnit(sampleUnit()), func(b []byte) error { _, err := DecodeUnit(b); return err }},
+		"verdict": {EncodeVerdict(sampleVerdict()), func(b []byte) error { _, err := DecodeVerdict(b); return err }},
+		"done":    {EncodeDone(sampleDone()), func(b []byte) error { _, err := DecodeDone(b); return err }},
+	}
+	for name, tc := range frames {
+		for n := 0; n < len(tc.frame); n++ {
+			if err := tc.decode(tc.frame[:n]); err == nil {
+				t.Errorf("%s frame truncated to %d bytes decoded cleanly", name, n)
+			}
+		}
+		if err := tc.decode(nil); err == nil {
+			t.Errorf("%s: nil frame decoded cleanly", name)
+		}
+	}
+	// A clean truncation of the parts framing itself maps to ErrTruncated.
+	f := EncodeUnit(sampleUnit())
+	if _, err := DecodeUnit(f[:3]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("parts-level truncation: got %v, want ErrTruncated", err)
+	}
+}
+
+// TestWireRejectsTrailingBytes appends garbage inside a part and expects
+// rejection: a frame that decodes but carries extra bytes is corrupt.
+func TestWireRejectsTrailingBytes(t *testing.T) {
+	d := sampleDone()
+	parts, err := mpi.DecodeParts(EncodeDone(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts[1] = append(append([]byte{}, parts[1]...), 0xff)
+	if _, err := DecodeDone(mpi.EncodeParts(parts)); err == nil {
+		t.Error("done frame with trailing bytes decoded cleanly")
+	}
+}
+
+// TestWireRejectsWrongKind feeds each decoder a frame of another kind.
+func TestWireRejectsWrongKind(t *testing.T) {
+	if _, err := DecodeUnit(EncodeDone(sampleDone())); err == nil {
+		t.Error("DecodeUnit accepted a done frame")
+	}
+	if _, err := DecodeVerdict(EncodeUnit(sampleUnit())); err == nil {
+		t.Error("DecodeVerdict accepted a unit frame")
+	}
+	if _, err := DecodeDone(EncodeVerdict(sampleVerdict())); err == nil {
+		t.Error("DecodeDone accepted a verdict frame")
+	}
+}
+
+// TestWireRejectsBadDType rejects a unit whose dtype is not a known
+// element type — a worker must not guess an element size.
+func TestWireRejectsBadDType(t *testing.T) {
+	u := sampleUnit()
+	u.DType = 99
+	if _, err := DecodeUnit(EncodeUnit(u)); err == nil {
+		t.Error("unit with unknown dtype decoded cleanly")
+	}
+}

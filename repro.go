@@ -58,6 +58,7 @@ import (
 	"repro/internal/merkle"
 	"repro/internal/pfs"
 	"repro/internal/retry"
+	"repro/internal/shard"
 )
 
 // Core comparison API.
@@ -314,6 +315,52 @@ func CompareHistories(ctx context.Context, store *Store, runA, runB string, meth
 // selects star (baseline vs each run) or all-pairs coverage.
 func GroupCompare(ctx context.Context, store *Store, baseline string, runs []string, topology Topology, opts Options) (*GroupReport, error) {
 	return compare.GroupCompare(ctx, store, baseline, runs, topology, opts)
+}
+
+// Subtree-sharded scale-out API (internal/shard).
+type (
+	// ShardConfig parameterizes the sharded comparison: worker count,
+	// per-worker buffer budget, subtree granularity, assignment policy,
+	// and work stealing.
+	ShardConfig = shard.Config
+	// ShardStats reports the sharded execution's schedule: per-worker
+	// units, steals, virtual makespan, and buffer high-water marks.
+	ShardStats = shard.Stats
+	// ShardAssignment selects the subtree-to-worker assignment policy.
+	ShardAssignment = shard.Assignment
+	// Striping describes the store's simulated OST layout.
+	Striping = pfs.Striping
+)
+
+// Shard assignment policies.
+const (
+	// ShardAssignBlock assigns contiguous chunk-key blocks (owner computes).
+	ShardAssignBlock = shard.AssignBlock
+	// ShardAssignPlacement assigns by the subtree's home OST when the store
+	// is striped, keeping each target single-reader.
+	ShardAssignPlacement = shard.AssignPlacement
+	// ShardAssignRandom assigns uniformly at random (seeded baseline).
+	ShardAssignRandom = shard.AssignRandom
+)
+
+// ShardCompare runs the two-stage Merkle comparison of Compare with
+// stage 2 sharded by Merkle subtree across cfg.Workers simulated workers:
+// the coordinator prunes equal subtrees on metadata alone, ships the
+// divergent ones as self-describing work units over the in-process MPI
+// fabric, and folds the returned verdicts hierarchically into the same
+// Result the single-node path produces — bit-identical diffs, roots, and
+// verdicts. The returned stats expose the schedule's shape (steals,
+// per-worker clocks, virtual makespan).
+func ShardCompare(ctx context.Context, store *Store, nameA, nameB string, cfg ShardConfig, opts Options) (*Result, *ShardStats, error) {
+	return shard.Compare(ctx, store, nameA, nameB, cfg, opts)
+}
+
+// ShardGroupCompare is GroupCompare with every pair's stage 2 pooled into
+// one worker fleet: the group's divergent subtrees across all pairs form
+// a single work-unit key space, so a straggler pair is absorbed by the
+// whole fleet instead of serializing its own pair comparison.
+func ShardGroupCompare(ctx context.Context, store *Store, baseline string, runs []string, topology Topology, cfg ShardConfig, opts Options) (*GroupReport, *ShardStats, error) {
+	return shard.GroupCompare(ctx, store, baseline, runs, topology, cfg, opts)
 }
 
 // CAS is a content-addressed chunk store shared by every run capturing
