@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-fast test race check chaos chaos-smoke bench bench-smoke bench-json experiments examples clean
+.PHONY: all build vet lint lint-fast test race check chaos chaos-smoke bench bench-smoke bench-json reprod-smoke experiments examples clean
 
 all: build vet test
 
@@ -8,7 +8,7 @@ all: build vet test
 # lint runs at tier 2 (type-aware dataflow) and audits the tree's
 # suppression directives; the tier-2 smoke budget (<10s on the whole
 # tree) is asserted by TestTierTwoBudget in internal/lint.
-check: build vet lint test race chaos-smoke bench-smoke
+check: build vet lint test race chaos-smoke bench-smoke reprod-smoke
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,13 @@ bench-smoke:
 	$(GO) run ./cmd/benchgroup -smoke > /dev/null
 	$(GO) run ./cmd/benchcapture -smoke > /dev/null
 	$(GO) run ./cmd/benchshard -smoke > /dev/null
+
+# reprod-smoke boots the comparison daemon on a loopback listener and
+# drives the full HTTP lifecycle: run registration, compare/group/shard
+# jobs to their verdicts, error mapping, and graceful SIGTERM drain.
+# Part of `make check`.
+reprod-smoke:
+	$(GO) test -count=1 -run 'TestReprodSmoke' ./cmd/reprod/
 
 # bench-json regenerates the tracked baselines at the repository root:
 # kernel throughput (BENCH_kernels.json), the stage-2 streaming pipeline

@@ -35,9 +35,9 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/compare"
-	"repro/internal/device"
 	"repro/internal/errbound"
 	"repro/internal/merkle"
+	"repro/internal/service"
 	"repro/internal/synth"
 )
 
@@ -182,7 +182,7 @@ func collect(chunkSize, fieldBytes int, window time.Duration) (*Report, error) {
 		return nil, err
 	}
 	ta, tb := ma.Fields[0].Tree, mb.Fields[0].Tree
-	exec := device.Default()
+	exec := service.Default().Executor()
 	report.add(measure("tree_diff", int64(len(field)), window, func() error {
 		_, _, err := merkle.Diff(ta, tb, ta.DefaultStartLevel(exec.Workers()), exec)
 		return err

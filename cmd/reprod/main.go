@@ -1,0 +1,130 @@
+// Command reprod serves comparisons over HTTP/JSON: a thin daemon on the
+// service plane (internal/service, surfaced through the repro facade).
+// Where reprocmp runs one comparison per process, reprod keeps one plane
+// — one persistent kernel pool, one persistent ring, the per-tenant run
+// catalog — and multiplexes concurrent submissions over it behind
+// admission control. Clients register immutable run bindings, submit
+// compare/group/shard jobs, and poll (or long-poll) verdicts on the same
+// 0/2/3/1 contract reprocmp encodes in its exit codes.
+//
+// Usage:
+//
+//	reprod -store DIR [-addr 127.0.0.1:0] [-portfile FILE]
+//	       [-max-inflight N] [-max-queued N] [-tenant-pending N]
+//
+// Endpoints (see server.go):
+//
+//	GET  /healthz                     liveness
+//	POST /v1/runs?tenant=T            register a run binding (409 on conflict)
+//	GET  /v1/runs?tenant=T            list the tenant's bindings
+//	POST /v1/jobs?tenant=T            submit a job (202; 429 + Retry-After
+//	                                  under backpressure; 422 on binding
+//	                                  violation)
+//	GET  /v1/jobs/{id}                job status snapshot
+//	GET  /v1/jobs/{id}/wait?timeoutMs long-poll the verdict
+//
+// -portfile writes the bound address after listen succeeds, so scripts
+// (and the make-check smoke test) can use -addr 127.0.0.1:0 and discover
+// the kernel-assigned port race-free. Shutdown (SIGINT/SIGTERM) is
+// graceful and deterministic: stop accepting, drain in-flight jobs
+// through Plane.Close, exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], stop, os.Stdout, os.Stderr))
+}
+
+// run is the testable daemon body: it returns the process exit code and
+// shuts down cleanly when stop delivers.
+func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reprod", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir           = fs.String("store", "", "store directory (required)")
+		addr          = fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+		portfile      = fs.String("portfile", "", "write the bound address here after listen succeeds")
+		maxInFlight   = fs.Int("max-inflight", 0, "concurrent comparisons across all tenants (0 = plane default)")
+		maxQueued     = fs.Int("max-queued", 0, "admission queue bound (0 = plane default)")
+		tenantPending = fs.Int("tenant-pending", 0, "per-tenant pending-job quota (0 = MaxInFlight)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dir == "" {
+		fmt.Fprintln(stderr, "reprod: -store is required")
+		return 2
+	}
+
+	store, err := repro.NewStore(*dir, repro.LustreModel())
+	if err != nil {
+		fmt.Fprintf(stderr, "reprod: %v\n", err)
+		return 1
+	}
+	plane := repro.NewPlane(repro.PlaneConfig{
+		MaxInFlight:   *maxInFlight,
+		MaxQueued:     *maxQueued,
+		TenantPending: *tenantPending,
+	})
+
+	srv := newServer(plane, store)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "reprod: %v\n", err)
+		return 1
+	}
+	if *portfile != "" {
+		if err := os.WriteFile(*portfile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fmt.Fprintf(stderr, "reprod: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "reprod: serving %s on %s\n", *dir, ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv}
+	served := make(chan error, 1)
+	go func() { served <- httpSrv.Serve(ln) }()
+
+	var exit int
+	select {
+	case <-stop:
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := httpSrv.Shutdown(shutdownCtx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(stderr, "reprod: shutdown: %v\n", err)
+			exit = 1
+		}
+		<-served // Serve has returned ErrServerClosed
+	case err := <-served:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "reprod: serve: %v\n", err)
+			exit = 1
+		}
+	}
+	// Drain the plane last: queued jobs fail with ErrPlaneClosed, running
+	// comparisons publish their verdicts, the pool and ring are joined.
+	if err := plane.Close(); err != nil {
+		fmt.Fprintf(stderr, "reprod: close plane: %v\n", err)
+		exit = 1
+	}
+	fmt.Fprintln(stdout, "reprod: drained and closed")
+	return exit
+}

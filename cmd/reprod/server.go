@@ -1,0 +1,258 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// server is the HTTP surface over one plane and one store. Sessions are
+// opened per tenant on first use and shared across requests; jobs are
+// indexed by their plane-unique ID for polling.
+type server struct {
+	plane *repro.Plane
+	store *repro.Store
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*repro.Session
+	jobs     map[uint64]*repro.Job
+}
+
+func newServer(plane *repro.Plane, store *repro.Store) *server {
+	s := &server{
+		plane:    plane,
+		store:    store,
+		mux:      http.NewServeMux(),
+		sessions: make(map[string]*repro.Session),
+		jobs:     make(map[uint64]*repro.Job),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/runs", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleJobWait)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// session returns (opening on first use) the tenant's session. An empty
+// tenant parameter maps to the "default" tenant.
+func (s *server) session(r *http.Request) *repro.Session {
+	tenant := r.URL.Query().Get("tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[tenant]
+	if !ok {
+		sess = s.plane.Open(tenant)
+		s.sessions[tenant] = sess
+	}
+	return sess
+}
+
+// writeJSON emits one JSON document with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the uniform error response shape.
+type errorBody struct {
+	Error string `json:"error"`
+	// RetryAfterMs carries the virtual backpressure price of an
+	// admission rejection (429 responses only).
+	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
+}
+
+// writeError maps the service error taxonomy onto HTTP:
+// *AdmissionError → 429 with a Retry-After header, *BindingError → the
+// caller's chosen binding status (409 register conflict, 422 submission
+// contradiction), ErrPlaneClosed → 503, anything else → 400.
+func writeError(w http.ResponseWriter, err error, bindingStatus int) {
+	var adm *repro.AdmissionError
+	if errors.As(err, &adm) {
+		// HTTP Retry-After is whole seconds; round the virtual price up
+		// so a compliant client never resubmits early. The exact price
+		// rides in the JSON body.
+		secs := int64((adm.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{
+			Error:        adm.Error(),
+			RetryAfterMs: adm.RetryAfter.Milliseconds(),
+		})
+		return
+	}
+	var bind *repro.BindingError
+	if errors.As(err, &bind) {
+		writeJSON(w, bindingStatus, errorBody{Error: bind.Error()})
+		return
+	}
+	if errors.Is(err, repro.ErrPlaneClosed) {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleRegister installs an immutable run binding for the tenant.
+// Registering the identical binding again is a no-op 200; a conflicting
+// one is a 409 and changes nothing.
+func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var b repro.RunBinding
+	if err := json.NewDecoder(r.Body).Decode(&b); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad binding JSON: " + err.Error()})
+		return
+	}
+	if err := s.session(r).Register(b); err != nil {
+		writeError(w, err, http.StatusConflict)
+		return
+	}
+	writeJSON(w, http.StatusOK, b)
+}
+
+func (s *server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.session(r).Bindings())
+}
+
+// jobRequest is the submission body: the job's checkpoint names plus the
+// comparison knobs the daemon exposes.
+type jobRequest struct {
+	Kind     string   `json:"kind"` // "compare" | "group" | "shard"
+	A        string   `json:"a,omitempty"`
+	B        string   `json:"b,omitempty"`
+	Baseline string   `json:"baseline,omitempty"`
+	Runs     []string `json:"runs,omitempty"`
+	Topology string   `json:"topology,omitempty"` // "star" (default) | "all-pairs"
+	// Epsilon is the error bound ε (required).
+	Epsilon float64 `json:"epsilon"`
+	// ChunkSize overrides the 64 KiB default.
+	ChunkSize int `json:"chunkSize,omitempty"`
+	// Degrade enables the degradation ladder (verdict 3 instead of a
+	// failed job when stage 2 cannot verify every candidate chunk).
+	Degrade bool `json:"degrade,omitempty"`
+	// ShardWorkers sizes the simulated fleet of a shard job.
+	ShardWorkers int `json:"shardWorkers,omitempty"`
+}
+
+func (jr jobRequest) spec() (repro.JobSpec, error) {
+	spec := repro.JobSpec{
+		Kind:     repro.JobKind(jr.Kind),
+		A:        jr.A,
+		B:        jr.B,
+		Baseline: jr.Baseline,
+		Runs:     jr.Runs,
+		Options: repro.Options{
+			Epsilon:   jr.Epsilon,
+			ChunkSize: jr.ChunkSize,
+			Degrade:   jr.Degrade,
+		},
+	}
+	switch jr.Topology {
+	case "", "star":
+		spec.Topology = repro.TopologyStar
+	case "all-pairs":
+		spec.Topology = repro.TopologyAllPairs
+	default:
+		return spec, fmt.Errorf("unknown topology %q", jr.Topology)
+	}
+	spec.Shard.Workers = jr.ShardWorkers
+	return spec, nil
+}
+
+// handleSubmit accepts a job: 202 with the job snapshot when admitted,
+// 429 + Retry-After under backpressure, 422 when the submission
+// contradicts a run binding.
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var jr jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&jr); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job JSON: " + err.Error()})
+		return
+	}
+	spec, err := jr.spec()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	job, err := s.session(r).Submit(s.store, spec)
+	if err != nil {
+		writeError(w, err, http.StatusUnprocessableEntity)
+		return
+	}
+	s.mu.Lock()
+	s.jobs[job.ID()] = job
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// job resolves the {id} path value.
+func (s *server) job(w http.ResponseWriter, r *http.Request) (*repro.Job, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job id"})
+		return nil, false
+	}
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %d", id)})
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleJobWait long-polls the verdict: it responds as soon as the job
+// publishes, or after timeoutMs (default 30s) with the current snapshot
+// and status 200 either way — the "state" field says which.
+func (s *server) handleJobWait(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	timeout := 30 * time.Second
+	if ms := r.URL.Query().Get("timeoutMs"); ms != "" {
+		n, err := strconv.Atoi(ms)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad timeoutMs"})
+			return
+		}
+		timeout = time.Duration(n) * time.Millisecond
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-job.Done():
+	case <-timer.C:
+	case <-r.Context().Done():
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}

@@ -26,20 +26,25 @@ type Options struct {
 	// ChunkSize is the hashing/verification granularity in bytes
 	// (default 64 KiB; the paper sweeps 4 KiB–512 KiB).
 	ChunkSize int
-	// Exec runs the data-parallel kernels. The default is the process-wide
-	// persistent worker pool (device.Default(): GOMAXPROCS workers started
-	// once, reused across every tree level and compare batch). Pass
-	// device.Serial{} for the single-threaded "CPU" backend, or a private
+	// Exec runs the data-parallel kernels. Production callers get the
+	// service plane's persistent pool injected here (internal/service
+	// normalizes options before they reach this package); direct calls
+	// that leave it nil fall back to a package-private persistent pool
+	// with the same shape (GOMAXPROCS workers, started once, reused
+	// across every tree level and compare batch). Pass device.Serial{}
+	// for the single-threaded "CPU" backend, or a private
 	// device.NewPool/device.NewParallel to bound parallelism per
 	// comparison.
 	Exec device.Executor
 	// Device prices kernels and transfers (default: GPU model).
 	Device device.Model
-	// Backend performs scattered reads. The default is the process-wide
-	// persistent io_uring-style engine (aio.Default(): deep queue, ring
-	// workers started once and reused across every batch) wrapped in
-	// aio.Coalescing — see CoalesceMaxGap. An explicitly set Backend is
-	// used as-is, never wrapped.
+	// Backend performs scattered reads. Production callers get the
+	// service plane's persistent io_uring-style engine injected here
+	// (wrapped in aio.Coalescing — see CoalesceMaxGap); direct calls
+	// that leave it nil fall back to a package-private persistent ring
+	// of the same shape (deep queue, ring workers started once and
+	// reused across every batch), identically wrapped. An explicitly
+	// set Backend is used as-is, never wrapped.
 	Backend aio.Backend
 	// SliceBytes is the streaming pipeline slice size (default 8 MiB).
 	SliceBytes int
@@ -116,7 +121,7 @@ func (o Options) withDefaults() Options {
 		o.ChunkSize = 64 << 10
 	}
 	if o.Exec == nil {
-		o.Exec = device.Default()
+		o.Exec = fallbackExec()
 	}
 	//lint:ignore epsflow zero is the unset sentinel here, never a computed value
 	if o.Device.HashBytesPerSec == 0 {
@@ -125,13 +130,13 @@ func (o Options) withDefaults() Options {
 	if o.Backend == nil {
 		// Deep queue: Lustre-style PFS sustain high IOPS when many
 		// scattered reads are in flight, which is what io_uring enables.
-		// The shared persistent engine is reused across comparisons, and
+		// The persistent engine is reused across comparisons, and
 		// clustered candidate chunks are coalesced into fewer PFS ops
 		// unless the caller opts out with a negative CoalesceMaxGap.
 		if o.CoalesceMaxGap < 0 {
-			o.Backend = aio.Default()
+			o.Backend = fallbackBackend()
 		} else {
-			o.Backend = aio.NewCoalescing(aio.Default(), o.CoalesceMaxGap)
+			o.Backend = aio.NewCoalescing(fallbackBackend(), o.CoalesceMaxGap)
 		}
 	}
 	if o.SliceBytes <= 0 {

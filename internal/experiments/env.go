@@ -11,6 +11,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/errbound"
 	"repro/internal/pfs"
+	"repro/internal/service"
 	"repro/internal/synth"
 )
 
@@ -59,7 +60,7 @@ func NewEnv(dir string, scaleDiv int) (*Env, error) {
 	return &Env{
 		Store:    store,
 		ScaleDiv: scaleDiv,
-		Exec:     device.Default(),
+		Exec:     service.Default().Executor(),
 		Seed:     1,
 	}, nil
 }

@@ -279,6 +279,7 @@ func All() []*Analyzer {
 		Retryloop,
 		Casprune,
 		Shardmsg,
+		SvcOwn,
 		DetFlow,
 		EpsFlow,
 	}

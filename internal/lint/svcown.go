@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SvcOwn flags process-wide resource acquisition — aio.Default() and
+// device.Default() — outside internal/service. The service plane is the
+// one owner of the shared kernel pool and ring engine: every production
+// path reaches internal/compare with the plane's resources already
+// injected into Options, which is what makes Plane.Close a meaningful
+// lifecycle event (drain, join, leak-check). A stray Default() call in
+// any other package re-creates the accidental-singleton era: a resource
+// nobody owns, nobody drains, and Close cannot account for.
+//
+// Exempt by design:
+//   - internal/service: the plane wraps the singletons in Default();
+//     this is the sanctioned acquisition point.
+//   - _test.go files: tests may grab the singletons directly to build
+//     fixtures or warm goroutine baselines.
+//
+// In-package defaulting (a bare Default() call inside internal/aio or
+// internal/device itself) is the package's own business and is not
+// matched — only qualified cross-package calls are.
+var SvcOwn = &Analyzer{
+	Name:     "svcown",
+	Doc:      "process-wide resource acquisition (aio.Default/device.Default) outside internal/service (inject the plane's pool and ring instead)",
+	Severity: SeverityError,
+	Run:      runSvcOwn,
+}
+
+// svcOwnPkgs maps the flagged package identifiers to the import paths
+// they must resolve to (an unrelated local "aio" package is not ours).
+var svcOwnPkgs = map[string]string{
+	"aio":    `"repro/internal/aio"`,
+	"device": `"repro/internal/device"`,
+}
+
+func runSvcOwn(p *Pass) {
+	if pkgIn(p.Pkg, "internal/service") {
+		return
+	}
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		owned := svcOwnImports(f)
+		if len(owned) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Default" {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok || !owned[x.Name] {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s.Default() acquires a process-wide resource outside internal/service; inject the plane's pool/ring (service.Default().Executor()/Backend()) or construct a private instance", x.Name)
+			return true
+		})
+	}
+}
+
+// svcOwnImports returns the identifiers under which the file imports the
+// owned resource packages (honoring renames; a rename away hides the
+// default identifier, a rename onto it is matched under the new name).
+func svcOwnImports(f *ast.File) map[string]bool {
+	owned := make(map[string]bool)
+	for _, imp := range f.Imports {
+		def := ""
+		for name, path := range svcOwnPkgs {
+			if imp.Path.Value == path {
+				def = name
+				break
+			}
+		}
+		if def == "" {
+			continue
+		}
+		if imp.Name != nil {
+			owned[imp.Name.Name] = true
+		} else {
+			owned[def] = true
+		}
+	}
+	return owned
+}

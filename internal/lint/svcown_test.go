@@ -1,0 +1,127 @@
+package lint
+
+import "testing"
+
+func TestSvcOwn(t *testing.T) {
+	cases := []struct {
+		name string
+		pkg  string
+		file string
+		src  string
+		want []string
+	}{
+		{
+			name: "aio.Default outside service flagged",
+			pkg:  "internal/compare",
+			src: `package compare
+import "repro/internal/aio"
+func pick() aio.Backend {
+	return aio.Default()
+}
+`,
+			want: []string{"4:svcown"},
+		},
+		{
+			name: "device.Default outside service flagged",
+			pkg:  "internal/experiments",
+			src: `package experiments
+import "repro/internal/device"
+var exec = device.Default()
+`,
+			want: []string{"3:svcown"},
+		},
+		{
+			name: "facade package flagged too",
+			pkg:  ".",
+			src: `package repro
+import (
+	"repro/internal/aio"
+	"repro/internal/device"
+)
+func resources() (any, any) {
+	return device.Default(), aio.Default()
+}
+`,
+			want: []string{"7:svcown", "7:svcown"},
+		},
+		{
+			name: "internal/service is the sanctioned owner",
+			pkg:  "internal/service",
+			src: `package service
+import (
+	"repro/internal/aio"
+	"repro/internal/device"
+)
+func acquire() (any, any) {
+	return device.Default(), aio.Default()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "test files exempt",
+			pkg:  "internal/compare",
+			file: "leak_test.go",
+			src: `package compare
+import "repro/internal/aio"
+func warm() { _ = aio.Default() }
+`,
+			want: nil,
+		},
+		{
+			name: "in-package bare Default not matched",
+			pkg:  "internal/device",
+			src: `package device
+func Cancelable() Executor { return Default() }
+`,
+			want: nil,
+		},
+		{
+			name: "unrelated package named aio not matched",
+			pkg:  "internal/other",
+			src: `package other
+import aio "example.com/aio"
+func f() { _ = aio.Default() }
+`,
+			want: nil,
+		},
+		{
+			name: "renamed import still caught",
+			pkg:  "internal/stream",
+			src: `package stream
+import engine "repro/internal/aio"
+func f() { _ = engine.Default() }
+`,
+			want: []string{"3:svcown"},
+		},
+		{
+			name: "Default with arguments not matched",
+			pkg:  "internal/compare",
+			src: `package compare
+import "repro/internal/device"
+func f() { _ = device.Default }
+`,
+			want: nil,
+		},
+		{
+			name: "suppression honored",
+			pkg:  "internal/compare",
+			src: `package compare
+import "repro/internal/aio"
+//lint:ignore svcown reviewed: fixture generator predates the plane
+var ring = aio.Default()
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			file := tc.file
+			if file == "" {
+				file = "fixture.go"
+			}
+			got := runSourceNamed(t, SvcOwn, tc.pkg, file, tc.src)
+			expectDiags(t, got, tc.want...)
+		})
+	}
+}

@@ -1,0 +1,188 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/ckpt"
+)
+
+// Binding is one run's immutable registration in a tenant's catalog:
+// the provenance coordinates a comparison against that run must match.
+// Registering a run twice with an identical binding is a no-op;
+// registering it with a different binding, or submitting a comparison
+// whose ε (or chunk size, when bound) disagrees, is an error — a silent
+// recompare at the wrong coordinates would produce a verdict about a
+// different question than the one the run was registered to answer.
+type Binding struct {
+	// RunID names the run (the prefix checkpoint names parse to).
+	RunID string `json:"runId"`
+	// CodeRef pins the code that produced the run (a commit hash, an
+	// image digest — opaque to the plane).
+	CodeRef string `json:"codeRef,omitempty"`
+	// Params is the run's parameter document, compared byte-exact.
+	Params json.RawMessage `json:"params,omitempty"`
+	// Epsilon is the error bound the run's metadata was built at. Every
+	// comparison touching the run must use exactly this ε.
+	Epsilon float64 `json:"epsilon"`
+	// ChunkSize, when non-zero, pins the hashing granularity the run's
+	// metadata was built at; comparisons must match it.
+	ChunkSize int `json:"chunkSize,omitempty"`
+	// DatasetVersion pins the input dataset the run consumed.
+	DatasetVersion string `json:"datasetVersion,omitempty"`
+}
+
+// validate checks a binding at registration time.
+func (b Binding) validate() error {
+	if b.RunID == "" {
+		return fmt.Errorf("service: binding needs a run ID")
+	}
+	if !(b.Epsilon > 0) || math.IsInf(b.Epsilon, 0) {
+		return fmt.Errorf("service: binding for run %q: epsilon %v must be positive and finite", b.RunID, b.Epsilon)
+	}
+	if b.ChunkSize < 0 {
+		return fmt.Errorf("service: binding for run %q: negative chunk size %d", b.RunID, b.ChunkSize)
+	}
+	return nil
+}
+
+// epsilonBits keys ε by its exact bit pattern: bindings are exact, so
+// equality here must be too (a lint-exempt float == would invite an
+// ε-tolerance reading that does not apply).
+func epsilonBits(eps float64) uint64 { return math.Float64bits(eps) }
+
+// equal reports whether two bindings agree exactly.
+func (b Binding) equal(o Binding) bool {
+	return b.RunID == o.RunID &&
+		b.CodeRef == o.CodeRef &&
+		bytes.Equal(b.Params, o.Params) &&
+		epsilonBits(b.Epsilon) == epsilonBits(o.Epsilon) &&
+		b.ChunkSize == o.ChunkSize &&
+		b.DatasetVersion == o.DatasetVersion
+}
+
+// BindingError reports a submission that contradicts an immutable run
+// binding: a re-registration with different provenance, or a comparison
+// at mismatched coordinates.
+type BindingError struct {
+	// Tenant and RunID locate the violated binding.
+	Tenant string
+	RunID  string
+	// Field names the first disagreeing coordinate ("epsilon",
+	// "chunkSize", "codeRef", "params", "datasetVersion").
+	Field string
+	// Bound and Got render the bound and submitted values.
+	Bound string
+	Got   string
+}
+
+// Error implements error.
+func (e *BindingError) Error() string {
+	return fmt.Sprintf("service: run %q (tenant %q) is bound to %s=%s, submission has %s",
+		e.RunID, e.Tenant, e.Field, e.Bound, e.Got)
+}
+
+// tenant is one tenant's plane-side state: its immutable run bindings
+// (the per-tenant run catalog) and its pending-job count. pending is
+// guarded by the scheduler's mutex; bindings by the tenant's own.
+type tenant struct {
+	id      string
+	pending int // guarded by sched.mu
+
+	mu       sync.Mutex
+	bindings map[string]Binding
+}
+
+// register installs a binding, idempotently for identical re-runs.
+func (t *tenant) register(b Binding) error {
+	if err := b.validate(); err != nil {
+		return err
+	}
+	b.Params = bytes.Clone(b.Params) // immutable: detach from the caller
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	prior, ok := t.bindings[b.RunID]
+	if !ok {
+		t.bindings[b.RunID] = b
+		return nil
+	}
+	if prior.equal(b) {
+		return nil
+	}
+	field, bound, got := firstDivergingField(prior, b)
+	return &BindingError{Tenant: t.id, RunID: b.RunID, Field: field, Bound: bound, Got: got}
+}
+
+// firstDivergingField names the first coordinate two bindings disagree
+// on, for the error message.
+func firstDivergingField(bound, got Binding) (field, b, g string) {
+	switch {
+	case bound.CodeRef != got.CodeRef:
+		return "codeRef", bound.CodeRef, got.CodeRef
+	case !bytes.Equal(bound.Params, got.Params):
+		return "params", string(bound.Params), string(got.Params)
+	case epsilonBits(bound.Epsilon) != epsilonBits(got.Epsilon):
+		return "epsilon", fmt.Sprintf("%g", bound.Epsilon), fmt.Sprintf("%g", got.Epsilon)
+	case bound.ChunkSize != got.ChunkSize:
+		return "chunkSize", fmt.Sprint(bound.ChunkSize), fmt.Sprint(got.ChunkSize)
+	default:
+		return "datasetVersion", bound.DatasetVersion, got.DatasetVersion
+	}
+}
+
+// lookup returns the binding for a run ID, if registered.
+func (t *tenant) lookup(runID string) (Binding, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.bindings[runID]
+	return b, ok
+}
+
+// list returns the tenant's bindings sorted by run ID.
+func (t *tenant) list() []Binding {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Binding, 0, len(t.bindings))
+	for _, b := range t.bindings {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RunID < out[j].RunID })
+	return out
+}
+
+// runIDOf maps a submission name onto the run it binds to: checkpoint
+// file names parse to their run prefix, bare run IDs pass through.
+func runIDOf(name string) string {
+	if id, _, _, ok := ckpt.ParseName(name); ok {
+		return id
+	}
+	return name
+}
+
+// checkRun validates one submission name against the tenant's catalog:
+// unbound runs compare freely; bound runs must be submitted at exactly
+// the bound ε (and chunk size, when pinned). eps and chunk are the
+// submission's normalized values.
+func (t *tenant) checkRun(name string, eps float64, chunk int) error {
+	b, ok := t.lookup(runIDOf(name))
+	if !ok {
+		return nil
+	}
+	if epsilonBits(eps) != epsilonBits(b.Epsilon) {
+		return &BindingError{
+			Tenant: t.id, RunID: b.RunID, Field: "epsilon",
+			Bound: fmt.Sprintf("%g", b.Epsilon), Got: fmt.Sprintf("%g", eps),
+		}
+	}
+	if b.ChunkSize != 0 && chunk != b.ChunkSize {
+		return &BindingError{
+			Tenant: t.id, RunID: b.RunID, Field: "chunkSize",
+			Bound: fmt.Sprint(b.ChunkSize), Got: fmt.Sprint(chunk),
+		}
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/compare"
+	"repro/internal/pfs"
+	"repro/internal/shard"
+)
+
+// JobKind selects what a submitted job runs.
+type JobKind string
+
+// Job kinds.
+const (
+	// JobCompare is a two-checkpoint Merkle comparison (Spec.A vs
+	// Spec.B).
+	JobCompare JobKind = "compare"
+	// JobGroup is an N-run group comparison (Spec.Baseline, Spec.Runs,
+	// Spec.Topology).
+	JobGroup JobKind = "group"
+	// JobShard is a subtree-sharded comparison (Spec.A vs Spec.B over
+	// Spec.Shard workers).
+	JobShard JobKind = "shard"
+)
+
+// JobSpec describes one asynchronous submission.
+type JobSpec struct {
+	Kind     JobKind
+	A, B     string
+	Baseline string
+	Runs     []string
+	Topology compare.Topology
+	Shard    shard.Config
+	Options  compare.Options
+}
+
+// validate checks the spec's shape for its kind.
+func (sp JobSpec) validate() error {
+	switch sp.Kind {
+	case JobCompare, JobShard:
+		if sp.A == "" || sp.B == "" {
+			return fmt.Errorf("service: %s job needs two checkpoint names", sp.Kind)
+		}
+	case JobGroup:
+		if sp.Baseline == "" || len(sp.Runs) == 0 {
+			return fmt.Errorf("service: group job needs a baseline and at least one run")
+		}
+	default:
+		return fmt.Errorf("service: unknown job kind %q", sp.Kind)
+	}
+	return nil
+}
+
+// names returns every run-bearing name the spec touches, for binding
+// validation.
+func (sp JobSpec) names() []string {
+	switch sp.Kind {
+	case JobGroup:
+		return append([]string{sp.Baseline}, sp.Runs...)
+	default:
+		return []string{sp.A, sp.B}
+	}
+}
+
+// JobState is a job's lifecycle position.
+type JobState int
+
+// Job states, in order.
+const (
+	// JobQueued: admitted, waiting for an execution slot.
+	JobQueued JobState = iota
+	// JobRunning: holding a slot, comparison in progress.
+	JobRunning
+	// JobDone: verdict published; Done() is closed.
+	JobDone
+)
+
+// String returns the state's wire name.
+func (st JobState) String() string {
+	switch st {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	default:
+		return "unknown"
+	}
+}
+
+// Job is one asynchronous submission in flight. Snapshot its state with
+// Status; wait for the verdict on Done.
+type Job struct {
+	id     uint64
+	kind   JobKind
+	tenant string
+	done   chan struct{}
+
+	mu      sync.Mutex
+	state   JobState
+	verdict Verdict
+	err     error
+	result  *compare.Result
+	group   *compare.GroupReport
+	shardst *shard.Stats
+}
+
+// jobIDs numbers jobs process-wide.
+var jobIDs atomic.Uint64
+
+// ID returns the job's plane-unique identifier.
+func (j *Job) ID() uint64 { return j.id }
+
+// Done closes when the verdict is published.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the pair result for compare/shard jobs, nil before
+// completion or for group jobs.
+func (j *Job) Result() *compare.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Group returns the group report for group jobs, nil otherwise.
+func (j *Job) Group() *compare.GroupReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.group
+}
+
+// ShardStats returns the schedule stats for shard jobs, nil otherwise.
+func (j *Job) ShardStats() *shard.Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.shardst
+}
+
+// JobStatus is a wire-friendly snapshot of one job.
+type JobStatus struct {
+	ID       uint64 `json:"id"`
+	Kind     string `json:"kind"`
+	Tenant   string `json:"tenant"`
+	State    string `json:"state"`
+	Verdict  string `json:"verdict,omitempty"`
+	ExitCode int    `json:"exitCode"`
+	Error    string `json:"error,omitempty"`
+	// DiffCount and Degraded summarize the verdict's evidence once
+	// done: total out-of-bound elements (pair jobs; -1 is "diverged,
+	// count unknown") and whether any path degraded.
+	DiffCount int64 `json:"diffCount,omitempty"`
+	Degraded  bool  `json:"degraded,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:     j.id,
+		Kind:   string(j.kind),
+		Tenant: j.tenant,
+		State:  j.state.String(),
+	}
+	if j.state == JobDone {
+		st.Verdict = j.verdict.String()
+		st.ExitCode = j.verdict.ExitCode()
+		if j.err != nil {
+			st.Error = j.err.Error()
+		}
+		switch {
+		case j.result != nil:
+			st.DiffCount = j.result.DiffCount
+			st.Degraded = j.result.Degraded || j.result.UnverifiedChunks > 0
+		case j.group != nil:
+			for i := range j.group.Pairs {
+				st.DiffCount += j.group.Pairs[i].Result.DiffCount
+			}
+			st.Degraded = j.group.Degraded()
+		}
+	}
+	return st
+}
+
+// Submit runs a job asynchronously: options normalization and binding
+// validation happen synchronously (a violation is a submission error),
+// as does the admission decision (an *AdmissionError carries the
+// backpressure price — the daemon's 429). The returned job is already
+// queued or running; its goroutine is joined by Plane.Close, which also
+// fails queued jobs with ErrPlaneClosed instead of abandoning them.
+func (s *Session) Submit(store *pfs.Store, spec JobSpec) (*Job, error) {
+	if err := spec.validate(); err != nil {
+		s.reject()
+		return nil, err
+	}
+	s.submitted()
+	opts, err := s.prepare(spec.Options, spec.names()...)
+	if err != nil {
+		return nil, err
+	}
+	spec.Options = opts
+	t, err := s.plane.sched.reserve(s.tenant)
+	if err != nil {
+		s.reject()
+		return nil, err
+	}
+	j := &Job{
+		id:     jobIDs.Add(1),
+		kind:   spec.Kind,
+		tenant: s.tenant.id,
+		done:   make(chan struct{}),
+	}
+	s.plane.jobs.Add(1)
+	//lint:ignore gocheck joined by Plane.Close via plane.jobs.Wait
+	go s.runJob(j, t, store, spec)
+	return j, nil
+}
+
+// runJob drives one detached job to its verdict.
+func (s *Session) runJob(j *Job, t *ticket, store *pfs.Store, spec JobSpec) {
+	defer s.plane.jobs.Done()
+	// Detached execution is governed by the plane lifecycle, not the
+	// submitting request: a canceled HTTP request must not kill the
+	// admitted comparison, and Plane.Close fails the ticket instead.
+	//lint:ignore ctxflow detached job outlives the submitting request; Plane.Close is its cancellation
+	ctx := context.Background()
+	if err := s.plane.sched.wait(ctx, t); err != nil {
+		s.reject()
+		j.publish(nil, nil, nil, err)
+		return
+	}
+	defer s.plane.sched.release(t)
+	j.mu.Lock()
+	j.state = JobRunning
+	j.mu.Unlock()
+
+	switch spec.Kind {
+	case JobCompare:
+		res, err := s.execCompare(ctx, store, spec.A, spec.B, spec.Options)
+		j.publish(res, nil, nil, err)
+	case JobGroup:
+		rep, err := s.execGroup(ctx, store, spec.Baseline, spec.Runs, spec.Topology, spec.Options)
+		j.publish(nil, rep, nil, err)
+	case JobShard:
+		res, stats, err := shard.Compare(ctx, store, spec.A, spec.B, spec.Shard, spec.Options)
+		s.finishResult(res, err)
+		j.publish(res, nil, stats, err)
+	}
+}
+
+// publish records the outcome and closes Done.
+func (j *Job) publish(res *compare.Result, rep *compare.GroupReport, stats *shard.Stats, err error) {
+	j.mu.Lock()
+	j.state = JobDone
+	j.err = err
+	j.result = res
+	j.group = rep
+	j.shardst = stats
+	if rep != nil || j.kind == JobGroup {
+		j.verdict = GroupVerdict(rep, err)
+	} else {
+		j.verdict = ResultVerdict(res, err)
+	}
+	j.mu.Unlock()
+	close(j.done)
+}

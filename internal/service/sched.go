@@ -1,0 +1,251 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/retry"
+)
+
+// ErrPlaneClosed is returned by every submission path once Plane.Close
+// has begun: the plane admits nothing new while draining.
+var ErrPlaneClosed = errors.New("service: plane closed")
+
+// AdmissionError is a backpressure rejection: the submission was refused
+// without queueing, and the caller should resubmit no sooner than
+// RetryAfter. The price is deterministic — an exponential function of
+// the pressure that caused the rejection, with the same seeded jitter
+// internal/retry uses, expressed on the virtual clock (the scheduler
+// never sleeps it). It classifies as Transient so retry loops built on
+// internal/retry handle rejections like any other transient fault.
+type AdmissionError struct {
+	// Tenant is the rejected submission's tenant.
+	Tenant string
+	// Reason says which bound rejected it ("tenant quota exceeded",
+	// "admission queue full").
+	Reason string
+	// Pressure is the load that priced the rejection: jobs over quota,
+	// or the queue length the submission would have grown.
+	Pressure int
+	// RetryAfter is the virtual backoff before resubmitting.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("service: tenant %q rejected: %s (pressure %d, retry after %v)",
+		e.Tenant, e.Reason, e.Pressure, e.RetryAfter)
+}
+
+// RetryClass marks rejections Transient for internal/retry.
+func (e *AdmissionError) RetryClass() retry.Class { return retry.Transient }
+
+// sched is the plane's admission controller: a counting slot pool of
+// MaxInFlight with a bounded FIFO wait queue and per-tenant pending
+// quotas. Admission is two-phase — reserve decides synchronously
+// (grant, queue, or reject-with-price), wait blocks a queued ticket
+// until a slot frees — so callers that must not block (the daemon's
+// submit endpoint) get their 429 before any work is spawned.
+type sched struct {
+	maxInFlight   int
+	maxQueued     int
+	tenantPending int
+	price         retry.Policy
+
+	mu       sync.Mutex
+	drained  *sync.Cond // signaled when inflight returns to zero
+	closed   bool
+	inflight int
+	peak     int
+	queue    []*ticket
+}
+
+// pressureCap bounds the exponent of the backpressure price so extreme
+// queue lengths saturate at RetryAfterMax instead of overflowing.
+const pressureCap = 16
+
+func newSched(cfg Config) *sched {
+	s := &sched{
+		maxInFlight:   cfg.MaxInFlight,
+		maxQueued:     cfg.MaxQueued,
+		tenantPending: cfg.TenantPending,
+		price: retry.Policy{
+			MaxAttempts: pressureCap + 1,
+			BaseDelay:   cfg.RetryAfterBase,
+			MaxDelay:    cfg.RetryAfterMax,
+			Multiplier:  2,
+		},
+	}
+	s.drained = sync.NewCond(&s.mu)
+	return s
+}
+
+// ticket is one admission: granted immediately (ready already closed)
+// or queued (ready closes on grant or rejection; err is set before the
+// close and read only after it).
+type ticket struct {
+	tn       *tenant
+	ready    chan struct{}
+	err      error
+	released bool
+}
+
+// granted is the pre-closed channel shared by immediately-granted
+// tickets.
+var granted = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// retryAfter prices a rejection at the given pressure. Deterministic:
+// the same pressure always yields the same virtual duration.
+func (s *sched) retryAfter(pressure int) time.Duration {
+	if pressure > pressureCap {
+		pressure = pressureCap
+	}
+	if pressure < 1 {
+		pressure = 1
+	}
+	d, _ := s.price.Next(pressure)
+	return d
+}
+
+// reserve decides admission for one submission by tenant tn: a granted
+// or queued ticket, or an immediate error (ErrPlaneClosed, or an
+// *AdmissionError carrying the backpressure price). It never blocks.
+func (s *sched) reserve(tn *tenant) (*ticket, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrPlaneClosed
+	}
+	if tn.pending >= s.tenantPending {
+		over := tn.pending - s.tenantPending + 1
+		return nil, &AdmissionError{
+			Tenant:     tn.id,
+			Reason:     "tenant quota exceeded",
+			Pressure:   over,
+			RetryAfter: s.retryAfter(over),
+		}
+	}
+	if s.inflight < s.maxInFlight && len(s.queue) == 0 {
+		tn.pending++
+		s.inflight++
+		if s.inflight > s.peak {
+			s.peak = s.inflight
+		}
+		return &ticket{tn: tn, ready: granted}, nil
+	}
+	if len(s.queue) >= s.maxQueued {
+		depth := len(s.queue) + 1
+		return nil, &AdmissionError{
+			Tenant:     tn.id,
+			Reason:     "admission queue full",
+			Pressure:   depth,
+			RetryAfter: s.retryAfter(depth),
+		}
+	}
+	tn.pending++
+	t := &ticket{tn: tn, ready: make(chan struct{})}
+	s.queue = append(s.queue, t)
+	return t, nil
+}
+
+// wait blocks until the ticket holds an execution slot, the context is
+// canceled, or the plane closes. On any error the reservation is
+// already undone — the caller must not release.
+func (s *sched) wait(ctx context.Context, t *ticket) error {
+	select {
+	case <-t.ready:
+		return t.err
+	case <-ctx.Done():
+	}
+	// Canceled: the grant may have raced the cancellation.
+	s.mu.Lock()
+	grantedMeanwhile := false
+	select {
+	case <-t.ready:
+		grantedMeanwhile = t.err == nil
+	default:
+		// Still queued: withdraw.
+		for i, q := range s.queue {
+			if q == t {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		t.tn.pending--
+	}
+	s.mu.Unlock()
+	if grantedMeanwhile {
+		s.release(t) // hand the unused slot to the next waiter
+	}
+	return ctx.Err()
+}
+
+// release returns the ticket's slot: the next queued ticket inherits it
+// directly (in-flight count unchanged), otherwise the slot pool grows
+// back. Idempotent per ticket.
+func (s *sched) release(t *ticket) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.released {
+		return
+	}
+	t.released = true
+	t.tn.pending--
+	if len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		close(next.ready)
+		return
+	}
+	s.inflight--
+	if s.inflight == 0 {
+		s.drained.Broadcast()
+	}
+}
+
+// close rejects every queued ticket with ErrPlaneClosed, refuses new
+// reservations, and blocks until in-flight work drains.
+func (s *sched) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		for _, t := range s.queue {
+			t.err = ErrPlaneClosed
+			t.tn.pending--
+			close(t.ready)
+		}
+		s.queue = nil
+	}
+	for s.inflight > 0 {
+		s.drained.Wait()
+	}
+}
+
+// inFlight reports the currently executing admissions.
+func (s *sched) inFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+// peakInFlight reports the high-water concurrent-execution mark.
+func (s *sched) peakInFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peak
+}
+
+// queued reports the current admission-queue length.
+func (s *sched) queuedLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}

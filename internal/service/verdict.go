@@ -1,0 +1,79 @@
+package service
+
+import "repro/internal/compare"
+
+// Verdict is a comparison outcome on the reprocmp exit-code contract:
+// the numeric values ARE the CLI exit codes, so the daemon and the CLI
+// speak one language. Divergence wins over degradation (a proven
+// divergence is conclusive even on a degraded path); a degraded clean
+// verdict is inconclusive, never clean.
+type Verdict int
+
+// Verdicts, by exit code.
+const (
+	// VerdictClean: runs match within ε on a fully verified path.
+	VerdictClean Verdict = 0
+	// VerdictError: the comparison itself failed.
+	VerdictError Verdict = 1
+	// VerdictDivergent: out-of-bound differences were proven.
+	VerdictDivergent Verdict = 2
+	// VerdictDegraded: no proven divergence, but parts of the
+	// comparison were skipped or unverified — inconclusive.
+	VerdictDegraded Verdict = 3
+)
+
+// String returns the verdict's wire name.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictClean:
+		return "clean"
+	case VerdictError:
+		return "error"
+	case VerdictDivergent:
+		return "divergent"
+	case VerdictDegraded:
+		return "degraded"
+	default:
+		return "unknown"
+	}
+}
+
+// ExitCode returns the reprocmp-contract exit code.
+func (v Verdict) ExitCode() int { return int(v) }
+
+// verdictOf folds the two verdict bits on the contract's precedence.
+func verdictOf(diverged, degraded bool) Verdict {
+	switch {
+	case diverged:
+		return VerdictDivergent
+	case degraded:
+		return VerdictDegraded
+	default:
+		return VerdictClean
+	}
+}
+
+// ResultVerdict maps one pair comparison onto the contract, mirroring
+// reprocmp's compare subcommand exactly.
+func ResultVerdict(res *compare.Result, err error) Verdict {
+	if err != nil || res == nil {
+		return VerdictError
+	}
+	return verdictOf(res.DiffCount != 0, res.Degraded || res.UnverifiedChunks > 0)
+}
+
+// GroupVerdict maps a group report onto the contract, mirroring
+// reprocmp's group subcommand exactly.
+func GroupVerdict(rep *compare.GroupReport, err error) Verdict {
+	if err != nil || rep == nil {
+		return VerdictError
+	}
+	diverged := false
+	for i := range rep.Pairs {
+		if rep.Pairs[i].Result.DiffCount != 0 {
+			diverged = true
+			break
+		}
+	}
+	return verdictOf(diverged, rep.Degraded())
+}

@@ -1,0 +1,25 @@
+package stream
+
+import (
+	"sync"
+
+	"repro/internal/aio"
+)
+
+// The compare layer injects Config.Backend on every production path (the
+// service plane's ring reaches it through normalized Options; the svcown
+// lint rule keeps process-wide acquisition out of this package). Direct
+// Run calls that leave Backend nil — tests, benchmarks — fall back to a
+// package-private persistent ring with the plane-default shape (256-deep
+// queue, 4 workers), started on first use and reused across batches.
+var (
+	fallbackOnce sync.Once
+	fallbackRing *aio.Uring
+)
+
+// fallbackBackend returns the package fallback ring for nil
+// Config.Backend.
+func fallbackBackend() *aio.Uring {
+	fallbackOnce.Do(func() { fallbackRing = aio.NewUring(256, 4) })
+	return fallbackRing
+}

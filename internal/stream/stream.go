@@ -53,8 +53,10 @@ type ChunkPair struct {
 
 // Config parameterizes the pipeline.
 type Config struct {
-	// Backend performs the scattered reads (default: the process-wide
-	// persistent aio.Default() engine).
+	// Backend performs the scattered reads. The compare layer always
+	// injects one (the service plane's ring, or compare's own fallback);
+	// direct calls that leave it nil get a package-private persistent
+	// ring of the same shape.
 	Backend aio.Backend
 	// Device prices host-to-device transfers.
 	Device device.Model
@@ -150,7 +152,7 @@ func Run(ctx context.Context, fA, fB *pfs.File, pairs []ChunkPair, cfg Config, c
 		return stats, err
 	}
 	if cfg.Backend == nil {
-		cfg.Backend = aio.Default()
+		cfg.Backend = fallbackBackend()
 	}
 	if cfg.SliceBytes <= 0 {
 		cfg.SliceBytes = 8 << 20

@@ -48,6 +48,7 @@ package repro
 
 import (
 	"context"
+	"sync"
 
 	"repro/internal/aio"
 	"repro/internal/cas"
@@ -58,6 +59,7 @@ import (
 	"repro/internal/merkle"
 	"repro/internal/pfs"
 	"repro/internal/retry"
+	"repro/internal/service"
 	"repro/internal/shard"
 )
 
@@ -97,6 +99,80 @@ type (
 // Options.Retry is the zero value: three attempts with capped exponential
 // backoff, priced on the virtual clock.
 func DefaultRetryPolicy() RetryPolicy { return retry.Default() }
+
+// Service plane API: lifecycle-owned resources and admission-controlled
+// sessions (internal/service). Every one-shot entry point below is a
+// thin wrapper over a session on the process-wide default plane, so the
+// CLI path and the reprod daemon path execute identical plans.
+type (
+	// Plane owns the shared comparison resources — one persistent
+	// kernel pool, one persistent ring engine, per-store CAS handles,
+	// per-ε verdict memos, and the per-tenant run catalog — with
+	// deterministic startup/shutdown and a leak-checked Close.
+	Plane = service.Plane
+	// PlaneConfig sizes a plane: pool/ring shape, global in-flight
+	// bound, admission-queue bound, per-tenant quota, and the
+	// backpressure price range.
+	PlaneConfig = service.Config
+	// Session is one tenant's submission surface on a plane: every
+	// comparison entry point, plus run registration and per-session
+	// outcome statistics.
+	Session = service.Session
+	// SessionStats counts one session's submissions by outcome.
+	SessionStats = service.Stats
+	// RunBinding is a run's immutable registration: code ref, params,
+	// ε, chunk size, dataset version. Submissions that contradict a
+	// binding are rejected before any work runs.
+	RunBinding = service.Binding
+	// AdmissionError is a backpressure rejection carrying a
+	// deterministic virtual RetryAfter.
+	AdmissionError = service.AdmissionError
+	// BindingError reports a submission contradicting a run binding.
+	BindingError = service.BindingError
+	// JobSpec describes an asynchronous job submission (Session.Submit).
+	JobSpec = service.JobSpec
+	// JobKind selects what a submitted job runs.
+	JobKind = service.JobKind
+	// Job is an asynchronous submission; wait on Done, snapshot with
+	// Status.
+	Job = service.Job
+	// JobVerdict is a comparison outcome on the reprocmp exit-code
+	// contract (0 clean / 1 error / 2 divergent / 3 degraded).
+	JobVerdict = service.Verdict
+)
+
+// ErrPlaneClosed is returned by every submission path of a closed plane.
+var ErrPlaneClosed = service.ErrPlaneClosed
+
+// Asynchronous job kinds (JobSpec.Kind).
+const (
+	// JobCompare is a two-checkpoint Merkle comparison.
+	JobCompare = service.JobCompare
+	// JobGroup is an N-run group comparison.
+	JobGroup = service.JobGroup
+	// JobShard is a subtree-sharded comparison.
+	JobShard = service.JobShard
+)
+
+// NewPlane creates a plane owning a fresh pool and ring sized by cfg;
+// Close it to join them. The zero Config selects production defaults.
+func NewPlane(cfg PlaneConfig) *Plane { return service.New(cfg) }
+
+// DefaultPlane returns the process-wide plane the one-shot entry points
+// below run on.
+func DefaultPlane() *Plane { return service.Default() }
+
+// localSession lazily opens the default plane's "local" tenant session,
+// shared by every one-shot facade call in the process.
+var (
+	localOnce sync.Once
+	local     *service.Session
+)
+
+func localSession() *service.Session {
+	localOnce.Do(func() { local = service.Default().Open("local") })
+	return local
+}
 
 // Group-comparison topologies.
 const (
@@ -184,9 +260,9 @@ func NewParallelExecutor(workers int) Executor { return device.NewParallel(worke
 // pool is no longer needed.
 func NewPoolExecutor(workers int) *device.Pool { return device.NewPool(workers) }
 
-// DefaultExecutor returns the process-wide shared persistent pool, the
-// executor used when Options.Exec is nil.
-func DefaultExecutor() Executor { return device.Default() }
+// DefaultExecutor returns the default plane's persistent pool, the
+// executor injected when Options.Exec is nil.
+func DefaultExecutor() Executor { return DefaultPlane().Executor() }
 
 // SerialExecutor returns the single-threaded executor.
 func SerialExecutor() Executor { return device.Serial{} }
@@ -200,10 +276,10 @@ func NewUringBackend(queueDepth, workers int) *aio.Uring {
 	return aio.NewUring(queueDepth, workers)
 }
 
-// DefaultBackend returns the process-wide shared persistent io_uring-style
+// DefaultBackend returns the default plane's persistent io_uring-style
 // engine, the backend the comparison layer builds on when Options.Backend
 // is nil (wrapped in read coalescing; see Options.CoalesceMaxGap).
-func DefaultBackend() *aio.Uring { return aio.Default() }
+func DefaultBackend() *aio.Uring { return DefaultPlane().Backend() }
 
 // MmapBackend returns the synchronous page-fault read backend.
 func MmapBackend() aio.Mmap { return aio.Mmap{} }
@@ -249,13 +325,17 @@ func History(store *Store, runID string) ([]string, error) {
 // BuildMetadata constructs Merkle metadata from in-memory field buffers
 // (the checkpoint-time path).
 func BuildMetadata(fields []FieldSpec, data [][]byte, opts Options) (*Metadata, BuildStats, error) {
+	opts, err := DefaultPlane().NormalizeOptions(opts)
+	if err != nil {
+		return nil, BuildStats{}, err
+	}
 	return compare.Build(fields, data, opts)
 }
 
 // BuildAndSave builds metadata for a checkpoint already on the store and
 // saves it alongside under MetadataName(name).
 func BuildAndSave(ctx context.Context, store *Store, name string, opts Options) (*Metadata, BuildStats, error) {
-	return compare.BuildAndSave(ctx, store, name, opts)
+	return localSession().BuildAndSave(ctx, store, name, opts)
 }
 
 // SaveMetadata writes metadata next to its checkpoint on a store.
@@ -282,19 +362,18 @@ func MetadataName(checkpointName string) string {
 // plan-step, kernel-poll, or pipeline boundary with ctx.Err(); the engine
 // closes everything it opened on the way out.
 func Compare(ctx context.Context, store *Store, nameA, nameB string, opts Options) (*Result, error) {
-	return compare.CompareMerkle(ctx, store, nameA, nameB, opts)
+	return localSession().Compare(ctx, store, nameA, nameB, opts)
 }
 
 // CompareDirect runs the optimized element-wise baseline.
 func CompareDirect(ctx context.Context, store *Store, nameA, nameB string, opts Options) (*Result, error) {
-	return compare.CompareDirect(ctx, store, nameA, nameB, opts)
+	return localSession().CompareDirect(ctx, store, nameA, nameB, opts)
 }
 
 // AllClose runs the naive boolean baseline (numpy.allclose with atol=ε,
 // rtol=0): true means every element pair is within ε.
 func AllClose(ctx context.Context, store *Store, nameA, nameB string, opts Options) (bool, error) {
-	ok, _, err := compare.CompareAllClose(ctx, store, nameA, nameB, opts)
-	return ok, err
+	return localSession().AllClose(ctx, store, nameA, nameB, opts)
 }
 
 // CompareHistories aligns two runs' checkpoint histories on a store and
@@ -304,7 +383,7 @@ func AllClose(ctx context.Context, store *Store, nameA, nameB string, opts Optio
 // tree diff. On error or cancellation the returned report holds the pairs
 // completed so far.
 func CompareHistories(ctx context.Context, store *Store, runA, runB string, method Method, opts Options) (*HistoryReport, error) {
-	return compare.CompareHistories(ctx, store, runA, runB, method, opts)
+	return localSession().CompareHistories(ctx, store, runA, runB, method, opts)
 }
 
 // GroupCompare compares N runs' checkpoints as one group: every member's
@@ -314,7 +393,7 @@ func CompareHistories(ctx context.Context, store *Store, runA, runB string, meth
 // sequential pairwise comparisons. Member 0 is the baseline; topology
 // selects star (baseline vs each run) or all-pairs coverage.
 func GroupCompare(ctx context.Context, store *Store, baseline string, runs []string, topology Topology, opts Options) (*GroupReport, error) {
-	return compare.GroupCompare(ctx, store, baseline, runs, topology, opts)
+	return localSession().GroupCompare(ctx, store, baseline, runs, topology, opts)
 }
 
 // Subtree-sharded scale-out API (internal/shard).
@@ -352,7 +431,7 @@ const (
 // verdicts. The returned stats expose the schedule's shape (steals,
 // per-worker clocks, virtual makespan).
 func ShardCompare(ctx context.Context, store *Store, nameA, nameB string, cfg ShardConfig, opts Options) (*Result, *ShardStats, error) {
-	return shard.Compare(ctx, store, nameA, nameB, cfg, opts)
+	return localSession().ShardCompare(ctx, store, nameA, nameB, cfg, opts)
 }
 
 // ShardGroupCompare is GroupCompare with every pair's stage 2 pooled into
@@ -360,7 +439,7 @@ func ShardCompare(ctx context.Context, store *Store, nameA, nameB string, cfg Sh
 // a single work-unit key space, so a straggler pair is absorbed by the
 // whole fleet instead of serializing its own pair comparison.
 func ShardGroupCompare(ctx context.Context, store *Store, baseline string, runs []string, topology Topology, cfg ShardConfig, opts Options) (*GroupReport, *ShardStats, error) {
-	return shard.GroupCompare(ctx, store, baseline, runs, topology, cfg, opts)
+	return localSession().ShardGroupCompare(ctx, store, baseline, runs, topology, cfg, opts)
 }
 
 // CAS is a content-addressed chunk store shared by every run capturing
@@ -408,14 +487,14 @@ func NewCASMemo(epsilon float64) *CASMemo { return compare.NewCASMemo(epsilon) }
 // sharing a pack extent are pruned as provably identical, and a warmed
 // Options.Memo replays previously verified verdicts without any reads.
 func CompareDiff(ctx context.Context, store *Store, cs *CAS, nameA, nameB string, opts Options) (*Result, error) {
-	return compare.CompareDiff(ctx, store, cs, nameA, nameB, opts)
+	return localSession().CompareDiff(ctx, store, cs, nameA, nameB, opts)
 }
 
 // GroupCompareDiff compares N differentially captured runs as one plan:
 // group-level read dedup (each pack extent fetched once for all pairs)
 // composes with CAS pruning and the degradation ladder.
 func GroupCompareDiff(ctx context.Context, store *Store, cs *CAS, baseline string, runs []string, topology Topology, opts Options) (*GroupReport, error) {
-	return compare.GroupCompareDiff(ctx, store, cs, baseline, runs, topology, opts)
+	return localSession().GroupCompareDiff(ctx, store, cs, baseline, runs, topology, opts)
 }
 
 // Analysis characterizes how two checkpoints differ: per-field divergence
@@ -428,7 +507,7 @@ type FieldHistogram = compare.FieldHistogram
 // Analyze reads both checkpoints fully and profiles their divergence
 // magnitudes per field — the tool for picking ε before committing to it.
 func Analyze(ctx context.Context, store *Store, nameA, nameB string) (*Analysis, error) {
-	return compare.Analyze(ctx, store, nameA, nameB)
+	return localSession().Analyze(ctx, store, nameA, nameB)
 }
 
 // EvolutionReport profiles how fast one run's state changes relative to ε
@@ -437,7 +516,7 @@ type EvolutionReport = compare.EvolutionReport
 
 // Evolution builds a run's state-evolution profile from saved metadata.
 func Evolution(ctx context.Context, store *Store, runID string, opts Options) (*EvolutionReport, error) {
-	return compare.Evolution(ctx, store, runID, opts)
+	return localSession().Evolution(ctx, store, runID, opts)
 }
 
 // CompactReport summarizes one history-compaction pass.
@@ -449,7 +528,7 @@ type CompactReport = compare.CompactReport
 // and CompareTreesOnly keeps every compacted iteration comparable at chunk
 // granularity. Metadata is built first where missing.
 func CompactHistory(ctx context.Context, store *Store, runID string, keepLatest int, opts Options) (*CompactReport, error) {
-	return compare.CompactHistory(ctx, store, runID, keepLatest, opts)
+	return localSession().CompactHistory(ctx, store, runID, keepLatest, opts)
 }
 
 // CompareTreesOnly answers the reproducibility question from metadata
@@ -457,7 +536,7 @@ func CompactHistory(ctx context.Context, store *Store, runID string, keepLatest 
 // Result.DiffCount is 0 for a within-bound pair and -1 (unknown count)
 // when candidate chunks differ.
 func CompareTreesOnly(ctx context.Context, store *Store, nameA, nameB string, opts Options) (*Result, error) {
-	return compare.CompareTreesOnly(ctx, store, nameA, nameB, opts)
+	return localSession().CompareTreesOnly(ctx, store, nameA, nameB, opts)
 }
 
 // IsCompacted reports whether a checkpoint survives only as metadata.
@@ -479,7 +558,7 @@ func MetadataHistory(store *Store, runID string) ([]string, error) {
 // executor selects the default parallel one.
 func DiffTrees(a, b *Tree, exec Executor) ([]int, error) {
 	if exec == nil {
-		exec = device.Default()
+		exec = DefaultPlane().Executor()
 	}
 	chunks, _, err := merkle.Diff(a, b, a.DefaultStartLevel(exec.Workers()), exec)
 	return chunks, err
