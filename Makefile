@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-fast test race check chaos chaos-smoke bench bench-smoke bench-json reprod-smoke experiments examples clean
+.PHONY: all build vet lint lint-fast test race check chaos chaos-smoke bench bench-smoke bench-json reprod-smoke wal-smoke experiments examples clean
 
 all: build vet test
 
@@ -8,7 +8,7 @@ all: build vet test
 # lint runs at tier 2 (type-aware dataflow) and audits the tree's
 # suppression directives; the tier-2 smoke budget (<10s on the whole
 # tree) is asserted by TestTierTwoBudget in internal/lint.
-check: build vet lint test race chaos-smoke bench-smoke reprod-smoke
+check: build vet lint test race chaos-smoke bench-smoke reprod-smoke wal-smoke
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,14 @@ bench-smoke:
 # Part of `make check`.
 reprod-smoke:
 	$(GO) test -count=1 -run 'TestReprodSmoke' ./cmd/reprod/
+
+# wal-smoke is the crash-durability gate: a real reprod process with
+# -journal takes a job to its verdict, dies by SIGKILL, and the
+# restarted process must serve that verdict from the hash-chained
+# ledger, with reprocmp verify-log green over the surviving chain.
+# Part of `make check`.
+wal-smoke:
+	$(GO) test -count=1 -run 'TestWALKillRestartSmoke' ./cmd/reprod/
 
 # bench-json regenerates the tracked baselines at the repository root:
 # kernel throughput (BENCH_kernels.json), the stage-2 streaming pipeline

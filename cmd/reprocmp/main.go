@@ -11,6 +11,8 @@
 //	reprocmp group   -store DIR -baseline NAME -runs NAME,NAME,... -eps 1e-6 [-topology star|all-pairs]
 //	reprocmp history -store DIR -runa RUN1 -runb RUN2 -eps 1e-6 [-method merkle] [-hash]
 //	reprocmp inspect -store DIR -ckpt NAME
+//	reprocmp attest     -store DIR -job ID [-journal NAME] [-json]
+//	reprocmp verify-log -store DIR [-journal NAME] [-recompute JOB] [-json]
 //
 // Exit codes: 0 clean match, 1 operational error, 2 proven divergence,
 // 3 degraded-but-inconclusive (only with -degrade: the comparison
@@ -81,7 +83,7 @@ func verdict(diverged, degraded bool) error {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) < 1 {
-		return errors.New("usage: reprocmp <hash|compare|shard|group|history|inspect|compact> [flags]")
+		return errors.New("usage: reprocmp <hash|compare|shard|group|history|inspect|compact|stats|analyze|evolution|attest|verify-log> [flags]")
 	}
 	switch args[0] {
 	case "hash":
@@ -104,6 +106,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return cmdAnalyze(ctx, args[1:], out)
 	case "evolution":
 		return cmdEvolution(ctx, args[1:], out)
+	case "attest":
+		return cmdAttest(ctx, args[1:], out)
+	case "verify-log":
+		return cmdVerifyLog(ctx, args[1:], out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

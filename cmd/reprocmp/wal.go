@@ -1,0 +1,208 @@
+package main
+
+// attest and verify-log: the audit surface over the crash-durable job
+// journal the reprod daemon writes with -journal (internal/wal).
+//
+//	reprocmp attest     -store DIR -job ID [-journal NAME] [-json]
+//	reprocmp verify-log -store DIR [-journal NAME] [-recompute JOB] [-json]
+//
+// attest emits one job's chained lifecycle records — acceptance,
+// execution, and verdict, each bound to its predecessor's digest — after
+// re-walking the whole chain (a tampered journal refuses to attest
+// anything). verify-log walks the full chain: it fails on tampering and
+// on exactly-once violations (duplicate or orphaned verdicts), reports
+// crash damage (holes, torn tail), and with -recompute re-derives a
+// historical verdict's inputs by rebuilding the named snapshots'
+// combined Merkle roots from the store and comparing them against the
+// roots the verdict record bound.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+
+	"repro"
+)
+
+func cmdAttest(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("attest", flag.ContinueOnError)
+	dir := fs.String("store", "", "store directory")
+	name := fs.String("journal", repro.DefaultJournalName, "store-relative journal path")
+	jobID := fs.Uint64("job", 0, "job ID to attest")
+	asJSON := fs.Bool("json", false, "emit the chained records as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" || *jobID == 0 {
+		return errors.New("attest: -store and -job are required")
+	}
+	store, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	// Open replays and chain-verifies: a tampered journal fails here.
+	_, rep, err := repro.OpenJournal(ctx, store, *name)
+	if err != nil {
+		return err
+	}
+	var recs []repro.WALRecord
+	hasVerdict := false
+	for _, r := range rep.Records {
+		if r.Job != *jobID {
+			continue
+		}
+		recs = append(recs, r)
+		if r.Type == repro.WALVerdict {
+			hasVerdict = true
+		}
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("attest: journal %s has no records for job %d", *name, *jobID)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recs); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(out, "journal %s: chain verified, %d records, %d holes, %d torn tail bytes\n",
+			*name, len(rep.Records), rep.Holes, rep.TornTailBytes)
+		fmt.Fprintf(out, "job %d attestation (%d chained records):\n", *jobID, len(recs))
+		for _, r := range recs {
+			printRecord(out, r)
+		}
+	}
+	if !hasVerdict {
+		return fmt.Errorf("attest: job %d has no verdict yet (accepted but unfinished)", *jobID)
+	}
+	return nil
+}
+
+// printRecord renders one journal record for the attestation listing.
+func printRecord(out io.Writer, r repro.WALRecord) {
+	fmt.Fprintf(out, "  [seq %d] %-8s tenant=%s kind=%s eps=%g chunk=%d tool=%s\n",
+		r.Seq, r.Type, r.Tenant, r.Kind, r.Epsilon, r.ChunkSize, r.ToolVersion)
+	for _, n := range r.Names {
+		fmt.Fprintf(out, "           name  %s\n", n)
+	}
+	if r.Type == repro.WALVerdict {
+		fmt.Fprintf(out, "           exit=%d (%s) diffCount=%d degraded=%v unverified=%d\n",
+			r.Exit, repro.JobVerdict(r.Exit), r.DiffCount, r.Degraded, r.UnverifiedChunks)
+		if r.ErrMsg != "" {
+			fmt.Fprintf(out, "           error %s\n", r.ErrMsg)
+		}
+		for i, root := range r.Roots {
+			fmt.Fprintf(out, "           root  %s = %s\n", r.Names[i], root)
+		}
+	}
+	fmt.Fprintf(out, "           prev=%s\n           digest=%s\n", r.Prev, r.Digest)
+}
+
+// verifyLogJSON is verify-log's machine-readable output.
+type verifyLogJSON struct {
+	*repro.JournalVerifyReport
+	Recomputed *recomputeJSON `json:"recomputed,omitempty"`
+}
+
+type recomputeJSON struct {
+	Job     uint64   `json:"job"`
+	Names   []string `json:"names"`
+	Matched bool     `json:"rootsMatch"`
+}
+
+func cmdVerifyLog(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("verify-log", flag.ContinueOnError)
+	dir := fs.String("store", "", "store directory")
+	name := fs.String("journal", repro.DefaultJournalName, "store-relative journal path")
+	recompute := fs.Uint64("recompute", 0, "re-derive this job's verdict inputs: rebuild the snapshots' combined Merkle roots from the store and compare against the verdict record")
+	asJSON := fs.Bool("json", false, "emit the verification report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return errors.New("verify-log: -store is required")
+	}
+	store, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	rep, err := repro.VerifyJournal(ctx, store, *name)
+	if err != nil {
+		return err
+	}
+	body := verifyLogJSON{JournalVerifyReport: rep}
+	if *recompute != 0 {
+		rc, err := recomputeRoots(ctx, store, *name, *recompute, out, *asJSON)
+		if err != nil {
+			return err
+		}
+		body.Recomputed = rc
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(body)
+	}
+	fmt.Fprintf(out, "journal %s: chain verified\n", *name)
+	fmt.Fprintf(out, "  records  %d (accepted %d, started %d, verdicts %d)\n",
+		rep.Records, rep.Accepted, rep.Started, rep.Verdicts)
+	fmt.Fprintf(out, "  jobs     %d (%d pending)\n", rep.Jobs, len(rep.PendingJobs))
+	if len(rep.PendingJobs) > 0 {
+		fmt.Fprintf(out, "  pending  %v\n", rep.PendingJobs)
+	}
+	fmt.Fprintf(out, "  damage   %d holes, %d torn tail bytes\n", rep.Holes, rep.TornTailBytes)
+	if rep.Records > 0 {
+		fmt.Fprintf(out, "  head     seq %d digest %s\n", rep.Seq, rep.Head)
+	}
+	if body.Recomputed != nil {
+		fmt.Fprintf(out, "  recomputed job %d: roots match the ledger\n", body.Recomputed.Job)
+	}
+	return nil
+}
+
+// recomputeRoots re-derives one verdict's inputs: each named snapshot's
+// metadata is reloaded from the store and its combined Merkle root is
+// compared against the root the verdict record bound into the chain. A
+// mismatch means the store's metadata no longer matches what was
+// compared — the verdict is about data that has since changed.
+func recomputeRoots(ctx context.Context, store *repro.Store, name string, jobID uint64, out io.Writer, quiet bool) (*recomputeJSON, error) {
+	_, rep, err := repro.OpenJournal(ctx, store, name)
+	if err != nil {
+		return nil, err
+	}
+	var verdict *repro.WALRecord
+	for i := range rep.Records {
+		if r := &rep.Records[i]; r.Job == jobID && r.Type == repro.WALVerdict {
+			verdict = r
+			break
+		}
+	}
+	if verdict == nil {
+		return nil, fmt.Errorf("verify-log: journal has no verdict for job %d", jobID)
+	}
+	if len(verdict.Roots) == 0 {
+		return nil, fmt.Errorf("verify-log: job %d's verdict bound no Merkle roots (failed before loading metadata); nothing to recompute", jobID)
+	}
+	if len(verdict.Roots) != len(verdict.Names) {
+		return nil, fmt.Errorf("verify-log: job %d's verdict has %d roots for %d names", jobID, len(verdict.Roots), len(verdict.Names))
+	}
+	for i, snap := range verdict.Names {
+		m, err := repro.LoadMetadata(ctx, store, snap)
+		if err != nil {
+			return nil, fmt.Errorf("verify-log: recompute %s: %w", snap, err)
+		}
+		got := m.CombinedRoot()
+		if got != verdict.Roots[i] {
+			return nil, fmt.Errorf("verify-log: job %d: %s recomputes to root %s, ledger has %s — store contents changed since the verdict",
+				jobID, snap, got, verdict.Roots[i])
+		}
+		if !quiet {
+			fmt.Fprintf(out, "  root %s = %s (matches ledger)\n", snap, got)
+		}
+	}
+	return &recomputeJSON{Job: jobID, Names: verdict.Names, Matched: true}, nil
+}

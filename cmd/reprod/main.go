@@ -9,12 +9,21 @@
 //
 // Usage:
 //
-//	reprod -store DIR [-addr 127.0.0.1:0] [-portfile FILE]
+//	reprod -store DIR [-addr 127.0.0.1:0] [-portfile FILE] [-journal NAME]
 //	       [-max-inflight N] [-max-queued N] [-tenant-pending N]
+//
+// -journal enables the crash-durable job journal and hash-chained
+// verdict ledger (internal/wal) at the store-relative NAME
+// (conventionally wal/journal.log). On startup the daemon replays the journal: verdicts
+// from previous lives are served from the ledger (never recomputed),
+// and jobs that were accepted but unfinished when the process died —
+// kill -9 included — are re-admitted under their original IDs. Audit
+// the chain with reprocmp verify-log / attest.
 //
 // Endpoints (see server.go):
 //
 //	GET  /healthz                     liveness
+//	GET  /v1/metrics                  per-tenant admission counters + journal gauges
 //	POST /v1/runs?tenant=T            register a run binding (409 on conflict)
 //	GET  /v1/runs?tenant=T            list the tenant's bindings
 //	POST /v1/jobs?tenant=T            submit a job (202; 429 + Retry-After
@@ -61,6 +70,7 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 		dir           = fs.String("store", "", "store directory (required)")
 		addr          = fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
 		portfile      = fs.String("portfile", "", "write the bound address here after listen succeeds")
+		journal       = fs.String("journal", "", "store-relative journal path enabling the crash-durable job ledger (e.g. "+repro.DefaultJournalName+"; empty disables)")
 		maxInFlight   = fs.Int("max-inflight", 0, "concurrent comparisons across all tenants (0 = plane default)")
 		maxQueued     = fs.Int("max-queued", 0, "admission queue bound (0 = plane default)")
 		tenantPending = fs.Int("tenant-pending", 0, "per-tenant pending-job quota (0 = MaxInFlight)")
@@ -85,6 +95,19 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 	})
 
 	srv := newServer(plane, store)
+	if *journal != "" {
+		// Replay the journal before listening: ledger verdicts become
+		// servable, unfinished jobs re-admit, and only then can clients
+		// reach us — recovery is never racing live traffic.
+		rec, err := plane.Recover(context.Background(), store, *journal)
+		if err != nil {
+			fmt.Fprintf(stderr, "reprod: journal recovery: %v\n", err)
+			return 1
+		}
+		srv.adopt(rec)
+		fmt.Fprintf(stdout, "reprod: journal %s replayed: %d ledger verdicts, %d jobs re-admitted\n",
+			*journal, len(rec.Ledger), len(rec.Resumed))
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "reprod: %v\n", err)
@@ -105,6 +128,9 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 	var exit int
 	select {
 	case <-stop:
+		// Wake in-flight long-polls first so Shutdown's drain of open
+		// requests cannot hang on a 30s wait timeout.
+		srv.beginDrain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		err := httpSrv.Shutdown(shutdownCtx)
 		cancel()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -14,15 +15,26 @@ import (
 
 // server is the HTTP surface over one plane and one store. Sessions are
 // opened per tenant on first use and shared across requests; jobs are
-// indexed by their plane-unique ID for polling.
+// indexed by their plane-unique ID for polling. When the daemon runs
+// with -journal, verdicts recovered from the ledger are served from the
+// ledger map — a completed job survives kill -9 without recomputation.
 type server struct {
 	plane *repro.Plane
 	store *repro.Store
 	mux   *http.ServeMux
 
+	// drain closes when graceful shutdown begins: in-flight long-polls
+	// wake up and answer (final verdict if published, clean 503
+	// otherwise) instead of hanging into the HTTP shutdown deadline.
+	drain     chan struct{}
+	drainOnce sync.Once
+
 	mu       sync.Mutex
 	sessions map[string]*repro.Session
 	jobs     map[uint64]*repro.Job
+	// ledger maps completed jobs recovered from the journal to their
+	// durable verdict records (served, never recomputed).
+	ledger map[uint64]repro.WALRecord
 }
 
 func newServer(plane *repro.Plane, store *repro.Store) *server {
@@ -30,10 +42,13 @@ func newServer(plane *repro.Plane, store *repro.Store) *server {
 		plane:    plane,
 		store:    store,
 		mux:      http.NewServeMux(),
+		drain:    make(chan struct{}),
 		sessions: make(map[string]*repro.Session),
 		jobs:     make(map[uint64]*repro.Job),
+		ledger:   make(map[uint64]repro.WALRecord),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/runs", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -42,7 +57,68 @@ func newServer(plane *repro.Plane, store *repro.Store) *server {
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// adopt installs a journal recovery into the serving maps: ledger
+// verdicts become servable and re-admitted jobs become pollable under
+// their original IDs.
+func (s *server) adopt(rec *repro.PlaneRecovery) {
+	if rec == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, r := range rec.Ledger {
+		s.ledger[id] = r
+	}
+	for _, job := range rec.Resumed {
+		s.jobs[job.ID()] = job
+	}
+}
+
+// beginDrain wakes every in-flight long-poll; idempotent.
+func (s *server) beginDrain() {
+	s.drainOnce.Do(func() { close(s.drain) })
+}
+
+// jsonErrorWriter guarantees the error contract: any response the
+// handlers did not shape themselves (the mux's own 404/405, for
+// example) is rewritten as the uniform JSON error body instead of
+// net/http's text/plain default.
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	intercepted bool
+}
+
+func (w *jsonErrorWriter) WriteHeader(status int) {
+	// The handlers' own errors arrive with the JSON Content-Type already
+	// set and pass through. net/http's internals (the mux's 404/405 via
+	// http.Error) set text/plain before calling WriteHeader, so matching
+	// only an empty Content-Type would miss exactly the responses this
+	// wrapper exists for.
+	ct := w.Header().Get("Content-Type")
+	if status >= 400 && (ct == "" || strings.HasPrefix(ct, "text/plain")) {
+		w.intercepted = true
+		w.Header().Del("X-Content-Type-Options")
+		w.Header().Set("Content-Type", "application/json")
+		w.ResponseWriter.WriteHeader(status)
+		body, _ := json.Marshal(errorBody{Error: http.StatusText(status)})
+		_, _ = w.ResponseWriter.Write(append(body, '\n'))
+		return
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *jsonErrorWriter) Write(p []byte) (int, error) {
+	if w.intercepted {
+		// Swallow the handler's plain-text body; the JSON body is
+		// already written.
+		return len(p), nil
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(&jsonErrorWriter{ResponseWriter: w}, r)
+}
 
 // session returns (opening on first use) the tenant's session. An empty
 // tenant parameter maps to the "default" tenant.
@@ -81,7 +157,8 @@ type errorBody struct {
 // writeError maps the service error taxonomy onto HTTP:
 // *AdmissionError → 429 with a Retry-After header, *BindingError → the
 // caller's chosen binding status (409 register conflict, 422 submission
-// contradiction), ErrPlaneClosed → 503, anything else → 400.
+// contradiction), ErrPlaneClosed → 503, anything else → 400. Every
+// branch writes the JSON errorBody with Content-Type set.
 func writeError(w http.ResponseWriter, err error, bindingStatus int) {
 	var adm *repro.AdmissionError
 	if errors.As(err, &adm) {
@@ -113,6 +190,36 @@ func writeError(w http.ResponseWriter, err error, bindingStatus int) {
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// metricsBody is the GET /v1/metrics document: per-tenant admission
+// counters plus plane- and journal-level gauges.
+type metricsBody struct {
+	Tenants      []repro.TenantAdmission `json:"tenants"`
+	PeakInFlight int                     `json:"peakInFlight"`
+	Journal      *journalMetrics         `json:"journal,omitempty"`
+}
+
+type journalMetrics struct {
+	Name      string `json:"name"`
+	Seq       uint64 `json:"seq"`
+	SizeBytes int64  `json:"sizeBytes"`
+	Wedged    string `json:"wedged,omitempty"`
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	body := metricsBody{
+		Tenants:      s.plane.AdmissionMetrics(),
+		PeakInFlight: s.plane.PeakInFlight(),
+	}
+	if jn := s.plane.Journal(); jn != nil {
+		jm := &journalMetrics{Name: jn.Name(), Seq: jn.Seq(), SizeBytes: jn.Size()}
+		if err := jn.Wedged(); err != nil {
+			jm.Wedged = err.Error()
+		}
+		body.Journal = jm
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleRegister installs an immutable run binding for the tenant.
@@ -205,37 +312,79 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
-// job resolves the {id} path value.
-func (s *server) job(w http.ResponseWriter, r *http.Request) (*repro.Job, bool) {
+// ledgerStatus synthesizes a done-job snapshot from a durable verdict
+// record.
+func ledgerStatus(rec repro.WALRecord) repro.JobStatus {
+	return repro.JobStatus{
+		ID:        rec.Job,
+		Kind:      rec.Kind,
+		Tenant:    rec.Tenant,
+		State:     "done",
+		Verdict:   repro.JobVerdict(rec.Exit).String(),
+		ExitCode:  rec.Exit,
+		Error:     rec.ErrMsg,
+		DiffCount: rec.DiffCount,
+		Degraded:  rec.Degraded,
+	}
+}
+
+// jobID parses the {id} path value.
+func (s *server) jobID(w http.ResponseWriter, r *http.Request) (uint64, bool) {
 	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job id"})
-		return nil, false
+		return 0, false
 	}
+	return id, true
+}
+
+// lookupJob resolves an ID to a live job or a ledger verdict.
+func (s *server) lookupJob(id uint64) (job *repro.Job, rec repro.WALRecord, fromLedger bool) {
 	s.mu.Lock()
-	job, ok := s.jobs[id]
-	s.mu.Unlock()
-	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %d", id)})
-		return nil, false
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j, repro.WALRecord{}, false
 	}
-	return job, true
+	if r, ok := s.ledger[id]; ok {
+		return nil, r, true
+	}
+	return nil, repro.WALRecord{}, false
 }
 
 func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.job(w, r)
+	id, ok := s.jobID(w, r)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Status())
+	job, rec, fromLedger := s.lookupJob(id)
+	switch {
+	case job != nil:
+		writeJSON(w, http.StatusOK, job.Status())
+	case fromLedger:
+		writeJSON(w, http.StatusOK, ledgerStatus(rec))
+	default:
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %d", id)})
+	}
 }
 
 // handleJobWait long-polls the verdict: it responds as soon as the job
 // publishes, or after timeoutMs (default 30s) with the current snapshot
-// and status 200 either way — the "state" field says which.
+// and status 200 either way — the "state" field says which. A
+// ledger-recovered verdict answers immediately. When graceful shutdown
+// begins mid-wait, the wait wakes up: the final verdict if the job
+// already published, a clean 503 otherwise — never a hung connection.
 func (s *server) handleJobWait(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.job(w, r)
+	id, ok := s.jobID(w, r)
 	if !ok {
+		return
+	}
+	job, rec, fromLedger := s.lookupJob(id)
+	if fromLedger {
+		writeJSON(w, http.StatusOK, ledgerStatus(rec))
+		return
+	}
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %d", id)})
 		return
 	}
 	timeout := 30 * time.Second
@@ -253,6 +402,14 @@ func (s *server) handleJobWait(w http.ResponseWriter, r *http.Request) {
 	case <-job.Done():
 	case <-timer.C:
 	case <-r.Context().Done():
+	case <-s.drain:
+		select {
+		case <-job.Done():
+			// The verdict beat the drain; serve it.
+		default:
+			writeError(w, repro.ErrPlaneClosed, 0)
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, job.Status())
 }

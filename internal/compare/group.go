@@ -15,6 +15,7 @@ import (
 	"repro/internal/errbound"
 	"repro/internal/merkle"
 	"repro/internal/metrics"
+	"repro/internal/murmur3"
 	"repro/internal/pfs"
 	"repro/internal/simclock"
 	"repro/internal/stream"
@@ -116,6 +117,9 @@ type GroupReport struct {
 	// fallback after the shared ring reported closed.
 	ReadRetries   int
 	RingFallbacks int
+	// MemberRoots holds each member's combined Merkle root
+	// (Metadata.CombinedRoot), in Members order, for the verdict ledger.
+	MemberRoots []murmur3.Digest
 }
 
 // Reproducible reports whether every compared pair cleanly matched within
@@ -303,6 +307,10 @@ func (st *groupState) stepLoadMembers(ctx context.Context, x *engine.Exec) error
 	if st.metas[0].Epsilon != st.opts.Epsilon {
 		return fmt.Errorf("compare: metadata ε %g does not match requested ε %g",
 			st.metas[0].Epsilon, st.opts.Epsilon)
+	}
+	st.rep.MemberRoots = make([]murmur3.Digest, len(st.metas))
+	for i, m := range st.metas {
+		st.rep.MemberRoots[i] = m.CombinedRoot()
 	}
 	st.rep.MetadataBytes = st.metas[0].Bytes()
 	st.rep.BytesRead += metaCost.TotalBytes()

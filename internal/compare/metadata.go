@@ -38,6 +38,20 @@ type FieldMeta struct {
 	Tree  *merkle.Tree
 }
 
+// CombinedRoot folds the per-field Merkle roots into one digest that
+// identifies the whole checkpoint snapshot: field names and roots are
+// chained in field order, so any field rename, reorder, or content
+// change under the active ε moves the combined root. This is the digest
+// the verdict ledger (internal/wal) binds into each record.
+func (m *Metadata) CombinedRoot() murmur3.Digest {
+	var acc murmur3.Digest
+	for _, f := range m.Fields {
+		acc = murmur3.SumDigest([]byte(f.Name), acc)
+		acc = murmur3.HashPair(acc, f.Tree.Root())
+	}
+	return acc
+}
+
 // BuildStats reports metadata construction cost.
 type BuildStats struct {
 	// HashVirtual prices the leaf-hash kernels on the device model.

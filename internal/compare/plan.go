@@ -167,6 +167,7 @@ func (st *pairState) stepLoadMetadata(ctx context.Context, x *engine.Exec) error
 		return err
 	}
 	st.ma, st.mb = ma, mb
+	st.res.RootA, st.res.RootB = ma.CombinedRoot(), mb.CombinedRoot()
 	var metaCost pfs.Cost
 	metaCost.Add(costA)
 	metaCost.Add(costB)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/murmur3"
 )
 
 // FieldDiff lists the divergent elements of one checkpoint field.
@@ -74,6 +75,13 @@ type Result struct {
 	// fallback after the shared ring reported closed.
 	ReadRetries   int
 	RingFallbacks int
+
+	// RootA and RootB are the combined Merkle roots of the two compared
+	// snapshots (Metadata.CombinedRoot), zero for plans that never load
+	// metadata (the direct/allclose baselines). The verdict ledger binds
+	// them so a historical verdict's inputs can be re-derived.
+	RootA murmur3.Digest
+	RootB murmur3.Digest
 }
 
 // FalsePositiveChunks returns candidates that contained no real

@@ -282,6 +282,7 @@ func All() []*Analyzer {
 		SvcOwn,
 		DetFlow,
 		EpsFlow,
+		WalChain,
 	}
 }
 

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WalChain flags hand-rolled journal chain coordinates: composite
+// literals of wal.Record that set Seq, Prev, or Digest, and assignments
+// (or ++/--) to those fields in any package that imports
+// repro/internal/wal. The chain fields are owned by Journal.Append —
+// it assigns consecutive sequence numbers, links Prev to the head
+// digest, and hashes the payload — and that single writer is what makes
+// verify-log's invariants (consecutive Seq, linked Prev, recomputable
+// Digest) mean something. A caller that pre-fills the coordinates
+// either gets rejected at runtime (Append refuses preset chain fields)
+// or, worse, fabricates a record that only looks chained.
+//
+// Exempt by design:
+//   - internal/wal: the journal is the one sanctioned chain writer.
+//   - _test.go files: tamper fixtures forge chain fields on purpose.
+//
+// The check is syntactic and keyed on the wal import: in a file that
+// imports repro/internal/wal, any write to a field named Seq, Prev, or
+// Digest is treated as journal-adjacent. An unrelated field collision
+// in such a file is the rare case suppression comments exist for.
+var WalChain = &Analyzer{
+	Name:     "walchain",
+	Doc:      "journal chain coordinates (Seq/Prev/Digest) written outside internal/wal (Journal.Append owns the chain; leave them zero)",
+	Severity: SeverityError,
+	Run:      runWalChain,
+}
+
+const walChainImport = `"repro/internal/wal"`
+
+// walChainFields are the Record fields only Journal.Append may write.
+var walChainFields = map[string]bool{
+	"Seq":    true,
+	"Prev":   true,
+	"Digest": true,
+}
+
+func runWalChain(p *Pass) {
+	if pkgIn(p.Pkg, "internal/wal") {
+		return
+	}
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		walName := walChainImportName(f)
+		if walName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if !isWalRecordType(n.Type, walName) {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || !walChainFields[key.Name] {
+						continue
+					}
+					p.Reportf(kv.Pos(), "%s.Record literal sets chain field %s; Journal.Append owns Seq/Prev/Digest — leave them zero", walName, key.Name)
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if field := walChainField(lhs); field != "" {
+						p.Reportf(lhs.Pos(), "assignment to journal chain field %s outside internal/wal; Journal.Append owns Seq/Prev/Digest", field)
+					}
+				}
+			case *ast.IncDecStmt:
+				if field := walChainField(n.X); field != "" {
+					p.Reportf(n.X.Pos(), "%s of journal chain field %s outside internal/wal; Journal.Append owns Seq/Prev/Digest", n.Tok, field)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// walChainImportName returns the identifier under which the file
+// imports repro/internal/wal (honoring renames), or "" when it does not
+// import the journal package at all.
+func walChainImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		if imp.Path.Value != walChainImport {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return "wal"
+	}
+	return ""
+}
+
+// isWalRecordType reports whether the composite literal's type is
+// wal.Record under the file's import name for the journal package.
+func isWalRecordType(t ast.Expr, walName string) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Record" {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && x.Name == walName
+}
+
+// walChainField returns the chain field name when expr is a selector
+// write target like rec.Seq (any base expression), else "".
+func walChainField(expr ast.Expr) string {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || !walChainFields[sel.Sel.Name] {
+		return ""
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,132 @@
+package lint
+
+import "testing"
+
+func TestWalChain(t *testing.T) {
+	cases := []struct {
+		name string
+		pkg  string
+		file string
+		src  string
+		want []string
+	}{
+		{
+			name: "record literal with chain fields flagged per field",
+			pkg:  "internal/service",
+			src: `package service
+import "repro/internal/wal"
+var rec = wal.Record{Seq: 7, Prev: prev, Type: 1, Digest: d}
+`,
+			want: []string{"3:walchain", "3:walchain", "3:walchain"},
+		},
+		{
+			name: "non-chain literal fields are fine",
+			pkg:  "internal/service",
+			src: `package service
+import "repro/internal/wal"
+var rec = wal.Record{Type: wal.TypeAccepted, Job: 4, Tenant: "t"}
+`,
+			want: nil,
+		},
+		{
+			name: "assignment to chain field flagged",
+			pkg:  "cmd/reprod",
+			src: `package main
+import "repro/internal/wal"
+func fix(rec *wal.Record) {
+	rec.Seq = rec.Seq + 1
+	rec.Prev = rec.Digest
+}
+`,
+			want: []string{"4:walchain", "5:walchain"},
+		},
+		{
+			name: "increment of chain field flagged",
+			pkg:  "internal/service",
+			src: `package service
+import "repro/internal/wal"
+func bump(rec *wal.Record) {
+	rec.Seq++
+}
+`,
+			want: []string{"4:walchain"},
+		},
+		{
+			name: "renamed import still caught",
+			pkg:  "internal/service",
+			src: `package service
+import journal "repro/internal/wal"
+var rec = journal.Record{Digest: d}
+`,
+			want: []string{"3:walchain"},
+		},
+		{
+			name: "internal/wal owns the chain",
+			pkg:  "internal/wal",
+			src: `package wal
+func (j *Journal) assign(rec *Record) {
+	rec.Seq = j.seq + 1
+	rec.Prev = j.head
+}
+`,
+			want: nil,
+		},
+		{
+			name: "test files may forge chains",
+			pkg:  "internal/chaos",
+			file: "tamper_test.go",
+			src: `package chaos
+import "repro/internal/wal"
+func forge() wal.Record { return wal.Record{Seq: 99} }
+`,
+			want: []string{},
+		},
+		{
+			name: "file without the wal import is out of scope",
+			pkg:  "internal/shard",
+			src: `package shard
+type VerdictMsg struct{ Seq int64 }
+func f(v *VerdictMsg) { v.Seq = 3 }
+`,
+			want: nil,
+		},
+		{
+			name: "unrelated package named wal not matched",
+			pkg:  "internal/other",
+			src: `package other
+import wal "example.com/wal"
+var rec = wal.Record{Seq: 1}
+`,
+			want: nil,
+		},
+		{
+			name: "reading chain fields is fine",
+			pkg:  "cmd/reprocmp",
+			src: `package main
+import "repro/internal/wal"
+func head(recs []wal.Record) uint64 { return recs[len(recs)-1].Seq }
+`,
+			want: nil,
+		},
+		{
+			name: "suppression honored",
+			pkg:  "internal/service",
+			src: `package service
+import "repro/internal/wal"
+//lint:ignore walchain reviewed: migration shim rebuilds a legacy chain
+var rec = wal.Record{Seq: 1}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			file := tc.file
+			if file == "" {
+				file = "fixture.go"
+			}
+			got := runSourceNamed(t, WalChain, tc.pkg, file, tc.src)
+			expectDiags(t, got, tc.want...)
+		})
+	}
+}

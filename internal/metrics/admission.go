@@ -1,0 +1,21 @@
+package metrics
+
+// TenantAdmission is one tenant's admission-control counters, the
+// capacity-planning view the reprod daemon serves on GET /v1/metrics.
+// Counters are cumulative since plane creation.
+type TenantAdmission struct {
+	// Tenant is the tenant ID.
+	Tenant string `json:"tenant"`
+	// Accepted counts submissions that passed admission (granted or
+	// queued).
+	Accepted int64 `json:"accepted"`
+	// Rejected counts backpressure rejections (the daemon's 429s:
+	// tenant quota exceeded, admission queue full).
+	Rejected int64 `json:"rejected"`
+	// RetryAfterMs is the total virtual backoff attached to this
+	// tenant's rejections, in milliseconds — the price the tenant was
+	// asked to pay. A high total with few rejections means each
+	// rejection hit hard (deep queue); many rejections with a low total
+	// means light per-hit pressure.
+	RetryAfterMs int64 `json:"retryAfterMs"`
+}

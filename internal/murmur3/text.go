@@ -1,0 +1,27 @@
+package murmur3
+
+import (
+	"encoding/hex"
+	"fmt"
+)
+
+// String renders the digest as lowercase hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// MarshalText encodes the digest as lowercase hex, so digests embedded
+// in JSON documents (journal records, verify-log reports) render as
+// strings instead of byte arrays.
+func (d Digest) MarshalText() ([]byte, error) {
+	out := make([]byte, hex.EncodedLen(len(d)))
+	hex.Encode(out, d[:])
+	return out, nil
+}
+
+// UnmarshalText decodes a hex digest.
+func (d *Digest) UnmarshalText(text []byte) error {
+	if hex.DecodedLen(len(text)) != DigestSize {
+		return fmt.Errorf("murmur3: digest text has %d hex chars, want %d", len(text), 2*DigestSize)
+	}
+	_, err := hex.Decode(d[:], text)
+	return err
+}

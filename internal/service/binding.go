@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/ckpt"
 )
@@ -87,11 +88,19 @@ func (e *BindingError) Error() string {
 }
 
 // tenant is one tenant's plane-side state: its immutable run bindings
-// (the per-tenant run catalog) and its pending-job count. pending is
-// guarded by the scheduler's mutex; bindings by the tenant's own.
+// (the per-tenant run catalog), its pending-job count, and its
+// cumulative admission counters. pending and the counters are guarded by
+// the scheduler's mutex (they change only under admission decisions);
+// bindings by the tenant's own.
 type tenant struct {
 	id      string
 	pending int // guarded by sched.mu
+
+	// Admission counters for the /v1/metrics capacity-planning view,
+	// guarded by sched.mu.
+	accepted        int64
+	rejected        int64
+	retryAfterTotal time.Duration
 
 	mu       sync.Mutex
 	bindings map[string]Binding

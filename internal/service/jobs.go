@@ -9,6 +9,7 @@ import (
 	"repro/internal/compare"
 	"repro/internal/pfs"
 	"repro/internal/shard"
+	"repro/internal/wal"
 )
 
 // JobKind selects what a submitted job runs.
@@ -190,9 +191,12 @@ func (j *Job) Status() JobStatus {
 // Submit runs a job asynchronously: options normalization and binding
 // validation happen synchronously (a violation is a submission error),
 // as does the admission decision (an *AdmissionError carries the
-// backpressure price — the daemon's 429). The returned job is already
-// queued or running; its goroutine is joined by Plane.Close, which also
-// fails queued jobs with ErrPlaneClosed instead of abandoning them.
+// backpressure price — the daemon's 429). On a journaled plane the
+// accepted record is durable before Submit returns — durability is part
+// of acceptance, so a journal failure rolls the admission back and the
+// submission fails. The returned job is already queued or running; its
+// goroutine is joined by Plane.Close, which also fails queued jobs with
+// ErrPlaneClosed instead of abandoning them.
 func (s *Session) Submit(store *pfs.Store, spec JobSpec) (*Job, error) {
 	if err := spec.validate(); err != nil {
 		s.reject()
@@ -215,10 +219,59 @@ func (s *Session) Submit(store *pfs.Store, spec JobSpec) (*Job, error) {
 		tenant: s.tenant.id,
 		done:   make(chan struct{}),
 	}
+	if err := s.journalAppend(acceptedRecord(j.id, j.tenant, spec)); err != nil {
+		s.plane.sched.abort(t)
+		s.reject()
+		return nil, fmt.Errorf("service: journal accepted record: %w", err)
+	}
 	s.plane.jobs.Add(1)
 	//lint:ignore gocheck joined by Plane.Close via plane.jobs.Wait
 	go s.runJob(j, t, store, spec)
 	return j, nil
+}
+
+// resume re-admits one accepted-but-unfinished journal record under its
+// original job ID (Plane.Recover's re-admission path). The accepted
+// record already exists in the ledger, so none is appended; started and
+// verdict records chain normally as the job re-runs.
+func (s *Session) resume(store *pfs.Store, rec wal.Record) (*Job, error) {
+	spec, err := specFromRecord(rec)
+	if err != nil {
+		return nil, err
+	}
+	s.submitted()
+	opts, err := s.prepare(spec.Options, spec.names()...)
+	if err != nil {
+		return nil, err
+	}
+	spec.Options = opts
+	t, err := s.plane.sched.reserve(s.tenant)
+	if err != nil {
+		s.reject()
+		return nil, err
+	}
+	j := &Job{
+		id:     rec.Job,
+		kind:   spec.Kind,
+		tenant: s.tenant.id,
+		done:   make(chan struct{}),
+	}
+	s.plane.jobs.Add(1)
+	//lint:ignore gocheck joined by Plane.Close via plane.jobs.Wait
+	go s.runJob(j, t, store, spec)
+	return j, nil
+}
+
+// journalAppend appends one lifecycle record when the plane has a
+// journal attached; a plane without one runs non-durably and the append
+// is a no-op.
+func (s *Session) journalAppend(rec wal.Record) error {
+	jn := s.plane.journalHandle()
+	if jn == nil {
+		return nil
+	}
+	_, err := jn.Append(rec)
+	return err
 }
 
 // runJob drives one detached job to its verdict.
@@ -231,26 +284,52 @@ func (s *Session) runJob(j *Job, t *ticket, store *pfs.Store, spec JobSpec) {
 	ctx := context.Background()
 	if err := s.plane.sched.wait(ctx, t); err != nil {
 		s.reject()
+		// A plane-closed rejection is deliberately NOT journaled as a
+		// verdict: the job stays pending in the ledger, and the next
+		// life re-admits and re-runs it to its one durable verdict.
 		j.publish(nil, nil, nil, err)
 		return
 	}
 	defer s.plane.sched.release(t)
+	if err := s.journalAppend(startedRecord(j.id, j.tenant, spec)); err != nil {
+		s.finish(false, false, err)
+		j.publish(nil, nil, nil, err)
+		return
+	}
 	j.mu.Lock()
 	j.state = JobRunning
 	j.mu.Unlock()
 
+	var (
+		res   *compare.Result
+		rep   *compare.GroupReport
+		stats *shard.Stats
+		err   error
+	)
 	switch spec.Kind {
 	case JobCompare:
-		res, err := s.execCompare(ctx, store, spec.A, spec.B, spec.Options)
-		j.publish(res, nil, nil, err)
+		res, err = s.execCompare(ctx, store, spec.A, spec.B, spec.Options)
 	case JobGroup:
-		rep, err := s.execGroup(ctx, store, spec.Baseline, spec.Runs, spec.Topology, spec.Options)
-		j.publish(nil, rep, nil, err)
+		rep, err = s.execGroup(ctx, store, spec.Baseline, spec.Runs, spec.Topology, spec.Options)
 	case JobShard:
-		res, stats, err := shard.Compare(ctx, store, spec.A, spec.B, spec.Shard, spec.Options)
+		res, stats, err = shard.Compare(ctx, store, spec.A, spec.B, spec.Shard, spec.Options)
 		s.finishResult(res, err)
-		j.publish(res, nil, stats, err)
 	}
+	// Durable-then-visible: the verdict record reaches the ledger before
+	// the verdict is published. If durability fails, the job fails for
+	// THIS life only — the ledger still lists it pending, and the next
+	// life re-runs it to its one durable verdict.
+	var v Verdict
+	if rep != nil || spec.Kind == JobGroup {
+		v = GroupVerdict(rep, err)
+	} else {
+		v = ResultVerdict(res, err)
+	}
+	if jerr := s.journalAppend(verdictRecord(j.id, j.tenant, spec, v, res, rep, err)); jerr != nil {
+		j.publish(nil, nil, nil, fmt.Errorf("service: journal verdict record: %w", jerr))
+		return
+	}
+	j.publish(res, rep, stats, err)
 }
 
 // publish records the outcome and closes Done.

@@ -29,6 +29,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -36,7 +37,9 @@ import (
 	"repro/internal/cas"
 	"repro/internal/compare"
 	"repro/internal/device"
+	"repro/internal/metrics"
 	"repro/internal/pfs"
+	"repro/internal/wal"
 )
 
 // Config parameterizes a Plane. The zero value selects production
@@ -114,6 +117,9 @@ type Plane struct {
 	tenants map[string]*tenant
 	memos   map[uint64]*compare.CASMemo // keyed by ε bits
 	stores  map[*pfs.Store]*cas.Store
+	// journal is the crash-durable job ledger, attached by Recover (nil
+	// for planes running without durability). See journal.go.
+	journal *wal.Journal
 }
 
 // New creates a plane that owns a fresh pool and ring sized by cfg.
@@ -168,6 +174,31 @@ func (p *Plane) Backend() *aio.Uring { return p.ring }
 // PeakInFlight reports the highest concurrent-execution count the
 // scheduler has reached — the saturation bound MaxInFlight enforces.
 func (p *Plane) PeakInFlight() int { return p.sched.peakInFlight() }
+
+// AdmissionMetrics snapshots every tenant's cumulative admission
+// counters, sorted by tenant ID — the capacity-planning view reprod
+// serves on GET /v1/metrics.
+func (p *Plane) AdmissionMetrics() []metrics.TenantAdmission {
+	p.mu.Lock()
+	tenants := make([]*tenant, 0, len(p.tenants))
+	for _, t := range p.tenants {
+		tenants = append(tenants, t)
+	}
+	p.mu.Unlock()
+	out := make([]metrics.TenantAdmission, 0, len(tenants))
+	p.sched.mu.Lock()
+	for _, t := range tenants {
+		out = append(out, metrics.TenantAdmission{
+			Tenant:       t.id,
+			Accepted:     t.accepted,
+			Rejected:     t.rejected,
+			RetryAfterMs: t.retryAfterTotal.Milliseconds(),
+		})
+	}
+	p.sched.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
 
 // Open returns a session bound to the named tenant. Sessions are cheap
 // and safe for concurrent use; any number may be open per tenant, and

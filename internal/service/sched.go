@@ -117,6 +117,9 @@ func (s *sched) retryAfter(pressure int) time.Duration {
 // reserve decides admission for one submission by tenant tn: a granted
 // or queued ticket, or an immediate error (ErrPlaneClosed, or an
 // *AdmissionError carrying the backpressure price). It never blocks.
+// Every decision updates the tenant's admission counters (the
+// /v1/metrics view): accepted on grant/queue, rejected plus the attached
+// backpressure price on a 429.
 func (s *sched) reserve(tn *tenant) (*ticket, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -125,15 +128,11 @@ func (s *sched) reserve(tn *tenant) (*ticket, error) {
 	}
 	if tn.pending >= s.tenantPending {
 		over := tn.pending - s.tenantPending + 1
-		return nil, &AdmissionError{
-			Tenant:     tn.id,
-			Reason:     "tenant quota exceeded",
-			Pressure:   over,
-			RetryAfter: s.retryAfter(over),
-		}
+		return nil, s.rejectWith(tn, "tenant quota exceeded", over)
 	}
 	if s.inflight < s.maxInFlight && len(s.queue) == 0 {
 		tn.pending++
+		tn.accepted++
 		s.inflight++
 		if s.inflight > s.peak {
 			s.peak = s.inflight
@@ -142,17 +141,27 @@ func (s *sched) reserve(tn *tenant) (*ticket, error) {
 	}
 	if len(s.queue) >= s.maxQueued {
 		depth := len(s.queue) + 1
-		return nil, &AdmissionError{
-			Tenant:     tn.id,
-			Reason:     "admission queue full",
-			Pressure:   depth,
-			RetryAfter: s.retryAfter(depth),
-		}
+		return nil, s.rejectWith(tn, "admission queue full", depth)
 	}
 	tn.pending++
+	tn.accepted++
 	t := &ticket{tn: tn, ready: make(chan struct{})}
 	s.queue = append(s.queue, t)
 	return t, nil
+}
+
+// rejectWith prices and counts one backpressure rejection. Caller holds
+// s.mu.
+func (s *sched) rejectWith(tn *tenant, reason string, pressure int) *AdmissionError {
+	after := s.retryAfter(pressure)
+	tn.rejected++
+	tn.retryAfterTotal += after
+	return &AdmissionError{
+		Tenant:     tn.id,
+		Reason:     reason,
+		Pressure:   pressure,
+		RetryAfter: after,
+	}
 }
 
 // wait blocks until the ticket holds an execution slot, the context is
@@ -185,6 +194,32 @@ func (s *sched) wait(ctx context.Context, t *ticket) error {
 		s.release(t) // hand the unused slot to the next waiter
 	}
 	return ctx.Err()
+}
+
+// abort undoes a reservation whose job never ran (the journal refused
+// the accepted record, so the admission must be rolled back as if the
+// submission had been rejected). A granted ticket releases its slot; a
+// still-queued ticket withdraws, exactly like wait's cancellation path.
+func (s *sched) abort(t *ticket) {
+	s.mu.Lock()
+	select {
+	case <-t.ready:
+		grantedTicket := t.err == nil
+		s.mu.Unlock()
+		if grantedTicket {
+			s.release(t)
+		}
+		return
+	default:
+	}
+	for i, q := range s.queue {
+		if q == t {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+	t.tn.pending--
+	s.mu.Unlock()
 }
 
 // release returns the ticket's slot: the next queued ticket inherits it

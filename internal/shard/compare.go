@@ -124,6 +124,7 @@ func (st *pairPlan) stepLoadMetadata(ctx context.Context, x *engine.Exec) error 
 		return err
 	}
 	st.ma, st.mb = ma, mb
+	st.res.RootA, st.res.RootB = ma.CombinedRoot(), mb.CombinedRoot()
 	var metaCost pfs.Cost
 	metaCost.Add(costA)
 	metaCost.Add(costB)

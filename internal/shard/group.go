@@ -12,6 +12,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/merkle"
 	"repro/internal/metrics"
+	"repro/internal/murmur3"
 	"repro/internal/pfs"
 	"repro/internal/simclock"
 )
@@ -131,6 +132,10 @@ func (st *groupPlan) stepLoadMembers(ctx context.Context, x *engine.Exec) error 
 				return err
 			}
 		}
+	}
+	st.rep.MemberRoots = make([]murmur3.Digest, len(st.metas))
+	for i, m := range st.metas {
+		st.rep.MemberRoots[i] = m.CombinedRoot()
 	}
 	st.rep.MetadataBytes = st.metas[0].Bytes()
 	st.rep.BytesRead += metaCost.TotalBytes()

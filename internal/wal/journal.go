@@ -1,0 +1,367 @@
+package wal
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+
+	"repro/internal/murmur3"
+	"repro/internal/pfs"
+)
+
+// ErrTampered reports a journal whose hash chain is broken: a record
+// that frames and checksums correctly but does not chain from its
+// predecessor. A crash cannot produce this — crash damage fails the CRC
+// and is skipped as a hole, and the next valid record still chains from
+// the last one before the hole — so a broken chain means a record was
+// altered or removed after it was written.
+var ErrTampered = errors.New("wal: hash chain broken")
+
+// ErrWedged reports an append on a journal that has already failed an
+// append: after any write error the journal refuses further records, so
+// the in-memory chain and the on-disk chain cannot silently diverge
+// within one process life. Recovery is a restart (reopen and replay).
+var ErrWedged = errors.New("wal: journal wedged after append failure")
+
+// Replay is what Open recovered from an existing journal.
+type Replay struct {
+	// Records is the valid chain, in order.
+	Records []Record
+	// Holes counts damaged regions that were skipped mid-log (torn
+	// frames from crashed appends that later appends wrote past).
+	Holes int
+	// TornTailBytes counts trailing bytes after the last valid record —
+	// a frame torn by a crash (or, indistinguishably, a damaged final
+	// record; the dropped record is visible here either way).
+	TornTailBytes int64
+	// Cost is the replay's storage read cost.
+	Cost pfs.Cost
+}
+
+// Journal is the chaining writer over one store-backed log. All appends
+// go through the store's Append writer, so journal writes are priced on
+// the virtual clock and visible to fault injection like every other
+// storage operation. Safe for concurrent use.
+type Journal struct {
+	fs   *pfs.Store
+	name string
+
+	mu     sync.Mutex
+	seq    uint64
+	head   murmur3.Digest
+	size   int64
+	cost   pfs.Cost
+	wedged error
+}
+
+// Open replays the named journal (creating the state for an empty one
+// when the file does not exist) and returns a writer positioned at the
+// chain head. Damage is classified, not ignored: torn frames are
+// skipped as holes or a torn tail, but a record that breaks the hash
+// chain fails with ErrTampered — a tampered journal refuses to open.
+func Open(ctx context.Context, fsys *pfs.Store, name string) (*Journal, *Replay, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	j := &Journal{fs: fsys, name: name}
+	rep := &Replay{}
+	raw, cost, err := fsys.ReadFileFull(ctx, name, 0)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return j, rep, nil
+		}
+		return nil, nil, fmt.Errorf("wal: open %s: %w", name, err)
+	}
+	rep.Cost = cost
+	recs, holes, torn, err := parseChain(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Records = recs
+	rep.Holes = holes
+	rep.TornTailBytes = torn
+	j.size = int64(len(raw))
+	if n := len(recs); n > 0 {
+		j.seq = recs[n-1].Seq
+		j.head = recs[n-1].Digest
+	}
+	return j, rep, nil
+}
+
+// parseChain walks raw bytes into the valid record chain. Damaged
+// regions are skipped by scanning for the next frame whose stored
+// offset matches its position; the skipped bytes count as a hole (or
+// the torn tail when nothing follows). Every accepted record must chain
+// — consecutive Seq and Prev equal to the predecessor's Digest — and a
+// framed record that does not chain is ErrTampered.
+func parseChain(raw []byte) (recs []Record, holes int, tornTail int64, err error) {
+	var head murmur3.Digest
+	var seq uint64
+	off := 0
+	damagedSince := -1 // start of the damaged region being scanned, -1 if none
+	for off < len(raw) {
+		payload, frameLen, ok := frameAt(raw, off)
+		if !ok {
+			if damagedSince < 0 {
+				damagedSince = off
+			}
+			off = nextCandidate(raw, off+1)
+			continue
+		}
+		rec, derr := decodePayload(payload)
+		if derr != nil {
+			// Framed bytes that fail structural decode: treat like any
+			// other damage and let the next record's linkage judge.
+			if damagedSince < 0 {
+				damagedSince = off
+			}
+			off = nextCandidate(raw, off+1)
+			continue
+		}
+		if rec.Seq != seq+1 || rec.Prev != head {
+			return nil, 0, 0, fmt.Errorf(
+				"%w: record at offset %d has seq %d prev %x, want seq %d prev %x",
+				ErrTampered, off, rec.Seq, rec.Prev, seq+1, head)
+		}
+		if damagedSince >= 0 {
+			holes++
+			damagedSince = -1
+		}
+		recs = append(recs, rec)
+		seq = rec.Seq
+		head = rec.Digest
+		off += frameLen
+	}
+	if damagedSince >= 0 {
+		tornTail = int64(len(raw) - damagedSince)
+	}
+	return recs, holes, tornTail, nil
+}
+
+// nextCandidate returns the next offset at or after from where a frame
+// could start (magic bytes with a matching stored offset), or len(raw).
+func nextCandidate(raw []byte, from int) int {
+	for i := from; i+frameHeader <= len(raw); i++ {
+		if binary.LittleEndian.Uint32(raw[i:]) == frameMagic &&
+			binary.LittleEndian.Uint64(raw[i+4:]) == uint64(i) {
+			return i
+		}
+	}
+	return len(raw)
+}
+
+// Append assigns the record its chain coordinates (Seq, Prev, Digest),
+// frames it, and writes it durably, returning the completed record.
+// The caller must leave Seq, Prev, and Digest zero — hand-rolled chain
+// fields are rejected here and by the walchain lint rule. On any write
+// error the journal wedges: the record is not part of the chain, and
+// every later Append fails until the journal is reopened.
+func (j *Journal) Append(rec Record) (Record, error) {
+	if rec.Seq != 0 || rec.Prev != (murmur3.Digest{}) || rec.Digest != (murmur3.Digest{}) {
+		return Record{}, errors.New("wal: Seq/Prev/Digest are assigned by the journal, not the caller")
+	}
+	if rec.Type == 0 {
+		return Record{}, errors.New("wal: record needs a type")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wedged != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrWedged, j.wedged)
+	}
+	rec.Seq = j.seq + 1
+	rec.Prev = j.head
+	payload := encodePayload(&rec)
+	rec.Digest = payloadDigest(payload)
+	frame := encodeFrame(payload, j.size)
+
+	w, err := j.fs.Append(j.name)
+	if err != nil {
+		j.wedged = err
+		return Record{}, fmt.Errorf("wal: append: %w", err)
+	}
+	n, werr := w.Write(frame)
+	j.cost.Add(w.Cost())
+	cerr := w.Close()
+	j.size += int64(n) // torn writes persist a prefix; track it
+	if werr != nil || cerr != nil || n != len(frame) {
+		err := werr
+		if err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = fmt.Errorf("wal: short append: %d of %d bytes", n, len(frame))
+		}
+		j.wedged = err
+		return Record{}, fmt.Errorf("wal: append: %w", err)
+	}
+	j.seq = rec.Seq
+	j.head = rec.Digest
+	return rec, nil
+}
+
+// Name returns the store-relative journal path.
+func (j *Journal) Name() string { return j.name }
+
+// Seq returns the chain head's sequence number (0 for an empty chain).
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Head returns the chain head's digest.
+func (j *Journal) Head() murmur3.Digest {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.head
+}
+
+// Size returns the journal's on-disk size in bytes, including holes.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// Cost returns the accumulated append cost of this journal handle.
+func (j *Journal) Cost() pfs.Cost {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cost
+}
+
+// Wedged returns the append error that wedged the journal, or nil.
+func (j *Journal) Wedged() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.wedged
+}
+
+// VerifyReport is verify-log's summary of one full chain walk.
+type VerifyReport struct {
+	// Records is the valid chain length; Seq and Head are the chain
+	// head's coordinates.
+	Records int            `json:"records"`
+	Seq     uint64         `json:"seq"`
+	Head    murmur3.Digest `json:"head"`
+	// Holes and TornTailBytes report crash damage that replay skipped.
+	Holes         int   `json:"holes"`
+	TornTailBytes int64 `json:"tornTailBytes"`
+	// Accepted, Started, and Verdicts count records by type; Jobs
+	// counts distinct accepted jobs.
+	Accepted int `json:"accepted"`
+	Started  int `json:"started"`
+	Verdicts int `json:"verdicts"`
+	Jobs     int `json:"jobs"`
+	// PendingJobs lists accepted jobs with no verdict yet (unfinished
+	// at the last shutdown — recovery's re-admission work list).
+	PendingJobs []uint64 `json:"pendingJobs,omitempty"`
+	// DuplicateVerdicts lists jobs with more than one verdict record —
+	// always a verification failure (exactly-once broken).
+	DuplicateVerdicts []uint64 `json:"duplicateVerdicts,omitempty"`
+	// OrphanVerdicts lists verdicts whose job has no accepted record.
+	OrphanVerdicts []uint64 `json:"orphanVerdicts,omitempty"`
+}
+
+// Verify re-walks the chain and cross-checks the job lifecycle:
+// ErrTampered on a broken chain, an error listing the jobs on
+// duplicated or orphaned verdicts. Pending jobs and crash holes are
+// reported, not errors — they are what recovery is for.
+func Verify(ctx context.Context, fsys *pfs.Store, name string) (*VerifyReport, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	raw, _, err := fsys.ReadFileFull(ctx, name, 0)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return &VerifyReport{}, nil
+		}
+		return nil, fmt.Errorf("wal: verify %s: %w", name, err)
+	}
+	recs, holes, torn, err := parseChain(raw)
+	if err != nil {
+		return nil, err
+	}
+	rep := &VerifyReport{Records: len(recs), Holes: holes, TornTailBytes: torn}
+	if len(recs) > 0 {
+		rep.Seq = recs[len(recs)-1].Seq
+		rep.Head = recs[len(recs)-1].Digest
+	}
+	accepted := make(map[uint64]bool)
+	verdicts := make(map[uint64]int)
+	var order []uint64
+	for i := range recs {
+		r := &recs[i]
+		switch r.Type {
+		case TypeAccepted:
+			rep.Accepted++
+			if !accepted[r.Job] {
+				accepted[r.Job] = true
+				order = append(order, r.Job)
+			}
+		case TypeStarted:
+			rep.Started++
+		case TypeVerdict:
+			rep.Verdicts++
+			verdicts[r.Job]++
+			if !accepted[r.Job] {
+				rep.OrphanVerdicts = append(rep.OrphanVerdicts, r.Job)
+			}
+		}
+	}
+	rep.Jobs = len(accepted)
+	for _, job := range order {
+		switch n := verdicts[job]; {
+		case n == 0:
+			rep.PendingJobs = append(rep.PendingJobs, job)
+		case n > 1:
+			rep.DuplicateVerdicts = append(rep.DuplicateVerdicts, job)
+		}
+	}
+	if len(rep.DuplicateVerdicts) > 0 {
+		return rep, fmt.Errorf("wal: exactly-once broken: jobs %v have duplicate verdicts", rep.DuplicateVerdicts)
+	}
+	if len(rep.OrphanVerdicts) > 0 {
+		return rep, fmt.Errorf("wal: jobs %v have verdicts but no accepted record", rep.OrphanVerdicts)
+	}
+	return rep, nil
+}
+
+// Recovered classifies a replayed chain for exactly-once recovery.
+type Recovered struct {
+	// Pending lists accepted records whose jobs have no verdict, in
+	// acceptance order — the jobs to re-admit.
+	Pending []Record
+	// Verdicts maps completed jobs to their verdict record — served
+	// from this ledger, never recomputed.
+	Verdicts map[uint64]Record
+	// MaxJob is the highest job ID seen; new IDs must start above it.
+	MaxJob uint64
+}
+
+// Classify splits a replayed chain into completed and unfinished jobs.
+func Classify(recs []Record) Recovered {
+	out := Recovered{Verdicts: make(map[uint64]Record)}
+	var acceptedOrder []Record
+	for i := range recs {
+		r := recs[i]
+		if r.Job > out.MaxJob {
+			out.MaxJob = r.Job
+		}
+		switch r.Type {
+		case TypeAccepted:
+			acceptedOrder = append(acceptedOrder, r)
+		case TypeVerdict:
+			out.Verdicts[r.Job] = r
+		}
+	}
+	for _, r := range acceptedOrder {
+		if _, done := out.Verdicts[r.Job]; !done {
+			out.Pending = append(out.Pending, r)
+		}
+	}
+	return out
+}

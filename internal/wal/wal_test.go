@@ -1,0 +1,294 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/murmur3"
+	"repro/internal/pfs"
+)
+
+func newTestStore(t *testing.T) *pfs.Store {
+	t.Helper()
+	store, err := pfs.NewStore(t.TempDir(), pfs.NVMeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// jobRecords is a full lifecycle for one job.
+func jobRecords(job uint64, exit int) []Record {
+	base := Record{
+		Job: job, Tenant: "t1", Kind: "compare",
+		Names:   []string{"runA/iter0010.rank000.ckpt", "runB/iter0010.rank000.ckpt"},
+		Epsilon: 1e-6, ChunkSize: 64 << 10, ToolVersion: ToolVersion,
+	}
+	acc := base
+	acc.Type = TypeAccepted
+	st := base
+	st.Type = TypeStarted
+	v := base
+	v.Type = TypeVerdict
+	v.Exit = exit
+	v.DiffCount = 7
+	v.Roots = []murmur3.Digest{{1, 2}, {3, 4}}
+	return []Record{acc, st, v}
+}
+
+func appendAll(t *testing.T, j *Journal, recs []Record) []Record {
+	t.Helper()
+	out := make([]Record, 0, len(recs))
+	for _, r := range recs {
+		got, err := j.Append(r)
+		if err != nil {
+			t.Fatalf("append %v: %v", r.Type, err)
+		}
+		out = append(out, got)
+	}
+	return out
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	store := newTestStore(t)
+	j, rep, err := Open(ctx, store, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 0 || j.Seq() != 0 {
+		t.Fatalf("fresh journal not empty: %+v seq %d", rep, j.Seq())
+	}
+	want := appendAll(t, j, jobRecords(1, 2))
+	if j.Cost().Ops == 0 {
+		t.Fatal("appends priced no storage ops")
+	}
+
+	j2, rep2, err := Open(ctx, store, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Records) != len(want) || rep2.Holes != 0 || rep2.TornTailBytes != 0 {
+		t.Fatalf("replay: %d records, %d holes, %d torn", len(rep2.Records), rep2.Holes, rep2.TornTailBytes)
+	}
+	for i, got := range rep2.Records {
+		w := want[i]
+		if got.Seq != w.Seq || got.Prev != w.Prev || got.Digest != w.Digest ||
+			got.Type != w.Type || got.Job != w.Job || got.Tenant != w.Tenant ||
+			got.Kind != w.Kind || len(got.Names) != len(w.Names) ||
+			got.Epsilon != w.Epsilon || got.ChunkSize != w.ChunkSize ||
+			got.Exit != w.Exit || got.DiffCount != w.DiffCount || len(got.Roots) != len(w.Roots) {
+			t.Fatalf("record %d: got %+v want %+v", i, got, w)
+		}
+	}
+	// Chain linkage is explicit: each Prev is the predecessor's Digest.
+	for i := 1; i < len(rep2.Records); i++ {
+		if rep2.Records[i].Prev != rep2.Records[i-1].Digest {
+			t.Fatalf("record %d does not chain", i)
+		}
+	}
+	// The reopened journal continues the same chain.
+	if j2.Seq() != want[len(want)-1].Seq || j2.Head() != want[len(want)-1].Digest {
+		t.Fatal("reopened journal lost the chain head")
+	}
+	more := appendAll(t, j2, jobRecords(2, 0))
+	if more[0].Prev != want[len(want)-1].Digest {
+		t.Fatal("cross-life append does not chain from the replayed head")
+	}
+
+	vrep, err := Verify(ctx, store, "")
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if vrep.Records != 6 || vrep.Jobs != 2 || vrep.Verdicts != 2 ||
+		len(vrep.PendingJobs) != 0 || len(vrep.DuplicateVerdicts) != 0 {
+		t.Fatalf("verify report: %+v", vrep)
+	}
+}
+
+func TestJournalRejectsPresetChainFields(t *testing.T) {
+	ctx := context.Background()
+	store := newTestStore(t)
+	j, _, err := Open(ctx, store, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Record{Type: TypeAccepted, Job: 1, Seq: 5}
+	if _, err := j.Append(r); err == nil {
+		t.Fatal("append accepted a caller-set Seq")
+	}
+	r = Record{Type: TypeAccepted, Job: 1, Prev: murmur3.Digest{9}}
+	if _, err := j.Append(r); err == nil {
+		t.Fatal("append accepted a caller-set Prev")
+	}
+}
+
+func TestJournalTornTailAndHoleResync(t *testing.T) {
+	ctx := context.Background()
+	store := newTestStore(t)
+	j, _, err := Open(ctx, store, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, jobRecords(1, 0))
+
+	// Tear the next append mid-frame: a 7-byte prefix persists.
+	store.SetFaultHook(faults.New(1, faults.Rule{Kind: faults.TornWrite, Name: "journal", Keep: 7}))
+	if _, err := j.Append(Record{Type: TypeAccepted, Job: 2, Kind: "compare", Names: []string{"a", "b"}}); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	// The journal is wedged: later appends fail without touching disk.
+	if _, err := j.Append(Record{Type: TypeStarted, Job: 2}); !errors.Is(err, ErrWedged) {
+		t.Fatalf("append after failure: %v, want ErrWedged", err)
+	}
+	store.SetFaultHook(nil)
+
+	// Restart: the torn frame is a visible torn tail, the chain is intact.
+	j2, rep, err := Open(ctx, store, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 3 || rep.TornTailBytes != 7 || rep.Holes != 0 {
+		t.Fatalf("replay after tear: %d records, torn %d, holes %d", len(rep.Records), rep.TornTailBytes, rep.Holes)
+	}
+	// The next life appends past the torn bytes; the hole stays skippable.
+	appendAll(t, j2, jobRecords(2, 0))
+	j3, rep3, err := Open(ctx, store, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep3.Records) != 6 || rep3.Holes != 1 || rep3.TornTailBytes != 0 {
+		t.Fatalf("replay across hole: %d records, holes %d, torn %d", len(rep3.Records), rep3.Holes, rep3.TornTailBytes)
+	}
+	if _, err := Verify(ctx, store, ""); err != nil {
+		t.Fatalf("verify across hole: %v", err)
+	}
+	_ = j3
+}
+
+// journalPath is the journal's real filesystem path, for direct
+// tampering in tests.
+func journalPath(store *pfs.Store) string {
+	return filepath.Join(store.Root(), filepath.FromSlash(DefaultName))
+}
+
+func TestJournalTamperDetected(t *testing.T) {
+	ctx := context.Background()
+	store := newTestStore(t)
+	j, _, err := Open(ctx, store, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, jobRecords(1, 0))
+	firstLen := j.Size()
+	appendAll(t, j, jobRecords(2, 2))
+	_ = firstLen
+
+	// Flip one byte inside the FIRST record's payload. Its CRC fails, it
+	// is skipped as damage — and then record 2 no longer chains from
+	// anything valid, which is the tamper signal.
+	path := journalPath(store)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[frameHeader+2] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(ctx, store, ""); !errors.Is(err, ErrTampered) {
+		t.Fatalf("open tampered journal: %v, want ErrTampered", err)
+	}
+	if _, err := Verify(ctx, store, ""); !errors.Is(err, ErrTampered) {
+		t.Fatalf("verify tampered journal: %v, want ErrTampered", err)
+	}
+}
+
+func TestJournalTamperedFinalRecordDropsVisibly(t *testing.T) {
+	// A flipped byte in the FINAL record is indistinguishable from a
+	// torn tail (no successor binds it): the record drops, but visibly —
+	// TornTailBytes is non-zero and the verdict disappears from the
+	// chain, it never silently changes.
+	ctx := context.Background()
+	store := newTestStore(t)
+	j, _, err := Open(ctx, store, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := appendAll(t, j, jobRecords(1, 0))
+	path := journalPath(store)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-6] ^= 0x01 // inside the final record's payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := Open(ctx, store, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != len(recs)-1 || rep.TornTailBytes == 0 {
+		t.Fatalf("tampered final record: %d records, torn %d — the drop must be visible",
+			len(rep.Records), rep.TornTailBytes)
+	}
+}
+
+func TestJournalBitFlipOnReadDetected(t *testing.T) {
+	// A bit flip injected on the read path (faults.BitFlip) corrupts the
+	// replay buffer, not the disk: replay must either fail the chain or
+	// visibly drop records — never return the full clean chain.
+	ctx := context.Background()
+	store := newTestStore(t)
+	j, _, err := Open(ctx, store, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, jobRecords(1, 0))
+	appendAll(t, j, jobRecords(2, 2))
+
+	store.SetFaultHook(faults.New(7, faults.Rule{Kind: faults.BitFlip, Name: "journal"}))
+	_, rep, err := Open(ctx, store, "")
+	store.SetFaultHook(nil)
+	if err == nil && len(rep.Records) == 6 && rep.Holes == 0 && rep.TornTailBytes == 0 {
+		t.Fatal("bit-flipped replay passed as fully clean")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	ctx := context.Background()
+	store := newTestStore(t)
+	j, _, err := Open(ctx, store, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, jobRecords(3, 2))     // completed
+	appendAll(t, j, jobRecords(5, 0)[:2]) // accepted + started, no verdict
+	appendAll(t, j, jobRecords(6, 0)[:1]) // accepted only
+	_, rep, err := Open(ctx, store, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := Classify(rep.Records)
+	if cls.MaxJob != 6 {
+		t.Fatalf("MaxJob = %d", cls.MaxJob)
+	}
+	if len(cls.Verdicts) != 1 || cls.Verdicts[3].Exit != 2 {
+		t.Fatalf("verdicts: %+v", cls.Verdicts)
+	}
+	if len(cls.Pending) != 2 || cls.Pending[0].Job != 5 || cls.Pending[1].Job != 6 {
+		t.Fatalf("pending: %+v", cls.Pending)
+	}
+	vrep, err := Verify(ctx, store, "")
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(vrep.PendingJobs) != 2 {
+		t.Fatalf("verify pending: %+v", vrep.PendingJobs)
+	}
+}

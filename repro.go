@@ -57,10 +57,12 @@ import (
 	"repro/internal/device"
 	"repro/internal/errbound"
 	"repro/internal/merkle"
+	"repro/internal/metrics"
 	"repro/internal/pfs"
 	"repro/internal/retry"
 	"repro/internal/service"
 	"repro/internal/shard"
+	"repro/internal/wal"
 )
 
 // Core comparison API.
@@ -136,6 +138,9 @@ type (
 	// Job is an asynchronous submission; wait on Done, snapshot with
 	// Status.
 	Job = service.Job
+	// JobStatus is a wire-friendly snapshot of one job (Job.Status);
+	// the reprod daemon also synthesizes it from ledger verdicts.
+	JobStatus = service.JobStatus
 	// JobVerdict is a comparison outcome on the reprocmp exit-code
 	// contract (0 clean / 1 error / 2 divergent / 3 degraded).
 	JobVerdict = service.Verdict
@@ -153,6 +158,63 @@ const (
 	// JobShard is a subtree-sharded comparison.
 	JobShard = service.JobShard
 )
+
+// Durability & audit API: the crash-durable job journal and hash-chained
+// verdict ledger (internal/wal) the reprod daemon runs on when started
+// with -journal, surfaced for the reprocmp attest/verify-log tooling.
+type (
+	// Journal is the chaining writer over one store-backed journal file.
+	Journal = wal.Journal
+	// WALRecord is one journal entry: chain coordinates plus the job
+	// lifecycle event (accepted / started / verdict) it records.
+	WALRecord = wal.Record
+	// JournalReplay is what opening an existing journal recovered:
+	// the valid chain plus crash-damage accounting.
+	JournalReplay = wal.Replay
+	// JournalVerifyReport summarizes one full chain walk: record and
+	// job counts, pending jobs, crash damage, exactly-once violations.
+	JournalVerifyReport = wal.VerifyReport
+	// PlaneRecovery is what Plane.Recover reconstructed: the servable
+	// verdict ledger and the re-admitted unfinished jobs.
+	PlaneRecovery = service.Recovery
+	// TenantAdmission is one tenant's cumulative admission counters
+	// (GET /v1/metrics on reprod).
+	TenantAdmission = metrics.TenantAdmission
+)
+
+// ErrJournalTampered reports a journal whose hash chain is broken — a
+// record altered or removed after it was written. Crash damage never
+// produces it; torn frames replay as visible holes instead.
+var ErrJournalTampered = wal.ErrTampered
+
+// DefaultJournalName is the conventional store-relative journal path
+// (reprod's -journal flag and reprocmp's -journal flags default to it).
+const DefaultJournalName = wal.DefaultName
+
+// Journal record types (WALRecord.Type), in lifecycle order.
+const (
+	// WALAccepted: the job passed admission, durable before Submit
+	// returned.
+	WALAccepted = wal.TypeAccepted
+	// WALStarted: the job acquired an execution slot.
+	WALStarted = wal.TypeStarted
+	// WALVerdict: the job's outcome, durable before it was published.
+	WALVerdict = wal.TypeVerdict
+)
+
+// OpenJournal replays (creating if absent) the named journal on a store
+// and returns the chaining writer positioned at the chain head. name ""
+// selects DefaultJournalName. A tampered journal refuses to open.
+func OpenJournal(ctx context.Context, store *Store, name string) (*Journal, *JournalReplay, error) {
+	return wal.Open(ctx, store, name)
+}
+
+// VerifyJournal re-walks the named journal's full chain: ErrJournalTampered
+// on a broken chain, an error on duplicated or orphaned verdicts, and a
+// report of counts, pending jobs, and crash damage otherwise.
+func VerifyJournal(ctx context.Context, store *Store, name string) (*JournalVerifyReport, error) {
+	return wal.Verify(ctx, store, name)
+}
 
 // NewPlane creates a plane owning a fresh pool and ring sized by cfg;
 // Close it to join them. The zero Config selects production defaults.
